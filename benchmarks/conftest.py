@@ -1,0 +1,101 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark file regenerates one table or figure from the paper's
+evaluation section.  The workload scale is controlled by the
+``REPRO_BENCH_SCALE`` environment variable:
+
+* ``small`` (default) — the 96-configuration small grid, 3 repetitions of
+  every cross-validation split; runs in a few minutes on a laptop;
+* ``paper`` — the full 540-configuration grid of Table 2 and 10 repetitions,
+  matching the paper's setup (much slower).
+
+Every benchmark prints the rows/series the corresponding figure reports and
+stores them in ``benchmark.extra_info`` so they end up in the
+``--benchmark-json`` output.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.baselines import RuleOfThumbExplainer, SimButDiffExplainer
+from repro.core.explainer import PerfXplainExplainer
+from repro.core.features import infer_schema
+from repro.core.queries import (
+    find_pair_of_interest,
+    why_last_task_faster,
+    why_slower_despite_same_num_instances,
+)
+from repro.workloads.grid import build_experiment_log, paper_grid, small_grid
+
+#: Widths swept in the width-based figures (the paper uses 0-5).
+WIDTHS = (0, 1, 2, 3, 4, 5)
+
+
+def bench_scale() -> str:
+    """The configured benchmark scale (``small`` or ``paper``)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+
+
+def bench_repetitions() -> int:
+    """Cross-validation repetitions at the configured scale."""
+    return 10 if bench_scale() == "paper" else 3
+
+
+@pytest.fixture(scope="session")
+def experiment_log():
+    """The execution log used by every benchmark (built once)."""
+    grid = paper_grid() if bench_scale() == "paper" else small_grid()
+    return build_experiment_log(grid, seed=7)
+
+
+@pytest.fixture(scope="session")
+def job_schema(experiment_log):
+    return infer_schema(experiment_log.jobs)
+
+
+@pytest.fixture(scope="session")
+def task_schema(experiment_log):
+    return infer_schema(experiment_log.tasks)
+
+
+@pytest.fixture(scope="session")
+def whyslower_query(experiment_log, job_schema):
+    """WhySlowerDespiteSameNumInstances bound to a pair of interest."""
+    query = why_slower_despite_same_num_instances()
+    pair = find_pair_of_interest(experiment_log, query, schema=job_schema,
+                                 rng=random.Random(0))
+    return query.with_pair(*pair)
+
+
+@pytest.fixture(scope="session")
+def whylasttaskfaster_query(experiment_log, task_schema):
+    """WhyLastTaskFaster bound to a pair of interest."""
+    query = why_last_task_faster()
+    pair = find_pair_of_interest(experiment_log, query, schema=task_schema,
+                                 rng=random.Random(0))
+    return query.with_pair(*pair)
+
+
+@pytest.fixture()
+def techniques():
+    """Fresh instances of the three explanation techniques."""
+    return [PerfXplainExplainer(), RuleOfThumbExplainer(), SimButDiffExplainer()]
+
+
+def record_series(benchmark, sweep, metric: str = "precision") -> None:
+    """Store a sweep's per-technique series in the benchmark report."""
+    series = {}
+    for technique in sweep.techniques():
+        series[technique] = [
+            {"width": width, "mean": round(mean, 4), "std": round(std, 4)}
+            for width, mean, std in sweep.series(technique, metric)
+        ]
+    benchmark.extra_info[metric] = series

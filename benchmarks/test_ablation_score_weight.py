@@ -1,0 +1,73 @@
+"""Ablation (beyond the paper): the precision/generality score weight.
+
+Algorithm 1 scores candidate predicates by ``w * precision_rank +
+(1 - w) * generality_rank`` with ``w = 0.8``.  This ablation sweeps ``w`` to
+show the trade-off the paper describes: a precision-only score (w = 1.0)
+yields narrow explanations, while a balanced score keeps generality higher
+at a modest precision cost.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_repetitions
+
+from repro.core.evaluation import evaluate_precision_vs_width
+from repro.core.explainer import PerfXplainConfig, PerfXplainExplainer
+
+WEIGHTS = (0.5, 0.8, 1.0)
+
+
+def test_ablation_score_weight(benchmark, experiment_log, whyslower_query):
+    def run_sweep():
+        techniques = []
+        for weight in WEIGHTS:
+            explainer = PerfXplainExplainer(PerfXplainConfig(score_weight=weight))
+            explainer.name = f"PerfXplain-w{weight:.1f}"
+            techniques.append(explainer)
+        return evaluate_precision_vs_width(
+            experiment_log, whyslower_query, techniques, widths=(3,),
+            repetitions=bench_repetitions(), seed=11,
+        )
+
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print("\nAblation — candidate-score weight (width 3)")
+    print("weight".ljust(10) + "precision".ljust(14) + "generality")
+    results = {}
+    for weight in WEIGHTS:
+        name = f"PerfXplain-w{weight:.1f}"
+        precision = sweep.mean(name, 3, "precision")
+        generality = sweep.mean(name, 3, "generality")
+        results[name] = {"precision": round(precision, 4), "generality": round(generality, 4)}
+        print(f"{weight:.1f}".ljust(10) + f"{precision:.3f}".ljust(14) + f"{generality:.3f}")
+    benchmark.extra_info["by_weight"] = results
+
+    # Every weighting produces a usable explanation.
+    assert all(entry["precision"] > 0.5 for entry in results.values())
+
+
+def test_ablation_sampling(benchmark, experiment_log, whyslower_query):
+    """Ablation: balanced-sample size (Section 4.3's m = 2000 default)."""
+
+    def run_sweep():
+        techniques = []
+        for sample_size in (200, 2000):
+            explainer = PerfXplainExplainer(PerfXplainConfig(sample_size=sample_size))
+            explainer.name = f"PerfXplain-m{sample_size}"
+            techniques.append(explainer)
+        return evaluate_precision_vs_width(
+            experiment_log, whyslower_query, techniques, widths=(3,),
+            repetitions=bench_repetitions(), seed=12,
+        )
+
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print("\nAblation — balanced-sample size (width 3)")
+    results = {}
+    for name in sweep.techniques():
+        precision = sweep.mean(name, 3, "precision")
+        results[name] = round(precision, 4)
+        print(f"  {name}: precision={precision:.3f}")
+    benchmark.extra_info["by_sample_size"] = results
+
+    assert all(precision > 0.5 for precision in results.values())

@@ -1,0 +1,48 @@
+"""Figure 4(a): relevance of generated despite clauses as their width grows.
+
+For both PXQL queries (with the user's despite clause removed) PerfXplain
+generates despite clauses of width 0-5; the paper shows relevance rising
+quickly with width and staying high.
+"""
+
+from __future__ import annotations
+
+from conftest import WIDTHS, bench_repetitions
+
+from repro.core.evaluation import evaluate_despite_relevance
+
+
+def test_fig4a_despite_relevance_vs_width(benchmark, experiment_log,
+                                          whylasttaskfaster_query, whyslower_query):
+    def run_sweeps():
+        return {
+            "WhyLastTaskFaster": evaluate_despite_relevance(
+                experiment_log, whylasttaskfaster_query, widths=WIDTHS,
+                repetitions=bench_repetitions(), seed=7,
+            ),
+            "WhySlowerDespiteSameNumInstances": evaluate_despite_relevance(
+                experiment_log, whyslower_query, widths=WIDTHS,
+                repetitions=bench_repetitions(), seed=8,
+            ),
+        }
+
+    sweeps = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+
+    print("\nFigure 4(a) — relevance of generated despite clauses vs. width")
+    series = {}
+    for name, sweep in sweeps.items():
+        points = sweep.series("PerfXplain-despite", "relevance")
+        series[name] = [
+            {"width": width, "mean": round(mean, 4), "std": round(std, 4)}
+            for width, mean, std in points
+        ]
+        rendered = "  ".join(f"w{width}={mean:.2f}" for width, mean, _ in points)
+        print(f"  {name}: {rendered}")
+    benchmark.extra_info["relevance"] = series
+
+    for name, sweep in sweeps.items():
+        empty = sweep.mean("PerfXplain-despite", 0, "relevance")
+        generated = max(sweep.mean("PerfXplain-despite", width, "relevance")
+                        for width in WIDTHS[1:])
+        assert generated > empty, name
+        assert generated > 0.5, name

@@ -1,0 +1,47 @@
+"""Figure 4(b): the precision / generality trade-off of the three techniques.
+
+Each technique contributes one (generality, precision) point per explanation
+width for the WhySlowerDespiteSameNumInstances query.  The paper's claim:
+PerfXplain's points dominate — they sit higher (more precise) and further
+right (more general) than the other techniques' points.
+"""
+
+from __future__ import annotations
+
+from conftest import WIDTHS, bench_repetitions
+
+from repro.core.evaluation import evaluate_precision_vs_width, precision_generality_points
+
+
+def test_fig4b_precision_generality_tradeoff(benchmark, experiment_log, whyslower_query,
+                                             techniques):
+    def run_sweep():
+        return evaluate_precision_vs_width(
+            experiment_log, whyslower_query, techniques, widths=WIDTHS,
+            repetitions=bench_repetitions(), seed=9,
+        )
+
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print("\nFigure 4(b) — precision vs. generality (one point per width)")
+    points_by_technique = {}
+    for technique in sweep.techniques():
+        points = precision_generality_points(sweep, technique)
+        points_by_technique[technique] = [
+            {"generality": round(g, 4), "precision": round(p, 4)} for g, p in points
+        ]
+        rendered = "  ".join(f"({g:.2f}, {p:.2f})" for g, p in points)
+        print(f"  {technique}: {rendered}")
+    benchmark.extra_info["points"] = points_by_technique
+
+    def best_combined(technique):
+        return max(
+            (point["precision"] + point["generality"]
+             for point in points_by_technique[technique]),
+            default=0.0,
+        )
+
+    # PerfXplain offers the best combined precision+generality frontier point.
+    perfxplain = best_combined("PerfXplain")
+    assert perfxplain >= best_combined("SimButDiff") - 0.15
+    assert max(p["precision"] for p in points_by_technique["PerfXplain"]) >= 0.7

@@ -1,0 +1,39 @@
+"""Figure 4(c): PerfXplain precision at the three feature levels.
+
+Level 1 restricts explanations to the isSame features, level 2 adds the
+compare/diff features, level 3 adds the copied base features.  The paper
+finds levels 2 and 3 perform similarly and clearly better than level 1.
+"""
+
+from __future__ import annotations
+
+from conftest import WIDTHS, bench_repetitions, record_series
+
+from repro.core.evaluation import evaluate_feature_levels
+from repro.core.features import FeatureLevel
+
+
+def test_fig4c_feature_levels(benchmark, experiment_log, whyslower_query):
+    def run_sweep():
+        return evaluate_feature_levels(
+            experiment_log,
+            whyslower_query,
+            levels=(FeatureLevel.IS_SAME_ONLY, FeatureLevel.COMPARISON, FeatureLevel.FULL),
+            widths=WIDTHS,
+            repetitions=bench_repetitions(),
+            seed=10,
+        )
+
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    record_series(benchmark, sweep, "precision")
+
+    print("\nFigure 4(c) — precision with feature levels 1/2/3")
+    print(sweep.format_table("precision"))
+
+    level1 = sweep.mean("PerfXplain-level1", 3)
+    level2 = sweep.mean("PerfXplain-level2", 3)
+    level3 = sweep.mean("PerfXplain-level3", 3)
+    # Richer feature sets never hurt, and the full set is the best or tied.
+    assert level3 >= level1 - 0.05
+    assert level3 >= level2 - 0.1
+    assert max(level2, level3) > 0.6

@@ -1,0 +1,72 @@
+"""Table 2: the workload parameter grid and the log it produces.
+
+The paper's Table 2 lists the varied parameters; this benchmark regenerates
+the grid, runs it through the simulator (at the configured scale) and
+reports summary statistics of the resulting execution log — the substrate
+every other experiment consumes.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import bench_scale
+
+from repro.units import GB, MB, format_size
+from repro.workloads.excite import excite_dataset
+from repro.workloads.grid import build_experiment_log, paper_grid, small_grid, tiny_grid
+
+
+def test_table2_parameter_grid(benchmark, experiment_log):
+    """Regenerate the Table 2 grid and summarise the collected log."""
+    grid = paper_grid() if bench_scale() == "paper" else small_grid()
+
+    def summarise():
+        durations = [job.duration for job in experiment_log.jobs]
+        return {
+            "configurations": len(grid),
+            "jobs": experiment_log.num_jobs,
+            "tasks": experiment_log.num_tasks,
+            "job_features": len(experiment_log.jobs[0].features),
+            "task_features": len(experiment_log.tasks[0].features),
+            "min_duration_s": round(min(durations), 1),
+            "median_duration_s": round(statistics.median(durations), 1),
+            "max_duration_s": round(max(durations), 1),
+        }
+
+    summary = benchmark.pedantic(summarise, rounds=1, iterations=1)
+    benchmark.extra_info["table2"] = {
+        "num_instances": list(grid.num_instances),
+        "input_sizes": [format_size(excite_dataset(f).size_bytes)
+                        for f in grid.concat_factors],
+        "block_sizes": [format_size(b) for b in grid.block_sizes],
+        "reduce_tasks_factors": list(grid.reduce_tasks_factors),
+        "io_sort_factors": list(grid.io_sort_factors),
+        "pig_scripts": list(grid.script_names),
+    }
+    benchmark.extra_info["log_summary"] = summary
+
+    print("\nTable 2 — varied parameters")
+    print(f"  Number of instances : {list(grid.num_instances)}")
+    print(f"  Input file size     : "
+          f"{[format_size(excite_dataset(f).size_bytes) for f in grid.concat_factors]}")
+    print(f"  DFS block size      : {[format_size(b) for b in grid.block_sizes]}")
+    print(f"  Reduce tasks factor : {list(grid.reduce_tasks_factors)}")
+    print(f"  IO sort factor      : {list(grid.io_sort_factors)}")
+    print(f"  Pig script          : {list(grid.script_names)}")
+    print(f"Collected log: {summary}")
+
+    assert summary["jobs"] == len(grid)
+    # The paper records 36 job features and 64 task features; ours are the
+    # same order of magnitude.
+    assert summary["job_features"] >= 30
+    assert summary["task_features"] >= 40
+
+
+def test_table2_paper_grid_shape(benchmark):
+    """The full paper grid has exactly 540 configurations (Table 2)."""
+    def build_points():
+        return paper_grid().points()
+
+    points = benchmark(build_points)
+    assert len(points) == 540

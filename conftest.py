@@ -1,0 +1,13 @@
+"""Pytest configuration for the repository root.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (e.g. on a machine without network access where
+``pip install -e .`` cannot fetch the ``wheel`` build dependency).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: build an execution log and ask a PXQL performance question.
+
+This script:
+
+1. simulates a small grid of Pig jobs (the substitute for the paper's EC2
+   cluster) to obtain a log of past executions;
+2. wraps the log in the :class:`repro.PerfXplain` facade;
+3. asks the paper's job-level question — "why was this job slower than that
+   one, even though both ran the same script on the same number of
+   instances?" — written in PXQL;
+4. prints the generated explanation and its quality metrics.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import PerfXplain
+from repro.workloads import build_experiment_log, small_grid
+
+
+def main() -> None:
+    print("Building the execution log (simulating the workload grid)...")
+    log = build_experiment_log(small_grid(), seed=7)
+    print(f"  -> {log.num_jobs} jobs, {log.num_tasks} tasks collected\n")
+
+    px = PerfXplain(log)
+
+    # The pair identifiers are left as '?' so PerfXplain picks a pair of
+    # interest from the log that matches the DESPITE and OBSERVED clauses.
+    query_text = """
+        FOR JOBS ?, ?
+        DESPITE numinstances_isSame = T AND pig_script_isSame = T
+        OBSERVED duration_compare = GT
+        EXPECTED duration_compare = SIM
+    """
+    query = px.parse(query_text)
+    first_id, second_id = px.find_pair(query)
+    query = query.with_pair(first_id, second_id)
+
+    slow = log.find_job(first_id)
+    fast = log.find_job(second_id)
+    print("Pair of interest:")
+    for job in (slow, fast):
+        print(f"  {job.job_id}: {job.features['pig_script']} on "
+              f"{job.features['numinstances']} instances, "
+              f"input {job.features['inputsize'] / 2**30:.2f} GB, "
+              f"block {job.features['blocksize'] // 2**20} MB "
+              f"-> {job.duration:.0f} s")
+    print()
+
+    print("PXQL query:")
+    print(str(query))
+    print()
+
+    explanation = px.explain(query, width=3)
+    print("PerfXplain explanation:")
+    print(explanation.format())
+
+
+if __name__ == "__main__":
+    main()

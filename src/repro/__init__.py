@@ -1,0 +1,63 @@
+"""repro — a reproduction of PerfXplain (Khoussainova et al., VLDB 2012).
+
+PerfXplain answers comparative performance questions about pairs of
+MapReduce jobs or tasks ("why was this job slower than that one?") by
+learning explanations — conjunctions of predicates over pair features —
+from a log of past executions.
+
+The package is organised as:
+
+* :mod:`repro.cluster` — a discrete-event MapReduce cluster simulator (the
+  substitute for the paper's EC2 + Hadoop testbed);
+* :mod:`repro.monitoring` — a Ganglia-like metric sampler;
+* :mod:`repro.workloads` — Pig-script cost models, the synthetic Excite
+  query log, and the Table 2 experiment grid;
+* :mod:`repro.logs` — job/task execution records, the execution-log store
+  and a Hadoop-style history writer/parser;
+* :mod:`repro.ml` — information gain, Relief and a small decision tree,
+  implemented from scratch;
+* :mod:`repro.core` — the PerfXplain contribution: PXQL, pair features,
+  explanation metrics, Algorithm 1, the baselines and the evaluation
+  harness.
+
+Quick start::
+
+    from repro import PerfXplain
+    from repro.workloads import small_grid, build_experiment_log
+
+    log = build_experiment_log(small_grid(), seed=7)
+    px = PerfXplain(log)
+    print(px.explain(\"\"\"
+        FOR JOBS ?, ?
+        DESPITE numinstances_isSame = T AND pig_script_isSame = T
+        OBSERVED duration_compare = GT
+        EXPECTED duration_compare = SIM
+    \"\"\").format())
+"""
+
+from repro.core.api import PerfXplain
+from repro.core.explainer import PerfXplainConfig, PerfXplainExplainer
+from repro.core.explanation import Explanation, ExplanationMetrics
+from repro.core.features import FeatureLevel
+from repro.core.pxql import PXQLQuery, Predicate, parse_predicate, parse_query
+from repro.logs.records import JobRecord, TaskRecord
+from repro.logs.store import ExecutionLog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PerfXplain",
+    "PerfXplainConfig",
+    "PerfXplainExplainer",
+    "Explanation",
+    "ExplanationMetrics",
+    "FeatureLevel",
+    "PXQLQuery",
+    "Predicate",
+    "parse_predicate",
+    "parse_query",
+    "JobRecord",
+    "TaskRecord",
+    "ExecutionLog",
+    "__version__",
+]

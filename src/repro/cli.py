@@ -1,0 +1,132 @@
+"""Command-line interface for the PerfXplain reproduction.
+
+Three subcommands cover the typical workflow:
+
+``repro-perfxplain generate-log --grid small --output log.json``
+    Simulate a workload grid and save the execution log as JSON.
+
+``repro-perfxplain explain --log log.json --query query.pxql``
+    Parse a PXQL query (from a file or stdin) and print the explanation.
+
+``repro-perfxplain evaluate --log log.json --query-name WhySlowerDespiteSameNumInstances``
+    Run the cross-validated precision-vs-width comparison of the three
+    techniques for one of the paper's queries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.api import PerfXplain
+from repro.core.baselines import RuleOfThumbExplainer, SimButDiffExplainer
+from repro.core.evaluation import evaluate_precision_vs_width
+from repro.core.explainer import PerfXplainExplainer
+from repro.core.pxql.parser import parse_query
+from repro.core.queries import PAPER_QUERIES, find_pair_of_interest
+from repro.exceptions import ReproError
+from repro.logs.store import ExecutionLog
+from repro.workloads.grid import build_experiment_log, paper_grid, small_grid, tiny_grid
+
+_GRIDS = {"tiny": tiny_grid, "small": small_grid, "paper": paper_grid}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-perfxplain",
+        description="PerfXplain reproduction: explain MapReduce performance differences.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate-log", help="simulate a workload grid")
+    generate.add_argument("--grid", choices=sorted(_GRIDS), default="small",
+                          help="which parameter grid to run (default: small)")
+    generate.add_argument("--seed", type=int, default=7, help="base random seed")
+    generate.add_argument("--repetitions", type=int, default=1,
+                          help="how many times to run each grid point")
+    generate.add_argument("--no-tasks", action="store_true",
+                          help="keep only job records (smaller output)")
+    generate.add_argument("--output", type=Path, required=True, help="output JSON path")
+
+    explain = subparsers.add_parser("explain", help="answer a PXQL query")
+    explain.add_argument("--log", type=Path, required=True, help="execution log JSON")
+    explain.add_argument("--query", type=Path,
+                         help="file containing the PXQL query (default: stdin)")
+    explain.add_argument("--width", type=int, default=3, help="explanation width")
+    explain.add_argument("--technique", default="perfxplain",
+                         choices=["perfxplain", "ruleofthumb", "simbutdiff"])
+    explain.add_argument("--auto-despite", action="store_true",
+                         help="let PerfXplain extend the despite clause first")
+
+    evaluate = subparsers.add_parser("evaluate", help="compare techniques on a paper query")
+    evaluate.add_argument("--log", type=Path, required=True, help="execution log JSON")
+    evaluate.add_argument("--query-name", choices=sorted(PAPER_QUERIES),
+                          default="WhySlowerDespiteSameNumInstances")
+    evaluate.add_argument("--widths", type=int, nargs="+", default=[0, 1, 2, 3])
+    evaluate.add_argument("--repetitions", type=int, default=3)
+    evaluate.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_generate_log(args: argparse.Namespace) -> int:
+    grid = _GRIDS[args.grid]()
+    print(f"Simulating {len(grid)} configurations "
+          f"({args.repetitions} repetition(s), seed {args.seed})...", file=sys.stderr)
+    log = build_experiment_log(
+        grid, seed=args.seed, repetitions=args.repetitions,
+        include_tasks=not args.no_tasks,
+    )
+    log.save(args.output)
+    print(f"Wrote {log.num_jobs} jobs and {log.num_tasks} tasks to {args.output}",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    log = ExecutionLog.load(args.log)
+    text = args.query.read_text(encoding="utf-8") if args.query else sys.stdin.read()
+    query = parse_query(text)
+    px = PerfXplain(log)
+    explanation = px.explain(query, width=args.width, technique=args.technique,
+                             auto_despite=args.auto_despite)
+    print(explanation.format())
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    log = ExecutionLog.load(args.log)
+    query = PAPER_QUERIES[args.query_name]()
+    pair = find_pair_of_interest(log, query)
+    query = query.with_pair(*pair)
+    print(f"Pair of interest: {pair[0]} vs {pair[1]}", file=sys.stderr)
+    techniques = [PerfXplainExplainer(), RuleOfThumbExplainer(), SimButDiffExplainer()]
+    sweep = evaluate_precision_vs_width(
+        log, query, techniques, widths=tuple(args.widths),
+        repetitions=args.repetitions, seed=args.seed,
+    )
+    print("Precision on the held-out log:")
+    print(sweep.format_table("precision"))
+    print("\nGenerality on the held-out log:")
+    print(sweep.format_table("generality"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate-log": _cmd_generate_log,
+        "explain": _cmd_explain,
+        "evaluate": _cmd_evaluate,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Time-varying background load on cluster instances.
+
+The paper's log was collected on Amazon EC2, where instances experience
+varying load from co-tenant virtual machines, Hadoop daemons, and the
+operating system.  That variability is what makes two executions of the
+same configuration differ — and it is what several of the paper's
+explanations point to ("the average CPU time spent on user processes is not
+the same", "the overall memory utilization on the machine was lower").
+
+A :class:`BackgroundLoadProfile` is a piecewise-constant timeline of
+(CPU-equivalent load, extra process count) episodes drawn at provision time
+from a simple two-state model: the instance is usually *quiet* (a small
+daemon-level load) and occasionally *busy* (a noisy neighbour or a burst of
+daemon activity consumes a sizeable fraction of a core or more).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BackgroundLoadModel:
+    """Parameters of the background-load process.
+
+    :param quiet_load: CPU-equivalent load (cores) while quiet.
+    :param busy_load_mean: mean additional load while a busy episode is active.
+    :param busy_load_sigma: log-normal sigma of the busy-episode load.
+    :param busy_probability: probability that any given episode is busy.
+    :param episode_seconds_mean: average episode length in seconds.
+    :param horizon_seconds: length of the generated timeline.
+    """
+
+    quiet_load: float = 0.25
+    busy_load_mean: float = 0.9
+    busy_load_sigma: float = 0.4
+    busy_probability: float = 0.3
+    episode_seconds_mean: float = 90.0
+    horizon_seconds: float = 4 * 3600.0
+
+    def __post_init__(self) -> None:
+        if self.quiet_load < 0:
+            raise ConfigurationError("quiet_load must be >= 0")
+        if self.busy_load_mean < 0:
+            raise ConfigurationError("busy_load_mean must be >= 0")
+        if not 0.0 <= self.busy_probability <= 1.0:
+            raise ConfigurationError("busy_probability must be in [0, 1]")
+        if self.episode_seconds_mean <= 0:
+            raise ConfigurationError("episode_seconds_mean must be positive")
+        if self.horizon_seconds <= 0:
+            raise ConfigurationError("horizon_seconds must be positive")
+
+    def generate(self, rng: random.Random) -> "BackgroundLoadProfile":
+        """Draw one piecewise-constant load timeline."""
+        times: list[float] = [0.0]
+        loads: list[float] = []
+        procs: list[int] = []
+        clock = 0.0
+        while clock < self.horizon_seconds:
+            busy = rng.random() < self.busy_probability
+            if busy:
+                extra = rng.lognormvariate(0.0, self.busy_load_sigma) * self.busy_load_mean
+                load = self.quiet_load + extra
+                extra_procs = 2 + int(extra * 4)
+            else:
+                load = self.quiet_load * (0.7 + 0.6 * rng.random())
+                extra_procs = 0
+            duration = rng.expovariate(1.0 / self.episode_seconds_mean)
+            duration = max(10.0, duration)
+            loads.append(load)
+            procs.append(extra_procs)
+            clock += duration
+            times.append(clock)
+        return BackgroundLoadProfile(times=times, loads=loads, extra_procs=procs)
+
+    def constant(self) -> "BackgroundLoadProfile":
+        """A profile with no variability (always the quiet load)."""
+        return BackgroundLoadProfile(
+            times=[0.0, self.horizon_seconds], loads=[self.quiet_load], extra_procs=[0]
+        )
+
+
+#: The default model used when provisioning clusters.
+DEFAULT_BACKGROUND_MODEL = BackgroundLoadModel()
+
+
+@dataclass
+class BackgroundLoadProfile:
+    """A piecewise-constant background load timeline for one instance.
+
+    ``times`` has one more entry than ``loads``: episode ``i`` spans
+    ``[times[i], times[i+1])`` with load ``loads[i]`` and ``extra_procs[i]``
+    additional processes.  Queries outside the horizon return the last
+    episode's values.
+    """
+
+    times: list[float] = field(default_factory=lambda: [0.0, float("inf")])
+    loads: list[float] = field(default_factory=lambda: [0.25])
+    extra_procs: list[int] = field(default_factory=lambda: [0])
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.loads) + 1:
+            raise ConfigurationError("times must have exactly one more entry than loads")
+        if len(self.loads) != len(self.extra_procs):
+            raise ConfigurationError("loads and extra_procs must have the same length")
+        if not self.loads:
+            raise ConfigurationError("a load profile needs at least one episode")
+
+    def _episode_index(self, time: float) -> int:
+        index = bisect.bisect_right(self.times, time) - 1
+        return min(max(index, 0), len(self.loads) - 1)
+
+    def load_at(self, time: float) -> float:
+        """CPU-equivalent background load at a point in time."""
+        return self.loads[self._episode_index(time)]
+
+    def procs_at(self, time: float) -> int:
+        """Extra (non-Hadoop) processes running at a point in time."""
+        return self.extra_procs[self._episode_index(time)]
+
+    def next_change_after(self, time: float) -> float:
+        """The next episode boundary strictly after ``time`` (inf if none)."""
+        index = bisect.bisect_right(self.times, time)
+        if index >= len(self.times):
+            return float("inf")
+        boundary = self.times[index]
+        if boundary <= time:
+            return float("inf")
+        return boundary
+
+    def mean_load(self) -> float:
+        """Time-weighted mean load over the whole horizon."""
+        total_time = 0.0
+        weighted = 0.0
+        for index, load in enumerate(self.loads):
+            span = self.times[index + 1] - self.times[index]
+            if span == float("inf"):
+                span = 1.0
+            total_time += span
+            weighted += load * span
+        return weighted / total_time if total_time else 0.0

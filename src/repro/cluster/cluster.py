@@ -1,0 +1,124 @@
+"""Cluster construction: a named collection of instances.
+
+A :class:`ClusterSpec` describes the fleet (how many instances, of which
+type, with what health variance); :func:`ClusterSpec.provision` materialises
+:class:`~repro.cluster.instance.Instance` objects, optionally using a random
+generator to perturb per-node speed (mirroring the runtime variance the
+paper observed on EC2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.cluster.background import (
+    DEFAULT_BACKGROUND_MODEL,
+    BackgroundLoadModel,
+)
+from repro.cluster.instance import Instance
+from repro.cluster.provisioning import DEFAULT_INSTANCE_TYPE, InstanceType, get_instance_type
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Declarative description of a cluster to provision.
+
+    :param num_instances: number of virtual machines.
+    :param instance_type: hardware type for every machine (homogeneous, as in
+        the paper), either an :class:`InstanceType` or a type name.
+    :param speed_jitter: standard deviation of per-node speed variation.
+        EC2 nodes of the same type do not perform identically; a value of
+        0.05 gives roughly +/-5 percent node-to-node variance.
+    :param background_procs: CPU-equivalent daemon load per node, used when
+        ``background_model`` is ``None``.
+    :param background_model: time-varying background-load model (EC2 noisy
+        neighbours); set to ``None`` for a perfectly quiet cluster.
+    """
+
+    num_instances: int
+    instance_type: InstanceType | str = DEFAULT_INSTANCE_TYPE
+    speed_jitter: float = 0.05
+    background_procs: float = 0.25
+    background_model: BackgroundLoadModel | None = DEFAULT_BACKGROUND_MODEL
+
+    def __post_init__(self) -> None:
+        if self.num_instances < 1:
+            raise ConfigurationError("num_instances must be >= 1")
+        if self.speed_jitter < 0:
+            raise ConfigurationError("speed_jitter must be >= 0")
+
+    def resolved_type(self) -> InstanceType:
+        """Return the instance type object (resolving a name if needed)."""
+        if isinstance(self.instance_type, str):
+            return get_instance_type(self.instance_type)
+        return self.instance_type
+
+    def provision(self, rng: random.Random | None = None) -> "Cluster":
+        """Create the cluster, optionally jittering per-node speed."""
+        rng = rng if rng is not None else random.Random(0)
+        itype = self.resolved_type()
+        instances = []
+        for index in range(self.num_instances):
+            jitter = rng.gauss(0.0, self.speed_jitter) if self.speed_jitter else 0.0
+            speed = max(0.3, 1.0 + jitter)
+            profile = (
+                self.background_model.generate(rng)
+                if self.background_model is not None
+                else None
+            )
+            instances.append(
+                Instance(
+                    index=index,
+                    instance_type=itype,
+                    background_procs=self.background_procs,
+                    speed_factor=speed,
+                    boot_time=-rng.uniform(3600.0, 48 * 3600.0),
+                    load_profile=profile,
+                )
+            )
+        return Cluster(instances=instances)
+
+
+@dataclass
+class Cluster:
+    """A provisioned cluster: an ordered list of instances."""
+
+    instances: list[Instance]
+
+    def __post_init__(self) -> None:
+        if not self.instances:
+            raise ConfigurationError("a cluster needs at least one instance")
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def __iter__(self) -> Iterator[Instance]:
+        return iter(self.instances)
+
+    def __getitem__(self, index: int) -> Instance:
+        return self.instances[index]
+
+    @property
+    def num_instances(self) -> int:
+        """Number of instances in the cluster."""
+        return len(self.instances)
+
+    @property
+    def total_cores(self) -> int:
+        """Total number of CPU cores across the cluster."""
+        return sum(instance.cores for instance in self.instances)
+
+    def total_map_slots(self, slots_per_instance: int) -> int:
+        """Total concurrent map tasks the cluster can run."""
+        return slots_per_instance * self.num_instances
+
+    def total_reduce_slots(self, slots_per_instance: int) -> int:
+        """Total concurrent reduce tasks the cluster can run."""
+        return slots_per_instance * self.num_instances
+
+    def hostnames(self) -> list[str]:
+        """Hostnames of all instances, in index order."""
+        return [instance.hostname for instance in self.instances]

@@ -1,0 +1,127 @@
+"""Hadoop-style MapReduce configuration.
+
+The PerfXplain evaluation varied three Hadoop parameters directly
+(``dfs.block.size``, ``mapred.reduce.tasks``, ``io.sort.factor``); this module
+models those plus the handful of additional knobs the simulator needs
+(slots per instance, speculative execution, task retry limits).  The class
+can round-trip to the dotted Hadoop property-name form so that the log
+writer can embed a realistic looking job configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.units import MB, parse_size
+
+#: Mapping from Hadoop property names to MapReduceConfig attribute names.
+HADOOP_PROPERTY_MAP: dict[str, str] = {
+    "dfs.block.size": "dfs_block_size",
+    "mapred.reduce.tasks": "num_reduce_tasks",
+    "io.sort.factor": "io_sort_factor",
+    "io.sort.mb": "io_sort_mb",
+    "mapred.tasktracker.map.tasks.maximum": "map_slots_per_instance",
+    "mapred.tasktracker.reduce.tasks.maximum": "reduce_slots_per_instance",
+    "mapred.map.tasks.speculative.execution": "speculative_execution",
+    "mapred.map.max.attempts": "max_task_attempts",
+    "mapred.child.java.opts.mb": "task_memory_mb",
+    "mapred.reduce.slowstart.completed.maps": "reduce_slowstart",
+}
+
+
+@dataclass(frozen=True)
+class MapReduceConfig:
+    """Configuration of a single MapReduce job execution.
+
+    Attributes mirror the Hadoop parameters the paper varies (Table 2) plus
+    the fixed cluster-side settings that influence simulated runtimes.
+    """
+
+    #: HDFS block size in bytes; determines the number of map tasks.
+    dfs_block_size: int = 128 * MB
+    #: Number of reduce tasks for the job.
+    num_reduce_tasks: int = 1
+    #: Number of on-disk segments merged at once during the sort phase.
+    io_sort_factor: int = 10
+    #: Size of the in-memory map-output sort buffer, in megabytes.
+    io_sort_mb: int = 100
+    #: Concurrent map tasks per instance (the paper's machines had two).
+    map_slots_per_instance: int = 2
+    #: Concurrent reduce tasks per instance.
+    reduce_slots_per_instance: int = 2
+    #: Whether speculative (backup) task attempts are launched.
+    speculative_execution: bool = False
+    #: Maximum attempts per task before the job is declared failed.
+    max_task_attempts: int = 4
+    #: Memory allotted to each task JVM, in megabytes.
+    task_memory_mb: int = 200
+    #: Fraction of map tasks that must finish before reducers may start.
+    reduce_slowstart: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.dfs_block_size <= 0:
+            raise ConfigurationError("dfs_block_size must be positive")
+        if self.num_reduce_tasks < 0:
+            raise ConfigurationError("num_reduce_tasks must be >= 0")
+        if self.io_sort_factor < 2:
+            raise ConfigurationError("io_sort_factor must be >= 2")
+        if self.io_sort_mb <= 0:
+            raise ConfigurationError("io_sort_mb must be positive")
+        if self.map_slots_per_instance < 1:
+            raise ConfigurationError("map_slots_per_instance must be >= 1")
+        if self.reduce_slots_per_instance < 1:
+            raise ConfigurationError("reduce_slots_per_instance must be >= 1")
+        if self.max_task_attempts < 1:
+            raise ConfigurationError("max_task_attempts must be >= 1")
+        if self.task_memory_mb <= 0:
+            raise ConfigurationError("task_memory_mb must be positive")
+        if not 0.0 <= self.reduce_slowstart <= 1.0:
+            raise ConfigurationError("reduce_slowstart must be in [0, 1]")
+
+    def with_overrides(self, **overrides: Any) -> "MapReduceConfig":
+        """Return a copy with the given attributes replaced."""
+        return replace(self, **overrides)
+
+    def to_hadoop_properties(self) -> dict[str, str]:
+        """Render the configuration as dotted Hadoop property names."""
+        properties: dict[str, str] = {}
+        for prop, attr in HADOOP_PROPERTY_MAP.items():
+            value = getattr(self, attr)
+            if isinstance(value, bool):
+                properties[prop] = "true" if value else "false"
+            else:
+                properties[prop] = str(value)
+        return properties
+
+    @classmethod
+    def from_hadoop_properties(
+        cls, properties: Mapping[str, Any], base: "MapReduceConfig" | None = None
+    ) -> "MapReduceConfig":
+        """Build a configuration from a Hadoop property mapping.
+
+        Unknown properties are ignored so that real ``job.xml`` dumps with
+        hundreds of entries can be passed straight through.
+        """
+        values: dict[str, Any] = {}
+        for prop, raw in properties.items():
+            attr = HADOOP_PROPERTY_MAP.get(prop)
+            if attr is None:
+                continue
+            values[attr] = _coerce(attr, raw)
+        config = base if base is not None else cls()
+        return config.with_overrides(**values)
+
+
+def _coerce(attr: str, raw: Any) -> Any:
+    """Coerce a raw property value to the type of the config attribute."""
+    if attr == "dfs_block_size":
+        return parse_size(raw)
+    if attr == "speculative_execution":
+        if isinstance(raw, bool):
+            return raw
+        return str(raw).strip().lower() in {"true", "1", "yes"}
+    if attr == "reduce_slowstart":
+        return float(raw)
+    return int(float(raw))

@@ -1,0 +1,79 @@
+"""Fault injection for the cluster simulator.
+
+Two fault classes matter for the kinds of explanations PerfXplain produces:
+
+* **slow nodes** — an instance whose effective speed is degraded (contended
+  hypervisor, failing disk); this creates straggler tasks and job-to-job
+  runtime variance that is *not* explained by configuration differences;
+* **failing task attempts** — an attempt that dies partway through and is
+  re-executed, inflating task and job durations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Probabilistic fault injection parameters.
+
+    :param slow_node_probability: chance that a provisioned node is degraded.
+    :param slow_node_factor: speed multiplier applied to degraded nodes.
+    :param task_failure_probability: chance that any task attempt fails and
+        must be retried from scratch.
+    :param failure_progress_mean: average fraction of the attempt's work that
+        completes before it fails (wasted time added to the retry).
+    """
+
+    slow_node_probability: float = 0.0
+    slow_node_factor: float = 0.5
+    task_failure_probability: float = 0.0
+    failure_progress_mean: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("slow_node_probability", "task_failure_probability",
+                     "failure_progress_mean"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+        if not 0.0 < self.slow_node_factor <= 1.0:
+            raise ConfigurationError("slow_node_factor must be in (0, 1]")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault can actually occur under this model."""
+        return self.slow_node_probability > 0 or self.task_failure_probability > 0
+
+    def degrade_cluster(self, cluster: Cluster, rng: random.Random) -> list[int]:
+        """Apply slow-node degradation in place; returns degraded indices."""
+        degraded: list[int] = []
+        if self.slow_node_probability <= 0:
+            return degraded
+        for instance in cluster:
+            if rng.random() < self.slow_node_probability:
+                instance.speed_factor *= self.slow_node_factor
+                degraded.append(instance.index)
+        return degraded
+
+    def draw_failure(self, rng: random.Random) -> float | None:
+        """Decide whether an attempt fails.
+
+        Returns the fraction of work completed before failing, or ``None``
+        if the attempt succeeds.
+        """
+        if self.task_failure_probability <= 0:
+            return None
+        if rng.random() >= self.task_failure_probability:
+            return None
+        progress = rng.betavariate(2.0, 2.0)
+        center = self.failure_progress_mean
+        return max(0.05, min(0.95, progress * 2 * center))
+
+
+#: A fault model that never injects anything (the default).
+NO_FAULTS = FaultModel()

@@ -1,0 +1,101 @@
+"""HDFS-style datasets and block splitting.
+
+The number of map tasks of a Hadoop job equals the number of input splits,
+which (for the workloads in the paper) is the input file size divided by the
+DFS block size.  This module models exactly that relationship.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A file stored in the simulated distributed file system.
+
+    :param name: path-like identifier (e.g. ``"excite-30x.log"``).
+    :param size_bytes: total file size.
+    :param num_records: number of records in the file.
+    :param replication: HDFS replication factor (informational only).
+    """
+
+    name: str
+    size_bytes: int
+    num_records: int
+    replication: int = 3
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigurationError("dataset size_bytes must be positive")
+        if self.num_records <= 0:
+            raise ConfigurationError("dataset num_records must be positive")
+        if self.replication < 1:
+            raise ConfigurationError("replication must be >= 1")
+
+    @property
+    def avg_record_bytes(self) -> float:
+        """Average record size in bytes."""
+        return self.size_bytes / self.num_records
+
+
+@dataclass(frozen=True)
+class InputSplit:
+    """A contiguous chunk of a dataset processed by one map task."""
+
+    dataset: Dataset
+    index: int
+    offset: int
+    length: int
+    num_records: int
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ConfigurationError("split length must be positive")
+        if self.offset < 0:
+            raise ConfigurationError("split offset must be >= 0")
+
+
+def num_blocks(dataset: Dataset, block_size: int) -> int:
+    """Number of blocks the dataset occupies at the given block size."""
+    if block_size <= 0:
+        raise ConfigurationError("block_size must be positive")
+    return max(1, math.ceil(dataset.size_bytes / block_size))
+
+
+def split_dataset(dataset: Dataset, block_size: int) -> list[InputSplit]:
+    """Split a dataset into block-sized input splits.
+
+    The final split carries whatever remains and may be smaller than a block,
+    mirroring how Hadoop's ``FileInputFormat`` creates splits.
+    """
+    count = num_blocks(dataset, block_size)
+    splits: list[InputSplit] = []
+    remaining_bytes = dataset.size_bytes
+    remaining_records = dataset.num_records
+    offset = 0
+    for index in range(count):
+        length = min(block_size, remaining_bytes)
+        if index == count - 1:
+            records = remaining_records
+        else:
+            records = int(round(dataset.num_records * (length / dataset.size_bytes)))
+            # Never hand out more records than remain (datasets with fewer
+            # records than blocks simply get empty splits).
+            records = max(0, min(records, remaining_records))
+        splits.append(
+            InputSplit(
+                dataset=dataset,
+                index=index,
+                offset=offset,
+                length=length,
+                num_records=records,
+            )
+        )
+        offset += length
+        remaining_bytes -= length
+        remaining_records -= records
+    return splits

@@ -1,0 +1,92 @@
+"""A single simulated virtual machine.
+
+Each instance has a fixed hardware description (:class:`InstanceType`),
+a hostname / tracker name that shows up in task logs, a background load
+representing OS daemons and the Hadoop TaskTracker/DataNode processes, and a
+speed factor that fault injection can lower to model a slow node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.background import BackgroundLoadProfile
+from repro.cluster.provisioning import DEFAULT_INSTANCE_TYPE, InstanceType
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class Instance:
+    """A virtual machine in the simulated cluster.
+
+    :param index: zero-based index within the cluster.
+    :param instance_type: hardware description.
+    :param background_procs: CPU-equivalent load from daemons (cores used)
+        when no time-varying load profile is attached.
+    :param base_proc_count: number of OS/daemon processes reported by
+        monitoring when the node is otherwise idle.
+    :param speed_factor: multiplicative slowdown for a degraded node
+        (1.0 = healthy, 0.5 = runs at half speed).
+    :param boot_time: wall-clock boot timestamp reported by monitoring.
+    :param load_profile: optional time-varying background load (EC2 noisy
+        neighbours, daemon bursts); when present it overrides
+        ``background_procs``.
+    """
+
+    index: int
+    instance_type: InstanceType = DEFAULT_INSTANCE_TYPE
+    background_procs: float = 0.25
+    base_proc_count: int = 95
+    speed_factor: float = 1.0
+    boot_time: float = 0.0
+    load_profile: BackgroundLoadProfile | None = None
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError("instance index must be >= 0")
+        if self.background_procs < 0:
+            raise ConfigurationError("background_procs must be >= 0")
+        if self.speed_factor <= 0:
+            raise ConfigurationError("speed_factor must be positive")
+
+    @property
+    def hostname(self) -> str:
+        """EC2-style internal hostname."""
+        return f"ip-10-0-{self.index // 256}-{self.index % 256}.ec2.internal"
+
+    @property
+    def tracker_name(self) -> str:
+        """Hadoop TaskTracker identifier for this node."""
+        return f"tracker_{self.hostname}:localhost/127.0.0.1:{50060 + self.index}"
+
+    @property
+    def cores(self) -> int:
+        """Number of CPU cores."""
+        return self.instance_type.cores
+
+    @property
+    def memory_mb(self) -> int:
+        """RAM in megabytes."""
+        return self.instance_type.memory_mb
+
+    def effective_core_speed(self) -> float:
+        """Per-core speed after applying the health factor."""
+        return self.instance_type.cpu_speed * self.speed_factor
+
+    def background_at(self, time: float) -> float:
+        """CPU-equivalent background load at a point in (simulation) time."""
+        if self.load_profile is not None:
+            return self.load_profile.load_at(time)
+        return self.background_procs
+
+    def extra_procs_at(self, time: float) -> int:
+        """Extra non-Hadoop processes running at a point in time."""
+        if self.load_profile is not None:
+            return self.load_profile.procs_at(time)
+        return 0
+
+    def next_background_change(self, time: float) -> float:
+        """Next time the background load changes (inf when constant)."""
+        if self.load_profile is not None:
+            return self.load_profile.next_change_after(time)
+        return float("inf")

@@ -1,0 +1,82 @@
+"""Job specification handed to the simulation engine.
+
+A :class:`JobSpec` bundles the map and reduce task attempts of one MapReduce
+job together with the configuration it runs under and free-form metadata
+(the Pig script name, the input dataset, the parameter-grid point) that ends
+up as job-level features in the execution log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.config import MapReduceConfig
+from repro.cluster.tasks import TaskAttempt, TaskType
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class JobSpec:
+    """A complete MapReduce job ready to be simulated.
+
+    :param job_id: Hadoop-style job identifier, e.g. ``job_202606140001_0042``.
+    :param name: human-readable job name (typically the Pig script).
+    :param map_tasks: map task attempts, one per input split.
+    :param reduce_tasks: reduce task attempts.
+    :param config: the MapReduce configuration used by the job.
+    :param metadata: additional job-level raw features (input size, script,
+        reduce-task factor, ...) recorded verbatim in the execution log.
+    :param submit_time: wall-clock submission timestamp (seconds).
+    """
+
+    job_id: str
+    name: str
+    map_tasks: list[TaskAttempt]
+    reduce_tasks: list[TaskAttempt]
+    config: MapReduceConfig
+    metadata: dict[str, Any] = field(default_factory=dict)
+    submit_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.map_tasks:
+            raise ConfigurationError("a job needs at least one map task")
+        for task in self.map_tasks:
+            if task.task_type is not TaskType.MAP:
+                raise ConfigurationError(
+                    f"task {task.task_id} listed as a map task but has type "
+                    f"{task.task_type.value}"
+                )
+        for task in self.reduce_tasks:
+            if task.task_type is not TaskType.REDUCE:
+                raise ConfigurationError(
+                    f"task {task.task_id} listed as a reduce task but has type "
+                    f"{task.task_type.value}"
+                )
+
+    @property
+    def num_map_tasks(self) -> int:
+        """Number of map tasks (== number of input splits)."""
+        return len(self.map_tasks)
+
+    @property
+    def num_reduce_tasks(self) -> int:
+        """Number of reduce tasks."""
+        return len(self.reduce_tasks)
+
+    @property
+    def all_tasks(self) -> list[TaskAttempt]:
+        """Map tasks followed by reduce tasks."""
+        return list(self.map_tasks) + list(self.reduce_tasks)
+
+
+def make_job_id(sequence: int, cluster_start: int = 202606140001) -> str:
+    """Build a Hadoop-style job identifier."""
+    return f"job_{cluster_start}_{sequence:04d}"
+
+
+def make_task_id(job_id: str, task_type: TaskType, index: int) -> str:
+    """Build a Hadoop-style task identifier tied to a job."""
+    suffix = "m" if task_type is TaskType.MAP else "r"
+    body = job_id[len("job_"):] if job_id.startswith("job_") else job_id
+    return f"task_{body}_{suffix}_{index:06d}"

@@ -1,0 +1,84 @@
+"""Instance types for the simulated cluster.
+
+The paper used a homogeneous EC2 cluster where every machine could run two
+concurrent map tasks and two concurrent reduce tasks.  We model a small
+catalogue of EC2-like instance types so that experiments beyond the paper
+(heterogeneous clusters, bigger nodes) are possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """Hardware description of a virtual machine type.
+
+    :param name: EC2-style type name.
+    :param cores: number of CPU cores.
+    :param cpu_speed: relative per-core speed (1.0 == the paper's machines).
+    :param memory_mb: RAM in megabytes.
+    :param disk_mbps: sequential disk bandwidth in MB/s.
+    :param network_mbps: network bandwidth in MB/s.
+    """
+
+    name: str
+    cores: int
+    cpu_speed: float
+    memory_mb: int
+    disk_mbps: float
+    network_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigurationError("cores must be >= 1")
+        if self.cpu_speed <= 0:
+            raise ConfigurationError("cpu_speed must be positive")
+        if self.memory_mb <= 0:
+            raise ConfigurationError("memory_mb must be positive")
+        if self.disk_mbps <= 0:
+            raise ConfigurationError("disk_mbps must be positive")
+        if self.network_mbps <= 0:
+            raise ConfigurationError("network_mbps must be positive")
+
+
+#: Catalogue of known instance types, keyed by name.
+INSTANCE_TYPES: dict[str, InstanceType] = {
+    "m1.small": InstanceType(
+        name="m1.small", cores=1, cpu_speed=0.5, memory_mb=1700,
+        disk_mbps=50.0, network_mbps=30.0,
+    ),
+    "m1.large": InstanceType(
+        name="m1.large", cores=2, cpu_speed=1.0, memory_mb=7500,
+        disk_mbps=80.0, network_mbps=60.0,
+    ),
+    "m1.xlarge": InstanceType(
+        name="m1.xlarge", cores=4, cpu_speed=1.0, memory_mb=15000,
+        disk_mbps=120.0, network_mbps=100.0,
+    ),
+    "c1.medium": InstanceType(
+        name="c1.medium", cores=2, cpu_speed=1.25, memory_mb=1700,
+        disk_mbps=80.0, network_mbps=60.0,
+    ),
+}
+
+#: The instance type used by default for all experiments (2 cores, like the
+#: machines in the paper where each node had two map and two reduce slots).
+DEFAULT_INSTANCE_TYPE = INSTANCE_TYPES["m1.large"]
+
+
+def get_instance_type(name: str) -> InstanceType:
+    """Look up an instance type by name.
+
+    :raises ConfigurationError: if the name is unknown.
+    """
+    try:
+        return INSTANCE_TYPES[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(INSTANCE_TYPES))
+        raise ConfigurationError(
+            f"unknown instance type {name!r}; known types: {known}"
+        ) from exc

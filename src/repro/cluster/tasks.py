@@ -1,0 +1,137 @@
+"""Task model: map and reduce attempts as sequences of work phases.
+
+A task attempt is a list of :class:`Phase` objects, each with a *nominal*
+duration — the time the phase would take on a healthy, otherwise-idle
+instance of the reference type.  The simulation engine stretches those
+nominal durations according to the contention on the instance at each point
+in time, which is what produces the runtime patterns the paper explains
+(e.g. the last task in a wave running faster because it no longer shares the
+machine).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+
+class TaskType(enum.Enum):
+    """Hadoop task categories."""
+
+    MAP = "MAP"
+    REDUCE = "REDUCE"
+
+
+class PhaseKind(enum.Enum):
+    """Resource a phase predominantly consumes.
+
+    The engine applies CPU contention to ``CPU`` phases, disk sharing to
+    ``DISK`` phases and network sharing to ``NETWORK`` phases.
+    """
+
+    CPU = "cpu"
+    DISK = "disk"
+    NETWORK = "network"
+    OVERHEAD = "overhead"
+
+
+@dataclass
+class Phase:
+    """One phase of a task attempt.
+
+    :param name: phase label (``"map"``, ``"shuffle"``, ``"sort"``, ...).
+    :param nominal_seconds: duration at full speed with no contention.
+    :param kind: which resource the phase stresses.
+    """
+
+    name: str
+    nominal_seconds: float
+    kind: PhaseKind
+
+    def __post_init__(self) -> None:
+        if self.nominal_seconds < 0:
+            raise ConfigurationError("phase duration must be >= 0")
+
+
+@dataclass
+class TaskCounters:
+    """Hadoop-style counters attached to a task attempt."""
+
+    input_bytes: int = 0
+    input_records: int = 0
+    output_bytes: int = 0
+    output_records: int = 0
+    hdfs_bytes_read: int = 0
+    hdfs_bytes_written: int = 0
+    file_bytes_read: int = 0
+    file_bytes_written: int = 0
+    spilled_records: int = 0
+    combine_input_records: int = 0
+    combine_output_records: int = 0
+    shuffle_bytes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Counters as a plain dictionary (used by the log writer)."""
+        return {
+            "input_bytes": self.input_bytes,
+            "input_records": self.input_records,
+            "output_bytes": self.output_bytes,
+            "output_records": self.output_records,
+            "hdfs_bytes_read": self.hdfs_bytes_read,
+            "hdfs_bytes_written": self.hdfs_bytes_written,
+            "file_bytes_read": self.file_bytes_read,
+            "file_bytes_written": self.file_bytes_written,
+            "spilled_records": self.spilled_records,
+            "combine_input_records": self.combine_input_records,
+            "combine_output_records": self.combine_output_records,
+            "shuffle_bytes": self.shuffle_bytes,
+        }
+
+
+@dataclass
+class TaskAttempt:
+    """An executable unit handed to the simulation engine.
+
+    :param task_id: Hadoop-style task identifier
+        (e.g. ``task_202606140001_0007_m_000003``).
+    :param task_type: map or reduce.
+    :param phases: ordered work phases.
+    :param counters: data-volume counters for the attempt.
+    :param attempt_number: retry index (0 for the first attempt).
+    """
+
+    task_id: str
+    task_type: TaskType
+    phases: list[Phase]
+    counters: TaskCounters = field(default_factory=TaskCounters)
+    attempt_number: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigurationError("a task needs at least one phase")
+
+    @property
+    def nominal_duration(self) -> float:
+        """Total nominal (uncontended) duration of all phases."""
+        return sum(phase.nominal_seconds for phase in self.phases)
+
+    def phase_seconds(self, name: str) -> float:
+        """Total nominal seconds of phases with the given name."""
+        return sum(p.nominal_seconds for p in self.phases if p.name == name)
+
+
+def merge_passes(num_segments: int, io_sort_factor: int) -> int:
+    """Number of on-disk merge passes needed to combine ``num_segments``.
+
+    Hadoop's sorter merges at most ``io.sort.factor`` segments at a time, so
+    combining ``s`` segments takes ``ceil(log_factor(s))`` passes (at least
+    one whenever there is more than one segment).
+    """
+    if num_segments <= 1:
+        return 0
+    if io_sort_factor < 2:
+        raise ConfigurationError("io_sort_factor must be >= 2")
+    return max(1, math.ceil(math.log(num_segments, io_sort_factor)))

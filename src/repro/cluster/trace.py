@@ -1,0 +1,97 @@
+"""Utilization traces produced by the simulation engine.
+
+The engine records, for every instance, a sequence of half-open time
+intervals during which the set of running tasks (and therefore CPU, disk and
+network pressure) was constant.  The :mod:`repro.monitoring` package samples
+these intervals every few seconds the way Ganglia samples ``/proc``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class UtilizationInterval:
+    """Resource usage of one instance over ``[start, end)``.
+
+    :param start: interval start time (seconds).
+    :param end: interval end time (seconds).
+    :param running_maps: number of map tasks running on the instance.
+    :param running_reduces: number of reduce tasks running on the instance.
+    :param cpu_demand: cores' worth of CPU demanded by tasks plus daemons.
+    :param cpu_utilization: fraction of total CPU capacity in use (0-1).
+    :param disk_read_mbps: disk read throughput.
+    :param disk_write_mbps: disk write throughput.
+    :param net_in_mbps: network ingress throughput.
+    :param net_out_mbps: network egress throughput.
+    :param memory_used_mb: memory used by tasks plus the OS baseline.
+    :param background_load: CPU-equivalent background load during the interval.
+    :param background_extra_procs: extra non-Hadoop processes running.
+    """
+
+    start: float
+    end: float
+    running_maps: int
+    running_reduces: int
+    cpu_demand: float
+    cpu_utilization: float
+    disk_read_mbps: float
+    disk_write_mbps: float
+    net_in_mbps: float
+    net_out_mbps: float
+    memory_used_mb: float
+    background_load: float = 0.0
+    background_extra_procs: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in seconds."""
+        return self.end - self.start
+
+    @property
+    def running_tasks(self) -> int:
+        """Total tasks running during the interval."""
+        return self.running_maps + self.running_reduces
+
+
+@dataclass
+class UtilizationTrace:
+    """Per-instance utilization intervals for one simulated job."""
+
+    intervals: dict[int, list[UtilizationInterval]] = field(default_factory=dict)
+
+    def add(self, instance_index: int, interval: UtilizationInterval) -> None:
+        """Append an interval for an instance (intervals must be in order)."""
+        self.intervals.setdefault(instance_index, []).append(interval)
+
+    def for_instance(self, instance_index: int) -> list[UtilizationInterval]:
+        """All intervals recorded for the given instance."""
+        return self.intervals.get(instance_index, [])
+
+    def instances(self) -> list[int]:
+        """Indices of instances that have at least one interval."""
+        return sorted(self.intervals)
+
+    def end_time(self) -> float:
+        """Latest interval end across all instances (0 if empty)."""
+        latest = 0.0
+        for intervals in self.intervals.values():
+            if intervals:
+                latest = max(latest, intervals[-1].end)
+        return latest
+
+    def at(self, instance_index: int, time: float) -> UtilizationInterval | None:
+        """The interval covering ``time`` on the given instance, if any."""
+        intervals = self.intervals.get(instance_index)
+        if not intervals:
+            return None
+        starts = [interval.start for interval in intervals]
+        position = bisect.bisect_right(starts, time) - 1
+        if position < 0:
+            return None
+        interval = intervals[position]
+        if interval.start <= time < interval.end:
+            return interval
+        return None

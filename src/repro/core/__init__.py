@@ -1,0 +1,57 @@
+"""PerfXplain core: the paper's primary contribution.
+
+Submodules:
+
+* :mod:`repro.core.features` — raw-feature schema inference, feature kinds
+  and the three feature *levels* from Section 6.8;
+* :mod:`repro.core.pairs` — the pair (training-example) feature encoding of
+  Table 1: ``isSame``, ``compare``, ``diff`` and base features;
+* :mod:`repro.core.pxql` — the PXQL query language (AST, parser, evaluator);
+* :mod:`repro.core.explanation` — explanations and the relevance /
+  precision / generality metrics of Section 3.3;
+* :mod:`repro.core.examples` — related-pair enumeration and training-example
+  construction (Definition 7-9);
+* :mod:`repro.core.sampling` — the balanced sampling of Section 4.3;
+* :mod:`repro.core.explainer` — Algorithm 1 and automatic despite-clause
+  generation;
+* :mod:`repro.core.baselines` — the RuleOfThumb and SimButDiff baselines of
+  Section 5;
+* :mod:`repro.core.evaluation` — the repeated 2-fold cross-validation
+  harness used in Section 6;
+* :mod:`repro.core.api` — the :class:`~repro.core.api.PerfXplain` facade.
+"""
+
+from repro.core.features import FeatureKind, FeatureLevel, FeatureSchema, infer_schema
+from repro.core.pairs import PairFeatureConfig, compute_pair_features, pair_feature_catalog
+from repro.core.pxql import Comparison, Operator, Predicate, PXQLQuery, parse_predicate, parse_query
+from repro.core.explanation import Explanation, ExplanationMetrics
+from repro.core.examples import Label, TrainingExample, construct_training_examples
+from repro.core.explainer import PerfXplainConfig, PerfXplainExplainer
+from repro.core.baselines import RuleOfThumbExplainer, SimButDiffExplainer
+from repro.core.api import PerfXplain
+
+__all__ = [
+    "FeatureKind",
+    "FeatureLevel",
+    "FeatureSchema",
+    "infer_schema",
+    "PairFeatureConfig",
+    "compute_pair_features",
+    "pair_feature_catalog",
+    "Comparison",
+    "Operator",
+    "Predicate",
+    "PXQLQuery",
+    "parse_predicate",
+    "parse_query",
+    "Explanation",
+    "ExplanationMetrics",
+    "Label",
+    "TrainingExample",
+    "construct_training_examples",
+    "PerfXplainConfig",
+    "PerfXplainExplainer",
+    "RuleOfThumbExplainer",
+    "SimButDiffExplainer",
+    "PerfXplain",
+]

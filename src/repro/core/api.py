@@ -1,0 +1,163 @@
+"""The high-level PerfXplain facade.
+
+This is the entry point most users need: load (or build) an execution log,
+wrap it in :class:`PerfXplain`, and ask questions either as PXQL text or as
+:class:`~repro.core.pxql.query.PXQLQuery` objects.
+
+.. code-block:: python
+
+    from repro import PerfXplain
+    from repro.workloads import small_grid, build_experiment_log
+
+    log = build_experiment_log(small_grid(), seed=7)
+    px = PerfXplain(log)
+    explanation = px.explain('''
+        FOR JOBS 'job_202606140001_0003', 'job_202606140001_0010'
+        DESPITE numinstances_isSame = T AND pig_script_isSame = T
+        OBSERVED duration_compare = GT
+        EXPECTED duration_compare = SIM
+    ''')
+    print(explanation.format())
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.baselines import RuleOfThumbExplainer, SimButDiffExplainer
+from repro.core.examples import find_record, records_for_query
+from repro.core.explanation import Explanation
+from repro.core.explainer import PerfXplainConfig, PerfXplainExplainer
+from repro.core.features import FeatureLevel, FeatureSchema, infer_schema
+from repro.core.pairs import PairFeatureConfig, compute_pair_features
+from repro.core.pxql import PXQLQuery, Predicate, parse_query
+from repro.core.queries import find_pair_of_interest
+from repro.exceptions import ExplanationError
+from repro.logs.records import FeatureValue
+from repro.logs.store import ExecutionLog
+
+#: Names accepted by :meth:`PerfXplain.explain`'s ``technique`` argument.
+TECHNIQUE_NAMES = ("perfxplain", "ruleofthumb", "simbutdiff")
+
+
+class PerfXplain:
+    """Answer comparative performance questions over an execution log."""
+
+    def __init__(
+        self,
+        log: ExecutionLog,
+        config: PerfXplainConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        """
+        :param log: the log of past job and task executions.
+        :param config: explanation-generation configuration.
+        :param seed: seed for the internal random generators (sampling).
+        """
+        self.log = log
+        self.config = config if config is not None else PerfXplainConfig()
+        self._seed = seed
+        self._schemas: dict[str, FeatureSchema] = {}
+        self._explainer = PerfXplainExplainer(self.config, rng=random.Random(seed))
+        self._rule_of_thumb = RuleOfThumbExplainer(
+            pair_config=self.config.pair_config, rng=random.Random(seed + 1)
+        )
+        self._sim_but_diff = SimButDiffExplainer(
+            pair_config=self.config.pair_config, rng=random.Random(seed + 2)
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries and explanations
+    # ------------------------------------------------------------------ #
+
+    def parse(self, text: str) -> PXQLQuery:
+        """Parse a PXQL query string."""
+        return parse_query(text)
+
+    def explain(
+        self,
+        query: str | PXQLQuery,
+        width: int | None = None,
+        technique: str = "perfxplain",
+        auto_despite: bool = False,
+    ) -> Explanation:
+        """Generate an explanation for a PXQL query.
+
+        :param query: PXQL text or a query object.  If the pair identifiers
+            are left unspecified, a representative pair of interest is picked
+            from the log automatically.
+        :param width: explanation width (defaults to the configured width).
+        :param technique: ``"perfxplain"`` (default), ``"ruleofthumb"`` or
+            ``"simbutdiff"``.
+        :param auto_despite: let PerfXplain extend the despite clause before
+            generating the because clause (only supported by PerfXplain).
+        """
+        query = self._resolve_query(query)
+        schema = self.schema_for(query)
+        technique_key = technique.lower()
+        if technique_key == "perfxplain":
+            return self._explainer.explain(
+                self.log, query, schema=schema, width=width, auto_despite=auto_despite
+            )
+        if technique_key == "ruleofthumb":
+            return self._rule_of_thumb.explain(self.log, query, schema=schema, width=width)
+        if technique_key == "simbutdiff":
+            return self._sim_but_diff.explain(self.log, query, schema=schema, width=width)
+        raise ExplanationError(
+            f"unknown technique {technique!r}; expected one of {TECHNIQUE_NAMES}"
+        )
+
+    def suggest_despite(self, query: str | PXQLQuery, width: int | None = None) -> Predicate:
+        """Generate a ``des'`` clause for an under-specified query."""
+        query = self._resolve_query(query)
+        schema = self.schema_for(query)
+        return self._explainer.generate_despite(self.log, query, schema=schema, width=width)
+
+    def pair_features(self, query: str | PXQLQuery) -> dict[str, FeatureValue]:
+        """The full pair-feature vector of a query's pair of interest."""
+        query = self._resolve_query(query)
+        schema = self.schema_for(query)
+        first = find_record(self.log, query, query.first_id)  # type: ignore[arg-type]
+        second = find_record(self.log, query, query.second_id)  # type: ignore[arg-type]
+        return compute_pair_features(first, second, schema, self.config.pair_config)
+
+    def find_pair(self, query: str | PXQLQuery) -> tuple[str, str]:
+        """Pick a pair of executions matching a query's despite/observed clauses."""
+        query = query if isinstance(query, PXQLQuery) else self.parse(query)
+        schema = self.schema_for(query)
+        return find_pair_of_interest(
+            self.log, query, schema=schema, config=self.config.pair_config,
+            rng=random.Random(self._seed),
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def schema_for(self, query: PXQLQuery) -> FeatureSchema:
+        """The raw-feature schema for the query's entity kind (cached)."""
+        key = query.entity.value
+        if key not in self._schemas:
+            records = records_for_query(self.log, query)
+            if not records:
+                raise ExplanationError(
+                    f"the log contains no {key} records; cannot answer {key}-level queries"
+                )
+            self._schemas[key] = infer_schema(records)
+        return self._schemas[key]
+
+    def techniques(self) -> dict[str, object]:
+        """The underlying technique objects, keyed by their public names."""
+        return {
+            "perfxplain": self._explainer,
+            "ruleofthumb": self._rule_of_thumb,
+            "simbutdiff": self._sim_but_diff,
+        }
+
+    def _resolve_query(self, query: str | PXQLQuery) -> PXQLQuery:
+        if isinstance(query, str):
+            query = self.parse(query)
+        if not query.has_pair:
+            first_id, second_id = self.find_pair(query)
+            query = query.with_pair(first_id, second_id)
+        return query

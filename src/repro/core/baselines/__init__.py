@@ -1,0 +1,15 @@
+"""Baseline explanation-generation techniques (Section 5).
+
+* :class:`~repro.core.baselines.rule_of_thumb.RuleOfThumbExplainer` — rank
+  features once by their global impact on runtime (Relief) and point to the
+  top-w features the pair of interest disagrees on;
+* :class:`~repro.core.baselines.sim_but_diff.SimButDiffExplainer` — among
+  pairs similar to the pair of interest (on the isSame features), perform a
+  what-if analysis per feature: had this feature been different, how likely
+  is it that the pair would have performed as expected?
+"""
+
+from repro.core.baselines.rule_of_thumb import RuleOfThumbExplainer
+from repro.core.baselines.sim_but_diff import SimButDiffExplainer
+
+__all__ = ["RuleOfThumbExplainer", "SimButDiffExplainer"]

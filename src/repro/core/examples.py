@@ -1,0 +1,224 @@
+"""Training-example construction (Definitions 7-9).
+
+Given a query and a log, the related pairs are the ordered pairs of
+executions that satisfy the despite clause and either the observed or the
+expected clause.  Each related pair becomes a training example labeled
+OBSERVED or EXPECTED.
+
+Enumerating every ordered pair is quadratic in the log size, which is
+prohibitive for task-level queries (thousands of tasks).  The constructor
+therefore *blocks* on the equality constraints of the despite clause: an
+atom such as ``jobID_isSame = T`` means only pairs drawn from the same job
+can ever be related, so candidates are enumerated within groups sharing the
+corresponding raw value.  Blocking is purely an optimisation — it never
+changes which pairs are related — and is only applied to raw features whose
+equality is exact (nominal values and integers), not to noisy floats.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.features import FeatureSchema, FeatureLevel
+from repro.core.pairs import (
+    IS_SAME_SUFFIX,
+    SAME,
+    PairFeatureConfig,
+    compute_pair_features,
+    raw_feature_of,
+)
+from repro.core.pxql.ast import Operator, Predicate
+from repro.core.pxql.query import EntityKind, PXQLQuery
+from repro.exceptions import ExplanationError
+from repro.logs.records import ExecutionRecord, FeatureValue
+from repro.logs.store import ExecutionLog
+
+
+class Label(enum.Enum):
+    """Training-example label: which clause the pair satisfied."""
+
+    OBSERVED = "observed"
+    EXPECTED = "expected"
+
+
+@dataclass
+class TrainingExample:
+    """One labeled pair of executions with its full pair-feature vector."""
+
+    first_id: str
+    second_id: str
+    values: dict[str, FeatureValue]
+    label: Label
+
+    @property
+    def is_observed(self) -> bool:
+        """Whether the pair performed as observed."""
+        return self.label is Label.OBSERVED
+
+    @property
+    def is_expected(self) -> bool:
+        """Whether the pair performed as expected."""
+        return self.label is Label.EXPECTED
+
+
+def records_for_query(log: ExecutionLog, query: PXQLQuery) -> list[ExecutionRecord]:
+    """The records (jobs or tasks) a query ranges over."""
+    if query.entity is EntityKind.JOB:
+        return list(log.jobs)
+    return list(log.tasks)
+
+
+def find_record(log: ExecutionLog, query: PXQLQuery, record_id: str) -> ExecutionRecord:
+    """Look up one execution referenced by a query; raise if absent."""
+    record = (
+        log.find_job(record_id) if query.entity is EntityKind.JOB else log.find_task(record_id)
+    )
+    if record is None:
+        raise ExplanationError(
+            f"{query.entity.value} {record_id!r} is not present in the log"
+        )
+    return record
+
+
+def _blocking_features(query: PXQLQuery, schema: FeatureSchema) -> list[str]:
+    """Raw features whose exact equality is implied by the despite clause."""
+    blocking: list[str] = []
+    for atom in query.despite.atoms:
+        if atom.operator is not Operator.EQ or atom.value != SAME:
+            continue
+        if not atom.feature.endswith(IS_SAME_SUFFIX):
+            continue
+        raw = raw_feature_of(atom.feature)
+        if raw not in schema:
+            continue
+        if schema.is_numeric(raw):
+            # Tolerance-based isSame for floats: grouping by exact value
+            # could split genuinely "same" pairs, so only block on integers.
+            continue
+        blocking.append(raw)
+    return blocking
+
+
+def _group_records(
+    records: Sequence[ExecutionRecord], blocking: Sequence[str]
+) -> list[list[ExecutionRecord]]:
+    if not blocking:
+        return [list(records)]
+    groups: dict[tuple, list[ExecutionRecord]] = {}
+    for record in records:
+        key = tuple(record.features.get(feature) for feature in blocking)
+        if any(value is None for value in key):
+            # A missing blocked value can never satisfy `isSame = T`.
+            continue
+        groups.setdefault(key, []).append(record)
+    return list(groups.values())
+
+
+def iter_related_pairs(
+    log: ExecutionLog,
+    query: PXQLQuery,
+    schema: FeatureSchema,
+    config: PairFeatureConfig | None = None,
+    max_candidate_pairs: int | None = 2_000_000,
+    rng: random.Random | None = None,
+) -> Iterator[tuple[ExecutionRecord, ExecutionRecord, Label]]:
+    """Yield every related ordered pair of executions with its label.
+
+    Pair features are computed lazily: only the raw features referenced by
+    the query's three clauses are derived while classifying candidates.
+
+    :param max_candidate_pairs: safety valve — if the blocked candidate
+        space is still larger than this, a random subset of candidate pairs
+        is examined (with a warning-free deterministic ``rng``).
+    """
+    config = config if config is not None else PairFeatureConfig()
+    rng = rng if rng is not None else random.Random(0)
+    records = records_for_query(log, query)
+    query_raw_features = sorted(
+        {raw_feature_of(feature) for feature in query.referenced_features()}
+    )
+    for raw in query_raw_features:
+        if raw not in schema:
+            raise ExplanationError(
+                f"query references feature {raw!r} which is not in the log schema"
+            )
+
+    blocking = _blocking_features(query, schema)
+    groups = _group_records(records, blocking)
+
+    total_candidates = sum(len(group) * (len(group) - 1) for group in groups)
+    keep_probability = 1.0
+    if max_candidate_pairs is not None and total_candidates > max_candidate_pairs:
+        keep_probability = max_candidate_pairs / total_candidates
+
+    for group in groups:
+        for first in group:
+            for second in group:
+                if first is second:
+                    continue
+                if keep_probability < 1.0 and rng.random() > keep_probability:
+                    continue
+                values = compute_pair_features(
+                    first, second, schema, config, features=query_raw_features
+                )
+                if not query.despite.evaluate(values):
+                    continue
+                observed = query.observed.evaluate(values)
+                expected = query.expected.evaluate(values)
+                if observed:
+                    yield first, second, Label.OBSERVED
+                elif expected:
+                    yield first, second, Label.EXPECTED
+
+
+def construct_training_examples(
+    log: ExecutionLog,
+    query: PXQLQuery,
+    schema: FeatureSchema,
+    config: PairFeatureConfig | None = None,
+    sample_size: int | None = 2000,
+    rng: random.Random | None = None,
+    max_candidate_pairs: int | None = 2_000_000,
+) -> list[TrainingExample]:
+    """Construct (and balanced-sample) the training examples for a query.
+
+    This corresponds to lines 1-2 of Algorithm 1: collect the related pairs,
+    then keep a balanced sample of at most ``sample_size`` of them.  Full
+    pair-feature vectors are only computed for the sampled pairs.
+
+    :returns: the sampled training examples (possibly empty if no pair in
+        the log is related to the query).
+    """
+    from repro.core.sampling import balanced_sample  # local import to avoid a cycle
+
+    config = config if config is not None else PairFeatureConfig()
+    rng = rng if rng is not None else random.Random(0)
+
+    labeled_pairs = list(
+        iter_related_pairs(log, query, schema, config, max_candidate_pairs, rng)
+    )
+    if sample_size is not None:
+        labeled_pairs = balanced_sample(
+            labeled_pairs, sample_size, rng, label_of=lambda item: item[2]
+        )
+
+    full_config = PairFeatureConfig(
+        sim_threshold=config.sim_threshold,
+        is_same_tolerance=config.is_same_tolerance,
+        level=FeatureLevel.FULL,
+    )
+    examples = []
+    for first, second, label in labeled_pairs:
+        values = compute_pair_features(first, second, schema, full_config)
+        examples.append(
+            TrainingExample(
+                first_id=first.entity_id,
+                second_id=second.entity_id,
+                values=values,
+                label=label,
+            )
+        )
+    return examples

@@ -1,0 +1,338 @@
+"""Algorithm 1: PerfXplain explanation generation.
+
+The because clause is grown greedily, one atomic predicate per iteration:
+
+1. for every candidate pair feature, find the predicate with the highest
+   information gain over the current example set — restricted to predicates
+   the *pair of interest* satisfies, so the explanation stays applicable;
+2. compute each candidate's precision ``P(obs | p, X)`` and generality
+   ``P(p | X)`` over the current set, replace both with their percentile
+   ranks, and score ``w * precision_rank + (1 - w) * generality_rank``
+   (``w = 0.8`` in the paper);
+3. append the best-scoring predicate to the explanation and keep only the
+   examples that satisfy it.
+
+The despite clause uses the identical procedure with relevance
+``P(exp | p, X)`` in place of precision (Section 4.2, "Generating the des'
+clause").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.examples import (
+    Label,
+    TrainingExample,
+    construct_training_examples,
+    find_record,
+)
+from repro.core.explanation import (
+    Explanation,
+    evaluate_explanation,
+)
+from repro.core.features import FeatureLevel, FeatureSchema, infer_schema
+from repro.core.pairs import PairFeatureConfig, compute_pair_features, pair_feature_catalog
+from repro.core.pxql.ast import Comparison, Operator, Predicate, TRUE_PREDICATE
+from repro.core.pxql.query import PXQLQuery
+from repro.exceptions import ConfigurationError, ExplanationError
+from repro.logs.records import FeatureValue
+from repro.logs.store import ExecutionLog
+from repro.ml.ranking import percentile_ranks
+from repro.ml.splits import CandidatePredicate, best_predicate_for_feature
+
+#: Operator symbols produced by the split search, mapped to PXQL operators.
+_SPLIT_OPERATORS = {
+    "==": Operator.EQ,
+    "!=": Operator.NE,
+    "<=": Operator.LE,
+    "<": Operator.LT,
+    ">=": Operator.GE,
+    ">": Operator.GT,
+}
+
+
+@dataclass(frozen=True)
+class PerfXplainConfig:
+    """Tunables of the explanation-generation algorithm.
+
+    :param width: number of atomic predicates in a clause.
+    :param score_weight: weight of the precision (or relevance) percentile
+        rank versus the generality rank (the paper uses 0.8).
+    :param sample_size: balanced-sample size for training examples.
+    :param feature_level: which pair features may appear in explanations.
+    :param pair_config: pair-feature encoding parameters.
+    :param min_examples: stop growing a clause when fewer related examples
+        than this remain.
+    """
+
+    width: int = 3
+    score_weight: float = 0.8
+    sample_size: int = 2000
+    feature_level: FeatureLevel = FeatureLevel.FULL
+    pair_config: PairFeatureConfig = field(default_factory=PairFeatureConfig)
+    min_examples: int = 4
+
+    def __post_init__(self) -> None:
+        if self.width < 0:
+            raise ConfigurationError("width must be >= 0")
+        if not 0.0 <= self.score_weight <= 1.0:
+            raise ConfigurationError("score_weight must be in [0, 1]")
+        if self.sample_size < 1:
+            raise ConfigurationError("sample_size must be >= 1")
+        if self.min_examples < 2:
+            raise ConfigurationError("min_examples must be >= 2")
+
+
+class PerfXplainExplainer:
+    """Generates PerfXplain explanations for PXQL queries."""
+
+    name = "PerfXplain"
+
+    def __init__(self, config: PerfXplainConfig | None = None,
+                 rng: random.Random | None = None) -> None:
+        self.config = config if config is not None else PerfXplainConfig()
+        self._rng = rng if rng is not None else random.Random(0)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def explain(
+        self,
+        log: ExecutionLog,
+        query: PXQLQuery,
+        schema: FeatureSchema | None = None,
+        width: int | None = None,
+        auto_despite: bool = False,
+        despite_width: int | None = None,
+    ) -> Explanation:
+        """Generate an explanation for a query bound to a pair of interest.
+
+        :param log: the log of past executions to learn from.
+        :param query: a PXQL query with both pair identifiers set.
+        :param schema: raw-feature schema (inferred from the log if omitted).
+        :param width: because-clause width (defaults to the config's).
+        :param auto_despite: also generate a ``des'`` clause (Section 4.2)
+            and use it as additional context for the because clause.
+        :param despite_width: width of the generated despite clause.
+        """
+        if not query.has_pair:
+            raise ExplanationError("the query must be bound to a pair of interest")
+        schema = schema if schema is not None else self._infer_schema(log, query)
+        width = width if width is not None else self.config.width
+        pair_values = self._pair_values(log, query, schema)
+        query.validate_against_pair(pair_values, strict=True)
+
+        working_query = query
+        despite_extension = TRUE_PREDICATE
+        if auto_despite:
+            despite_extension = self.generate_despite(
+                log, query, schema,
+                width=despite_width if despite_width is not None else width,
+                pair_values=pair_values,
+            )
+            working_query = query.with_despite(query.despite.and_then(despite_extension))
+
+        examples = construct_training_examples(
+            log, working_query, schema,
+            config=self.config.pair_config,
+            sample_size=self.config.sample_size,
+            rng=self._rng,
+        )
+        if not examples:
+            raise ExplanationError(
+                "no pair of executions in the log is related to the query; "
+                "cannot generate an explanation"
+            )
+        because = self._grow_clause(
+            examples, pair_values, schema, width, positive_label=Label.OBSERVED
+        )
+        explanation = Explanation(
+            because=because,
+            despite=despite_extension,
+            technique=self.name,
+        )
+        return explanation.with_metrics(evaluate_explanation(explanation, examples))
+
+    def generate_despite(
+        self,
+        log: ExecutionLog,
+        query: PXQLQuery,
+        schema: FeatureSchema | None = None,
+        width: int | None = None,
+        pair_values: dict[str, FeatureValue] | None = None,
+    ) -> Predicate:
+        """Generate a ``des'`` clause for an (under-specified) query.
+
+        The despite clause is grown with the same greedy algorithm as the
+        because clause but scores candidates by *relevance* — the fraction
+        of matching pairs that performed as expected.
+        """
+        if not query.has_pair:
+            raise ExplanationError("the query must be bound to a pair of interest")
+        schema = schema if schema is not None else self._infer_schema(log, query)
+        width = width if width is not None else self.config.width
+        if pair_values is None:
+            pair_values = self._pair_values(log, query, schema)
+
+        examples = construct_training_examples(
+            log, query, schema,
+            config=self.config.pair_config,
+            sample_size=self.config.sample_size,
+            rng=self._rng,
+        )
+        if not examples:
+            raise ExplanationError(
+                "no pair of executions in the log is related to the query; "
+                "cannot generate a despite clause"
+            )
+        return self._grow_clause(
+            examples, pair_values, schema, width, positive_label=Label.EXPECTED,
+            exclude_features=set(query.despite.features()),
+        )
+
+    # ------------------------------------------------------------------ #
+    # the greedy clause-growing loop
+    # ------------------------------------------------------------------ #
+
+    def _grow_clause(
+        self,
+        examples: list[TrainingExample],
+        pair_values: dict[str, FeatureValue],
+        schema: FeatureSchema,
+        width: int,
+        positive_label: Label,
+        exclude_features: set[str] | None = None,
+    ) -> Predicate:
+        catalog = pair_feature_catalog(
+            schema,
+            PairFeatureConfig(
+                sim_threshold=self.config.pair_config.sim_threshold,
+                is_same_tolerance=self.config.pair_config.is_same_tolerance,
+                level=self.config.feature_level,
+            ),
+            exclude_performance=True,
+        )
+        used: set[str] = set(exclude_features or ())
+        clause = TRUE_PREDICATE
+        remaining = list(examples)
+
+        for _ in range(width):
+            if len(remaining) < self.config.min_examples:
+                break
+            labels = [example.label is positive_label for example in remaining]
+            if all(labels) or not any(labels):
+                break
+            candidates = self._best_predicates(remaining, labels, pair_values, catalog, used)
+            if not candidates:
+                break
+            best = self._select_candidate(candidates, remaining, labels)
+            if best is None:
+                break
+            atom = Comparison(
+                feature=best.feature,
+                operator=_SPLIT_OPERATORS[best.operator],
+                value=best.value,
+            )
+            clause = clause.extended(atom)
+            used.add(best.feature)
+            remaining = [ex for ex in remaining if atom.evaluate(ex.values)]
+        return clause
+
+    def _best_predicates(
+        self,
+        examples: list[TrainingExample],
+        labels: list[bool],
+        pair_values: dict[str, FeatureValue],
+        catalog: dict[str, bool],
+        used: set[str],
+    ) -> list[CandidatePredicate]:
+        candidates: list[CandidatePredicate] = []
+        for feature, numeric in catalog.items():
+            if feature in used:
+                continue
+            required = pair_values.get(feature)
+            if required is None:
+                continue
+            values = [example.values.get(feature) for example in examples]
+            candidate = best_predicate_for_feature(
+                feature, values, labels, numeric=numeric, required_value=required
+            )
+            if candidate is not None:
+                candidates.append(candidate)
+        return candidates
+
+    def _select_candidate(
+        self,
+        candidates: list[CandidatePredicate],
+        examples: list[TrainingExample],
+        labels: list[bool],
+    ) -> CandidatePredicate | None:
+        """Score candidates by percentile-ranked precision and generality."""
+        precisions: list[float] = []
+        generalities: list[float] = []
+        for candidate in candidates:
+            matching = 0
+            matching_positive = 0
+            for example, positive in zip(examples, labels):
+                if candidate.satisfied_by(example.values.get(candidate.feature)):
+                    matching += 1
+                    if positive:
+                        matching_positive += 1
+            precisions.append(matching_positive / matching if matching else 0.0)
+            generalities.append(matching / len(examples) if examples else 0.0)
+
+        precision_ranks = percentile_ranks(precisions)
+        generality_ranks = percentile_ranks(generalities)
+        weight = self.config.score_weight
+        best_index: int | None = None
+        best_score = float("-inf")
+        for index in range(len(candidates)):
+            score = weight * precision_ranks[index] + (1.0 - weight) * generality_ranks[index]
+            if score > best_score + 1e-12 or (
+                abs(score - best_score) <= 1e-12
+                and best_index is not None
+                and precisions[index] > precisions[best_index]
+            ):
+                best_score = score
+                best_index = index
+        if best_index is None:
+            return None
+        if precisions[best_index] == 0.0:
+            # A predicate matching only negative examples cannot explain the
+            # observed behaviour.
+            positive_indices = [i for i, p in enumerate(precisions) if p > 0.0]
+            if not positive_indices:
+                return None
+            best_index = max(
+                positive_indices,
+                key=lambda i: weight * precision_ranks[i] + (1 - weight) * generality_ranks[i],
+            )
+        return candidates[best_index]
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def _infer_schema(self, log: ExecutionLog, query: PXQLQuery) -> FeatureSchema:
+        from repro.core.examples import records_for_query
+
+        records = records_for_query(log, query)
+        if not records:
+            raise ExplanationError("the log has no records of the queried entity kind")
+        return infer_schema(records)
+
+    def _pair_values(
+        self, log: ExecutionLog, query: PXQLQuery, schema: FeatureSchema
+    ) -> dict[str, FeatureValue]:
+        assert query.first_id is not None and query.second_id is not None
+        first = find_record(log, query, query.first_id)
+        second = find_record(log, query, query.second_id)
+        full_config = PairFeatureConfig(
+            sim_threshold=self.config.pair_config.sim_threshold,
+            is_same_tolerance=self.config.pair_config.is_same_tolerance,
+            level=FeatureLevel.FULL,
+        )
+        return compute_pair_features(first, second, schema, full_config)

@@ -1,0 +1,149 @@
+"""Explanations and the three quality metrics of Section 3.3.
+
+An explanation is a pair of predicates ``(des', bec)``.  Its quality, with
+respect to a query ``(des, obs, exp)`` and a set of labeled job pairs, is
+measured by:
+
+* **relevance**  ``P(exp | des' AND des)`` — does the extended despite
+  clause pick out the circumstances under which the expected behaviour
+  normally holds?
+* **precision**  ``P(obs | bec AND des' AND des)`` — among pairs matching
+  the because clause (in context), how many behaved as observed?
+* **generality** ``P(bec | des' AND des)`` — how many pairs does the
+  because clause apply to at all?
+
+The probabilities are estimated over a collection of labeled training
+examples (pairs already known to satisfy the query's ``des``, labeled
+OBSERVED or EXPECTED).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.pxql.ast import Predicate, TRUE_PREDICATE
+from repro.logs.records import FeatureValue
+
+
+@dataclass(frozen=True)
+class ExplanationMetrics:
+    """Quality metrics of one explanation on one example set."""
+
+    relevance: float
+    precision: float
+    generality: float
+    support: int
+
+    def as_dict(self) -> dict[str, float]:
+        """Metrics as a plain dictionary (handy for reports)."""
+        return {
+            "relevance": self.relevance,
+            "precision": self.precision,
+            "generality": self.generality,
+            "support": float(self.support),
+        }
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """A performance explanation: a despite clause and a because clause."""
+
+    because: Predicate
+    despite: Predicate = TRUE_PREDICATE
+    technique: str = "perfxplain"
+    metrics: ExplanationMetrics | None = None
+
+    @property
+    def width(self) -> int:
+        """Number of atoms in the because clause."""
+        return self.because.width
+
+    def is_applicable(self, pair_values: Mapping[str, FeatureValue]) -> bool:
+        """Definition 3: both clauses must hold for the pair of interest."""
+        return self.despite.evaluate(pair_values) and self.because.evaluate(pair_values)
+
+    def with_metrics(self, metrics: ExplanationMetrics) -> "Explanation":
+        """A copy of the explanation annotated with metrics."""
+        return Explanation(
+            because=self.because,
+            despite=self.despite,
+            technique=self.technique,
+            metrics=metrics,
+        )
+
+    def format(self) -> str:
+        """Human-readable rendering, mirroring the paper's output form."""
+        lines = []
+        if not self.despite.is_true:
+            lines.append(f"DESPITE {self.despite}")
+        lines.append(f"BECAUSE {self.because}")
+        if self.metrics is not None:
+            lines.append(
+                f"-- precision={self.metrics.precision:.2f} "
+                f"generality={self.metrics.generality:.2f} "
+                f"relevance={self.metrics.relevance:.2f}"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+# --------------------------------------------------------------------- #
+# metric estimation over labeled pair sets
+# --------------------------------------------------------------------- #
+
+
+def _count(
+    examples: Iterable,
+    predicate: Predicate,
+) -> tuple[int, int, int]:
+    """(matching, matching-and-observed, total) over labeled examples."""
+    matching = 0
+    matching_observed = 0
+    total = 0
+    for example in examples:
+        total += 1
+        if predicate.evaluate(example.values):
+            matching += 1
+            if example.is_observed:
+                matching_observed += 1
+    return matching, matching_observed, total
+
+
+def precision_of(because: Predicate, despite: Predicate, examples: Sequence) -> float:
+    """``P(obs | bec AND des')`` over examples already satisfying the query's des."""
+    combined = despite.and_then(because)
+    matching, matching_observed, _ = _count(examples, combined)
+    if matching == 0:
+        return 0.0
+    return matching_observed / matching
+
+
+def generality_of(because: Predicate, despite: Predicate, examples: Sequence) -> float:
+    """``P(bec | des')`` over examples already satisfying the query's des."""
+    in_context = [ex for ex in examples if despite.evaluate(ex.values)]
+    if not in_context:
+        return 0.0
+    matching = sum(1 for ex in in_context if because.evaluate(ex.values))
+    return matching / len(in_context)
+
+
+def relevance_of(despite: Predicate, examples: Sequence) -> float:
+    """``P(exp | des')`` over examples already satisfying the query's des."""
+    matching, matching_observed, _ = _count(examples, despite)
+    if matching == 0:
+        return 0.0
+    return (matching - matching_observed) / matching
+
+
+def evaluate_explanation(explanation: Explanation, examples: Sequence) -> ExplanationMetrics:
+    """All three metrics of an explanation over a labeled example set."""
+    in_context = sum(1 for ex in examples if explanation.despite.evaluate(ex.values))
+    return ExplanationMetrics(
+        relevance=relevance_of(explanation.despite, examples),
+        precision=precision_of(explanation.because, explanation.despite, examples),
+        generality=generality_of(explanation.because, explanation.despite, examples),
+        support=in_context,
+    )

@@ -1,0 +1,147 @@
+"""Raw-feature schema: kinds, domains and feature levels.
+
+PerfXplain treats each execution as a flat feature vector.  Before pair
+features can be computed we need to know, per raw feature, whether it is
+numeric (so that ``compare`` features and threshold predicates make sense)
+or nominal (so that ``diff`` features and equality predicates apply).  The
+schema is inferred from the log, with an override list for features whose
+numeric representation is really an identifier (e.g. ``instance_index``).
+
+Feature *levels* implement Section 6.8:
+
+* level 1 — only the ``isSame`` features;
+* level 2 — ``isSame`` + ``compare`` + ``diff`` features;
+* level 3 — everything, including the copied base features.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.exceptions import UnknownFeatureError
+from repro.logs.records import ExecutionRecord, FeatureValue
+
+
+class FeatureKind(enum.Enum):
+    """Whether a raw feature is numeric or nominal."""
+
+    NUMERIC = "numeric"
+    NOMINAL = "nominal"
+
+
+class FeatureLevel(enum.IntEnum):
+    """The three feature sets compared in the paper's Section 6.8."""
+
+    IS_SAME_ONLY = 1
+    COMPARISON = 2
+    FULL = 3
+
+
+#: The performance metric; never available to explanations.
+PERFORMANCE_METRIC = "duration"
+
+#: Raw features that look numeric but are identifiers or wall-clock stamps
+#: whose *magnitude* carries no meaning; they are treated as nominal so that
+#: threshold predicates over them are never generated.
+DEFAULT_NOMINAL_OVERRIDES: frozenset[str] = frozenset(
+    {"instance_index", "grid_repetition"}
+)
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Kind (and optionally the observed domain) of one raw feature."""
+
+    name: str
+    kind: FeatureKind
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether the feature is numeric."""
+        return self.kind is FeatureKind.NUMERIC
+
+
+@dataclass
+class FeatureSchema:
+    """The set of raw features PerfXplain knows about for one entity kind."""
+
+    specs: dict[str, FeatureSpec] = field(default_factory=dict)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.specs
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def names(self) -> list[str]:
+        """All raw feature names, sorted."""
+        return sorted(self.specs)
+
+    def spec(self, name: str) -> FeatureSpec:
+        """The spec of one feature; raises if unknown."""
+        if name not in self.specs:
+            raise UnknownFeatureError(name, list(self.specs))
+        return self.specs[name]
+
+    def is_numeric(self, name: str) -> bool:
+        """Whether a raw feature is numeric."""
+        return self.spec(name).is_numeric
+
+    def add(self, name: str, kind: FeatureKind) -> None:
+        """Register (or overwrite) a feature."""
+        self.specs[name] = FeatureSpec(name=name, kind=kind)
+
+    def numeric_features(self) -> list[str]:
+        """Names of all numeric features, sorted."""
+        return [name for name in self.names() if self.specs[name].is_numeric]
+
+    def nominal_features(self) -> list[str]:
+        """Names of all nominal features, sorted."""
+        return [name for name in self.names() if not self.specs[name].is_numeric]
+
+
+def _value_is_numeric(value: FeatureValue) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def infer_schema(
+    records: Sequence[ExecutionRecord] | Iterable[ExecutionRecord],
+    nominal_overrides: Iterable[str] = DEFAULT_NOMINAL_OVERRIDES,
+    include_duration: bool = True,
+) -> FeatureSchema:
+    """Infer the raw-feature schema from a collection of records.
+
+    A feature is numeric when every non-missing value across the records is
+    an ``int`` or ``float`` (booleans count as nominal).  Features appearing
+    in ``nominal_overrides`` are forced to nominal.
+
+    :param records: job or task records (normally all of one kind).
+    :param nominal_overrides: features forced to nominal regardless of type.
+    :param include_duration: whether to add the ``duration`` pseudo-feature
+        (needed so that PXQL predicates over ``duration_compare`` can be
+        evaluated; it is still excluded from explanations).
+    """
+    overrides = set(nominal_overrides)
+    seen: dict[str, bool] = {}
+    any_records = False
+    for record in records:
+        any_records = True
+        for name, value in record.features.items():
+            if value is None:
+                seen.setdefault(name, True)
+                continue
+            numeric = _value_is_numeric(value)
+            seen[name] = seen.get(name, True) and numeric
+
+    schema = FeatureSchema()
+    for name, numeric in seen.items():
+        if name in overrides:
+            kind = FeatureKind.NOMINAL
+        else:
+            kind = FeatureKind.NUMERIC if numeric else FeatureKind.NOMINAL
+        schema.add(name, kind)
+    if include_duration and any_records:
+        schema.add(PERFORMANCE_METRIC, FeatureKind.NUMERIC)
+    return schema

@@ -1,0 +1,34 @@
+"""PXQL — the PerfXplain Query Language.
+
+A PXQL query names a pair of jobs (or tasks) and three predicates over
+their pair features:
+
+.. code-block:: text
+
+    FOR JOBS 'job_202606140001_0007', 'job_202606140001_0019'
+    DESPITE  numinstances_isSame = T AND pig_script_isSame = T
+    OBSERVED duration_compare = GT
+    EXPECTED duration_compare = SIM
+
+* :mod:`repro.core.pxql.ast` — operators, atomic comparisons and
+  conjunctive predicates with evaluation over pair-feature vectors;
+* :mod:`repro.core.pxql.parser` — the tokenizer and recursive-descent
+  parser for predicates and full queries;
+* :mod:`repro.core.pxql.query` — the :class:`PXQLQuery` object and its
+  semantic validation rules (Definition 1).
+"""
+
+from repro.core.pxql.ast import Comparison, Operator, Predicate, TRUE_PREDICATE
+from repro.core.pxql.query import EntityKind, PXQLQuery
+from repro.core.pxql.parser import parse_predicate, parse_query
+
+__all__ = [
+    "Comparison",
+    "Operator",
+    "Predicate",
+    "TRUE_PREDICATE",
+    "EntityKind",
+    "PXQLQuery",
+    "parse_predicate",
+    "parse_query",
+]

@@ -1,0 +1,223 @@
+"""Tokenizer and recursive-descent parser for PXQL.
+
+Grammar (case-insensitive keywords)::
+
+    query      := "FOR" entity pair clause*
+    entity     := "JOB" | "JOBS" | "TASK" | "TASKS"
+    pair       := id "," id                     -- each id a quoted string or "?"
+    clause     := ("DESPITE" | "OBSERVED" | "EXPECTED") predicate
+    predicate  := comparison (("AND" | "∧") comparison)*
+    comparison := IDENT op value
+    op         := "=" | "==" | "!=" | "<>" | "<" | "<=" | ">" | ">=" | "≤" | "≥" | "≠"
+    value      := NUMBER | SIZE | STRING | IDENT
+
+A ``SIZE`` literal such as ``128MB`` or ``1.3 GB`` is converted to bytes.
+Bare identifiers on the right-hand side (``T``, ``F``, ``SIM``, ``GT``,
+``simple-filter.pig``) are treated as strings.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.pxql.ast import Comparison, Operator, Predicate, TRUE_PREDICATE
+from repro.core.pxql.query import EntityKind, PXQLQuery
+from repro.exceptions import PXQLSyntaxError
+from repro.logs.records import FeatureValue
+from repro.units import parse_size
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<STRING>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<SIZE>\d+(?:\.\d+)?\s*(?:KB|MB|GB|TB)\b)
+  | (?P<NUMBER>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<OP><=|>=|!=|<>|==|=|<|>|≤|≥|≠|∧)
+  | (?P<COMMA>,)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_.\-]*)
+  | (?P<QMARK>\?)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"FOR", "JOB", "JOBS", "TASK", "TASKS", "DESPITE", "OBSERVED", "EXPECTED", "AND", "WHERE"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise PXQLSyntaxError("unexpected character", position, text)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "WS":
+            tokens.append(_Token(kind=kind, text=value, position=position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------- #
+
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise PXQLSyntaxError("unexpected end of input", len(self._text), self._text)
+        self._index += 1
+        return token
+
+    def _expect_keyword(self, *keywords: str) -> str:
+        token = self._next()
+        word = token.text.upper()
+        if token.kind != "IDENT" or word not in keywords:
+            raise PXQLSyntaxError(
+                f"expected {' or '.join(keywords)}", token.position, self._text
+            )
+        return word
+
+    def _at_keyword(self, *keywords: str) -> bool:
+        token = self._peek()
+        return (
+            token is not None
+            and token.kind == "IDENT"
+            and token.text.upper() in keywords
+        )
+
+    def at_end(self) -> bool:
+        return self._peek() is None
+
+    # -- grammar -------------------------------------------------------- #
+
+    def parse_value(self, token: _Token) -> FeatureValue:
+        if token.kind == "STRING":
+            return token.text[1:-1].replace("\\'", "'").replace('\\"', '"')
+        if token.kind == "SIZE":
+            return parse_size(token.text)
+        if token.kind == "NUMBER":
+            number = float(token.text)
+            return int(number) if number.is_integer() and "." not in token.text \
+                and "e" not in token.text.lower() else number
+        if token.kind == "IDENT":
+            upper = token.text.upper()
+            if upper == "TRUE":
+                return True
+            if upper == "FALSE":
+                return False
+            return token.text
+        raise PXQLSyntaxError("expected a value", token.position, self._text)
+
+    def parse_comparison(self) -> Comparison:
+        feature_token = self._next()
+        if feature_token.kind != "IDENT":
+            raise PXQLSyntaxError("expected a feature name", feature_token.position, self._text)
+        op_token = self._next()
+        if op_token.kind != "OP" or op_token.text == "∧":
+            raise PXQLSyntaxError("expected a comparison operator", op_token.position, self._text)
+        operator = Operator.from_symbol(op_token.text)
+        value_token = self._next()
+        value = self.parse_value(value_token)
+        return Comparison(feature=feature_token.text, operator=operator, value=value)
+
+    def parse_predicate(self, stop_keywords: frozenset[str] = frozenset()) -> Predicate:
+        atoms = [self.parse_comparison()]
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            is_and = (token.kind == "OP" and token.text == "∧") or (
+                token.kind == "IDENT" and token.text.upper() == "AND"
+            )
+            if not is_and:
+                break
+            self._next()
+            atoms.append(self.parse_comparison())
+        return Predicate.conjunction(atoms)
+
+    def parse_pair_id(self) -> str | None:
+        token = self._next()
+        if token.kind == "QMARK":
+            return None
+        if token.kind == "STRING":
+            return token.text[1:-1]
+        if token.kind == "IDENT":
+            return token.text
+        raise PXQLSyntaxError("expected an execution identifier or '?'",
+                              token.position, self._text)
+
+    def parse_query(self) -> PXQLQuery:
+        self._expect_keyword("FOR")
+        entity_word = self._expect_keyword("JOB", "JOBS", "TASK", "TASKS")
+        entity = EntityKind.JOB if entity_word.startswith("JOB") else EntityKind.TASK
+        first_id = self.parse_pair_id()
+        comma = self._peek()
+        if comma is not None and comma.kind == "COMMA":
+            self._next()
+        second_id = self.parse_pair_id()
+
+        despite = TRUE_PREDICATE
+        observed: Predicate | None = None
+        expected: Predicate | None = None
+        while not self.at_end():
+            keyword = self._expect_keyword("DESPITE", "OBSERVED", "EXPECTED")
+            predicate = self.parse_predicate()
+            if keyword == "DESPITE":
+                despite = predicate
+            elif keyword == "OBSERVED":
+                observed = predicate
+            else:
+                expected = predicate
+        if observed is None:
+            raise PXQLSyntaxError("query is missing an OBSERVED clause", 0, self._text)
+        if expected is None:
+            raise PXQLSyntaxError("query is missing an EXPECTED clause", 0, self._text)
+        return PXQLQuery(
+            entity=entity,
+            first_id=first_id,
+            second_id=second_id,
+            despite=despite,
+            observed=observed,
+            expected=expected,
+        )
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse a predicate string such as ``"inputsize_compare = GT AND blocksize >= 128MB"``.
+
+    An empty (or whitespace-only) string parses to the TRUE predicate.
+    """
+    if not text.strip():
+        return TRUE_PREDICATE
+    parser = _Parser(text)
+    predicate = parser.parse_predicate()
+    if not parser.at_end():
+        token = parser._peek()
+        assert token is not None
+        raise PXQLSyntaxError("unexpected trailing input", token.position, text)
+    return predicate
+
+
+def parse_query(text: str) -> PXQLQuery:
+    """Parse a full PXQL query string."""
+    parser = _Parser(text)
+    query = parser.parse_query()
+    return query

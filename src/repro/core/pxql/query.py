@@ -1,0 +1,162 @@
+"""PXQL query objects and their semantic validation.
+
+Definition 1 of the paper: a query comprises a pair of jobs (or tasks) and
+a triple of predicates ``(des, obs, exp)``, where the pair must satisfy
+``des`` and ``obs`` but not ``exp``, and ``obs`` must contradict ``exp``.
+The pair identifiers may be left unspecified (``None``) and filled in later
+— the evaluation harness does this when it picks a pair of interest from
+the log.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.core.pxql.ast import Comparison, Operator, Predicate, TRUE_PREDICATE
+from repro.exceptions import PXQLValidationError
+from repro.logs.records import FeatureValue
+
+
+class EntityKind(enum.Enum):
+    """Whether a query is about a pair of jobs or a pair of tasks."""
+
+    JOB = "job"
+    TASK = "task"
+
+
+@dataclass(frozen=True)
+class PXQLQuery:
+    """A PXQL query.
+
+    :param entity: whether the pair refers to jobs or tasks.
+    :param first_id: identifier of the first execution (or ``None``).
+    :param second_id: identifier of the second execution (or ``None``).
+    :param despite: the (optional) despite clause; defaults to TRUE.
+    :param observed: the observed clause.
+    :param expected: the expected clause.
+    :param name: optional human-readable name (used in reports).
+    """
+
+    entity: EntityKind
+    observed: Predicate
+    expected: Predicate
+    despite: Predicate = TRUE_PREDICATE
+    first_id: str | None = None
+    second_id: str | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.observed.is_true:
+            raise PXQLValidationError("the OBSERVED clause must not be empty")
+        if self.expected.is_true:
+            raise PXQLValidationError("the EXPECTED clause must not be empty")
+
+    @property
+    def has_pair(self) -> bool:
+        """Whether both execution identifiers are specified."""
+        return self.first_id is not None and self.second_id is not None
+
+    def with_pair(self, first_id: str, second_id: str) -> "PXQLQuery":
+        """A copy of the query bound to a concrete pair of interest."""
+        return replace(self, first_id=first_id, second_id=second_id)
+
+    def with_despite(self, despite: Predicate) -> "PXQLQuery":
+        """A copy of the query with a different despite clause."""
+        return replace(self, despite=despite)
+
+    def without_despite(self) -> "PXQLQuery":
+        """A copy of the query with the despite clause removed (set to TRUE)."""
+        return replace(self, despite=TRUE_PREDICATE)
+
+    def referenced_features(self) -> list[str]:
+        """All pair features mentioned by any of the three clauses."""
+        seen: list[str] = []
+        for predicate in (self.despite, self.observed, self.expected):
+            for feature in predicate.features():
+                if feature not in seen:
+                    seen.append(feature)
+        return seen
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+
+    def observed_contradicts_expected(self) -> bool:
+        """Best-effort syntactic check that ``obs`` entails ``not exp``.
+
+        The check recognises the common pattern of both clauses constraining
+        the same feature with ``=`` to different constants (e.g.
+        ``duration_compare = GT`` vs ``duration_compare = SIM``).  Queries
+        that contradict each other in subtler ways simply return ``False``
+        here; :meth:`validate` treats that as a warning-level condition
+        unless ``strict`` is set.
+        """
+        observed_eq = {
+            atom.feature: atom.value
+            for atom in self.observed.atoms
+            if atom.operator is Operator.EQ
+        }
+        for atom in self.expected.atoms:
+            if atom.operator is Operator.EQ and atom.feature in observed_eq:
+                if observed_eq[atom.feature] != atom.value:
+                    return True
+            if atom.operator is Operator.NE and atom.feature in observed_eq:
+                if observed_eq[atom.feature] == atom.value:
+                    return True
+        return False
+
+    def validate(self, strict: bool = False) -> list[str]:
+        """Check the query's internal consistency.
+
+        :param strict: raise :class:`PXQLValidationError` on any issue
+            instead of returning it.
+        :returns: a list of human-readable issues (empty when clean).
+        """
+        issues: list[str] = []
+        if not self.observed_contradicts_expected():
+            issues.append(
+                "the OBSERVED clause does not syntactically contradict the "
+                "EXPECTED clause (Definition 1 requires obs to entail NOT exp)"
+            )
+        overlap = set(self.despite.features()) & {
+            atom.feature for atom in self.observed.atoms
+        }
+        if overlap:
+            issues.append(
+                "the DESPITE clause constrains the same features as the "
+                f"OBSERVED clause: {sorted(overlap)}"
+            )
+        if strict and issues:
+            raise PXQLValidationError("; ".join(issues))
+        return issues
+
+    def validate_against_pair(
+        self, pair_values: Mapping[str, FeatureValue], strict: bool = True
+    ) -> list[str]:
+        """Check Definition 1 against the actual pair of interest.
+
+        The pair must satisfy the despite and observed clauses and must not
+        satisfy the expected clause.
+        """
+        issues: list[str] = []
+        if not self.despite.evaluate(pair_values):
+            issues.append("the pair of interest does not satisfy the DESPITE clause")
+        if not self.observed.evaluate(pair_values):
+            issues.append("the pair of interest does not satisfy the OBSERVED clause")
+        if self.expected.evaluate(pair_values):
+            issues.append("the pair of interest satisfies the EXPECTED clause")
+        if strict and issues:
+            raise PXQLValidationError("; ".join(issues))
+        return issues
+
+    def __str__(self) -> str:
+        first = self.first_id if self.first_id is not None else "?"
+        second = self.second_id if self.second_id is not None else "?"
+        lines = [f"FOR {self.entity.value.upper()}S '{first}', '{second}'"]
+        if not self.despite.is_true:
+            lines.append(f"DESPITE {self.despite}")
+        lines.append(f"OBSERVED {self.observed}")
+        lines.append(f"EXPECTED {self.expected}")
+        return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Rendering evaluation results as CSV, Markdown and JSON.
+
+The evaluation harness returns :class:`~repro.core.evaluation.SweepResult`
+objects; this module turns them into artefacts that can be diffed against
+the paper's figures or dropped into a report:
+
+* :func:`sweep_to_csv` — one row per (technique, width) with mean/std of
+  every metric;
+* :func:`sweep_to_markdown` — a Markdown table of one metric;
+* :func:`sweep_to_dict` / :func:`save_sweep_json` — machine-readable export;
+* :func:`explanation_report` — a human-readable account of one explanation
+  (clauses, metrics, and the pair of interest's raw feature values for every
+  feature the explanation mentions).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Mapping
+
+from repro.core.evaluation import SweepResult
+from repro.core.explanation import Explanation
+from repro.core.pairs import raw_feature_of
+from repro.logs.records import ExecutionRecord
+
+_METRICS = ("precision", "generality", "relevance")
+
+
+def sweep_to_dict(sweep: SweepResult) -> dict:
+    """A JSON-compatible summary of a sweep: technique -> width -> metrics."""
+    summary: dict[str, dict[str, dict[str, float]]] = {}
+    for technique in sweep.techniques():
+        by_width: dict[str, dict[str, float]] = {}
+        for width in sweep.widths():
+            if not sweep.select(technique, width):
+                continue
+            entry: dict[str, float] = {}
+            for metric in _METRICS:
+                entry[f"{metric}_mean"] = round(sweep.mean(technique, width, metric), 6)
+                entry[f"{metric}_std"] = round(sweep.std(technique, width, metric), 6)
+            by_width[str(width)] = entry
+        summary[technique] = by_width
+    return summary
+
+
+def save_sweep_json(sweep: SweepResult, path: str | Path) -> Path:
+    """Write the sweep summary to a JSON file; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(sweep_to_dict(sweep), indent=2, sort_keys=True),
+                      encoding="utf-8")
+    return target
+
+
+def sweep_to_csv(sweep: SweepResult) -> str:
+    """CSV text with one row per (technique, width)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    header = ["technique", "width"]
+    for metric in _METRICS:
+        header.extend([f"{metric}_mean", f"{metric}_std"])
+    writer.writerow(header)
+    for technique in sweep.techniques():
+        for width in sweep.widths():
+            if not sweep.select(technique, width):
+                continue
+            row: list[object] = [technique, width]
+            for metric in _METRICS:
+                row.append(round(sweep.mean(technique, width, metric), 6))
+                row.append(round(sweep.std(technique, width, metric), 6))
+            writer.writerow(row)
+    return buffer.getvalue()
+
+
+def sweep_to_markdown(sweep: SweepResult, metric: str = "precision") -> str:
+    """A Markdown table of one metric: rows are widths, columns techniques."""
+    techniques = sweep.techniques()
+    lines = ["| width | " + " | ".join(techniques) + " |",
+             "|---" * (len(techniques) + 1) + "|"]
+    for width in sweep.widths():
+        cells = [str(width)]
+        for technique in techniques:
+            mean = sweep.mean(technique, width, metric)
+            std = sweep.std(technique, width, metric)
+            cells.append(f"{mean:.3f} ± {std:.3f}")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def explanation_report(
+    explanation: Explanation,
+    first: ExecutionRecord | None = None,
+    second: ExecutionRecord | None = None,
+) -> str:
+    """A human-readable report of one explanation.
+
+    When the pair of interest's records are supplied, the report also lists
+    each mentioned raw feature's value on both executions, which is what a
+    user would look at to act on the explanation.
+    """
+    lines = [f"Technique: {explanation.technique}"]
+    lines.append(explanation.format())
+    if first is not None and second is not None:
+        mentioned = {raw_feature_of(name)
+                     for name in explanation.because.features()
+                     + explanation.despite.features()}
+        if mentioned:
+            lines.append("")
+            lines.append("Raw feature values for the pair of interest:")
+            width = max(len(name) for name in mentioned)
+            for raw in sorted(mentioned):
+                left = _format_value(first.features.get(raw))
+                right = _format_value(second.features.get(raw))
+                lines.append(f"  {raw.ljust(width)}  {left}  vs  {right}")
+    return "\n".join(lines)
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "(missing)"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def save_experiment_bundle(
+    sweeps: Mapping[str, SweepResult], directory: str | Path
+) -> list[Path]:
+    """Write every sweep as both JSON and CSV into a directory.
+
+    :returns: the list of files written (two per sweep).
+    """
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for name, sweep in sweeps.items():
+        json_path = save_sweep_json(sweep, target / f"{name}.json")
+        csv_path = target / f"{name}.csv"
+        csv_path.write_text(sweep_to_csv(sweep), encoding="utf-8")
+        written.extend([json_path, csv_path])
+    return written

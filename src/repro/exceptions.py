@@ -1,0 +1,65 @@
+"""Exception hierarchy shared by every repro subpackage.
+
+Keeping all exception types in one module lets callers catch
+:class:`ReproError` to handle any library failure, or a specific subclass
+when they can act on the precise cause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid MapReduce or simulator configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The cluster simulator reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload (Pig script / dataset) specification is invalid."""
+
+
+class LogFormatError(ReproError):
+    """An execution-log file could not be parsed."""
+
+
+class UnknownFeatureError(ReproError):
+    """A feature name was referenced that is not part of the schema."""
+
+    def __init__(self, feature: str, available: list[str] | None = None):
+        self.feature = feature
+        self.available = list(available) if available is not None else None
+        message = f"unknown feature: {feature!r}"
+        if self.available:
+            preview = ", ".join(sorted(self.available)[:8])
+            message += f" (known features include: {preview}, ...)"
+        super().__init__(message)
+
+
+class PXQLSyntaxError(ReproError):
+    """A PXQL query or predicate string could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None, text: str | None = None):
+        self.position = position
+        self.text = text
+        if position is not None and text is not None:
+            pointer = " " * position + "^"
+            message = f"{message} at position {position}\n  {text}\n  {pointer}"
+        super().__init__(message)
+
+
+class PXQLValidationError(ReproError):
+    """A PXQL query parsed correctly but violates a semantic rule."""
+
+
+class ExplanationError(ReproError):
+    """Explanation generation failed (e.g. no related pairs in the log)."""
+
+
+class EvaluationError(ReproError):
+    """The evaluation harness was asked to do something impossible."""

@@ -1,0 +1,29 @@
+"""Execution-log substrate.
+
+PerfXplain consumes a *log of past MapReduce job executions*: one record per
+job and one per task, each a flat vector of raw features plus a duration.
+This package provides:
+
+* :mod:`repro.logs.records` — :class:`JobRecord` and :class:`TaskRecord`;
+* :mod:`repro.logs.store` — :class:`ExecutionLog`, the in-memory store with
+  filtering, train/test splitting and JSON persistence;
+* :mod:`repro.logs.writer` / :mod:`repro.logs.parser` — a Hadoop
+  job-history-style textual format and its parser, so that the feature
+  extraction path mirrors parsing real Hadoop logs.
+"""
+
+from repro.logs.records import JobRecord, TaskRecord, FeatureValue
+from repro.logs.store import ExecutionLog
+from repro.logs.writer import write_job_history, job_history_text
+from repro.logs.parser import parse_job_history, parse_job_history_text
+
+__all__ = [
+    "JobRecord",
+    "TaskRecord",
+    "FeatureValue",
+    "ExecutionLog",
+    "write_job_history",
+    "job_history_text",
+    "parse_job_history",
+    "parse_job_history_text",
+]

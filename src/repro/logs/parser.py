@@ -1,0 +1,141 @@
+"""Parser for the Hadoop job-history-style format emitted by the writer.
+
+The parser is deliberately forgiving about unknown record types and
+attributes (real job-history files carry many more event lines than we
+emit), but strict about malformed attribute syntax and missing mandatory
+fields, raising :class:`~repro.exceptions.LogFormatError` with the offending
+line number.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.exceptions import LogFormatError
+from repro.logs.records import FeatureValue, JobRecord, TaskRecord
+
+_ATTRIBUTE_RE = re.compile(r'([A-Z_]+)="((?:[^"\\]|\\.)*)"')
+_LINE_RE = re.compile(r"^([A-Za-z]+)\s+(.*?)\s*\.?\s*$")
+
+
+def _unescape(value: str) -> str:
+    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _decode_value(type_tag: str, text: str) -> FeatureValue:
+    if type_tag == "null":
+        return None
+    if type_tag == "bool":
+        return text == "true"
+    if type_tag == "int":
+        return int(text)
+    if type_tag == "float":
+        return float(text)
+    if type_tag == "str":
+        return text
+    raise LogFormatError(f"unknown feature type tag: {type_tag!r}")
+
+
+def _parse_line(line: str, line_number: int) -> tuple[str, dict[str, str]] | None:
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    match = _LINE_RE.match(stripped)
+    if not match:
+        raise LogFormatError(f"line {line_number}: malformed record: {line!r}")
+    record_type, body = match.group(1), match.group(2)
+    attributes = {key: _unescape(value) for key, value in _ATTRIBUTE_RE.findall(body)}
+    return record_type, attributes
+
+
+def parse_job_history_text(text: str) -> tuple[JobRecord, list[TaskRecord]]:
+    """Parse one job-history document into a job record and its tasks."""
+    job_attributes: dict[str, str] | None = None
+    job_features: dict[str, FeatureValue] = {}
+    task_order: list[str] = []
+    task_attributes: dict[str, dict[str, str]] = {}
+    task_features: dict[str, dict[str, FeatureValue]] = {}
+    config: dict[str, str] = {}
+
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        parsed = _parse_line(line, line_number)
+        if parsed is None:
+            continue
+        record_type, attributes = parsed
+        if record_type == "Meta":
+            continue
+        if record_type == "Job":
+            if job_attributes is not None:
+                raise LogFormatError(
+                    f"line {line_number}: multiple Job lines in one history file"
+                )
+            job_attributes = attributes
+        elif record_type == "JobConf":
+            key = attributes.get("KEY")
+            if key:
+                config[key] = attributes.get("VALUE", "")
+        elif record_type == "Task":
+            task_id = attributes.get("TASKID")
+            if not task_id:
+                raise LogFormatError(f"line {line_number}: Task line without TASKID")
+            if task_id in task_attributes:
+                raise LogFormatError(f"line {line_number}: duplicate task {task_id}")
+            task_order.append(task_id)
+            task_attributes[task_id] = attributes
+            task_features[task_id] = {}
+        elif record_type == "Feature":
+            scope = attributes.get("SCOPE")
+            owner = attributes.get("OWNER")
+            name = attributes.get("NAME")
+            if not name or not owner:
+                raise LogFormatError(f"line {line_number}: Feature line missing NAME/OWNER")
+            value = _decode_value(attributes.get("TYPE", "str"), attributes.get("VALUE", ""))
+            if scope == "job":
+                job_features[name] = value
+            elif scope == "task":
+                if owner not in task_features:
+                    raise LogFormatError(
+                        f"line {line_number}: Feature for unknown task {owner}"
+                    )
+                task_features[owner][name] = value
+            else:
+                raise LogFormatError(f"line {line_number}: unknown feature scope {scope!r}")
+        # Unknown record types are ignored on purpose.
+
+    if job_attributes is None:
+        raise LogFormatError("history file does not contain a Job line")
+    job_id = job_attributes.get("JOBID")
+    if not job_id:
+        raise LogFormatError("Job line is missing JOBID")
+    try:
+        duration = float(job_attributes.get("DURATION", "nan"))
+    except ValueError as exc:
+        raise LogFormatError("Job line has a non-numeric DURATION") from exc
+    if duration != duration:  # NaN check
+        raise LogFormatError("Job line is missing DURATION")
+
+    job = JobRecord(job_id=job_id, features=job_features, duration=duration)
+    tasks: list[TaskRecord] = []
+    for task_id in task_order:
+        attributes = task_attributes[task_id]
+        try:
+            task_duration = float(attributes.get("DURATION", "nan"))
+        except ValueError as exc:
+            raise LogFormatError(f"task {task_id} has a non-numeric DURATION") from exc
+        if task_duration != task_duration:
+            raise LogFormatError(f"task {task_id} is missing DURATION")
+        tasks.append(
+            TaskRecord(
+                task_id=task_id,
+                job_id=attributes.get("JOBID", job_id),
+                features=task_features[task_id],
+                duration=task_duration,
+            )
+        )
+    return job, tasks
+
+
+def parse_job_history(path: str | Path) -> tuple[JobRecord, list[TaskRecord]]:
+    """Parse a job-history file from disk."""
+    return parse_job_history_text(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,147 @@
+"""Job and task execution records.
+
+These follow the paper's schema:
+
+* ``Job(JobID, feature_1, ..., feature_k, duration)``
+* ``Task(TaskID, JobID, feature_1, ..., feature_l, duration)``
+
+A feature value is a number, a string, a boolean, or ``None`` for missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+from repro.exceptions import UnknownFeatureError
+
+#: Value a raw feature may take; ``None`` marks a missing value.
+FeatureValue = Union[int, float, str, bool, None]
+
+
+def _validate_features(features: dict[str, FeatureValue]) -> None:
+    for name, value in features.items():
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"feature names must be non-empty strings, got {name!r}")
+        if value is not None and not isinstance(value, (int, float, str, bool)):
+            raise ValueError(
+                f"feature {name!r} has unsupported value type {type(value).__name__}"
+            )
+
+
+@dataclass
+class JobRecord:
+    """One MapReduce job execution.
+
+    :param job_id: unique Hadoop-style job identifier.
+    :param features: raw feature vector (configuration parameters, data
+        characteristics, counters, Ganglia averages, ...).
+    :param duration: job wall-clock runtime in seconds (the performance
+        metric explanations are about; never part of ``features``).
+    """
+
+    job_id: str
+    features: dict[str, FeatureValue]
+    duration: float
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            raise ValueError("job_id must be non-empty")
+        if self.duration < 0:
+            raise ValueError("duration must be >= 0")
+        _validate_features(self.features)
+
+    def get(self, feature: str) -> FeatureValue:
+        """Value of a feature; raises :class:`UnknownFeatureError` if absent."""
+        if feature not in self.features:
+            raise UnknownFeatureError(feature, list(self.features))
+        return self.features[feature]
+
+    def feature_names(self) -> list[str]:
+        """Names of all raw features, sorted."""
+        return sorted(self.features)
+
+    @property
+    def entity_id(self) -> str:
+        """Identifier used when the record participates in a pair."""
+        return self.job_id
+
+
+@dataclass
+class TaskRecord:
+    """One MapReduce task execution.
+
+    :param task_id: unique Hadoop-style task identifier.
+    :param job_id: identifier of the job the task belongs to.
+    :param features: raw feature vector (log-file details plus Ganglia
+        averages over the task's lifetime).
+    :param duration: task wall-clock runtime in seconds.
+    """
+
+    task_id: str
+    job_id: str
+    features: dict[str, FeatureValue]
+    duration: float
+
+    def __post_init__(self) -> None:
+        if not self.task_id:
+            raise ValueError("task_id must be non-empty")
+        if not self.job_id:
+            raise ValueError("job_id must be non-empty")
+        if self.duration < 0:
+            raise ValueError("duration must be >= 0")
+        _validate_features(self.features)
+
+    def get(self, feature: str) -> FeatureValue:
+        """Value of a feature; raises :class:`UnknownFeatureError` if absent."""
+        if feature not in self.features:
+            raise UnknownFeatureError(feature, list(self.features))
+        return self.features[feature]
+
+    def feature_names(self) -> list[str]:
+        """Names of all raw features, sorted."""
+        return sorted(self.features)
+
+    @property
+    def entity_id(self) -> str:
+        """Identifier used when the record participates in a pair."""
+        return self.task_id
+
+
+#: Either kind of execution record.
+ExecutionRecord = Union[JobRecord, TaskRecord]
+
+
+def record_to_dict(record: ExecutionRecord) -> dict[str, Any]:
+    """Serialise a record to a JSON-compatible dictionary."""
+    payload: dict[str, Any] = {
+        "features": dict(record.features),
+        "duration": record.duration,
+    }
+    if isinstance(record, JobRecord):
+        payload["kind"] = "job"
+        payload["job_id"] = record.job_id
+    else:
+        payload["kind"] = "task"
+        payload["task_id"] = record.task_id
+        payload["job_id"] = record.job_id
+    return payload
+
+
+def record_from_dict(payload: dict[str, Any]) -> ExecutionRecord:
+    """Inverse of :func:`record_to_dict`."""
+    kind = payload.get("kind")
+    if kind == "job":
+        return JobRecord(
+            job_id=payload["job_id"],
+            features=dict(payload["features"]),
+            duration=float(payload["duration"]),
+        )
+    if kind == "task":
+        return TaskRecord(
+            task_id=payload["task_id"],
+            job_id=payload["job_id"],
+            features=dict(payload["features"]),
+            duration=float(payload["duration"]),
+        )
+    raise ValueError(f"unknown record kind: {kind!r}")

@@ -1,0 +1,210 @@
+"""The execution log: PerfXplain's training data store.
+
+An :class:`ExecutionLog` holds job and task records, supports filtering
+(e.g. "only the simple-groupby.pig jobs" for the Section 6.5 experiment),
+random job-level train/test splits (the paper's repeated 2-fold
+cross-validation splits *jobs*, carrying each job's tasks with it), and JSON
+persistence.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.exceptions import LogFormatError
+from repro.logs.records import (
+    FeatureValue,
+    JobRecord,
+    TaskRecord,
+    record_from_dict,
+    record_to_dict,
+)
+
+
+@dataclass
+class ExecutionLog:
+    """A log of past MapReduce job and task executions."""
+
+    jobs: list[JobRecord] = field(default_factory=list)
+    tasks: list[TaskRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def add_job(self, job: JobRecord, tasks: Iterable[TaskRecord] = ()) -> None:
+        """Add a job record and (optionally) its task records."""
+        if any(existing.job_id == job.job_id for existing in self.jobs):
+            raise ValueError(f"duplicate job id: {job.job_id}")
+        self.jobs.append(job)
+        for task in tasks:
+            self.add_task(task)
+
+    def add_task(self, task: TaskRecord) -> None:
+        """Add a single task record."""
+        if any(existing.task_id == task.task_id for existing in self.tasks):
+            raise ValueError(f"duplicate task id: {task.task_id}")
+        self.tasks.append(task)
+
+    def merge(self, other: "ExecutionLog") -> "ExecutionLog":
+        """Return a new log containing the records of both logs."""
+        merged = ExecutionLog(jobs=list(self.jobs), tasks=list(self.tasks))
+        for job in other.jobs:
+            if merged.find_job(job.job_id) is None:
+                merged.jobs.append(job)
+        existing_tasks = {task.task_id for task in merged.tasks}
+        for task in other.tasks:
+            if task.task_id not in existing_tasks:
+                merged.tasks.append(task)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # lookup and filtering
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of job records."""
+        return len(self.jobs)
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of task records."""
+        return len(self.tasks)
+
+    def find_job(self, job_id: str) -> JobRecord | None:
+        """The job with the given id, or ``None``."""
+        for job in self.jobs:
+            if job.job_id == job_id:
+                return job
+        return None
+
+    def find_task(self, task_id: str) -> TaskRecord | None:
+        """The task with the given id, or ``None``."""
+        for task in self.tasks:
+            if task.task_id == task_id:
+                return task
+        return None
+
+    def tasks_of_job(self, job_id: str) -> list[TaskRecord]:
+        """All task records belonging to a job."""
+        return [task for task in self.tasks if task.job_id == job_id]
+
+    def filter_jobs(
+        self, predicate: Callable[[JobRecord], bool], keep_tasks: bool = True
+    ) -> "ExecutionLog":
+        """A new log with only the jobs satisfying ``predicate``.
+
+        :param keep_tasks: whether tasks of the kept jobs are carried over.
+        """
+        kept_jobs = [job for job in self.jobs if predicate(job)]
+        kept_ids = {job.job_id for job in kept_jobs}
+        kept_tasks = (
+            [task for task in self.tasks if task.job_id in kept_ids] if keep_tasks else []
+        )
+        return ExecutionLog(jobs=kept_jobs, tasks=kept_tasks)
+
+    def filter_by_feature(self, feature: str, value: FeatureValue) -> "ExecutionLog":
+        """Jobs whose raw feature equals ``value`` (tasks carried over)."""
+        return self.filter_jobs(lambda job: job.features.get(feature) == value)
+
+    def job_feature_values(self, feature: str) -> list[FeatureValue]:
+        """Values of one raw feature across all jobs (missing included)."""
+        return [job.features.get(feature) for job in self.jobs]
+
+    # ------------------------------------------------------------------ #
+    # splitting
+    # ------------------------------------------------------------------ #
+
+    def split_train_test(
+        self,
+        train_fraction: float = 0.5,
+        rng: random.Random | None = None,
+        always_include_job_ids: Iterable[str] = (),
+    ) -> tuple["ExecutionLog", "ExecutionLog"]:
+        """Random job-level split into (train, test) logs.
+
+        Every job is assigned to the training log with probability
+        ``train_fraction`` (the paper: "we iterate through each job, add it
+        to the training log with 50% probability, and all remaining jobs are
+        added to the test log").  Jobs listed in ``always_include_job_ids``
+        (e.g. the pair of interest) are placed in *both* logs so that the
+        explanation can be applied to them on either side.
+        """
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        rng = rng if rng is not None else random.Random(0)
+        forced = set(always_include_job_ids)
+        train = ExecutionLog()
+        test = ExecutionLog()
+        for job in self.jobs:
+            tasks = self.tasks_of_job(job.job_id)
+            if job.job_id in forced:
+                train.add_job(job, tasks)
+                test.add_job(job, tasks)
+                continue
+            if rng.random() < train_fraction:
+                train.add_job(job, tasks)
+            else:
+                test.add_job(job, tasks)
+        return train, test
+
+    def sample_jobs(
+        self, fraction: float, rng: random.Random | None = None,
+        always_include_job_ids: Iterable[str] = (),
+    ) -> "ExecutionLog":
+        """A new log with a random subset of jobs (tasks carried over)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        rng = rng if rng is not None else random.Random(0)
+        forced = set(always_include_job_ids)
+        subset = ExecutionLog()
+        for job in self.jobs:
+            if job.job_id in forced or rng.random() < fraction:
+                subset.add_job(job, self.tasks_of_job(job.job_id))
+        return subset
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> str:
+        """Serialise the log to a JSON string."""
+        payload = {
+            "jobs": [record_to_dict(job) for job in self.jobs],
+            "tasks": [record_to_dict(task) for task in self.tasks],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExecutionLog":
+        """Parse a log previously produced by :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise LogFormatError(f"invalid execution-log JSON: {exc}") from exc
+        log = cls()
+        for job_payload in payload.get("jobs", []):
+            record = record_from_dict(job_payload)
+            if not isinstance(record, JobRecord):
+                raise LogFormatError("found a non-job record in the jobs section")
+            log.jobs.append(record)
+        for task_payload in payload.get("tasks", []):
+            record = record_from_dict(task_payload)
+            if not isinstance(record, TaskRecord):
+                raise LogFormatError("found a non-task record in the tasks section")
+            log.tasks.append(record)
+        return log
+
+    def save(self, path: str | Path) -> None:
+        """Write the log to a JSON file."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExecutionLog":
+        """Read a log from a JSON file."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

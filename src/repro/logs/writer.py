@@ -1,0 +1,115 @@
+"""Writer for Hadoop job-history-style log files.
+
+Hadoop 0.20-era job history files are sequences of lines of the form
+``RECORD_TYPE ATTR="value" ATTR="value" ... .`` — one line per job, task or
+attempt event, plus the job configuration.  We emit the same shape so that
+feature extraction in this repository exercises a genuine text-parsing
+path, as it would against real Hadoop logs:
+
+* a ``Meta`` line with the format version,
+* a ``Job`` line with identifiers, timings and task counts,
+* one ``JobConf`` line per configuration property,
+* one ``Feature`` line per job-level raw feature,
+* a ``Task`` line plus ``Feature`` lines per task.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.logs.records import FeatureValue, JobRecord, TaskRecord
+
+FORMAT_VERSION = "1"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _encode_value(value: FeatureValue) -> tuple[str, str]:
+    """Encode a feature value as (type tag, string form)."""
+    if value is None:
+        return "null", ""
+    if isinstance(value, bool):
+        return "bool", "true" if value else "false"
+    if isinstance(value, int):
+        return "int", str(value)
+    if isinstance(value, float):
+        return "float", repr(value)
+    return "str", str(value)
+
+
+def _line(record_type: str, attributes: dict[str, str]) -> str:
+    rendered = " ".join(f'{key}="{_escape(value)}"' for key, value in attributes.items())
+    return f"{record_type} {rendered} ."
+
+
+def _feature_lines(scope: str, owner_id: str, features: dict[str, FeatureValue]) -> list[str]:
+    lines = []
+    for name in sorted(features):
+        type_tag, encoded = _encode_value(features[name])
+        lines.append(
+            _line(
+                "Feature",
+                {
+                    "SCOPE": scope,
+                    "OWNER": owner_id,
+                    "NAME": name,
+                    "TYPE": type_tag,
+                    "VALUE": encoded,
+                },
+            )
+        )
+    return lines
+
+
+def job_history_text(
+    job: JobRecord,
+    tasks: Iterable[TaskRecord] = (),
+    config_properties: dict[str, str] | None = None,
+) -> str:
+    """Render one job (and its tasks) in the job-history text format."""
+    lines = [_line("Meta", {"VERSION": FORMAT_VERSION})]
+    lines.append(
+        _line(
+            "Job",
+            {
+                "JOBID": job.job_id,
+                "JOBNAME": str(job.features.get("pig_script", job.job_id)),
+                "DURATION": repr(float(job.duration)),
+                "JOB_STATUS": "SUCCESS",
+            },
+        )
+    )
+    for key in sorted(config_properties or {}):
+        lines.append(_line("JobConf", {"KEY": key, "VALUE": str(config_properties[key])}))
+    lines.extend(_feature_lines("job", job.job_id, job.features))
+    for task in tasks:
+        lines.append(
+            _line(
+                "Task",
+                {
+                    "TASKID": task.task_id,
+                    "JOBID": task.job_id,
+                    "TASK_TYPE": str(task.features.get("task_type", "MAP")),
+                    "DURATION": repr(float(task.duration)),
+                    "TASK_STATUS": "SUCCESS",
+                },
+            )
+        )
+        lines.extend(_feature_lines("task", task.task_id, task.features))
+    return "\n".join(lines) + "\n"
+
+
+def write_job_history(
+    path: str | Path,
+    job: JobRecord,
+    tasks: Iterable[TaskRecord] = (),
+    config_properties: dict[str, str] | None = None,
+) -> Path:
+    """Write one job's history file; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(job_history_text(job, tasks, config_properties), encoding="utf-8")
+    return target

@@ -1,0 +1,64 @@
+"""Entropy and information gain.
+
+These follow the definitions in Section 4.2 of the paper: for a set of
+examples ``P`` with a fraction ``p`` of positives,
+``H(P) = -p log2 p - (1-p) log2 (1-p)``, and the information gain of a
+predicate ``phi`` is ``H(P) - H(P | phi)`` where the conditional entropy is
+the size-weighted average of the entropies of the two partitions ``phi``
+induces.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Hashable, Iterable, Sequence
+
+
+def binary_entropy(positive_fraction: float) -> float:
+    """Entropy of a binary distribution with the given positive fraction."""
+    p = positive_fraction
+    if p <= 0.0 or p >= 1.0:
+        return 0.0
+    return -p * math.log2(p) - (1.0 - p) * math.log2(1.0 - p)
+
+
+def entropy(labels: Iterable[Hashable]) -> float:
+    """Shannon entropy (bits) of an arbitrary label multiset."""
+    counts = Counter(labels)
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    result = 0.0
+    for count in counts.values():
+        if count == 0:
+            continue
+        p = count / total
+        result -= p * math.log2(p)
+    return result
+
+
+def information_gain(labels: Sequence[Hashable], satisfies: Sequence[bool]) -> float:
+    """Information gain of the partition induced by a predicate.
+
+    :param labels: example labels.
+    :param satisfies: for each example, whether it satisfies the predicate.
+    :returns: ``H(labels) - H(labels | partition)``; 0 if the partition is
+        degenerate (everything on one side) or the input is empty.
+    """
+    if len(labels) != len(satisfies):
+        raise ValueError("labels and satisfies must have the same length")
+    total = len(labels)
+    if total == 0:
+        return 0.0
+    inside = [label for label, flag in zip(labels, satisfies) if flag]
+    outside = [label for label, flag in zip(labels, satisfies) if not flag]
+    if not inside or not outside:
+        return 0.0
+    parent = entropy(labels)
+    conditional = (
+        len(inside) / total * entropy(inside)
+        + len(outside) / total * entropy(outside)
+    )
+    gain = parent - conditional
+    return max(0.0, gain)

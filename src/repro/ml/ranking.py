@@ -1,0 +1,41 @@
+"""Percentile-rank normalisation.
+
+The paper normalises precision and generality scores before combining them:
+"PerfXplain computes the precisions of all the predicates, ranks them, and
+replaces the precision values with the percentile ranks" (Section 4.2).
+Without this step, generality scores (which shrink quickly as explanations
+grow) would be dwarfed by precision scores.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def percentile_ranks(values: Sequence[float]) -> list[float]:
+    """Percentile rank of each value within the list, in [0, 1].
+
+    Ties receive the same (mid) rank.  An empty list yields an empty list; a
+    single value gets rank 1.0.
+
+    >>> percentile_ranks([0.2, 0.9, 0.5])
+    [0.3333333333333333, 1.0, 0.6666666666666666]
+    """
+    n = len(values)
+    if n == 0:
+        return []
+    if n == 1:
+        return [1.0]
+    ranks = [0.0] * n
+    order = sorted(range(n), key=lambda index: values[index])
+    position = 0
+    while position < n:
+        tied_end = position
+        while tied_end + 1 < n and values[order[tied_end + 1]] == values[order[position]]:
+            tied_end += 1
+        # Mid-rank for ties; rank counted as "number of values <= v".
+        mid = (position + tied_end) / 2.0 + 1.0
+        for index in order[position : tied_end + 1]:
+            ranks[index] = mid / n
+        position = tied_end + 1
+    return ranks

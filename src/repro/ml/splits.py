@@ -1,0 +1,184 @@
+"""Best-predicate search per feature (the C4.5-style building block).
+
+Given one feature column (with possible missing values), binary labels and
+optionally a *required value* (the value the pair of interest has — any
+predicate that the pair of interest does not satisfy is useless for an
+explanation), this module finds the atomic predicate ``feature op constant``
+with the highest information gain.
+
+* nominal features: only equality predicates are considered (as in the
+  paper);
+* numeric features: equality plus threshold predicates (``<=`` and ``>``)
+  over midpoints between consecutive distinct values;
+* missing values never satisfy a predicate (the same semantics the PXQL
+  evaluator uses), so they always fall in the "outside" partition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.ml.entropy import binary_entropy
+
+#: Sentinel meaning "no required value constraint".
+_UNCONSTRAINED = object()
+
+#: Operators candidate predicates may use.
+NOMINAL_OPERATORS = ("==",)
+NUMERIC_OPERATORS = ("==", "<=", ">")
+
+
+@dataclass(frozen=True)
+class CandidatePredicate:
+    """An atomic predicate over one feature, with its information gain."""
+
+    feature: str
+    operator: str
+    value: Any
+    gain: float
+
+    def satisfied_by(self, value: Any) -> bool:
+        """Whether a feature value satisfies this predicate (missing -> False)."""
+        return _satisfies(value, self.operator, self.value)
+
+
+def _satisfies(value: Any, operator: str, constant: Any) -> bool:
+    if value is None:
+        return False
+    if operator == "==":
+        return value == constant
+    if operator == "!=":
+        return value != constant
+    try:
+        if operator == "<=":
+            return value <= constant
+        if operator == "<":
+            return value < constant
+        if operator == ">=":
+            return value >= constant
+        if operator == ">":
+            return value > constant
+    except TypeError:
+        return False
+    raise ValueError(f"unknown operator: {operator!r}")
+
+
+def _partition_entropy(pos_in: int, n_in: int, pos_total: int, n_total: int) -> float:
+    """Weighted entropy of the two partitions (inside / outside)."""
+    n_out = n_total - n_in
+    pos_out = pos_total - pos_in
+    result = 0.0
+    if n_in:
+        result += n_in / n_total * binary_entropy(pos_in / n_in)
+    if n_out:
+        result += n_out / n_total * binary_entropy(pos_out / n_out)
+    return result
+
+
+def best_predicate_for_feature(
+    feature: str,
+    values: Sequence[Any],
+    labels: Sequence[bool],
+    numeric: bool,
+    required_value: Any = _UNCONSTRAINED,
+) -> CandidatePredicate | None:
+    """The highest-information-gain predicate for one feature.
+
+    :param feature: feature name (copied into the result).
+    :param values: feature value per example (``None`` = missing).
+    :param labels: ``True`` for positive examples.
+    :param numeric: whether the feature is numeric (enables thresholds).
+    :param required_value: if given, only predicates satisfied by this value
+        are considered (and a missing required value rules out the feature
+        entirely).
+    :returns: the best candidate, or ``None`` when no valid predicate exists
+        (e.g. all values missing, or the required value is missing).
+    """
+    if len(values) != len(labels):
+        raise ValueError("values and labels must have the same length")
+    constrained = required_value is not _UNCONSTRAINED
+    if constrained and required_value is None:
+        return None
+
+    n_total = len(values)
+    if n_total == 0:
+        return None
+    pos_total = sum(1 for label in labels if label)
+    parent_entropy = binary_entropy(pos_total / n_total)
+
+    best: CandidatePredicate | None = None
+
+    def consider(operator: str, constant: Any, pos_in: int, n_in: int) -> None:
+        nonlocal best
+        if n_in == 0 or n_in == n_total:
+            return
+        if constrained and not _satisfies(required_value, operator, constant):
+            return
+        gain = parent_entropy - _partition_entropy(pos_in, n_in, pos_total, n_total)
+        gain = max(0.0, gain)
+        if best is None or gain > best.gain + 1e-12:
+            best = CandidatePredicate(feature, operator, constant, gain)
+
+    # Equality candidates (both nominal and numeric features).
+    counts: dict[Any, list[int]] = {}
+    for value, label in zip(values, labels):
+        if value is None:
+            continue
+        bucket = counts.setdefault(value, [0, 0])
+        bucket[0] += 1
+        if label:
+            bucket[1] += 1
+    if constrained:
+        # Only the pair of interest's own value can appear in an equality
+        # predicate that the pair satisfies.
+        equality_values = [required_value] if required_value in counts else []
+        if required_value not in counts and not numeric:
+            # The pair's value never occurs in the examples: an equality
+            # predicate would create a degenerate partition, so skip it.
+            equality_values = []
+    else:
+        equality_values = list(counts)
+    for constant in equality_values:
+        n_in, pos_in = counts[constant][0], counts[constant][1]
+        consider("==", constant, pos_in, n_in)
+
+    if not numeric:
+        return best
+
+    # Threshold candidates over midpoints between distinct numeric values.
+    present = [
+        (float(value), bool(label))
+        for value, label in zip(values, labels)
+        if value is not None and isinstance(value, (int, float)) and not isinstance(value, bool)
+        and not math.isnan(float(value))
+    ]
+    if len(present) < 2:
+        return best
+    present.sort(key=lambda item: item[0])
+    distinct: list[tuple[float, int, int]] = []  # (value, count, positives)
+    for value, label in present:
+        if distinct and distinct[-1][0] == value:
+            _, count, positives = distinct[-1]
+            distinct[-1] = (value, count + 1, positives + (1 if label else 0))
+        else:
+            distinct.append((value, 1, 1 if label else 0))
+    if len(distinct) < 2:
+        return best
+
+    cumulative_n = 0
+    cumulative_pos = 0
+    for index in range(len(distinct) - 1):
+        value, count, positives = distinct[index]
+        cumulative_n += count
+        cumulative_pos += positives
+        threshold = (value + distinct[index + 1][0]) / 2.0
+        # ``<= threshold``: the inside partition is the prefix.
+        consider("<=", threshold, cumulative_pos, cumulative_n)
+        # ``> threshold``: the same bipartition, but the predicate is
+        # satisfied by the suffix — this matters when a required value
+        # constrains which side the pair of interest must be on.
+        consider(">", threshold, pos_total - cumulative_pos, n_total - cumulative_n)
+
+    return best

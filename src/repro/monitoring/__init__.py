@@ -1,0 +1,38 @@
+"""Ganglia-like monitoring substrate.
+
+The paper records system metrics (CPU, load averages, process counts,
+network and memory counters) with Ganglia every five seconds on each EC2
+instance, then averages each metric over a task's lifetime and percolates
+those averages up to the job level.  This package does the same over the
+simulator's utilization trace:
+
+* :mod:`repro.monitoring.metrics` — the metric catalogue (names mirror
+  Ganglia's: ``cpu_user``, ``load_one``, ``proc_total``, ``bytes_in``, ...);
+* :mod:`repro.monitoring.sampler` — converts a
+  :class:`~repro.cluster.trace.UtilizationTrace` into per-instance time
+  series sampled on a fixed period;
+* :mod:`repro.monitoring.timeseries` — a small time-series container with
+  windowed averaging;
+* :mod:`repro.monitoring.aggregate` — per-task and per-job metric averages,
+  exactly the ``avg_*`` features the paper's explanations mention.
+"""
+
+from repro.monitoring.metrics import GANGLIA_METRICS, MetricSpec
+from repro.monitoring.timeseries import TimeSeries
+from repro.monitoring.sampler import GangliaSampler, InstanceSamples
+from repro.monitoring.aggregate import (
+    average_metrics_over_window,
+    task_metric_averages,
+    job_metric_averages,
+)
+
+__all__ = [
+    "GANGLIA_METRICS",
+    "MetricSpec",
+    "TimeSeries",
+    "GangliaSampler",
+    "InstanceSamples",
+    "average_metrics_over_window",
+    "task_metric_averages",
+    "job_metric_averages",
+]

@@ -1,0 +1,60 @@
+"""Aggregation of monitoring samples to task- and job-level features.
+
+The paper: "For a given task, it identifies the instance that the task was
+executed on, and for each metric, it calculates the average value while the
+task was executing.  PerfXplain also percolates this monitoring data up to
+the jobs: for each job and each metric, it calculates the average value of
+the metric across all the tasks belonging to the job."  These helpers do
+exactly that; the resulting feature names are prefixed with ``avg_``.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.engine import TaskExecution
+from repro.monitoring.metrics import METRIC_NAMES
+from repro.monitoring.sampler import InstanceSamples
+
+
+def average_metrics_over_window(
+    samples: InstanceSamples, start: float, end: float
+) -> dict[str, float]:
+    """Average every metric of one instance over a time window.
+
+    If the window is shorter than the sampling period and contains no
+    samples, the nearest preceding sample is used so that very short tasks
+    still get metric values (Ganglia would report its last known value).
+    """
+    averages: dict[str, float] = {}
+    for name in METRIC_NAMES:
+        series = samples.metric(name)
+        mean = series.mean(start, end)
+        if mean is None:
+            latest = series.latest_at(end)
+            mean = latest if latest is not None else 0.0
+        averages[name] = mean
+    return averages
+
+
+def task_metric_averages(
+    task: TaskExecution, samples_by_instance: dict[int, InstanceSamples]
+) -> dict[str, float]:
+    """Per-task ``avg_*`` features from the samples of the task's instance."""
+    samples = samples_by_instance.get(task.instance_index)
+    if samples is None:
+        return {f"avg_{name}": 0.0 for name in METRIC_NAMES}
+    averages = average_metrics_over_window(samples, task.start_time, task.finish_time)
+    return {f"avg_{name}": value for name, value in averages.items()}
+
+
+def job_metric_averages(
+    tasks: list[TaskExecution], samples_by_instance: dict[int, InstanceSamples]
+) -> dict[str, float]:
+    """Per-job ``avg_*`` features: the mean of the task-level averages."""
+    if not tasks:
+        return {f"avg_{name}": 0.0 for name in METRIC_NAMES}
+    totals: dict[str, float] = {f"avg_{name}": 0.0 for name in METRIC_NAMES}
+    for task in tasks:
+        task_averages = task_metric_averages(task, samples_by_instance)
+        for key, value in task_averages.items():
+            totals[key] += value
+    return {key: value / len(tasks) for key, value in totals.items()}

@@ -1,0 +1,57 @@
+"""Catalogue of monitored metrics.
+
+Metric names deliberately match Ganglia's defaults so that features in the
+execution log look like the ones the paper reports (``avg_cpu_user``,
+``avg_load_five``, ``avg_pkts_in``, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Description of one monitored metric.
+
+    :param name: Ganglia metric name.
+    :param unit: unit string (informational).
+    :param description: what the metric measures.
+    """
+
+    name: str
+    unit: str
+    description: str
+
+
+#: All metrics sampled on every instance.
+GANGLIA_METRICS: dict[str, MetricSpec] = {
+    spec.name: spec
+    for spec in [
+        MetricSpec("cpu_user", "%", "CPU time spent in user processes"),
+        MetricSpec("cpu_system", "%", "CPU time spent in the kernel"),
+        MetricSpec("cpu_idle", "%", "CPU idle time"),
+        MetricSpec("cpu_wio", "%", "CPU time waiting for I/O"),
+        MetricSpec("load_one", "procs", "1-minute load average"),
+        MetricSpec("load_five", "procs", "5-minute load average"),
+        MetricSpec("load_fifteen", "procs", "15-minute load average"),
+        MetricSpec("proc_total", "procs", "total number of processes"),
+        MetricSpec("proc_run", "procs", "number of running processes"),
+        MetricSpec("bytes_in", "bytes/s", "network bytes received per second"),
+        MetricSpec("bytes_out", "bytes/s", "network bytes sent per second"),
+        MetricSpec("pkts_in", "pkts/s", "network packets received per second"),
+        MetricSpec("pkts_out", "pkts/s", "network packets sent per second"),
+        MetricSpec("disk_read", "bytes/s", "disk bytes read per second"),
+        MetricSpec("disk_write", "bytes/s", "disk bytes written per second"),
+        MetricSpec("mem_free", "KB", "free memory"),
+        MetricSpec("mem_cached", "KB", "page-cache memory"),
+        MetricSpec("swap_free", "KB", "free swap"),
+        MetricSpec("boottime", "s", "machine boot timestamp"),
+    ]
+}
+
+#: Metric names in a stable, documented order.
+METRIC_NAMES: list[str] = list(GANGLIA_METRICS)
+
+#: Average network packet size used to derive packet counts from byte counts.
+AVG_PACKET_BYTES = 1200.0

@@ -1,0 +1,60 @@
+"""Minimal time-series container used by the monitoring sampler."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.exceptions import SimulationError
+
+
+@dataclass
+class TimeSeries:
+    """A sequence of (timestamp, value) samples in non-decreasing time order."""
+
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        """Append a sample; timestamps must not go backwards."""
+        if self.times and time < self.times[-1]:
+            raise SimulationError(
+                f"time series samples must be appended in order "
+                f"({time} < {self.times[-1]})"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def window(self, start: float, end: float) -> list[float]:
+        """Values of samples with ``start <= t <= end``."""
+        if end < start:
+            return []
+        lo = bisect.bisect_left(self.times, start)
+        hi = bisect.bisect_right(self.times, end)
+        return self.values[lo:hi]
+
+    def mean(self, start: float | None = None, end: float | None = None) -> float | None:
+        """Mean value over a window (or over everything); None if empty."""
+        if start is None and end is None:
+            values = self.values
+        else:
+            values = self.window(
+                start if start is not None else float("-inf"),
+                end if end is not None else float("inf"),
+            )
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def latest_at(self, time: float) -> float | None:
+        """The most recent sample value at or before ``time``."""
+        position = bisect.bisect_right(self.times, time) - 1
+        if position < 0:
+            return None
+        return self.values[position]

@@ -1,0 +1,66 @@
+"""Byte and time unit helpers used across the simulator and workloads."""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+_SIZE_SUFFIXES = {
+    "B": 1,
+    "KB": KB,
+    "MB": MB,
+    "GB": GB,
+    "TB": TB,
+}
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable size such as ``"128 MB"`` or ``"1.3GB"`` to bytes.
+
+    Plain numbers (int, float, or digit strings) are interpreted as bytes.
+
+    >>> parse_size("64 MB")
+    67108864
+    >>> parse_size(1024)
+    1024
+    """
+    if isinstance(text, (int, float)):
+        return int(text)
+    raw = text.strip().upper().replace(" ", "")
+    for suffix in sorted(_SIZE_SUFFIXES, key=len, reverse=True):
+        if raw.endswith(suffix):
+            number = raw[: -len(suffix)]
+            if number:
+                return int(float(number) * _SIZE_SUFFIXES[suffix])
+    try:
+        return int(float(raw))
+    except ValueError as exc:
+        raise ValueError(f"cannot parse size: {text!r}") from exc
+
+
+def format_size(num_bytes: int | float) -> str:
+    """Render a byte count with the largest suffix that keeps 3 digits.
+
+    >>> format_size(64 * MB)
+    '64.0 MB'
+    """
+    value = float(num_bytes)
+    for suffix in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024 or suffix == "TB":
+            return f"{value:.1f} {suffix}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration as ``MMmSSs`` or ``H:MM:SS`` for long runs."""
+    seconds = float(seconds)
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m{secs:02d}s"

@@ -1,0 +1,59 @@
+"""Workload substrate: datasets, Pig scripts and the experiment grid.
+
+The paper's log was collected by running two Pig scripts
+(``simple-filter.pig`` and ``simple-groupby.pig``) over the Excite search
+log from the Pig tutorial, across the parameter grid of Table 2.  This
+package recreates that pipeline:
+
+* :mod:`repro.workloads.excite` — a synthetic Excite-style search-query log
+  (the real file is not redistributable; the generator preserves the
+  characteristics the cost model needs: record size, URL-query fraction and
+  the user-skew that drives group-by reducer imbalance);
+* :mod:`repro.workloads.pig` — Pig script cost models compiled into
+  simulator :class:`~repro.cluster.jobs.JobSpec` objects;
+* :mod:`repro.workloads.runner` — run one configured job through the
+  simulator + monitoring and emit execution-log records;
+* :mod:`repro.workloads.grid` — the Table 2 parameter grid and helpers that
+  build a full experiment log.
+"""
+
+from repro.workloads.excite import ExciteLogProfile, excite_dataset, generate_excite_records
+from repro.workloads.pig import (
+    PigScript,
+    SIMPLE_FILTER,
+    SIMPLE_GROUPBY,
+    SIMPLE_JOIN,
+    SIMPLE_DISTINCT,
+    PIG_SCRIPTS,
+    compile_pig_job,
+)
+from repro.workloads.runner import WorkloadRun, run_workload
+from repro.workloads.grid import (
+    GridPoint,
+    ParameterGrid,
+    paper_grid,
+    small_grid,
+    tiny_grid,
+    build_experiment_log,
+)
+
+__all__ = [
+    "ExciteLogProfile",
+    "excite_dataset",
+    "generate_excite_records",
+    "PigScript",
+    "SIMPLE_FILTER",
+    "SIMPLE_GROUPBY",
+    "SIMPLE_JOIN",
+    "SIMPLE_DISTINCT",
+    "PIG_SCRIPTS",
+    "compile_pig_job",
+    "WorkloadRun",
+    "run_workload",
+    "GridPoint",
+    "ParameterGrid",
+    "paper_grid",
+    "small_grid",
+    "tiny_grid",
+    "build_experiment_log",
+]

@@ -1,0 +1,139 @@
+"""Synthetic Excite search-query log.
+
+The paper's input file is the Excite query log shipped with the Pig
+tutorial, concatenated to itself 30 or 60 times to reach roughly 1.3 GB and
+2.6 GB.  That file is not redistributable, so this module synthesises a log
+with the same *shape*:
+
+* tab-separated records ``user_hash \\t timestamp \\t query``;
+* Zipf-distributed users (a few heavy users issue many queries — this is
+  what skews the group-by reducers);
+* a fraction of queries that are bare URLs (these are what
+  ``simple-filter.pig`` removes);
+* an average record size matching the original (~55 bytes).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.cluster.hdfs import Dataset
+from repro.exceptions import WorkloadError
+from repro.units import MB
+
+#: Approximate size of the Pig-tutorial Excite sample file.
+BASE_FILE_BYTES = 44 * MB
+#: Approximate record count of the sample file.
+BASE_FILE_RECORDS = 800_000
+#: Average bytes per record implied by the two constants above.
+AVG_RECORD_BYTES = BASE_FILE_BYTES / BASE_FILE_RECORDS
+
+_QUERY_TERMS = [
+    "weather", "maps", "lyrics", "news", "yahoo", "games", "chat", "mp3",
+    "sports", "movies", "jobs", "travel", "stocks", "recipes", "cars",
+    "health", "university", "hotels", "flights", "music",
+]
+_URL_HOSTS = ["www.excite.com", "www.yahoo.com", "www.geocities.com", "www.aol.com"]
+
+
+@dataclass(frozen=True)
+class ExciteLogProfile:
+    """Statistical profile of a synthetic Excite log.
+
+    :param url_fraction: fraction of queries that are URLs (removed by the
+        filter script).
+    :param distinct_user_fraction: distinct users / records (drives group-by
+        output size).
+    :param user_zipf_exponent: skew of the per-user query distribution.
+    :param avg_record_bytes: average record length in bytes.
+    """
+
+    url_fraction: float = 0.15
+    distinct_user_fraction: float = 0.12
+    user_zipf_exponent: float = 1.2
+    avg_record_bytes: float = AVG_RECORD_BYTES
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.url_fraction < 1.0:
+            raise WorkloadError("url_fraction must be in [0, 1)")
+        if not 0.0 < self.distinct_user_fraction <= 1.0:
+            raise WorkloadError("distinct_user_fraction must be in (0, 1]")
+        if self.user_zipf_exponent <= 0:
+            raise WorkloadError("user_zipf_exponent must be positive")
+        if self.avg_record_bytes <= 0:
+            raise WorkloadError("avg_record_bytes must be positive")
+
+
+#: Default profile used by the experiment grid.
+DEFAULT_PROFILE = ExciteLogProfile()
+
+
+def excite_dataset(
+    concat_factor: int, profile: ExciteLogProfile = DEFAULT_PROFILE
+) -> Dataset:
+    """The dataset obtained by concatenating the base file ``concat_factor`` times.
+
+    The paper used factors 30 and 60, giving roughly 1.3 GB and 2.6 GB.
+    """
+    if concat_factor < 1:
+        raise WorkloadError("concat_factor must be >= 1")
+    size = BASE_FILE_BYTES * concat_factor
+    records = int(size / profile.avg_record_bytes)
+    return Dataset(
+        name=f"excite-{concat_factor}x.log",
+        size_bytes=size,
+        num_records=records,
+    )
+
+
+def generate_excite_records(
+    count: int,
+    profile: ExciteLogProfile = DEFAULT_PROFILE,
+    rng: random.Random | None = None,
+    num_users: int | None = None,
+) -> Iterator[tuple[str, int, str]]:
+    """Yield ``count`` synthetic (user_hash, timestamp, query) records.
+
+    This materialises actual text records for the example programs; the
+    simulator itself only needs the dataset's aggregate profile.
+    """
+    if count < 0:
+        raise WorkloadError("count must be >= 0")
+    rng = rng if rng is not None else random.Random(0)
+    if num_users is None:
+        num_users = max(1, int(count * profile.distinct_user_fraction))
+    # Zipf-like user weights computed once.
+    weights = [1.0 / (rank ** profile.user_zipf_exponent) for rank in range(1, num_users + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+    timestamp = 970916000
+    for _ in range(count):
+        pick = rng.random()
+        lo, hi = 0, num_users - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < pick:
+                lo = mid + 1
+            else:
+                hi = mid
+        # A stable 16-hex-digit "anonymised user hash" derived from the user
+        # index (the same user always gets the same hash, as in the real log).
+        user = f"{(lo * 2654435761) % 16 ** 8:08X}{lo:08X}"
+        timestamp += rng.randrange(0, 3)
+        if rng.random() < profile.url_fraction:
+            query = f"http://{rng.choice(_URL_HOSTS)}/{rng.choice(_QUERY_TERMS)}"
+        else:
+            terms = rng.sample(_QUERY_TERMS, k=rng.randint(1, 3))
+            query = " ".join(terms)
+        yield user, timestamp, query
+
+
+def records_to_text(records: Iterator[tuple[str, int, str]]) -> str:
+    """Render records in the tab-separated Excite log format."""
+    return "\n".join(f"{user}\t{ts}\t{query}" for user, ts, query in records) + "\n"

@@ -1,0 +1,202 @@
+"""The experiment parameter grid (Table 2) and log builders.
+
+The paper collected its execution log by running every combination of the
+parameters in Table 2.  :func:`paper_grid` reproduces that grid exactly;
+:func:`small_grid` and :func:`tiny_grid` are cheaper grids used by tests,
+examples and the default benchmark configuration so that the full pipeline
+stays fast on a laptop.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from repro.cluster.config import MapReduceConfig
+from repro.cluster.faults import NO_FAULTS, FaultModel
+from repro.exceptions import WorkloadError
+from repro.logs.store import ExecutionLog
+from repro.units import MB
+from repro.workloads.excite import DEFAULT_PROFILE, ExciteLogProfile, excite_dataset
+from repro.workloads.pig import PIG_SCRIPTS, PigScript, get_script
+from repro.workloads.runner import run_workload
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One configuration in the experiment grid."""
+
+    num_instances: int
+    concat_factor: int
+    block_size: int
+    reduce_tasks_factor: float
+    io_sort_factor: int
+    script_name: str
+
+    def num_reduce_tasks(self) -> int:
+        """Reducer count implied by the factor, as in the paper.
+
+        "If there are 8 instances and the reduce tasks factor is 1.5, then
+        the number of reduce tasks is set to 12."
+        """
+        return max(1, int(round(self.num_instances * self.reduce_tasks_factor)))
+
+    def config(self) -> MapReduceConfig:
+        """The MapReduce configuration for this grid point."""
+        return MapReduceConfig(
+            dfs_block_size=self.block_size,
+            num_reduce_tasks=self.num_reduce_tasks(),
+            io_sort_factor=self.io_sort_factor,
+        )
+
+    def script(self) -> PigScript:
+        """The Pig script cost model for this grid point."""
+        return get_script(self.script_name)
+
+
+@dataclass(frozen=True)
+class ParameterGrid:
+    """A cartesian product of workload parameters (Table 2's structure)."""
+
+    num_instances: tuple[int, ...]
+    concat_factors: tuple[int, ...]
+    block_sizes: tuple[int, ...]
+    reduce_tasks_factors: tuple[float, ...]
+    io_sort_factors: tuple[int, ...]
+    script_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        for name, values in (
+            ("num_instances", self.num_instances),
+            ("concat_factors", self.concat_factors),
+            ("block_sizes", self.block_sizes),
+            ("reduce_tasks_factors", self.reduce_tasks_factors),
+            ("io_sort_factors", self.io_sort_factors),
+            ("script_names", self.script_names),
+        ):
+            if not values:
+                raise WorkloadError(f"grid dimension {name} must not be empty")
+        for script in self.script_names:
+            if script not in PIG_SCRIPTS:
+                raise WorkloadError(f"unknown Pig script in grid: {script!r}")
+
+    def points(self) -> list[GridPoint]:
+        """All grid points, in a deterministic order."""
+        combos = itertools.product(
+            self.num_instances,
+            self.concat_factors,
+            self.block_sizes,
+            self.reduce_tasks_factors,
+            self.io_sort_factors,
+            self.script_names,
+        )
+        return [
+            GridPoint(
+                num_instances=instances,
+                concat_factor=concat,
+                block_size=block,
+                reduce_tasks_factor=factor,
+                io_sort_factor=sort_factor,
+                script_name=script,
+            )
+            for instances, concat, block, factor, sort_factor, script in combos
+        ]
+
+    def __len__(self) -> int:
+        return (
+            len(self.num_instances)
+            * len(self.concat_factors)
+            * len(self.block_sizes)
+            * len(self.reduce_tasks_factors)
+            * len(self.io_sort_factors)
+            * len(self.script_names)
+        )
+
+
+def paper_grid() -> ParameterGrid:
+    """The exact grid of Table 2 (540 configurations)."""
+    return ParameterGrid(
+        num_instances=(1, 2, 4, 8, 16),
+        concat_factors=(30, 60),  # 1.3 GB and 2.6 GB
+        block_sizes=(64 * MB, 256 * MB, 1024 * MB),
+        reduce_tasks_factors=(1.0, 1.5, 2.0),
+        io_sort_factors=(10, 50, 100),
+        script_names=("simple-filter.pig", "simple-groupby.pig"),
+    )
+
+
+def small_grid() -> ParameterGrid:
+    """A reduced grid (96 configurations) for benchmarks and examples."""
+    return ParameterGrid(
+        num_instances=(1, 2, 4, 8),
+        concat_factors=(6, 12),
+        block_sizes=(64 * MB, 256 * MB),
+        reduce_tasks_factors=(1.0, 2.0),
+        io_sort_factors=(10, 100),
+        script_names=("simple-filter.pig", "simple-groupby.pig"),
+    )
+
+
+def tiny_grid() -> ParameterGrid:
+    """A minimal grid (16 configurations) for fast unit tests."""
+    return ParameterGrid(
+        num_instances=(2, 4),
+        concat_factors=(2, 4),
+        block_sizes=(64 * MB, 256 * MB),
+        reduce_tasks_factors=(1.0,),
+        io_sort_factors=(10,),
+        script_names=("simple-filter.pig", "simple-groupby.pig"),
+    )
+
+
+def build_experiment_log(
+    grid: ParameterGrid,
+    seed: int = 0,
+    repetitions: int = 1,
+    fault_model: FaultModel = NO_FAULTS,
+    profile: ExciteLogProfile = DEFAULT_PROFILE,
+    sampling_period: float = 5.0,
+    include_tasks: bool = True,
+) -> ExecutionLog:
+    """Run every grid point through the simulator and collect the log.
+
+    :param grid: the parameter grid to sweep.
+    :param seed: base random seed; each job gets a distinct derived seed so
+        that repeated executions of the same configuration differ (as real
+        EC2 runs would).
+    :param repetitions: how many times to run each grid point.
+    :param fault_model: optional fault injection shared by all jobs.
+    :param profile: data profile for the synthetic Excite log.
+    :param sampling_period: Ganglia sampling period in seconds.
+    :param include_tasks: whether task records are kept (task-level queries
+        need them; job-level experiments can skip them to save memory).
+    """
+    if repetitions < 1:
+        raise WorkloadError("repetitions must be >= 1")
+    log = ExecutionLog()
+    sequence = 0
+    submit_clock = 0.0
+    rng = random.Random(seed)
+    for repetition in range(repetitions):
+        for point in grid.points():
+            sequence += 1
+            job_seed = rng.randrange(2 ** 31)
+            dataset = excite_dataset(point.concat_factor, profile)
+            run = run_workload(
+                script=point.script(),
+                dataset=dataset,
+                config=point.config(),
+                num_instances=point.num_instances,
+                seed=job_seed,
+                job_sequence=sequence,
+                reduce_tasks_factor=point.reduce_tasks_factor,
+                fault_model=fault_model,
+                profile=profile,
+                sampling_period=sampling_period,
+                submit_time=submit_clock,
+                extra_metadata={"grid_repetition": repetition},
+            )
+            submit_clock += run.job_record.duration + 30.0
+            log.add_job(run.job_record, run.task_records if include_tasks else ())
+    return log

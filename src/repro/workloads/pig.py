@@ -1,0 +1,298 @@
+"""Pig script cost models and compilation to simulator jobs.
+
+A :class:`PigScript` captures how a script transforms data volumes and how
+much CPU it burns per megabyte.  :func:`compile_pig_job` turns a script, a
+dataset and a MapReduce configuration into a :class:`~repro.cluster.jobs.JobSpec`
+whose task phases (read, map, spill, shuffle, merge-sort, reduce, write)
+have nominal durations derived from the cost model.
+
+The two scripts from the paper:
+
+* ``simple-filter.pig`` — loads the query log, drops queries that are URLs
+  and stores the rest.  Pig compiles this to a **map-only** job, so its
+  runtime is governed by the number of map waves: input size / block size
+  versus the cluster's map slots.  This is exactly the structure behind the
+  paper's motivating example (1 GB and 32 GB taking the same time because
+  neither fills the cluster and each map processes one block).
+* ``simple-groupby.pig`` — groups queries by user and counts them.  Map
+  output is small (user, count) pairs, a combiner shrinks it further, and
+  reducers aggregate; reducer input is skewed by the Zipf user distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cluster.config import MapReduceConfig
+from repro.cluster.hdfs import Dataset, split_dataset
+from repro.cluster.jobs import JobSpec, make_task_id
+from repro.cluster.tasks import (
+    Phase,
+    PhaseKind,
+    TaskAttempt,
+    TaskCounters,
+    TaskType,
+    merge_passes,
+)
+from repro.exceptions import WorkloadError
+from repro.units import MB
+from repro.workloads.excite import DEFAULT_PROFILE, ExciteLogProfile
+
+#: Reference sequential disk bandwidth used to convert bytes to seconds.
+REFERENCE_DISK_MBPS = 80.0
+#: Reference network bandwidth used for shuffle transfers.
+REFERENCE_NET_MBPS = 60.0
+#: CPU cost of sorting map output, per megabyte.
+SORT_CPU_MS_PER_MB = 25.0
+#: Fixed per-task startup overhead (JVM launch, split localisation).
+TASK_STARTUP_SECONDS = 2.5
+#: Fixed per-job overhead (job setup and cleanup tasks).
+JOB_SETUP_SECONDS = 6.0
+
+
+@dataclass(frozen=True)
+class PigScript:
+    """Cost model of one Pig script.
+
+    :param name: script file name as it appears in the log features.
+    :param map_cpu_ms_per_mb: CPU milliseconds spent in map per MB of input.
+    :param map_output_byte_ratio: map output bytes / map input bytes
+        (after the combiner, if any).
+    :param map_output_record_ratio: map output records / input records
+        (after the combiner).
+    :param map_only: whether the script compiles to a map-only job.
+    :param reduce_cpu_ms_per_mb: CPU milliseconds per MB of reduce input.
+    :param reduce_output_byte_ratio: reduce output bytes / reduce input bytes.
+    :param reducer_skew_sigma: log-normal sigma of reducer input imbalance.
+    :param uses_combiner: whether a combiner runs on the map side.
+    """
+
+    name: str
+    map_cpu_ms_per_mb: float
+    map_output_byte_ratio: float
+    map_output_record_ratio: float
+    map_only: bool
+    reduce_cpu_ms_per_mb: float
+    reduce_output_byte_ratio: float
+    reducer_skew_sigma: float
+    uses_combiner: bool
+
+    def __post_init__(self) -> None:
+        if self.map_cpu_ms_per_mb <= 0:
+            raise WorkloadError("map_cpu_ms_per_mb must be positive")
+        if self.map_output_byte_ratio < 0:
+            raise WorkloadError("map_output_byte_ratio must be >= 0")
+        if not self.map_only and self.reduce_cpu_ms_per_mb <= 0:
+            raise WorkloadError("reduce_cpu_ms_per_mb must be positive")
+        if self.reducer_skew_sigma < 0:
+            raise WorkloadError("reducer_skew_sigma must be >= 0")
+
+
+SIMPLE_FILTER = PigScript(
+    name="simple-filter.pig",
+    map_cpu_ms_per_mb=320.0,
+    map_output_byte_ratio=0.85,
+    map_output_record_ratio=0.85,
+    map_only=True,
+    reduce_cpu_ms_per_mb=1.0,
+    reduce_output_byte_ratio=1.0,
+    reducer_skew_sigma=0.0,
+    uses_combiner=False,
+)
+
+SIMPLE_GROUPBY = PigScript(
+    name="simple-groupby.pig",
+    map_cpu_ms_per_mb=420.0,
+    map_output_byte_ratio=0.06,
+    map_output_record_ratio=0.15,
+    map_only=False,
+    reduce_cpu_ms_per_mb=180.0,
+    reduce_output_byte_ratio=0.5,
+    reducer_skew_sigma=0.35,
+    uses_combiner=True,
+)
+
+#: Extensions beyond the paper, useful for "different job" experiments.
+SIMPLE_JOIN = PigScript(
+    name="simple-join.pig",
+    map_cpu_ms_per_mb=520.0,
+    map_output_byte_ratio=1.05,
+    map_output_record_ratio=1.0,
+    map_only=False,
+    reduce_cpu_ms_per_mb=350.0,
+    reduce_output_byte_ratio=0.7,
+    reducer_skew_sigma=0.5,
+    uses_combiner=False,
+)
+
+SIMPLE_DISTINCT = PigScript(
+    name="simple-distinct.pig",
+    map_cpu_ms_per_mb=380.0,
+    map_output_byte_ratio=0.5,
+    map_output_record_ratio=0.5,
+    map_only=False,
+    reduce_cpu_ms_per_mb=150.0,
+    reduce_output_byte_ratio=0.4,
+    reducer_skew_sigma=0.2,
+    uses_combiner=True,
+)
+
+#: All scripts, keyed by file name.
+PIG_SCRIPTS: dict[str, PigScript] = {
+    script.name: script
+    for script in (SIMPLE_FILTER, SIMPLE_GROUPBY, SIMPLE_JOIN, SIMPLE_DISTINCT)
+}
+
+
+def get_script(name: str) -> PigScript:
+    """Look up a Pig script cost model by file name."""
+    try:
+        return PIG_SCRIPTS[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(PIG_SCRIPTS))
+        raise WorkloadError(f"unknown Pig script {name!r}; known scripts: {known}") from exc
+
+
+def compile_pig_job(
+    job_id: str,
+    script: PigScript,
+    dataset: Dataset,
+    config: MapReduceConfig,
+    profile: ExciteLogProfile = DEFAULT_PROFILE,
+    rng: random.Random | None = None,
+    submit_time: float = 0.0,
+    metadata: dict | None = None,
+) -> JobSpec:
+    """Compile a Pig script over a dataset into a simulator job.
+
+    :param job_id: Hadoop-style job identifier.
+    :param script: the Pig script cost model.
+    :param dataset: the input dataset.
+    :param config: the MapReduce configuration (block size determines the
+        number of map tasks; ``num_reduce_tasks`` the number of reducers).
+    :param profile: statistical profile of the input data.
+    :param rng: randomness for reducer skew.
+    :param submit_time: job submission timestamp.
+    :param metadata: extra job-level features recorded in the log.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    splits = split_dataset(dataset, config.dfs_block_size)
+    map_tasks: list[TaskAttempt] = []
+    total_map_output_bytes = 0
+    total_map_output_records = 0
+
+    for split in splits:
+        input_mb = split.length / MB
+        pre_combine_records = int(split.num_records * (
+            script.map_output_record_ratio if not script.uses_combiner else 1.0
+        ))
+        output_records = int(split.num_records * script.map_output_record_ratio)
+        output_bytes = int(split.length * script.map_output_byte_ratio)
+        total_map_output_bytes += output_bytes
+        total_map_output_records += output_records
+
+        phases = [
+            Phase("setup", TASK_STARTUP_SECONDS, PhaseKind.OVERHEAD),
+            Phase("read", input_mb / REFERENCE_DISK_MBPS, PhaseKind.DISK),
+            Phase("map", input_mb * script.map_cpu_ms_per_mb / 1000.0, PhaseKind.CPU),
+        ]
+        output_mb = output_bytes / MB
+        if script.map_only:
+            phases.append(Phase("write", output_mb / REFERENCE_DISK_MBPS, PhaseKind.DISK))
+            hdfs_written = output_bytes
+            file_written = 0
+            spilled = 0
+        else:
+            phases.append(Phase("sort", output_mb * SORT_CPU_MS_PER_MB / 1000.0, PhaseKind.CPU))
+            phases.append(Phase("spill", output_mb / REFERENCE_DISK_MBPS, PhaseKind.DISK))
+            hdfs_written = 0
+            file_written = output_bytes
+            spilled = output_records
+
+        counters = TaskCounters(
+            input_bytes=split.length,
+            input_records=split.num_records,
+            output_bytes=output_bytes,
+            output_records=output_records,
+            hdfs_bytes_read=split.length,
+            hdfs_bytes_written=hdfs_written,
+            file_bytes_written=file_written,
+            spilled_records=spilled,
+            combine_input_records=pre_combine_records if script.uses_combiner else 0,
+            combine_output_records=output_records if script.uses_combiner else 0,
+        )
+        map_tasks.append(
+            TaskAttempt(
+                task_id=make_task_id(job_id, TaskType.MAP, split.index),
+                task_type=TaskType.MAP,
+                phases=phases,
+                counters=counters,
+            )
+        )
+
+    reduce_tasks: list[TaskAttempt] = []
+    num_reducers = 0 if script.map_only else config.num_reduce_tasks
+    if num_reducers > 0:
+        shares = _skewed_shares(num_reducers, script.reducer_skew_sigma, rng)
+        for index, share in enumerate(shares):
+            reduce_input_bytes = int(total_map_output_bytes * share)
+            reduce_input_records = int(total_map_output_records * share)
+            reduce_input_mb = reduce_input_bytes / MB
+            passes = merge_passes(len(map_tasks), config.io_sort_factor)
+            output_bytes = int(reduce_input_bytes * script.reduce_output_byte_ratio)
+            phases = [
+                Phase("setup", TASK_STARTUP_SECONDS, PhaseKind.OVERHEAD),
+                Phase("shuffle", reduce_input_mb / REFERENCE_NET_MBPS, PhaseKind.NETWORK),
+                Phase("sort", passes * reduce_input_mb / REFERENCE_DISK_MBPS
+                      + reduce_input_mb * SORT_CPU_MS_PER_MB / 1000.0, PhaseKind.DISK),
+                Phase("reduce", reduce_input_mb * script.reduce_cpu_ms_per_mb / 1000.0,
+                      PhaseKind.CPU),
+                Phase("write", (output_bytes / MB) / REFERENCE_DISK_MBPS, PhaseKind.DISK),
+            ]
+            counters = TaskCounters(
+                input_bytes=reduce_input_bytes,
+                input_records=reduce_input_records,
+                output_bytes=output_bytes,
+                output_records=int(reduce_input_records * script.reduce_output_byte_ratio),
+                hdfs_bytes_written=output_bytes,
+                file_bytes_read=reduce_input_bytes,
+                shuffle_bytes=reduce_input_bytes,
+            )
+            reduce_tasks.append(
+                TaskAttempt(
+                    task_id=make_task_id(job_id, TaskType.REDUCE, index),
+                    task_type=TaskType.REDUCE,
+                    phases=phases,
+                    counters=counters,
+                )
+            )
+
+    job_metadata = {
+        "pig_script": script.name,
+        "inputsize": dataset.size_bytes,
+        "input_records": dataset.num_records,
+        "dataset_name": dataset.name,
+    }
+    if metadata:
+        job_metadata.update(metadata)
+    return JobSpec(
+        job_id=job_id,
+        name=script.name,
+        map_tasks=map_tasks,
+        reduce_tasks=reduce_tasks,
+        config=config,
+        metadata=job_metadata,
+        submit_time=submit_time,
+    )
+
+
+def _skewed_shares(count: int, sigma: float, rng: random.Random) -> list[float]:
+    """Fractions of the shuffle each reducer receives (sums to 1)."""
+    if count == 1:
+        return [1.0]
+    if sigma <= 0:
+        return [1.0 / count] * count
+    weights = [rng.lognormvariate(0.0, sigma) for _ in range(count)]
+    total = sum(weights)
+    return [weight / total for weight in weights]

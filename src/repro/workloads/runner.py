@@ -1,0 +1,233 @@
+"""Run one configured workload through the simulator and extract records.
+
+This module is the glue between the substrates: it provisions a cluster,
+compiles the Pig script, runs the simulation engine, samples Ganglia-style
+metrics, and produces the :class:`~repro.logs.records.JobRecord` /
+:class:`~repro.logs.records.TaskRecord` feature vectors PerfXplain consumes.
+
+The feature names deliberately match the ones quoted in the paper's
+explanations (``inputsize``, ``numinstances``, ``blocksize``,
+``num_reduce_tasks``, ``iosortfactor``, ``pig_script``, ``tracker_name``,
+``hostname``, ``map_input_records``, ``file_bytes_written``,
+``avg_cpu_user``, ``avg_load_five``, ...).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.cluster.config import MapReduceConfig
+from repro.cluster.engine import SimulationEngine, SimulationResult, TaskExecution
+from repro.cluster.faults import NO_FAULTS, FaultModel
+from repro.cluster.hdfs import Dataset
+from repro.cluster.jobs import make_job_id
+from repro.cluster.tasks import TaskType
+from repro.logs.records import FeatureValue, JobRecord, TaskRecord
+from repro.monitoring.aggregate import job_metric_averages, task_metric_averages
+from repro.monitoring.sampler import GangliaSampler
+from repro.workloads.excite import DEFAULT_PROFILE, ExciteLogProfile
+from repro.workloads.pig import PigScript, compile_pig_job
+
+
+@dataclass
+class WorkloadRun:
+    """Everything produced by running one workload configuration."""
+
+    job_record: JobRecord
+    task_records: list[TaskRecord]
+    simulation: SimulationResult
+
+
+def run_workload(
+    script: PigScript,
+    dataset: Dataset,
+    config: MapReduceConfig,
+    num_instances: int,
+    seed: int = 0,
+    job_sequence: int = 1,
+    reduce_tasks_factor: float | None = None,
+    fault_model: FaultModel = NO_FAULTS,
+    profile: ExciteLogProfile = DEFAULT_PROFILE,
+    sampling_period: float = 5.0,
+    submit_time: float = 0.0,
+    extra_metadata: dict[str, FeatureValue] | None = None,
+) -> WorkloadRun:
+    """Simulate one job and return its execution-log records.
+
+    :param script: the Pig script cost model to run.
+    :param dataset: the input dataset.
+    :param config: MapReduce configuration for the job.
+    :param num_instances: cluster size (number of virtual machines).
+    :param seed: seed controlling cluster jitter, runtime noise and skew.
+    :param job_sequence: sequence number used to mint the job id.
+    :param reduce_tasks_factor: the grid's reduce-task factor (recorded as a
+        feature; the actual reducer count is in ``config.num_reduce_tasks``).
+    :param fault_model: optional fault injection.
+    :param profile: statistical profile of the dataset.
+    :param sampling_period: Ganglia sampling period in seconds.
+    :param submit_time: wall-clock submission time of the job.
+    :param extra_metadata: additional job-level features to record verbatim.
+    """
+    rng = random.Random(seed)
+    cluster = ClusterSpec(num_instances=num_instances).provision(rng)
+    fault_model.degrade_cluster(cluster, rng)
+
+    job_id = make_job_id(job_sequence)
+    metadata: dict[str, FeatureValue] = {
+        "reduce_tasks_factor": reduce_tasks_factor
+        if reduce_tasks_factor is not None
+        else 1.0,
+    }
+    if extra_metadata:
+        metadata.update(extra_metadata)
+    # The simulation itself runs on a job-relative clock starting at zero
+    # (each job gets a freshly provisioned cluster with its own background
+    # load timeline); the wall-clock submit time only shifts the timestamps
+    # recorded as features.
+    spec = compile_pig_job(
+        job_id=job_id,
+        script=script,
+        dataset=dataset,
+        config=config,
+        profile=profile,
+        rng=rng,
+        submit_time=0.0,
+        metadata=metadata,
+    )
+
+    engine = SimulationEngine(cluster, fault_model=fault_model, rng=rng)
+    result = engine.run(spec)
+
+    sampler = GangliaSampler(period=sampling_period, rng=random.Random(seed + 1))
+    samples = sampler.sample(result.trace, cluster, start=result.job.start_time,
+                             end=result.job.finish_time)
+
+    job_record = _build_job_record(result, cluster, samples, time_offset=submit_time)
+    task_records = [
+        _build_task_record(task, result, samples, time_offset=submit_time)
+        for task in result.tasks
+    ]
+    return WorkloadRun(job_record=job_record, task_records=task_records, simulation=result)
+
+
+# --------------------------------------------------------------------- #
+# feature extraction
+# --------------------------------------------------------------------- #
+
+
+def _build_job_record(
+    result: SimulationResult, cluster: Cluster, samples, time_offset: float = 0.0
+) -> JobRecord:
+    job = result.job
+    config = job.config
+    map_tasks = result.map_tasks()
+    reduce_tasks = result.reduce_tasks()
+    total_map_slots = cluster.total_map_slots(config.map_slots_per_instance)
+
+    features: dict[str, FeatureValue] = {
+        # configuration parameters
+        "pig_script": str(job.metadata.get("pig_script", job.name)),
+        "numinstances": job.num_instances,
+        "instance_type": cluster[0].instance_type.name,
+        "blocksize": config.dfs_block_size,
+        "num_reduce_tasks": job.num_reduce_tasks,
+        "reduce_tasks_factor": float(job.metadata.get("reduce_tasks_factor", 1.0)),
+        "iosortfactor": config.io_sort_factor,
+        "iosortmb": config.io_sort_mb,
+        "map_slots_per_instance": config.map_slots_per_instance,
+        "reduce_slots_per_instance": config.reduce_slots_per_instance,
+        "cluster_map_slots": total_map_slots,
+        # data characteristics
+        "inputsize": int(job.metadata.get("inputsize", job.counters.get("input_bytes", 0))),
+        "input_records": int(job.metadata.get("input_records",
+                                              job.counters.get("input_records", 0))),
+        "dataset_name": str(job.metadata.get("dataset_name", "")),
+        # job structure
+        "num_map_tasks": job.num_map_tasks,
+        "map_waves": _ceil_div(job.num_map_tasks, total_map_slots),
+        "submit_time": time_offset + job.submit_time,
+        "start_time": time_offset + job.start_time,
+        # aggregated counters
+        "hdfs_bytes_read": job.counters.get("hdfs_bytes_read", 0),
+        "hdfs_bytes_written": job.counters.get("hdfs_bytes_written", 0),
+        "file_bytes_written": job.counters.get("file_bytes_written", 0),
+        "map_output_bytes": sum(t.counters.get("output_bytes", 0) for t in map_tasks),
+        "map_input_records": sum(t.counters.get("input_records", 0) for t in map_tasks),
+        "map_output_records": sum(t.counters.get("output_records", 0) for t in map_tasks),
+        "reduce_input_records": sum(t.counters.get("input_records", 0) for t in reduce_tasks),
+        "reduce_output_records": sum(t.counters.get("output_records", 0) for t in reduce_tasks),
+        "shuffle_bytes": job.counters.get("shuffle_bytes", 0),
+        "spilled_records": job.counters.get("spilled_records", 0),
+    }
+    features.update(job_metric_averages(result.tasks, samples))
+
+    # Extra metadata passed by the grid (e.g. grid point index) is kept.
+    for key, value in job.metadata.items():
+        if key not in features and key not in {"pig_script", "inputsize", "input_records",
+                                               "dataset_name", "reduce_tasks_factor"}:
+            features[key] = value
+
+    return JobRecord(job_id=job.job_id, features=features, duration=job.duration)
+
+
+def _build_task_record(
+    task: TaskExecution, result: SimulationResult, samples, time_offset: float = 0.0
+) -> TaskRecord:
+    job = result.job
+    config = job.config
+    counters = task.counters
+    is_map = task.task_type is TaskType.MAP
+
+    features: dict[str, FeatureValue] = {
+        "task_type": task.task_type.value,
+        "job_id": job.job_id,
+        "pig_script": str(job.metadata.get("pig_script", job.name)),
+        "hostname": task.hostname,
+        "tracker_name": task.tracker_name,
+        "instance_index": task.instance_index,
+        "wave": task.wave,
+        "slot_order": task.slot_order,
+        "attempts": task.attempts,
+        "start_time": time_offset + task.start_time,
+        "taskfinishtime": time_offset + task.finish_time,
+        # configuration context copied onto every task
+        "numinstances": job.num_instances,
+        "blocksize": config.dfs_block_size,
+        "num_reduce_tasks": job.num_reduce_tasks,
+        "iosortfactor": config.io_sort_factor,
+        "num_map_tasks": job.num_map_tasks,
+        # data volumes
+        "inputsize": counters.get("input_bytes", 0),
+        "input_records": counters.get("input_records", 0),
+        "output_bytes": counters.get("output_bytes", 0),
+        "output_records": counters.get("output_records", 0),
+        "hdfs_bytes_read": counters.get("hdfs_bytes_read", 0),
+        "hdfs_bytes_written": counters.get("hdfs_bytes_written", 0),
+        "file_bytes_read": counters.get("file_bytes_read", 0),
+        "file_bytes_written": counters.get("file_bytes_written", 0),
+        "spilled_records": counters.get("spilled_records", 0),
+        "combine_input_records": counters.get("combine_input_records", 0),
+        "combine_output_records": counters.get("combine_output_records", 0),
+        "shuffle_bytes": counters.get("shuffle_bytes", 0),
+        # map-only aliases used by the paper's despite clauses
+        "map_input_records": counters.get("input_records", 0) if is_map else None,
+        "map_output_records": counters.get("output_records", 0) if is_map else None,
+        # phase timings the paper lists as task features (sorttime,
+        # shuffletime, taskfinishtime); the map/reduce phase times themselves
+        # are omitted because they are the duration being explained.
+        "shuffletime": task.phase_seconds("shuffle") if not is_map else None,
+        "sorttime": task.phase_seconds("sort"),
+    }
+    features.update(task_metric_averages(task, samples))
+    return TaskRecord(
+        task_id=task.task_id,
+        job_id=job.job_id,
+        features=features,
+        duration=task.duration,
+    )
+
+
+def _ceil_div(numerator: int, denominator: int) -> int:
+    return -(-numerator // max(1, denominator))

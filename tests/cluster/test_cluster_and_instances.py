@@ -1,0 +1,133 @@
+"""Tests for provisioning, instances, clusters and background load."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.background import BackgroundLoadModel, BackgroundLoadProfile
+from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.cluster.instance import Instance
+from repro.cluster.provisioning import INSTANCE_TYPES, get_instance_type
+from repro.exceptions import ConfigurationError
+
+
+class TestInstanceTypes:
+    def test_default_catalogue_has_m1_large(self):
+        assert "m1.large" in INSTANCE_TYPES
+
+    def test_m1_large_has_two_cores(self):
+        # The paper's machines run two concurrent map tasks on two cores.
+        assert INSTANCE_TYPES["m1.large"].cores == 2
+
+    def test_lookup_unknown_type(self):
+        with pytest.raises(ConfigurationError):
+            get_instance_type("z9.colossal")
+
+
+class TestInstance:
+    def test_hostname_is_unique_per_index(self):
+        first = Instance(index=0)
+        second = Instance(index=1)
+        assert first.hostname != second.hostname
+
+    def test_tracker_name_contains_hostname(self):
+        instance = Instance(index=3)
+        assert instance.hostname in instance.tracker_name
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Instance(index=-1)
+
+    def test_background_without_profile_is_constant(self):
+        instance = Instance(index=0, background_procs=0.4)
+        assert instance.background_at(0.0) == 0.4
+        assert instance.background_at(1e6) == 0.4
+        assert instance.next_background_change(0.0) == float("inf")
+
+    def test_background_with_profile(self):
+        profile = BackgroundLoadProfile(times=[0.0, 100.0, 200.0],
+                                        loads=[0.2, 1.5], extra_procs=[0, 4])
+        instance = Instance(index=0, load_profile=profile)
+        assert instance.background_at(50.0) == 0.2
+        assert instance.background_at(150.0) == 1.5
+        assert instance.extra_procs_at(150.0) == 4
+        assert instance.next_background_change(50.0) == 100.0
+
+
+class TestBackgroundLoadProfile:
+    def test_lookup_before_start_uses_first_episode(self):
+        profile = BackgroundLoadProfile(times=[0.0, 10.0], loads=[0.3], extra_procs=[0])
+        assert profile.load_at(-5.0) == 0.3
+
+    def test_lookup_after_horizon_uses_last_episode(self):
+        profile = BackgroundLoadProfile(times=[0.0, 10.0, 20.0],
+                                        loads=[0.3, 0.9], extra_procs=[0, 2])
+        assert profile.load_at(1e9) == 0.9
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BackgroundLoadProfile(times=[0.0, 1.0], loads=[0.1, 0.2], extra_procs=[0, 0])
+
+    def test_generated_profile_covers_horizon(self):
+        model = BackgroundLoadModel(horizon_seconds=1000.0)
+        profile = model.generate(random.Random(1))
+        assert profile.times[-1] >= 1000.0
+        assert all(load >= 0 for load in profile.loads)
+
+    def test_constant_profile_has_single_episode(self):
+        profile = BackgroundLoadModel(quiet_load=0.3).constant()
+        assert profile.loads == [0.3]
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_generated_loads_are_nonnegative_and_ordered(self, seed):
+        profile = BackgroundLoadModel(horizon_seconds=2000.0).generate(random.Random(seed))
+        assert all(b >= a for a, b in zip(profile.times, profile.times[1:]))
+        assert all(load >= 0.0 for load in profile.loads)
+
+    def test_mean_load_between_min_and_max(self):
+        profile = BackgroundLoadModel(horizon_seconds=3000.0).generate(random.Random(3))
+        assert min(profile.loads) <= profile.mean_load() <= max(profile.loads)
+
+
+class TestClusterSpec:
+    def test_provision_count(self):
+        cluster = ClusterSpec(num_instances=5).provision(random.Random(0))
+        assert len(cluster) == 5
+        assert cluster.num_instances == 5
+
+    def test_zero_instances_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(num_instances=0)
+
+    def test_instance_type_by_name(self):
+        spec = ClusterSpec(num_instances=1, instance_type="c1.medium")
+        cluster = spec.provision(random.Random(0))
+        assert cluster[0].instance_type.name == "c1.medium"
+
+    def test_speed_jitter_produces_variation(self):
+        cluster = ClusterSpec(num_instances=20, speed_jitter=0.1).provision(random.Random(1))
+        speeds = {round(instance.speed_factor, 6) for instance in cluster}
+        assert len(speeds) > 1
+
+    def test_no_jitter_means_identical_speed(self):
+        cluster = ClusterSpec(num_instances=5, speed_jitter=0.0).provision(random.Random(1))
+        assert {instance.speed_factor for instance in cluster} == {1.0}
+
+    def test_background_model_none_gives_constant_load(self):
+        spec = ClusterSpec(num_instances=2, background_model=None)
+        cluster = spec.provision(random.Random(0))
+        assert all(instance.load_profile is None for instance in cluster)
+
+    def test_total_slots(self):
+        cluster = ClusterSpec(num_instances=4).provision(random.Random(0))
+        assert cluster.total_map_slots(2) == 8
+        assert cluster.total_reduce_slots(3) == 12
+
+    def test_hostnames_unique(self):
+        cluster = ClusterSpec(num_instances=8).provision(random.Random(0))
+        assert len(set(cluster.hostnames())) == 8
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(instances=[])

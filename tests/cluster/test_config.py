@@ -1,0 +1,81 @@
+"""Tests for repro.cluster.config."""
+
+import pytest
+
+from repro.cluster.config import HADOOP_PROPERTY_MAP, MapReduceConfig
+from repro.exceptions import ConfigurationError
+from repro.units import MB
+
+
+class TestDefaults:
+    def test_default_block_size(self):
+        assert MapReduceConfig().dfs_block_size == 128 * MB
+
+    def test_default_slots_match_paper(self):
+        config = MapReduceConfig()
+        assert config.map_slots_per_instance == 2
+        assert config.reduce_slots_per_instance == 2
+
+
+class TestValidation:
+    def test_negative_block_size(self):
+        with pytest.raises(ConfigurationError):
+            MapReduceConfig(dfs_block_size=0)
+
+    def test_negative_reducers(self):
+        with pytest.raises(ConfigurationError):
+            MapReduceConfig(num_reduce_tasks=-1)
+
+    def test_io_sort_factor_minimum(self):
+        with pytest.raises(ConfigurationError):
+            MapReduceConfig(io_sort_factor=1)
+
+    def test_slowstart_range(self):
+        with pytest.raises(ConfigurationError):
+            MapReduceConfig(reduce_slowstart=1.5)
+
+    def test_zero_map_slots(self):
+        with pytest.raises(ConfigurationError):
+            MapReduceConfig(map_slots_per_instance=0)
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_object(self):
+        base = MapReduceConfig()
+        changed = base.with_overrides(num_reduce_tasks=7)
+        assert changed.num_reduce_tasks == 7
+        assert base.num_reduce_tasks == 1
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ConfigurationError):
+            MapReduceConfig().with_overrides(dfs_block_size=-5)
+
+
+class TestHadoopProperties:
+    def test_roundtrip(self):
+        config = MapReduceConfig(
+            dfs_block_size=256 * MB, num_reduce_tasks=12, io_sort_factor=50,
+            speculative_execution=True,
+        )
+        rebuilt = MapReduceConfig.from_hadoop_properties(config.to_hadoop_properties())
+        assert rebuilt == config
+
+    def test_all_mapped_properties_present(self):
+        properties = MapReduceConfig().to_hadoop_properties()
+        assert set(properties) == set(HADOOP_PROPERTY_MAP)
+
+    def test_unknown_properties_ignored(self):
+        config = MapReduceConfig.from_hadoop_properties(
+            {"mapred.unknown.thing": "42", "dfs.block.size": str(64 * MB)}
+        )
+        assert config.dfs_block_size == 64 * MB
+
+    def test_size_string_parsed(self):
+        config = MapReduceConfig.from_hadoop_properties({"dfs.block.size": "64 MB"})
+        assert config.dfs_block_size == 64 * MB
+
+    def test_boolean_parsing(self):
+        config = MapReduceConfig.from_hadoop_properties(
+            {"mapred.map.tasks.speculative.execution": "true"}
+        )
+        assert config.speculative_execution is True

@@ -1,0 +1,162 @@
+"""Tests for the discrete-event simulation engine."""
+
+import random
+
+import pytest
+
+from repro.cluster.background import BackgroundLoadProfile
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.config import MapReduceConfig
+from repro.cluster.engine import SimulationEngine
+from repro.cluster.faults import FaultModel
+from repro.cluster.jobs import JobSpec
+from repro.cluster.tasks import Phase, PhaseKind, TaskAttempt, TaskType
+
+
+def quiet_cluster(num_instances=2, seed=0):
+    return ClusterSpec(
+        num_instances=num_instances, speed_jitter=0.0, background_model=None,
+        background_procs=0.0,
+    ).provision(random.Random(seed))
+
+
+def make_map(task_id: str, seconds: float = 10.0) -> TaskAttempt:
+    return TaskAttempt(
+        task_id=task_id, task_type=TaskType.MAP,
+        phases=[Phase("map", seconds, PhaseKind.CPU)],
+    )
+
+
+def make_reduce(task_id: str, seconds: float = 5.0) -> TaskAttempt:
+    return TaskAttempt(
+        task_id=task_id, task_type=TaskType.REDUCE,
+        phases=[Phase("reduce", seconds, PhaseKind.CPU)],
+    )
+
+
+def make_job(num_maps: int, num_reduces: int = 0, seconds: float = 10.0,
+             config: MapReduceConfig | None = None) -> JobSpec:
+    return JobSpec(
+        job_id="job_test_0001",
+        name="test-job",
+        map_tasks=[make_map(f"task_test_0001_m_{i:06d}", seconds) for i in range(num_maps)],
+        reduce_tasks=[make_reduce(f"task_test_0001_r_{i:06d}") for i in range(num_reduces)],
+        config=config if config is not None else MapReduceConfig(num_reduce_tasks=max(1, num_reduces)),
+    )
+
+
+class TestBasicExecution:
+    def test_all_tasks_complete(self):
+        engine = SimulationEngine(quiet_cluster(), jitter=0.0)
+        result = engine.run(make_job(num_maps=6, num_reduces=2))
+        assert len(result.tasks) == 8
+        assert len(result.map_tasks()) == 6
+        assert len(result.reduce_tasks()) == 2
+
+    def test_job_duration_spans_all_tasks(self):
+        engine = SimulationEngine(quiet_cluster(), jitter=0.0)
+        result = engine.run(make_job(num_maps=4))
+        last_finish = max(task.finish_time for task in result.tasks)
+        assert result.job.finish_time == pytest.approx(last_finish)
+        assert result.job.duration > 0
+
+    def test_single_task_uncontended_duration_close_to_nominal(self):
+        engine = SimulationEngine(quiet_cluster(num_instances=1), jitter=0.0)
+        result = engine.run(make_job(num_maps=1, seconds=10.0))
+        [task] = result.tasks
+        assert task.duration == pytest.approx(10.0, rel=0.01)
+
+    def test_reducers_start_after_maps_finish(self):
+        engine = SimulationEngine(quiet_cluster(), jitter=0.0)
+        result = engine.run(make_job(num_maps=4, num_reduces=2))
+        last_map_finish = max(t.finish_time for t in result.map_tasks())
+        first_reduce_start = min(t.start_time for t in result.reduce_tasks())
+        assert first_reduce_start >= last_map_finish - 1e-6
+
+    def test_counters_propagate_to_job(self):
+        job = make_job(num_maps=2)
+        for index, task in enumerate(job.map_tasks):
+            task.counters.input_bytes = 100 * (index + 1)
+        engine = SimulationEngine(quiet_cluster(), jitter=0.0)
+        result = engine.run(job)
+        assert result.job.counters["input_bytes"] == 300
+
+
+class TestWavesAndContention:
+    def test_waves_extend_job_duration(self):
+        # 2 instances x 2 slots = 4 concurrent maps: 8 maps of 10s each need
+        # two waves, so the job takes roughly twice as long as 4 maps.
+        engine = SimulationEngine(quiet_cluster(), jitter=0.0)
+        one_wave = engine.run(make_job(num_maps=4, seconds=10.0)).job.duration
+        two_waves = engine.run(make_job(num_maps=8, seconds=10.0)).job.duration
+        assert two_waves > 1.7 * one_wave
+
+    def test_co_located_tasks_slower_than_lone_task(self):
+        # Two tasks on a 2-core node contend (memory bandwidth, daemons),
+        # so each runs slower than a task that has the node to itself.
+        engine = SimulationEngine(quiet_cluster(num_instances=1), jitter=0.0)
+        lone = engine.run(make_job(num_maps=1, seconds=20.0)).tasks[0].duration
+        pair = engine.run(make_job(num_maps=2, seconds=20.0)).tasks
+        assert all(task.duration > lone * 1.05 for task in pair)
+
+    def test_adding_instances_shortens_job(self):
+        job = make_job(num_maps=8, seconds=10.0)
+        small = SimulationEngine(quiet_cluster(num_instances=1), jitter=0.0).run(job)
+        large = SimulationEngine(quiet_cluster(num_instances=4), jitter=0.0).run(job)
+        assert large.job.duration < small.job.duration
+
+    def test_background_load_slows_tasks(self):
+        cluster_quiet = quiet_cluster(num_instances=1)
+        cluster_busy = quiet_cluster(num_instances=1)
+        cluster_busy[0].load_profile = BackgroundLoadProfile(
+            times=[0.0, 1e9], loads=[1.5], extra_procs=[3]
+        )
+        quiet_run = SimulationEngine(cluster_quiet, jitter=0.0).run(make_job(2, seconds=20.0))
+        busy_run = SimulationEngine(cluster_busy, jitter=0.0).run(make_job(2, seconds=20.0))
+        assert busy_run.job.duration > quiet_run.job.duration * 1.15
+
+    def test_trace_records_running_tasks(self):
+        engine = SimulationEngine(quiet_cluster(num_instances=1), jitter=0.0)
+        result = engine.run(make_job(num_maps=2, seconds=10.0))
+        intervals = result.trace.for_instance(0)
+        assert intervals, "expected utilization intervals for the busy instance"
+        assert max(interval.running_maps for interval in intervals) == 2
+
+    def test_deterministic_given_seed(self):
+        job = make_job(num_maps=5, num_reduces=1)
+        first = SimulationEngine(quiet_cluster(), rng=random.Random(4)).run(job)
+        second = SimulationEngine(quiet_cluster(), rng=random.Random(4)).run(job)
+        assert first.job.duration == pytest.approx(second.job.duration)
+        for a, b in zip(first.tasks, second.tasks):
+            assert a.duration == pytest.approx(b.duration)
+
+
+class TestFaults:
+    def test_slow_node_degrades_cluster(self):
+        cluster = quiet_cluster(num_instances=4)
+        model = FaultModel(slow_node_probability=1.0, slow_node_factor=0.5)
+        degraded = model.degrade_cluster(cluster, random.Random(0))
+        assert degraded == [0, 1, 2, 3]
+        assert all(instance.speed_factor == pytest.approx(0.5) for instance in cluster)
+
+    def test_task_failure_adds_retry_time(self):
+        job = make_job(num_maps=2, seconds=20.0)
+        clean = SimulationEngine(quiet_cluster(num_instances=1), jitter=0.0).run(job)
+        failing_engine = SimulationEngine(
+            quiet_cluster(num_instances=1),
+            fault_model=FaultModel(task_failure_probability=1.0),
+            rng=random.Random(1),
+            jitter=0.0,
+        )
+        failed = failing_engine.run(job)
+        assert failed.job.duration > clean.job.duration
+        assert any(task.attempts > 1 for task in failed.tasks)
+        assert len(failed.tasks) == len(clean.tasks)
+
+    def test_failure_draw_respects_probability_zero(self):
+        model = FaultModel(task_failure_probability=0.0)
+        assert model.draw_failure(random.Random(0)) is None
+
+    def test_fault_model_validation(self):
+        with pytest.raises(Exception):
+            FaultModel(slow_node_probability=1.5)

@@ -1,0 +1,90 @@
+"""Tests for repro.cluster.hdfs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.hdfs import Dataset, num_blocks, split_dataset
+from repro.exceptions import ConfigurationError
+from repro.units import MB
+
+
+def make_dataset(size_bytes: int, num_records: int = 1000) -> Dataset:
+    return Dataset(name="data.log", size_bytes=size_bytes, num_records=num_records)
+
+
+class TestDataset:
+    def test_avg_record_bytes(self):
+        dataset = make_dataset(1000, 10)
+        assert dataset.avg_record_bytes == 100
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            make_dataset(0)
+
+    def test_invalid_records(self):
+        with pytest.raises(ConfigurationError):
+            Dataset(name="x", size_bytes=10, num_records=0)
+
+
+class TestNumBlocks:
+    def test_exact_multiple(self):
+        assert num_blocks(make_dataset(128 * MB), 64 * MB) == 2
+
+    def test_remainder_adds_block(self):
+        assert num_blocks(make_dataset(130 * MB), 64 * MB) == 3
+
+    def test_smaller_than_block(self):
+        assert num_blocks(make_dataset(10 * MB), 64 * MB) == 1
+
+    def test_paper_motivating_example(self):
+        # 32 GB at 128 MB blocks -> 256 map tasks; 1 GB -> 8 map tasks.
+        assert num_blocks(make_dataset(32 * 1024 * MB), 128 * MB) == 256
+        assert num_blocks(make_dataset(1024 * MB), 128 * MB) == 8
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ConfigurationError):
+            num_blocks(make_dataset(MB), 0)
+
+
+class TestSplitDataset:
+    def test_split_count_matches_num_blocks(self):
+        dataset = make_dataset(300 * MB, 3000)
+        splits = split_dataset(dataset, 64 * MB)
+        assert len(splits) == num_blocks(dataset, 64 * MB)
+
+    def test_split_lengths_sum_to_size(self):
+        dataset = make_dataset(300 * MB, 3000)
+        splits = split_dataset(dataset, 64 * MB)
+        assert sum(split.length for split in splits) == dataset.size_bytes
+
+    def test_split_records_sum_to_total(self):
+        dataset = make_dataset(300 * MB, 3001)
+        splits = split_dataset(dataset, 64 * MB)
+        assert sum(split.num_records for split in splits) == dataset.num_records
+
+    def test_only_last_split_is_partial(self):
+        dataset = make_dataset(130 * MB, 1300)
+        splits = split_dataset(dataset, 64 * MB)
+        assert [split.length for split in splits[:-1]] == [64 * MB, 64 * MB]
+        assert splits[-1].length == 2 * MB
+
+    def test_offsets_are_contiguous(self):
+        dataset = make_dataset(200 * MB, 2000)
+        splits = split_dataset(dataset, 64 * MB)
+        expected_offset = 0
+        for split in splits:
+            assert split.offset == expected_offset
+            expected_offset += split.length
+
+    @given(
+        size=st.integers(min_value=1, max_value=40 * 1024 * MB),
+        records=st.integers(min_value=1, max_value=10_000_000),
+        block=st.sampled_from([64 * MB, 128 * MB, 256 * MB, 1024 * MB]),
+    )
+    def test_invariants_hold_for_any_dataset(self, size, records, block):
+        dataset = make_dataset(size, records)
+        splits = split_dataset(dataset, block)
+        assert sum(s.length for s in splits) == size
+        assert sum(s.num_records for s in splits) == records
+        assert all(s.length <= block for s in splits)
+        assert all(s.num_records >= 0 for s in splits)

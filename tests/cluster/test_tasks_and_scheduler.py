@@ -1,0 +1,146 @@
+"""Tests for the task model and the slot scheduler."""
+
+import random
+
+import pytest
+
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.config import MapReduceConfig
+from repro.cluster.scheduler import SlotScheduler
+from repro.cluster.tasks import (
+    Phase,
+    PhaseKind,
+    TaskAttempt,
+    TaskCounters,
+    TaskType,
+    merge_passes,
+)
+from repro.exceptions import ConfigurationError, SimulationError
+
+
+def make_task(task_id: str, task_type: TaskType = TaskType.MAP, seconds: float = 10.0):
+    return TaskAttempt(
+        task_id=task_id,
+        task_type=task_type,
+        phases=[Phase("work", seconds, PhaseKind.CPU)],
+    )
+
+
+class TestPhases:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Phase("map", -1.0, PhaseKind.CPU)
+
+    def test_nominal_duration_sums_phases(self):
+        attempt = TaskAttempt(
+            task_id="t", task_type=TaskType.MAP,
+            phases=[Phase("a", 2.0, PhaseKind.CPU), Phase("b", 3.0, PhaseKind.DISK)],
+        )
+        assert attempt.nominal_duration == pytest.approx(5.0)
+
+    def test_phase_seconds_by_name(self):
+        attempt = TaskAttempt(
+            task_id="t", task_type=TaskType.MAP,
+            phases=[Phase("sort", 2.0, PhaseKind.CPU), Phase("sort", 1.0, PhaseKind.DISK)],
+        )
+        assert attempt.phase_seconds("sort") == pytest.approx(3.0)
+        assert attempt.phase_seconds("missing") == 0.0
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskAttempt(task_id="t", task_type=TaskType.MAP, phases=[])
+
+    def test_counters_as_dict_roundtrip(self):
+        counters = TaskCounters(input_bytes=10, output_records=3)
+        as_dict = counters.as_dict()
+        assert as_dict["input_bytes"] == 10
+        assert as_dict["output_records"] == 3
+        assert set(as_dict) >= {"hdfs_bytes_read", "shuffle_bytes"}
+
+
+class TestMergePasses:
+    def test_single_segment_needs_no_pass(self):
+        assert merge_passes(1, 10) == 0
+
+    def test_fewer_segments_than_factor(self):
+        assert merge_passes(5, 10) == 1
+
+    def test_more_segments_than_factor(self):
+        assert merge_passes(100, 10) == 2
+
+    def test_exactly_factor(self):
+        assert merge_passes(10, 10) == 1
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            merge_passes(5, 1)
+
+
+class TestSlotScheduler:
+    def _scheduler(self, num_instances=2, num_maps=6, num_reduces=2, slowstart=1.0):
+        cluster = ClusterSpec(num_instances=num_instances, background_model=None).provision(
+            random.Random(0)
+        )
+        config = MapReduceConfig(num_reduce_tasks=num_reduces, reduce_slowstart=slowstart)
+        maps = [make_task(f"m{i}") for i in range(num_maps)]
+        reduces = [make_task(f"r{i}", TaskType.REDUCE) for i in range(num_reduces)]
+        return cluster, config, SlotScheduler(cluster, config, maps, reduces)
+
+    def test_first_wave_fills_all_map_slots(self):
+        cluster, config, scheduler = self._scheduler(num_instances=2, num_maps=6)
+        assignments = scheduler.next_assignments()
+        assert len(assignments) == 4  # 2 instances x 2 map slots
+        assert all(a.attempt.task_type is TaskType.MAP for a in assignments)
+
+    def test_assignments_balanced_across_instances(self):
+        cluster, config, scheduler = self._scheduler(num_instances=2, num_maps=4)
+        assignments = scheduler.next_assignments()
+        per_instance = {}
+        for assignment in assignments:
+            per_instance[assignment.instance.index] = (
+                per_instance.get(assignment.instance.index, 0) + 1
+            )
+        assert set(per_instance.values()) == {2}
+
+    def test_reducers_held_until_slowstart(self):
+        cluster, config, scheduler = self._scheduler(num_maps=4, num_reduces=2)
+        first_wave = scheduler.next_assignments()
+        assert all(a.attempt.task_type is TaskType.MAP for a in first_wave)
+        # Complete all maps; reducers become eligible.
+        for assignment in first_wave:
+            scheduler.release(assignment.instance, assignment.attempt, completed=True)
+        second_wave = scheduler.next_assignments()
+        assert any(a.attempt.task_type is TaskType.REDUCE for a in second_wave)
+
+    def test_wave_numbers_increase(self):
+        cluster, config, scheduler = self._scheduler(num_instances=1, num_maps=5, num_reduces=0)
+        waves = []
+        while scheduler.has_pending():
+            assignments = scheduler.next_assignments()
+            if not assignments:
+                break
+            for assignment in assignments:
+                waves.append(assignment.wave)
+                scheduler.release(assignment.instance, assignment.attempt, completed=True)
+        assert waves == [0, 0, 1, 1, 2]
+
+    def test_release_without_assignment_raises(self):
+        cluster, config, scheduler = self._scheduler()
+        with pytest.raises(SimulationError):
+            scheduler.release(cluster[0], make_task("zzz"), completed=True)
+
+    def test_requeued_task_is_scheduled_again(self):
+        cluster, config, scheduler = self._scheduler(num_instances=1, num_maps=1, num_reduces=0)
+        [assignment] = scheduler.next_assignments()
+        scheduler.release(assignment.instance, assignment.attempt, completed=False)
+        scheduler.requeue(assignment.attempt)
+        assert scheduler.has_pending()
+        [retry] = scheduler.next_assignments()
+        assert retry.attempt.task_id == assignment.attempt.task_id
+
+    def test_completed_counters(self):
+        cluster, config, scheduler = self._scheduler(num_instances=1, num_maps=2, num_reduces=0)
+        for assignment in scheduler.next_assignments():
+            scheduler.release(assignment.instance, assignment.attempt, completed=True)
+        assert scheduler.completed_maps == 2
+        assert scheduler.completed_reduces == 0

@@ -1,0 +1,90 @@
+"""Shared fixtures: small execution logs built once per test session."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster.config import MapReduceConfig
+from repro.core.api import PerfXplain
+from repro.core.features import infer_schema
+from repro.core.queries import (
+    find_pair_of_interest,
+    why_last_task_faster,
+    why_slower_despite_same_num_instances,
+)
+from repro.logs.store import ExecutionLog
+from repro.units import MB
+from repro.workloads.excite import excite_dataset
+from repro.workloads.grid import build_experiment_log, small_grid, tiny_grid
+from repro.workloads.pig import SIMPLE_FILTER, SIMPLE_GROUPBY
+from repro.workloads.runner import run_workload
+
+
+@pytest.fixture(scope="session")
+def tiny_log() -> ExecutionLog:
+    """A 16-job log (with tasks) built from the tiny grid."""
+    return build_experiment_log(tiny_grid(), seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_log() -> ExecutionLog:
+    """A 128-job log (with tasks) built from the small grid."""
+    return build_experiment_log(small_grid(), seed=7)
+
+
+@pytest.fixture(scope="session")
+def job_schema(small_log):
+    """Inferred raw-feature schema over the small log's jobs."""
+    return infer_schema(small_log.jobs)
+
+
+@pytest.fixture(scope="session")
+def task_schema(small_log):
+    """Inferred raw-feature schema over the small log's tasks."""
+    return infer_schema(small_log.tasks)
+
+
+@pytest.fixture(scope="session")
+def job_query(small_log, job_schema):
+    """WhySlowerDespiteSameNumInstances bound to a pair from the small log."""
+    query = why_slower_despite_same_num_instances()
+    pair = find_pair_of_interest(small_log, query, schema=job_schema,
+                                 rng=random.Random(0))
+    return query.with_pair(*pair)
+
+
+@pytest.fixture(scope="session")
+def task_query(small_log, task_schema):
+    """WhyLastTaskFaster bound to a pair from the small log."""
+    query = why_last_task_faster()
+    pair = find_pair_of_interest(small_log, query, schema=task_schema,
+                                 rng=random.Random(0))
+    return query.with_pair(*pair)
+
+
+@pytest.fixture(scope="session")
+def perfxplain(small_log) -> PerfXplain:
+    """A PerfXplain facade over the small log."""
+    return PerfXplain(small_log, seed=3)
+
+
+@pytest.fixture(scope="session")
+def single_run():
+    """One simulated filter job on four instances (records + simulation)."""
+    config = MapReduceConfig(dfs_block_size=64 * MB, num_reduce_tasks=2)
+    return run_workload(
+        SIMPLE_FILTER, excite_dataset(6), config, num_instances=4, seed=5,
+        job_sequence=900, reduce_tasks_factor=1.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def groupby_run():
+    """One simulated group-by job on two instances."""
+    config = MapReduceConfig(dfs_block_size=64 * MB, num_reduce_tasks=3)
+    return run_workload(
+        SIMPLE_GROUPBY, excite_dataset(6), config, num_instances=2, seed=9,
+        job_sequence=901, reduce_tasks_factor=1.5,
+    )

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.logs.store import ExecutionLog
+
+
+@pytest.fixture(scope="module")
+def log_path(tmp_path_factory):
+    """A tiny execution log generated through the CLI itself."""
+    path = tmp_path_factory.mktemp("cli") / "log.json"
+    exit_code = main(["generate-log", "--grid", "tiny", "--seed", "11",
+                      "--output", str(path)])
+    assert exit_code == 0
+    return path
+
+
+class TestGenerateLog:
+    def test_log_file_is_valid(self, log_path):
+        log = ExecutionLog.load(log_path)
+        assert log.num_jobs == 16
+        assert log.num_tasks > 0
+
+    def test_no_tasks_flag(self, tmp_path):
+        path = tmp_path / "jobs_only.json"
+        assert main(["generate-log", "--grid", "tiny", "--no-tasks",
+                     "--output", str(path)]) == 0
+        assert ExecutionLog.load(path).num_tasks == 0
+
+
+class TestExplain:
+    def test_explain_from_query_file(self, log_path, tmp_path, capsys):
+        query_path = tmp_path / "query.pxql"
+        query_path.write_text("""
+            FOR JOBS ?, ?
+            DESPITE pig_script_isSame = T
+            OBSERVED duration_compare = GT
+            EXPECTED duration_compare = SIM
+        """, encoding="utf-8")
+        assert main(["explain", "--log", str(log_path), "--query", str(query_path),
+                     "--width", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "BECAUSE" in output
+
+    def test_explain_with_baseline_technique(self, log_path, tmp_path, capsys):
+        query_path = tmp_path / "query.pxql"
+        query_path.write_text("""
+            FOR JOBS ?, ?
+            DESPITE pig_script_isSame = T
+            OBSERVED duration_compare = GT
+            EXPECTED duration_compare = SIM
+        """, encoding="utf-8")
+        assert main(["explain", "--log", str(log_path), "--query", str(query_path),
+                     "--technique", "simbutdiff"]) == 0
+        assert "BECAUSE" in capsys.readouterr().out
+
+    def test_impossible_query_reports_error(self, log_path, tmp_path, capsys):
+        query_path = tmp_path / "query.pxql"
+        query_path.write_text("""
+            FOR JOBS 'job_does_not_exist', 'job_also_missing'
+            OBSERVED duration_compare = GT
+            EXPECTED duration_compare = SIM
+        """, encoding="utf-8")
+        assert main(["explain", "--log", str(log_path),
+                     "--query", str(query_path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEvaluate:
+    def test_evaluate_prints_tables(self, log_path, capsys):
+        assert main(["evaluate", "--log", str(log_path),
+                     "--query-name", "WhySlowerDespiteSameNumInstances",
+                     "--widths", "0", "2", "--repetitions", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "Precision on the held-out log" in output
+        assert "PerfXplain" in output

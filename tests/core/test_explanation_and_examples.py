@@ -1,0 +1,232 @@
+"""Tests for explanations, metrics, training examples and sampling."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.examples import (
+    Label,
+    TrainingExample,
+    construct_training_examples,
+    find_record,
+    iter_related_pairs,
+    records_for_query,
+)
+from repro.core.explanation import (
+    Explanation,
+    ExplanationMetrics,
+    evaluate_explanation,
+    generality_of,
+    precision_of,
+    relevance_of,
+)
+from repro.core.pxql.ast import Comparison, Operator, Predicate, TRUE_PREDICATE
+from repro.core.pxql.parser import parse_predicate
+from repro.core.queries import why_last_task_faster, why_slower_despite_same_num_instances
+from repro.core.sampling import balanced_sample, class_counts
+from repro.exceptions import ExplanationError
+
+
+def example(label: Label, **values) -> TrainingExample:
+    return TrainingExample(first_id="a", second_id="b", values=values, label=label)
+
+
+def synthetic_examples():
+    """20 examples where `cause = yes` implies OBSERVED with precision 0.8."""
+    examples = []
+    for index in range(10):
+        examples.append(example(Label.OBSERVED if index < 8 else Label.EXPECTED,
+                                cause="yes", other=index))
+    for index in range(10):
+        examples.append(example(Label.EXPECTED if index < 9 else Label.OBSERVED,
+                                cause="no", other=index))
+    return examples
+
+
+class TestExplanationObject:
+    def test_applicability_requires_both_clauses(self):
+        explanation = Explanation(
+            because=parse_predicate("cause = yes"),
+            despite=parse_predicate("context = here"),
+        )
+        assert explanation.is_applicable({"cause": "yes", "context": "here"})
+        assert not explanation.is_applicable({"cause": "yes", "context": "elsewhere"})
+        assert not explanation.is_applicable({"cause": "no", "context": "here"})
+
+    def test_width_counts_because_atoms(self):
+        explanation = Explanation(because=parse_predicate("a = 1 AND b = 2"))
+        assert explanation.width == 2
+
+    def test_format_mentions_clauses_and_metrics(self):
+        explanation = Explanation(
+            because=parse_predicate("cause = yes"),
+            despite=parse_predicate("context = here"),
+            metrics=ExplanationMetrics(relevance=0.9, precision=0.8, generality=0.4, support=10),
+        )
+        text = explanation.format()
+        assert "DESPITE context = here" in text
+        assert "BECAUSE cause = yes" in text
+        assert "precision=0.80" in text
+
+    def test_metrics_as_dict(self):
+        metrics = ExplanationMetrics(0.1, 0.2, 0.3, 4)
+        assert metrics.as_dict() == {
+            "relevance": 0.1, "precision": 0.2, "generality": 0.3, "support": 4.0,
+        }
+
+
+class TestMetricEstimation:
+    def test_precision_of_cause(self):
+        examples = synthetic_examples()
+        because = parse_predicate("cause = yes")
+        assert precision_of(because, TRUE_PREDICATE, examples) == pytest.approx(0.8)
+
+    def test_generality_of_cause(self):
+        examples = synthetic_examples()
+        because = parse_predicate("cause = yes")
+        assert generality_of(because, TRUE_PREDICATE, examples) == pytest.approx(0.5)
+
+    def test_relevance_counts_expected(self):
+        examples = synthetic_examples()
+        despite = parse_predicate("cause = no")
+        assert relevance_of(despite, examples) == pytest.approx(0.9)
+
+    def test_empty_match_gives_zero(self):
+        examples = synthetic_examples()
+        because = parse_predicate("cause = maybe")
+        assert precision_of(because, TRUE_PREDICATE, examples) == 0.0
+        assert generality_of(because, TRUE_PREDICATE, examples) == 0.0
+
+    def test_evaluate_explanation_combines_all(self):
+        examples = synthetic_examples()
+        explanation = Explanation(because=parse_predicate("cause = yes"))
+        metrics = evaluate_explanation(explanation, examples)
+        assert metrics.precision == pytest.approx(0.8)
+        assert metrics.generality == pytest.approx(0.5)
+        assert metrics.support == 20
+
+    def test_empty_because_precision_equals_base_rate(self):
+        examples = synthetic_examples()
+        explanation = Explanation(because=TRUE_PREDICATE)
+        metrics = evaluate_explanation(explanation, examples)
+        observed = sum(1 for ex in examples if ex.is_observed)
+        assert metrics.precision == pytest.approx(observed / len(examples))
+        assert metrics.generality == pytest.approx(1.0)
+
+
+class TestBalancedSampling:
+    def _items(self, observed, expected):
+        return (
+            [example(Label.OBSERVED, index=i) for i in range(observed)]
+            + [example(Label.EXPECTED, index=i) for i in range(expected)]
+        )
+
+    def test_small_input_returned_unchanged(self):
+        items = self._items(5, 5)
+        assert balanced_sample(items, 100, random.Random(0)) == items
+
+    def test_balances_skewed_classes(self):
+        items = self._items(2000, 100)
+        sampled = balanced_sample(items, 400, random.Random(1))
+        counts = class_counts(sampled)
+        # The minority class is kept (probability 1) and the majority class
+        # is downsampled to roughly the same order of magnitude.
+        assert counts[Label.EXPECTED] == pytest.approx(100, abs=5)
+        assert counts[Label.OBSERVED] == pytest.approx(200, rel=0.4)
+
+    def test_expected_total_close_to_sample_size(self):
+        items = self._items(5000, 5000)
+        sampled = balanced_sample(items, 1000, random.Random(2))
+        assert len(sampled) == pytest.approx(1000, rel=0.2)
+
+    def test_invalid_sample_size(self):
+        with pytest.raises(ValueError):
+            balanced_sample(self._items(1, 1), 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(observed=st.integers(0, 500), expected=st.integers(0, 500),
+           seed=st.integers(0, 100))
+    def test_sample_is_subset_with_both_classes_represented(self, observed, expected, seed):
+        items = self._items(observed, expected)
+        sampled = balanced_sample(items, 50, random.Random(seed))
+        assert len(sampled) <= len(items)
+        counts = class_counts(sampled)
+        if observed > 0 and expected > 0 and len(items) > 50:
+            # Balancing never drops an entire minority class of size >= 25.
+            if min(observed, expected) >= 25:
+                assert counts[Label.OBSERVED] > 0
+                assert counts[Label.EXPECTED] > 0
+
+
+class TestRelatedPairs:
+    def test_records_for_query_selects_entity(self, small_log):
+        job_query = why_slower_despite_same_num_instances()
+        task_query = why_last_task_faster()
+        assert records_for_query(small_log, job_query) == small_log.jobs
+        assert records_for_query(small_log, task_query) == small_log.tasks
+
+    def test_find_record_raises_for_unknown_id(self, small_log):
+        query = why_slower_despite_same_num_instances("job_does_not_exist", "also_missing")
+        with pytest.raises(ExplanationError):
+            find_record(small_log, query, "job_does_not_exist")
+
+    def test_related_pairs_satisfy_despite_and_labels(self, small_log, job_schema):
+        query = why_slower_despite_same_num_instances()
+        pairs = list(iter_related_pairs(small_log, query, job_schema))
+        assert pairs, "expected at least one related pair in the small log"
+        durations = {job.job_id: job.duration for job in small_log.jobs}
+        for first, second, label in pairs[:200]:
+            assert first.features["numinstances"] == second.features["numinstances"]
+            assert first.features["pig_script"] == second.features["pig_script"]
+            if label is Label.OBSERVED:
+                assert durations[first.job_id] > durations[second.job_id]
+
+    def test_unknown_query_feature_raises(self, small_log, job_schema):
+        query = why_slower_despite_same_num_instances().with_despite(
+            parse_predicate("nonexistent_isSame = T")
+        )
+        with pytest.raises(ExplanationError):
+            list(iter_related_pairs(small_log, query, job_schema))
+
+    def test_max_candidate_pairs_limits_enumeration(self, small_log, job_schema):
+        query = why_slower_despite_same_num_instances()
+        limited = list(
+            iter_related_pairs(small_log, query, job_schema, max_candidate_pairs=200,
+                               rng=random.Random(0))
+        )
+        full = list(iter_related_pairs(small_log, query, job_schema))
+        assert len(limited) < len(full)
+
+
+class TestConstructTrainingExamples:
+    def test_examples_have_full_vectors_and_labels(self, small_log, job_schema, job_query):
+        examples = construct_training_examples(
+            small_log, job_query, job_schema, sample_size=300, rng=random.Random(0)
+        )
+        assert examples
+        assert {ex.label for ex in examples} == {Label.OBSERVED, Label.EXPECTED}
+        sample = examples[0]
+        assert "duration_compare" in sample.values
+        assert "numinstances_isSame" in sample.values
+        assert "blocksize" in sample.values
+
+    def test_sample_size_respected(self, small_log, job_schema, job_query):
+        examples = construct_training_examples(
+            small_log, job_query, job_schema, sample_size=100, rng=random.Random(1)
+        )
+        unsampled = construct_training_examples(
+            small_log, job_query, job_schema, sample_size=None, rng=random.Random(1)
+        )
+        assert len(examples) <= len(unsampled)
+
+    def test_task_query_examples_blocked_by_job_and_host(self, small_log, task_schema, task_query):
+        examples = construct_training_examples(
+            small_log, task_query, task_schema, sample_size=200, rng=random.Random(2)
+        )
+        assert examples
+        for ex in examples[:50]:
+            first = small_log.find_task(ex.first_id)
+            second = small_log.find_task(ex.second_id)
+            assert first.job_id == second.job_id
+            assert first.features["hostname"] == second.features["hostname"]

@@ -1,0 +1,221 @@
+"""Tests for the raw-feature schema and the pair-feature encoding (Table 1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.features import (
+    PERFORMANCE_METRIC,
+    FeatureKind,
+    FeatureLevel,
+    FeatureSchema,
+    infer_schema,
+)
+from repro.core.pairs import (
+    COMPARE_SUFFIX,
+    DIFF_SUFFIX,
+    GREATER_THAN,
+    IS_SAME_SUFFIX,
+    LESS_THAN,
+    NOT_SAME,
+    SAME,
+    SIMILAR,
+    PairFeatureConfig,
+    compare_values,
+    compute_pair_features,
+    pair_feature_catalog,
+    raw_feature_of,
+    relative_close,
+)
+from repro.exceptions import ConfigurationError, UnknownFeatureError
+from repro.logs.records import JobRecord
+
+
+def job(job_id, duration=100.0, **features):
+    return JobRecord(job_id=job_id, features=features, duration=duration)
+
+
+class TestInferSchema:
+    def test_numeric_and_nominal_detected(self):
+        schema = infer_schema([
+            job("a", inputsize=100, pig_script="filter.pig", flag=True),
+            job("b", inputsize=200, pig_script="groupby.pig", flag=False),
+        ])
+        assert schema.is_numeric("inputsize")
+        assert not schema.is_numeric("pig_script")
+        assert not schema.is_numeric("flag")  # booleans are nominal
+
+    def test_mixed_types_become_nominal(self):
+        schema = infer_schema([job("a", x=5), job("b", x="five")])
+        assert not schema.is_numeric("x")
+
+    def test_missing_values_do_not_affect_kind(self):
+        schema = infer_schema([job("a", x=5), job("b", x=None)])
+        assert schema.is_numeric("x")
+
+    def test_duration_pseudo_feature_added(self):
+        schema = infer_schema([job("a", x=1)])
+        assert PERFORMANCE_METRIC in schema
+        assert schema.is_numeric(PERFORMANCE_METRIC)
+
+    def test_duration_can_be_excluded(self):
+        schema = infer_schema([job("a", x=1)], include_duration=False)
+        assert PERFORMANCE_METRIC not in schema
+
+    def test_nominal_overrides(self):
+        schema = infer_schema([job("a", instance_index=3)], nominal_overrides=["instance_index"])
+        assert not schema.is_numeric("instance_index")
+
+    def test_unknown_feature_raises(self):
+        schema = infer_schema([job("a", x=1)])
+        with pytest.raises(UnknownFeatureError):
+            schema.spec("nope")
+
+    def test_numeric_and_nominal_lists(self):
+        schema = infer_schema([job("a", x=1, s="v")])
+        assert "x" in schema.numeric_features()
+        assert "s" in schema.nominal_features()
+
+
+class TestCompareValues:
+    def test_within_ten_percent_is_sim(self):
+        assert compare_values(100.0, 105.0, 0.10) == SIMILAR
+        assert compare_values(105.0, 100.0, 0.10) == SIMILAR
+
+    def test_much_less_is_lt(self):
+        assert compare_values(50.0, 100.0, 0.10) == LESS_THAN
+
+    def test_much_greater_is_gt(self):
+        assert compare_values(100.0, 50.0, 0.10) == GREATER_THAN
+
+    def test_zeros_are_similar(self):
+        assert compare_values(0.0, 0.0, 0.10) == SIMILAR
+
+    @given(st.floats(min_value=-1e6, max_value=1e6), st.floats(min_value=-1e6, max_value=1e6))
+    def test_antisymmetric(self, a, b):
+        forward = compare_values(a, b, 0.10)
+        backward = compare_values(b, a, 0.10)
+        if forward == SIMILAR:
+            assert backward == SIMILAR
+        elif forward == LESS_THAN:
+            assert backward == GREATER_THAN
+        else:
+            assert backward == LESS_THAN
+
+    @given(st.floats(min_value=0, max_value=1e9))
+    def test_relative_close_reflexive(self, value):
+        assert relative_close(value, value, 0.02)
+
+
+class TestPairFeatures:
+    def _schema_and_jobs(self):
+        first = job("j1", duration=300.0, inputsize=2_000_000, pig_script="filter.pig",
+                    numinstances=8, avg_cpu=80.0)
+        second = job("j2", duration=100.0, inputsize=1_000_000, pig_script="filter.pig",
+                     numinstances=8, avg_cpu=81.0)
+        schema = infer_schema([first, second])
+        return schema, first, second
+
+    def test_is_same_for_equal_nominal(self):
+        schema, first, second = self._schema_and_jobs()
+        values = compute_pair_features(first, second, schema)
+        assert values["pig_script" + IS_SAME_SUFFIX] == SAME
+
+    def test_is_same_for_numeric_with_tolerance(self):
+        schema, first, second = self._schema_and_jobs()
+        values = compute_pair_features(first, second, schema)
+        # 80 vs 81 is within the 2% tolerance.
+        assert values["avg_cpu" + IS_SAME_SUFFIX] == SAME
+        assert values["inputsize" + IS_SAME_SUFFIX] == NOT_SAME
+
+    def test_compare_feature_direction(self):
+        schema, first, second = self._schema_and_jobs()
+        values = compute_pair_features(first, second, schema)
+        assert values["inputsize" + COMPARE_SUFFIX] == GREATER_THAN
+        assert values["numinstances" + COMPARE_SUFFIX] == SIMILAR
+
+    def test_duration_pair_features_present(self):
+        schema, first, second = self._schema_and_jobs()
+        values = compute_pair_features(first, second, schema)
+        assert values["duration" + COMPARE_SUFFIX] == GREATER_THAN
+
+    def test_compare_missing_for_nominal(self):
+        schema, first, second = self._schema_and_jobs()
+        values = compute_pair_features(first, second, schema)
+        assert values["pig_script" + COMPARE_SUFFIX] is None
+
+    def test_diff_only_for_nominal(self):
+        schema, first, second = self._schema_and_jobs()
+        values = compute_pair_features(first, second, schema)
+        assert values["pig_script" + DIFF_SUFFIX] == "(filter.pig, filter.pig)"
+        assert values["inputsize" + DIFF_SUFFIX] is None
+
+    def test_base_feature_copied_only_when_equal(self):
+        schema, first, second = self._schema_and_jobs()
+        values = compute_pair_features(first, second, schema)
+        assert values["numinstances"] == 8
+        assert values["inputsize"] is None
+
+    def test_missing_raw_value_propagates(self):
+        first = job("j1", x=None, y=1)
+        second = job("j2", x=5, y=1)
+        schema = infer_schema([first, second])
+        values = compute_pair_features(first, second, schema)
+        assert values["x" + IS_SAME_SUFFIX] is None
+        assert values["x" + COMPARE_SUFFIX] is None
+        assert values["x"] is None
+
+    def test_restricted_feature_list(self):
+        schema, first, second = self._schema_and_jobs()
+        values = compute_pair_features(first, second, schema, features=["inputsize"])
+        assert set(raw_feature_of(name) for name in values) == {"inputsize"}
+
+    def test_level_one_only_is_same(self):
+        schema, first, second = self._schema_and_jobs()
+        config = PairFeatureConfig(level=FeatureLevel.IS_SAME_ONLY)
+        values = compute_pair_features(first, second, schema, config)
+        assert all(name.endswith(IS_SAME_SUFFIX) for name in values)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            PairFeatureConfig(sim_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            PairFeatureConfig(is_same_tolerance=-0.1)
+
+
+class TestPairFeatureCatalog:
+    def test_excludes_duration_by_default(self):
+        schema = infer_schema([job("a", x=1, s="v")])
+        catalog = pair_feature_catalog(schema)
+        assert not any(raw_feature_of(name) == PERFORMANCE_METRIC for name in catalog)
+
+    def test_levels_control_catalog_size(self):
+        schema = infer_schema([job("a", x=1, s="v")])
+        level1 = pair_feature_catalog(schema, PairFeatureConfig(level=FeatureLevel.IS_SAME_ONLY))
+        level2 = pair_feature_catalog(schema, PairFeatureConfig(level=FeatureLevel.COMPARISON))
+        level3 = pair_feature_catalog(schema, PairFeatureConfig(level=FeatureLevel.FULL))
+        assert set(level1) < set(level2) < set(level3)
+
+    def test_only_base_numeric_features_are_numeric(self):
+        schema = infer_schema([job("a", x=1, s="v")])
+        catalog = pair_feature_catalog(schema)
+        assert catalog["x"] is True
+        assert catalog["s"] is False
+        assert catalog["x" + IS_SAME_SUFFIX] is False
+        assert catalog["x" + COMPARE_SUFFIX] is False
+
+    def test_raw_feature_of_suffixes(self):
+        assert raw_feature_of("inputsize_compare") == "inputsize"
+        assert raw_feature_of("pig_script_isSame") == "pig_script"
+        assert raw_feature_of("pig_script_diff") == "pig_script"
+        assert raw_feature_of("blocksize") == "blocksize"
+
+
+class TestPairVectorShape:
+    def test_full_vector_has_table1_structure(self, small_log, job_schema):
+        first, second = small_log.jobs[0], small_log.jobs[1]
+        values = compute_pair_features(first, second, job_schema)
+        raw_names = set(job_schema.names())
+        for raw in raw_names:
+            assert raw + IS_SAME_SUFFIX in values
+            assert raw in values
+            assert (raw + COMPARE_SUFFIX in values) or (raw + DIFF_SUFFIX in values)

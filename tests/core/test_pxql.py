@@ -1,0 +1,240 @@
+"""Tests for the PXQL language: AST, parser and query validation."""
+
+import pytest
+
+from repro.core.pxql.ast import Comparison, Operator, Predicate, TRUE_PREDICATE
+from repro.core.pxql.parser import parse_predicate, parse_query
+from repro.core.pxql.query import EntityKind, PXQLQuery
+from repro.exceptions import PXQLSyntaxError, PXQLValidationError
+from repro.units import MB
+
+
+class TestOperator:
+    def test_symbol_aliases(self):
+        assert Operator.from_symbol("=") is Operator.EQ
+        assert Operator.from_symbol("==") is Operator.EQ
+        assert Operator.from_symbol("!=") is Operator.NE
+        assert Operator.from_symbol("<>") is Operator.NE
+        assert Operator.from_symbol("≤") is Operator.LE
+        assert Operator.from_symbol("≥") is Operator.GE
+
+    def test_unknown_symbol(self):
+        with pytest.raises(ValueError):
+            Operator.from_symbol("~~")
+
+
+class TestComparisonEvaluation:
+    def test_equality(self):
+        atom = Comparison("x_isSame", Operator.EQ, "T")
+        assert atom.evaluate({"x_isSame": "T"})
+        assert not atom.evaluate({"x_isSame": "F"})
+
+    def test_missing_value_never_satisfies(self):
+        atom = Comparison("x", Operator.EQ, 1)
+        assert not atom.evaluate({})
+        assert not atom.evaluate({"x": None})
+        negation = Comparison("x", Operator.NE, 1)
+        assert not negation.evaluate({})
+
+    def test_numeric_inequalities(self):
+        atom = Comparison("blocksize", Operator.GE, 128 * MB)
+        assert atom.evaluate({"blocksize": 256 * MB})
+        assert not atom.evaluate({"blocksize": 64 * MB})
+
+    def test_type_mismatch_is_false_not_error(self):
+        atom = Comparison("x", Operator.LT, 10)
+        assert not atom.evaluate({"x": "a string"})
+
+    def test_str_rendering(self):
+        atom = Comparison("inputsize_compare", Operator.EQ, "GT")
+        assert str(atom) == "inputsize_compare = GT"
+
+
+class TestPredicate:
+    def test_empty_predicate_is_true(self):
+        assert TRUE_PREDICATE.evaluate({})
+        assert TRUE_PREDICATE.is_true
+        assert TRUE_PREDICATE.width == 0
+
+    def test_conjunction_requires_all_atoms(self):
+        predicate = Predicate.of(
+            Comparison("a", Operator.EQ, 1), Comparison("b", Operator.EQ, 2)
+        )
+        assert predicate.evaluate({"a": 1, "b": 2})
+        assert not predicate.evaluate({"a": 1, "b": 3})
+        assert predicate.width == 2
+
+    def test_extended_appends_atom(self):
+        predicate = TRUE_PREDICATE.extended(Comparison("a", Operator.EQ, 1))
+        assert predicate.width == 1
+        assert not predicate.is_true
+
+    def test_and_then_concatenates(self):
+        first = Predicate.of(Comparison("a", Operator.EQ, 1))
+        second = Predicate.of(Comparison("b", Operator.EQ, 2))
+        combined = first.and_then(second)
+        assert combined.features() == ["a", "b"]
+
+    def test_features_deduplicated(self):
+        predicate = Predicate.of(
+            Comparison("a", Operator.GE, 1), Comparison("a", Operator.LE, 5)
+        )
+        assert predicate.features() == ["a"]
+
+    def test_str_uses_and(self):
+        predicate = Predicate.of(
+            Comparison("a", Operator.EQ, 1), Comparison("b", Operator.EQ, "x")
+        )
+        assert str(predicate) == "a = 1 AND b = x"
+        assert str(TRUE_PREDICATE) == "TRUE"
+
+
+class TestParsePredicate:
+    def test_single_comparison(self):
+        predicate = parse_predicate("duration_compare = SIM")
+        assert predicate.width == 1
+        assert predicate.atoms[0].value == "SIM"
+
+    def test_conjunction_with_and(self):
+        predicate = parse_predicate("a_isSame = T AND b_compare = GT")
+        assert predicate.width == 2
+
+    def test_conjunction_with_unicode_and(self):
+        predicate = parse_predicate("a_isSame = T ∧ b_compare = GT")
+        assert predicate.width == 2
+
+    def test_size_literal(self):
+        predicate = parse_predicate("blocksize >= 128MB")
+        assert predicate.atoms[0].value == 128 * MB
+        assert predicate.atoms[0].operator is Operator.GE
+
+    def test_number_literals(self):
+        predicate = parse_predicate("numinstances <= 12 AND factor = 1.5")
+        assert predicate.atoms[0].value == 12
+        assert isinstance(predicate.atoms[1].value, float)
+
+    def test_quoted_string(self):
+        predicate = parse_predicate("pig_script = 'simple-filter.pig'")
+        assert predicate.atoms[0].value == "simple-filter.pig"
+
+    def test_bare_identifier_value(self):
+        predicate = parse_predicate("pig_script_diff = something")
+        assert predicate.atoms[0].value == "something"
+
+    def test_empty_string_is_true(self):
+        assert parse_predicate("   ").is_true
+
+    def test_case_insensitive_and(self):
+        assert parse_predicate("a = 1 and b = 2").width == 2
+
+    def test_syntax_error_reports_position(self):
+        with pytest.raises(PXQLSyntaxError):
+            parse_predicate("a = ")
+        with pytest.raises(PXQLSyntaxError):
+            parse_predicate("a = 1 garbage garbage")
+        with pytest.raises(PXQLSyntaxError):
+            parse_predicate("= 3")
+
+
+class TestParseQuery:
+    QUERY = """
+        FOR JOBS 'job_1', 'job_2'
+        DESPITE numinstances_isSame = T AND pig_script_isSame = T
+        OBSERVED duration_compare = GT
+        EXPECTED duration_compare = SIM
+    """
+
+    def test_full_query(self):
+        query = parse_query(self.QUERY)
+        assert query.entity is EntityKind.JOB
+        assert query.first_id == "job_1"
+        assert query.second_id == "job_2"
+        assert query.despite.width == 2
+        assert query.observed.width == 1
+        assert query.expected.width == 1
+
+    def test_task_query_with_placeholders(self):
+        query = parse_query("""
+            FOR TASKS ?, ?
+            OBSERVED duration_compare = LT
+            EXPECTED duration_compare = SIM
+        """)
+        assert query.entity is EntityKind.TASK
+        assert not query.has_pair
+        assert query.despite.is_true
+
+    def test_clause_order_flexible(self):
+        query = parse_query("""
+            FOR JOBS 'a', 'b'
+            EXPECTED duration_compare = SIM
+            OBSERVED duration_compare = GT
+        """)
+        assert query.observed.atoms[0].value == "GT"
+
+    def test_missing_observed_rejected(self):
+        with pytest.raises(PXQLSyntaxError):
+            parse_query("FOR JOBS 'a', 'b' EXPECTED duration_compare = SIM")
+
+    def test_missing_expected_rejected(self):
+        with pytest.raises(PXQLSyntaxError):
+            parse_query("FOR JOBS 'a', 'b' OBSERVED duration_compare = SIM")
+
+    def test_roundtrip_through_str(self):
+        query = parse_query(self.QUERY)
+        reparsed = parse_query(str(query))
+        assert reparsed.despite == query.despite
+        assert reparsed.observed == query.observed
+        assert reparsed.expected == query.expected
+        assert reparsed.first_id == query.first_id
+
+
+class TestQueryValidation:
+    def _query(self, **kwargs):
+        defaults = dict(
+            entity=EntityKind.JOB,
+            observed=parse_predicate("duration_compare = GT"),
+            expected=parse_predicate("duration_compare = SIM"),
+        )
+        defaults.update(kwargs)
+        return PXQLQuery(**defaults)
+
+    def test_empty_observed_rejected(self):
+        with pytest.raises(PXQLValidationError):
+            self._query(observed=TRUE_PREDICATE)
+
+    def test_empty_expected_rejected(self):
+        with pytest.raises(PXQLValidationError):
+            self._query(expected=TRUE_PREDICATE)
+
+    def test_contradiction_detected(self):
+        assert self._query().observed_contradicts_expected()
+
+    def test_non_contradicting_query_flagged(self):
+        query = self._query(expected=parse_predicate("inputsize_compare = SIM"))
+        assert not query.observed_contradicts_expected()
+        assert query.validate()  # non-empty issue list
+        with pytest.raises(PXQLValidationError):
+            query.validate(strict=True)
+
+    def test_validate_against_pair(self):
+        query = self._query(despite=parse_predicate("numinstances_isSame = T"))
+        good_pair = {"numinstances_isSame": "T", "duration_compare": "GT"}
+        assert query.validate_against_pair(good_pair) == []
+        bad_pair = {"numinstances_isSame": "F", "duration_compare": "SIM"}
+        with pytest.raises(PXQLValidationError):
+            query.validate_against_pair(bad_pair)
+        issues = query.validate_against_pair(bad_pair, strict=False)
+        assert len(issues) >= 2
+
+    def test_with_pair_and_despite_helpers(self):
+        query = self._query()
+        bound = query.with_pair("j1", "j2")
+        assert bound.has_pair
+        stripped = bound.without_despite()
+        assert stripped.despite.is_true
+        extended = bound.with_despite(parse_predicate("blocksize_isSame = T"))
+        assert extended.despite.width == 1
+
+    def test_referenced_features(self):
+        query = self._query(despite=parse_predicate("numinstances_isSame = T"))
+        assert set(query.referenced_features()) == {"numinstances_isSame", "duration_compare"}

@@ -1,0 +1,92 @@
+"""Tests for the reporting helpers."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.evaluation import RunMetrics, SweepResult
+from repro.core.explanation import Explanation, ExplanationMetrics
+from repro.core.pxql.parser import parse_predicate
+from repro.core.reporting import (
+    explanation_report,
+    save_experiment_bundle,
+    save_sweep_json,
+    sweep_to_csv,
+    sweep_to_dict,
+    sweep_to_markdown,
+)
+from repro.logs.records import JobRecord
+
+
+def make_sweep() -> SweepResult:
+    sweep = SweepResult()
+    for technique, precision in (("PerfXplain", 0.9), ("RuleOfThumb", 0.7)):
+        for width in (1, 3):
+            for repetition in range(2):
+                metrics = ExplanationMetrics(
+                    relevance=0.5, precision=precision + repetition * 0.02,
+                    generality=0.4 - width * 0.05, support=100,
+                )
+                sweep.add(RunMetrics(technique, width, repetition, metrics))
+    return sweep
+
+
+class TestSweepExport:
+    def test_dict_structure(self):
+        summary = sweep_to_dict(make_sweep())
+        assert set(summary) == {"PerfXplain", "RuleOfThumb"}
+        assert set(summary["PerfXplain"]) == {"1", "3"}
+        assert summary["PerfXplain"]["3"]["precision_mean"] == pytest.approx(0.91)
+
+    def test_csv_rows(self):
+        text = sweep_to_csv(make_sweep())
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 4
+        assert {row["technique"] for row in rows} == {"PerfXplain", "RuleOfThumb"}
+        assert float(rows[0]["precision_mean"]) > 0
+
+    def test_markdown_table(self):
+        table = sweep_to_markdown(make_sweep())
+        assert table.startswith("| width |")
+        assert "PerfXplain" in table
+        assert "±" in table
+
+    def test_json_file(self, tmp_path):
+        path = save_sweep_json(make_sweep(), tmp_path / "out" / "sweep.json")
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded["RuleOfThumb"]["1"]["precision_mean"] == pytest.approx(0.71)
+
+    def test_bundle_writes_both_formats(self, tmp_path):
+        files = save_experiment_bundle({"fig3b": make_sweep()}, tmp_path / "bundle")
+        suffixes = {path.suffix for path in files}
+        assert suffixes == {".json", ".csv"}
+        assert all(path.exists() for path in files)
+
+
+class TestExplanationReport:
+    def test_report_lists_raw_feature_values(self):
+        explanation = Explanation(
+            because=parse_predicate("blocksize_isSame = F"),
+            despite=parse_predicate("numinstances_isSame = T"),
+            technique="PerfXplain",
+        )
+        first = JobRecord("j1", {"blocksize": 67108864, "numinstances": 8}, 100.0)
+        second = JobRecord("j2", {"blocksize": 268435456, "numinstances": 8}, 100.0)
+        report = explanation_report(explanation, first, second)
+        assert "BECAUSE blocksize_isSame = F" in report
+        assert "blocksize" in report
+        assert "67108864" in report and "268435456" in report
+
+    def test_report_without_pair(self):
+        explanation = Explanation(because=parse_predicate("blocksize_isSame = F"))
+        report = explanation_report(explanation)
+        assert "BECAUSE" in report
+
+    def test_missing_values_marked(self):
+        explanation = Explanation(because=parse_predicate("iosortfactor_isSame = T"))
+        first = JobRecord("j1", {"iosortfactor": 10}, 1.0)
+        second = JobRecord("j2", {"other": 1}, 1.0)
+        report = explanation_report(explanation, first, second)
+        assert "(missing)" in report

@@ -1,0 +1,185 @@
+"""Tests for execution records and the ExecutionLog store."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import LogFormatError, UnknownFeatureError
+from repro.logs.records import JobRecord, TaskRecord, record_from_dict, record_to_dict
+from repro.logs.store import ExecutionLog
+
+
+def make_job(job_id="job_1", duration=100.0, **features):
+    defaults = {"pig_script": "simple-filter.pig", "numinstances": 4, "inputsize": 1000}
+    defaults.update(features)
+    return JobRecord(job_id=job_id, features=defaults, duration=duration)
+
+
+def make_task(task_id="task_1", job_id="job_1", duration=10.0, **features):
+    defaults = {"task_type": "MAP", "hostname": "host-0"}
+    defaults.update(features)
+    return TaskRecord(task_id=task_id, job_id=job_id, features=defaults, duration=duration)
+
+
+class TestRecords:
+    def test_get_known_feature(self):
+        assert make_job().get("numinstances") == 4
+
+    def test_get_unknown_feature_raises(self):
+        with pytest.raises(UnknownFeatureError):
+            make_job().get("no_such_feature")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            make_job(duration=-1.0)
+
+    def test_empty_job_id_rejected(self):
+        with pytest.raises(ValueError):
+            JobRecord(job_id="", features={}, duration=1.0)
+
+    def test_invalid_feature_value_rejected(self):
+        with pytest.raises(ValueError):
+            JobRecord(job_id="j", features={"x": object()}, duration=1.0)
+
+    def test_feature_names_sorted(self):
+        job = make_job(zeta=1, alpha=2)
+        names = job.feature_names()
+        assert names == sorted(names)
+
+    def test_roundtrip_dict(self):
+        job = make_job()
+        assert record_from_dict(record_to_dict(job)) == job
+        task = make_task()
+        assert record_from_dict(record_to_dict(task)) == task
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            record_from_dict({"kind": "mystery"})
+
+    def test_entity_ids(self):
+        assert make_job().entity_id == "job_1"
+        assert make_task().entity_id == "task_1"
+
+
+class TestExecutionLog:
+    def _log(self, num_jobs=6, tasks_per_job=2):
+        log = ExecutionLog()
+        for j in range(num_jobs):
+            script = "simple-filter.pig" if j % 2 == 0 else "simple-groupby.pig"
+            job = make_job(f"job_{j}", duration=50.0 + j, pig_script=script)
+            tasks = [
+                make_task(f"task_{j}_{t}", f"job_{j}") for t in range(tasks_per_job)
+            ]
+            log.add_job(job, tasks)
+        return log
+
+    def test_counts(self):
+        log = self._log()
+        assert log.num_jobs == 6
+        assert log.num_tasks == 12
+
+    def test_duplicate_job_rejected(self):
+        log = self._log()
+        with pytest.raises(ValueError):
+            log.add_job(make_job("job_0"))
+
+    def test_duplicate_task_rejected(self):
+        log = self._log()
+        with pytest.raises(ValueError):
+            log.add_task(make_task("task_0_0", "job_0"))
+
+    def test_find_job_and_task(self):
+        log = self._log()
+        assert log.find_job("job_3").job_id == "job_3"
+        assert log.find_job("nope") is None
+        assert log.find_task("task_2_1").task_id == "task_2_1"
+        assert log.find_task("nope") is None
+
+    def test_tasks_of_job(self):
+        log = self._log()
+        assert {t.task_id for t in log.tasks_of_job("job_1")} == {"task_1_0", "task_1_1"}
+
+    def test_filter_by_feature_keeps_tasks(self):
+        log = self._log()
+        filtered = log.filter_by_feature("pig_script", "simple-filter.pig")
+        assert filtered.num_jobs == 3
+        assert filtered.num_tasks == 6
+
+    def test_filter_jobs_without_tasks(self):
+        log = self._log()
+        filtered = log.filter_jobs(lambda job: True, keep_tasks=False)
+        assert filtered.num_jobs == 6
+        assert filtered.num_tasks == 0
+
+    def test_merge_deduplicates(self):
+        log = self._log()
+        merged = log.merge(self._log())
+        assert merged.num_jobs == log.num_jobs
+        assert merged.num_tasks == log.num_tasks
+
+    def test_split_partitions_jobs(self):
+        log = self._log(num_jobs=30)
+        train, test = log.split_train_test(0.5, rng=random.Random(0))
+        assert train.num_jobs + test.num_jobs == 30
+        assert train.num_jobs > 0 and test.num_jobs > 0
+        train_ids = {job.job_id for job in train.jobs}
+        test_ids = {job.job_id for job in test.jobs}
+        assert not train_ids & test_ids
+
+    def test_split_forced_jobs_on_both_sides(self):
+        log = self._log(num_jobs=10)
+        train, test = log.split_train_test(0.5, rng=random.Random(1),
+                                           always_include_job_ids=["job_0"])
+        assert train.find_job("job_0") is not None
+        assert test.find_job("job_0") is not None
+
+    def test_split_carries_tasks_with_jobs(self):
+        log = self._log(num_jobs=10)
+        train, test = log.split_train_test(0.5, rng=random.Random(2))
+        for part in (train, test):
+            for job in part.jobs:
+                assert len(part.tasks_of_job(job.job_id)) == 2
+
+    def test_split_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            self._log().split_train_test(1.5)
+
+    def test_sample_jobs_fraction(self):
+        log = self._log(num_jobs=40)
+        sampled = log.sample_jobs(0.25, rng=random.Random(3))
+        assert 0 < sampled.num_jobs < 40
+
+    def test_sample_jobs_forced_included(self):
+        log = self._log(num_jobs=40)
+        sampled = log.sample_jobs(0.01, rng=random.Random(3),
+                                  always_include_job_ids=["job_39"])
+        assert sampled.find_job("job_39") is not None
+
+    def test_json_roundtrip(self, tmp_path):
+        log = self._log()
+        path = tmp_path / "log.json"
+        log.save(path)
+        loaded = ExecutionLog.load(path)
+        assert loaded.num_jobs == log.num_jobs
+        assert loaded.num_tasks == log.num_tasks
+        assert loaded.find_job("job_0") == log.find_job("job_0")
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(LogFormatError):
+            ExecutionLog.from_json("{not json")
+
+    def test_job_feature_values(self):
+        log = self._log()
+        values = log.job_feature_values("pig_script")
+        assert len(values) == 6
+        assert set(values) == {"simple-filter.pig", "simple-groupby.pig"}
+
+    @given(fraction=st.floats(min_value=0.05, max_value=0.95), seed=st.integers(0, 100))
+    def test_split_never_loses_or_duplicates_jobs(self, fraction, seed):
+        log = self._log(num_jobs=20)
+        train, test = log.split_train_test(fraction, rng=random.Random(seed))
+        train_ids = {job.job_id for job in train.jobs}
+        test_ids = {job.job_id for job in test.jobs}
+        assert train_ids | test_ids == {f"job_{i}" for i in range(20)}
+        assert not train_ids & test_ids

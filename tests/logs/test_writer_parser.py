@@ -1,0 +1,142 @@
+"""Tests for the Hadoop-style job-history writer and parser."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import LogFormatError
+from repro.logs.parser import parse_job_history, parse_job_history_text
+from repro.logs.records import JobRecord, TaskRecord
+from repro.logs.writer import job_history_text, write_job_history
+
+
+def sample_job():
+    return JobRecord(
+        job_id="job_202606140001_0042",
+        features={
+            "pig_script": "simple-groupby.pig",
+            "numinstances": 8,
+            "inputsize": 1395864371,
+            "reduce_tasks_factor": 1.5,
+            "speculative": False,
+            "dataset_name": 'excite "special" \n log',
+            "missing_metric": None,
+        },
+        duration=412.75,
+    )
+
+
+def sample_tasks():
+    return [
+        TaskRecord(
+            task_id="task_202606140001_0042_m_000001",
+            job_id="job_202606140001_0042",
+            features={"task_type": "MAP", "inputsize": 67108864, "avg_cpu_user": 81.25},
+            duration=35.5,
+        ),
+        TaskRecord(
+            task_id="task_202606140001_0042_r_000000",
+            job_id="job_202606140001_0042",
+            features={"task_type": "REDUCE", "shuffletime": 12.0, "sorttime": None},
+            duration=60.0,
+        ),
+    ]
+
+
+class TestRoundTrip:
+    def test_job_roundtrip(self):
+        job, tasks = parse_job_history_text(job_history_text(sample_job(), sample_tasks()))
+        assert job == sample_job()
+        assert tasks == sample_tasks()
+
+    def test_roundtrip_preserves_types(self):
+        job, _ = parse_job_history_text(job_history_text(sample_job()))
+        assert isinstance(job.features["numinstances"], int)
+        assert isinstance(job.features["reduce_tasks_factor"], float)
+        assert isinstance(job.features["pig_script"], str)
+        assert job.features["speculative"] is False
+        assert job.features["missing_metric"] is None
+
+    def test_roundtrip_with_config_properties(self):
+        text = job_history_text(sample_job(), config_properties={"dfs.block.size": "67108864"})
+        job, _ = parse_job_history_text(text)
+        assert job.job_id == "job_202606140001_0042"
+
+    def test_file_roundtrip(self, tmp_path):
+        path = write_job_history(tmp_path / "history" / "job_0042.log",
+                                 sample_job(), sample_tasks())
+        job, tasks = parse_job_history(path)
+        assert job == sample_job()
+        assert len(tasks) == 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.dictionaries(
+            keys=st.text(alphabet="abcdefgh_", min_size=1, max_size=8),
+            values=st.one_of(
+                st.integers(min_value=-10**12, max_value=10**12),
+                st.floats(allow_nan=False, allow_infinity=False, width=32),
+                st.text(alphabet='abc "\\\n\t-', max_size=12),
+                st.booleans(),
+                st.none(),
+            ),
+            max_size=6,
+        )
+    )
+    def test_arbitrary_features_roundtrip(self, features):
+        job = JobRecord(job_id="job_x", features=features, duration=1.0)
+        parsed, _ = parse_job_history_text(job_history_text(job))
+        assert parsed.features == features
+
+
+class TestFormat:
+    def test_lines_end_with_dot(self):
+        text = job_history_text(sample_job())
+        assert all(line.endswith(" .") for line in text.strip().splitlines())
+
+    def test_contains_job_and_feature_lines(self):
+        text = job_history_text(sample_job(), sample_tasks())
+        assert any(line.startswith("Job ") for line in text.splitlines())
+        assert any(line.startswith("Task ") for line in text.splitlines())
+        assert any(line.startswith("Feature ") for line in text.splitlines())
+
+
+class TestParserErrors:
+    def test_missing_job_line(self):
+        with pytest.raises(LogFormatError):
+            parse_job_history_text('Meta VERSION="1" .\n')
+
+    def test_duplicate_job_line(self):
+        text = 'Job JOBID="a" DURATION="1.0" .\nJob JOBID="b" DURATION="2.0" .\n'
+        with pytest.raises(LogFormatError):
+            parse_job_history_text(text)
+
+    def test_job_without_duration(self):
+        with pytest.raises(LogFormatError):
+            parse_job_history_text('Job JOBID="a" .\n')
+
+    def test_feature_for_unknown_task(self):
+        text = (
+            'Job JOBID="a" DURATION="1.0" .\n'
+            'Feature SCOPE="task" OWNER="task_zzz" NAME="x" TYPE="int" VALUE="1" .\n'
+        )
+        with pytest.raises(LogFormatError):
+            parse_job_history_text(text)
+
+    def test_unknown_record_types_ignored(self):
+        text = (
+            'Meta VERSION="1" .\n'
+            'Job JOBID="a" DURATION="1.0" .\n'
+            'MapAttempt TASKID="t" START_TIME="0" .\n'
+        )
+        job, tasks = parse_job_history_text(text)
+        assert job.job_id == "a"
+        assert tasks == []
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = '# comment\n\nJob JOBID="a" DURATION="3.5" .\n'
+        job, _ = parse_job_history_text(text)
+        assert job.duration == 3.5
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(LogFormatError):
+            parse_job_history_text('Job JOBID="a" DURATION="1.0" .\n???!!!\n')

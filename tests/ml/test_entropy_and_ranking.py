@@ -1,0 +1,114 @@
+"""Tests for entropy, information gain and percentile-rank normalisation."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml.entropy import binary_entropy, entropy, information_gain
+from repro.ml.ranking import percentile_ranks
+
+
+class TestBinaryEntropy:
+    def test_pure_distributions_are_zero(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_uniform_is_one_bit(self):
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    def test_paper_example_value(self):
+        # Section 4.2 example: p = 0.6 gives entropy ~0.97.
+        assert binary_entropy(0.6) == pytest.approx(0.971, abs=0.001)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_bounded_and_symmetric(self, p):
+        value = binary_entropy(p)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(binary_entropy(1.0 - p), abs=1e-9)
+
+
+class TestEntropy:
+    def test_empty_is_zero(self):
+        assert entropy([]) == 0.0
+
+    def test_single_class_is_zero(self):
+        assert entropy(["a"] * 10) == 0.0
+
+    def test_two_equal_classes_is_one_bit(self):
+        assert entropy(["a", "b"] * 5) == pytest.approx(1.0)
+
+    def test_four_equal_classes_is_two_bits(self):
+        assert entropy(["a", "b", "c", "d"] * 3) == pytest.approx(2.0)
+
+    def test_matches_binary_entropy(self):
+        labels = [True] * 3 + [False] * 7
+        assert entropy(labels) == pytest.approx(binary_entropy(0.3))
+
+
+class TestInformationGain:
+    def test_perfect_split_recovers_full_entropy(self):
+        labels = [True] * 5 + [False] * 5
+        satisfies = [True] * 5 + [False] * 5
+        assert information_gain(labels, satisfies) == pytest.approx(1.0)
+
+    def test_useless_split_is_zero(self):
+        labels = [True, False] * 4
+        satisfies = [True, False, False, True, True, False, False, True]
+        gain = information_gain(labels, satisfies)
+        assert gain == pytest.approx(0.0, abs=1e-9)
+
+    def test_degenerate_partition_is_zero(self):
+        labels = [True, False, True]
+        assert information_gain(labels, [True, True, True]) == 0.0
+        assert information_gain(labels, [False, False, False]) == 0.0
+
+    def test_paper_figure2_example(self):
+        # Figure 2: 6 positives and 4 negatives (entropy 0.97); predicate A
+        # separates them almost perfectly and has gain ~0.87.
+        labels = [True] * 6 + [False] * 4
+        predicate_a = [True] * 6 + [False] * 4
+        assert information_gain(labels, predicate_a) == pytest.approx(0.971, abs=0.001)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            information_gain([True], [True, False])
+
+    @given(st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=60))
+    def test_gain_bounded_by_parent_entropy(self, pairs):
+        labels = [label for label, _ in pairs]
+        satisfies = [flag for _, flag in pairs]
+        gain = information_gain(labels, satisfies)
+        parent = entropy(labels)
+        assert -1e-9 <= gain <= parent + 1e-9
+
+
+class TestPercentileRanks:
+    def test_empty(self):
+        assert percentile_ranks([]) == []
+
+    def test_single_value(self):
+        assert percentile_ranks([0.3]) == [1.0]
+
+    def test_ordering_preserved(self):
+        ranks = percentile_ranks([0.2, 0.9, 0.5])
+        assert ranks[1] > ranks[2] > ranks[0]
+
+    def test_ties_get_equal_rank(self):
+        ranks = percentile_ranks([0.5, 0.5, 0.1])
+        assert ranks[0] == ranks[1]
+        assert ranks[0] > ranks[2]
+
+    def test_max_rank_is_one(self):
+        assert max(percentile_ranks([3.0, 1.0, 2.0])) == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=50))
+    def test_ranks_in_unit_interval_and_monotone(self, values):
+        ranks = percentile_ranks(values)
+        assert all(0.0 < rank <= 1.0 for rank in ranks)
+        for i in range(len(values)):
+            for j in range(len(values)):
+                if values[i] < values[j]:
+                    assert ranks[i] < ranks[j] + 1e-12
+                if values[i] == values[j]:
+                    assert ranks[i] == pytest.approx(ranks[j])

@@ -1,0 +1,196 @@
+"""Tests for predicate search, RReliefF and the decision tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.decision_tree import DecisionTree
+from repro.ml.relief import relieff_importance
+from repro.ml.splits import best_predicate_for_feature
+
+
+class TestBestPredicateNominal:
+    def test_picks_separating_value(self):
+        values = ["a", "a", "a", "b", "b", "b"]
+        labels = [True, True, True, False, False, False]
+        predicate = best_predicate_for_feature("f", values, labels, numeric=False)
+        assert predicate.operator == "=="
+        assert predicate.value in {"a", "b"}
+        assert predicate.gain == pytest.approx(1.0)
+
+    def test_respects_required_value(self):
+        values = ["a", "a", "b", "b", "c", "c"]
+        labels = [True, True, False, False, True, False]
+        predicate = best_predicate_for_feature(
+            "f", values, labels, numeric=False, required_value="c"
+        )
+        assert predicate.value == "c"
+
+    def test_missing_required_value_returns_none(self):
+        predicate = best_predicate_for_feature(
+            "f", ["a", "b"], [True, False], numeric=False, required_value=None
+        )
+        assert predicate is None
+
+    def test_required_value_absent_from_examples(self):
+        predicate = best_predicate_for_feature(
+            "f", ["a", "b"], [True, False], numeric=False, required_value="z"
+        )
+        assert predicate is None
+
+    def test_all_missing_values(self):
+        predicate = best_predicate_for_feature(
+            "f", [None, None, None], [True, False, True], numeric=False
+        )
+        assert predicate is None
+
+    def test_constant_feature_has_no_predicate(self):
+        predicate = best_predicate_for_feature(
+            "f", ["a"] * 6, [True, False] * 3, numeric=False
+        )
+        assert predicate is None
+
+
+class TestBestPredicateNumeric:
+    def test_threshold_separates_classes(self):
+        values = [1.0, 2.0, 3.0, 10.0, 11.0, 12.0]
+        labels = [False, False, False, True, True, True]
+        predicate = best_predicate_for_feature("f", values, labels, numeric=True)
+        assert predicate.gain == pytest.approx(1.0)
+        assert predicate.operator in {"<=", ">"}
+        assert 3.0 < predicate.value < 10.0
+
+    def test_required_value_selects_side(self):
+        values = [1.0, 2.0, 3.0, 10.0, 11.0, 12.0]
+        labels = [False, False, False, True, True, True]
+        low = best_predicate_for_feature("f", values, labels, numeric=True, required_value=2.0)
+        high = best_predicate_for_feature("f", values, labels, numeric=True, required_value=11.0)
+        assert low.satisfied_by(2.0) and not low.satisfied_by(11.0)
+        assert high.satisfied_by(11.0) and not high.satisfied_by(2.0)
+
+    def test_missing_values_fall_outside(self):
+        values = [1.0, None, 3.0, 10.0, None, 12.0]
+        labels = [False, False, False, True, True, True]
+        predicate = best_predicate_for_feature("f", values, labels, numeric=True,
+                                               required_value=12.0)
+        assert predicate is not None
+        assert not predicate.satisfied_by(None)
+
+    def test_equality_candidate_for_numeric(self):
+        values = [5, 5, 5, 7, 8, 9]
+        labels = [True, True, True, False, False, False]
+        predicate = best_predicate_for_feature("f", values, labels, numeric=True,
+                                               required_value=5)
+        assert predicate.satisfied_by(5)
+        assert predicate.gain == pytest.approx(1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=-100, max_value=100), st.booleans()),
+            min_size=2, max_size=60,
+        )
+    )
+    def test_gain_nonnegative_and_predicate_nondegenerate(self, rows):
+        values = [value for value, _ in rows]
+        labels = [label for _, label in rows]
+        predicate = best_predicate_for_feature("f", values, labels, numeric=True)
+        if predicate is None:
+            return
+        assert predicate.gain >= 0.0
+        inside = sum(1 for value in values if predicate.satisfied_by(value))
+        assert 0 < inside < len(values)
+
+
+class TestRelief:
+    def _rows(self, n=60, seed=0):
+        rng = random.Random(seed)
+        rows, targets = [], []
+        for _ in range(n):
+            relevant = rng.uniform(0, 10)
+            irrelevant = rng.uniform(0, 10)
+            nominal = rng.choice(["x", "y"])
+            rows.append({"relevant": relevant, "irrelevant": irrelevant, "nominal": nominal})
+            targets.append(3.0 * relevant + rng.gauss(0, 0.5))
+        return rows, targets
+
+    def test_relevant_feature_ranked_above_irrelevant(self):
+        rows, targets = self._rows()
+        importance = relieff_importance(
+            rows, targets, numeric={"relevant": True, "irrelevant": True, "nominal": False},
+            rng=random.Random(1),
+        )
+        assert importance["relevant"] > importance["irrelevant"]
+        assert importance["relevant"] > importance["nominal"]
+
+    def test_handles_missing_values(self):
+        rows, targets = self._rows(40)
+        for index in range(0, 40, 5):
+            rows[index] = dict(rows[index], relevant=None)
+        importance = relieff_importance(
+            rows, targets, numeric={"relevant": True, "irrelevant": True, "nominal": False},
+            rng=random.Random(2),
+        )
+        assert set(importance) == {"relevant", "irrelevant", "nominal"}
+
+    def test_too_few_rows_returns_zeros(self):
+        importance = relieff_importance([{"a": 1}], [1.0], numeric={"a": True}, features=["a"])
+        assert importance == {"a": 0.0}
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(Exception):
+            relieff_importance([{"a": 1}], [1.0, 2.0], numeric={"a": True})
+
+    def test_sample_size_limits_work(self):
+        rows, targets = self._rows(50)
+        importance = relieff_importance(
+            rows, targets, numeric={"relevant": True, "irrelevant": True, "nominal": False},
+            sample_size=10, rng=random.Random(3),
+        )
+        assert importance["relevant"] > importance["irrelevant"]
+
+
+class TestDecisionTree:
+    def _data(self, n=200, seed=0):
+        rng = random.Random(seed)
+        rows, labels = [], []
+        for _ in range(n):
+            x = rng.uniform(0, 1)
+            color = rng.choice(["red", "blue"])
+            rows.append({"x": x, "color": color})
+            labels.append(x > 0.5 and color == "red")
+        return rows, labels
+
+    def test_learns_simple_concept(self):
+        rows, labels = self._data()
+        tree = DecisionTree(max_depth=3, min_samples_split=5).fit(
+            rows, labels, numeric={"x": True, "color": False}
+        )
+        correct = sum(1 for row, label in zip(rows, labels) if tree.predict(row) == label)
+        assert correct / len(rows) > 0.95
+
+    def test_depth_respected(self):
+        rows, labels = self._data()
+        tree = DecisionTree(max_depth=2).fit(rows, labels, numeric={"x": True, "color": False})
+        assert tree.depth() <= 2
+
+    def test_pure_labels_give_single_leaf(self):
+        rows = [{"x": float(i)} for i in range(20)]
+        tree = DecisionTree().fit(rows, [True] * 20, numeric={"x": True})
+        assert tree.depth() == 0
+        assert tree.predict({"x": 3.0}) is True
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTree().predict_proba({"x": 1.0})
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTree().fit([], [])
+
+    def test_probability_in_unit_interval(self):
+        rows, labels = self._data(100, seed=2)
+        tree = DecisionTree(max_depth=4).fit(rows, labels, numeric={"x": True, "color": False})
+        for row, _ in zip(rows, labels):
+            assert 0.0 <= tree.predict_proba(row) <= 1.0

@@ -1,0 +1,211 @@
+"""Tests for the Ganglia-like monitoring substrate."""
+
+import random
+
+import pytest
+
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.trace import UtilizationInterval, UtilizationTrace
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.monitoring.aggregate import (
+    average_metrics_over_window,
+    job_metric_averages,
+    task_metric_averages,
+)
+from repro.monitoring.metrics import GANGLIA_METRICS, METRIC_NAMES
+from repro.monitoring.sampler import GangliaSampler
+from repro.monitoring.timeseries import TimeSeries
+
+
+def make_interval(start, end, maps=1, reduces=0, cpu=1.5, background=0.25):
+    return UtilizationInterval(
+        start=start, end=end, running_maps=maps, running_reduces=reduces,
+        cpu_demand=cpu, cpu_utilization=min(1.0, cpu / 2), disk_read_mbps=10.0,
+        disk_write_mbps=5.0, net_in_mbps=0.0, net_out_mbps=0.0,
+        memory_used_mb=1000.0, background_load=background, background_extra_procs=0,
+    )
+
+
+class TestMetricCatalogue:
+    def test_paper_metrics_present(self):
+        # The explanations in the paper mention these Ganglia metrics.
+        for name in ("cpu_user", "load_one", "load_five", "proc_total",
+                     "bytes_in", "pkts_in", "boottime"):
+            assert name in GANGLIA_METRICS
+
+    def test_names_match_specs(self):
+        assert all(GANGLIA_METRICS[name].name == name for name in METRIC_NAMES)
+
+
+class TestTimeSeries:
+    def test_append_and_len(self):
+        series = TimeSeries()
+        series.append(0.0, 1.0)
+        series.append(5.0, 2.0)
+        assert len(series) == 2
+
+    def test_out_of_order_append_rejected(self):
+        series = TimeSeries()
+        series.append(5.0, 1.0)
+        with pytest.raises(SimulationError):
+            series.append(1.0, 2.0)
+
+    def test_window(self):
+        series = TimeSeries()
+        for t in range(5):
+            series.append(float(t), float(t * 10))
+        assert series.window(1.0, 3.0) == [10.0, 20.0, 30.0]
+
+    def test_mean_over_window(self):
+        series = TimeSeries()
+        for t in range(4):
+            series.append(float(t), float(t))
+        assert series.mean(1.0, 2.0) == pytest.approx(1.5)
+
+    def test_mean_empty_window_is_none(self):
+        series = TimeSeries()
+        series.append(0.0, 1.0)
+        assert series.mean(5.0, 6.0) is None
+
+    def test_latest_at(self):
+        series = TimeSeries()
+        series.append(0.0, 1.0)
+        series.append(10.0, 2.0)
+        assert series.latest_at(5.0) == 1.0
+        assert series.latest_at(-1.0) is None
+
+
+class TestUtilizationTrace:
+    def test_lookup_inside_interval(self):
+        trace = UtilizationTrace()
+        trace.add(0, make_interval(0.0, 10.0))
+        trace.add(0, make_interval(10.0, 20.0, maps=2))
+        assert trace.at(0, 5.0).running_maps == 1
+        assert trace.at(0, 15.0).running_maps == 2
+
+    def test_lookup_outside_returns_none(self):
+        trace = UtilizationTrace()
+        trace.add(0, make_interval(0.0, 10.0))
+        assert trace.at(0, 25.0) is None
+        assert trace.at(1, 5.0) is None
+
+    def test_end_time(self):
+        trace = UtilizationTrace()
+        trace.add(0, make_interval(0.0, 10.0))
+        trace.add(1, make_interval(0.0, 17.0))
+        assert trace.end_time() == 17.0
+
+
+class TestGangliaSampler:
+    def _cluster(self, n=1):
+        return ClusterSpec(num_instances=n, background_model=None).provision(random.Random(0))
+
+    def _trace(self):
+        trace = UtilizationTrace()
+        trace.add(0, make_interval(0.0, 30.0, maps=2, cpu=2.25))
+        trace.add(0, make_interval(30.0, 60.0, maps=1, cpu=1.25))
+        return trace
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GangliaSampler(period=0.0)
+
+    def test_sampling_produces_all_metrics(self):
+        samples = GangliaSampler(noise=0.0).sample(self._trace(), self._cluster(), 0.0, 60.0)
+        for name in METRIC_NAMES:
+            assert len(samples[0].metric(name)) > 0
+
+    def test_sample_count_matches_period(self):
+        samples = GangliaSampler(period=5.0, noise=0.0).sample(
+            self._trace(), self._cluster(), 0.0, 60.0
+        )
+        assert len(samples[0].metric("cpu_user")) == 13  # 0, 5, ..., 60
+
+    def test_cpu_user_tracks_utilization(self):
+        samples = GangliaSampler(noise=0.0).sample(self._trace(), self._cluster(), 0.0, 60.0)
+        cpu = samples[0].metric("cpu_user")
+        busy = cpu.mean(0.0, 25.0)
+        quiet = cpu.mean(35.0, 55.0)
+        assert busy > quiet
+
+    def test_cpu_percentages_bounded(self):
+        samples = GangliaSampler(noise=0.0).sample(self._trace(), self._cluster(), 0.0, 60.0)
+        for name in ("cpu_user", "cpu_system", "cpu_idle", "cpu_wio"):
+            values = samples[0].metric(name).values
+            assert all(0.0 <= value <= 100.0 for value in values)
+
+    def test_proc_total_includes_running_tasks(self):
+        samples = GangliaSampler(noise=0.0).sample(self._trace(), self._cluster(), 0.0, 60.0)
+        proc = samples[0].metric("proc_total")
+        assert proc.mean(0.0, 25.0) > proc.mean(35.0, 55.0)
+
+    def test_short_job_still_sampled(self):
+        trace = UtilizationTrace()
+        trace.add(0, make_interval(0.0, 2.0))
+        samples = GangliaSampler(period=5.0, noise=0.0).sample(trace, self._cluster(), 0.0, 2.0)
+        assert len(samples[0].metric("cpu_user")) >= 2
+
+
+class TestAggregation:
+    def _samples(self):
+        cluster = ClusterSpec(num_instances=1, background_model=None).provision(random.Random(0))
+        trace = UtilizationTrace()
+        trace.add(0, make_interval(0.0, 50.0, maps=2, cpu=2.25))
+        trace.add(0, make_interval(50.0, 100.0, maps=1, cpu=1.25))
+        return GangliaSampler(noise=0.0).sample(trace, cluster, 0.0, 100.0)
+
+    def test_window_average_has_avg_prefix_free_names(self):
+        averages = average_metrics_over_window(self._samples()[0], 0.0, 50.0)
+        assert set(averages) == set(METRIC_NAMES)
+
+    def test_task_averages_prefixed(self):
+        from repro.cluster.engine import TaskExecution
+        from repro.cluster.tasks import TaskType
+
+        task = TaskExecution(
+            task_id="t", job_id="j", task_type=TaskType.MAP, instance_index=0,
+            hostname="h", tracker_name="tr", start_time=0.0, finish_time=40.0,
+            wave=0, slot_order=0, phase_wall_seconds={}, counters={},
+        )
+        averages = task_metric_averages(task, self._samples())
+        assert all(name.startswith("avg_") for name in averages)
+        assert averages["avg_cpu_user"] > 0
+
+    def test_job_average_is_mean_of_tasks(self):
+        from repro.cluster.engine import TaskExecution
+        from repro.cluster.tasks import TaskType
+
+        samples = self._samples()
+        early = TaskExecution(
+            task_id="a", job_id="j", task_type=TaskType.MAP, instance_index=0,
+            hostname="h", tracker_name="tr", start_time=0.0, finish_time=45.0,
+            wave=0, slot_order=0, phase_wall_seconds={}, counters={},
+        )
+        late = TaskExecution(
+            task_id="b", job_id="j", task_type=TaskType.MAP, instance_index=0,
+            hostname="h", tracker_name="tr", start_time=55.0, finish_time=95.0,
+            wave=1, slot_order=1, phase_wall_seconds={}, counters={},
+        )
+        early_avg = task_metric_averages(early, samples)["avg_cpu_user"]
+        late_avg = task_metric_averages(late, samples)["avg_cpu_user"]
+        job_avg = job_metric_averages([early, late], samples)["avg_cpu_user"]
+        assert job_avg == pytest.approx((early_avg + late_avg) / 2)
+        # The task that ran alongside another saw more CPU usage.
+        assert early_avg > late_avg
+
+    def test_missing_instance_gives_zero_metrics(self):
+        from repro.cluster.engine import TaskExecution
+        from repro.cluster.tasks import TaskType
+
+        task = TaskExecution(
+            task_id="t", job_id="j", task_type=TaskType.MAP, instance_index=99,
+            hostname="h", tracker_name="tr", start_time=0.0, finish_time=10.0,
+            wave=0, slot_order=0, phase_wall_seconds={}, counters={},
+        )
+        averages = task_metric_averages(task, self._samples())
+        assert set(averages) == {f"avg_{name}" for name in METRIC_NAMES}
+        assert averages["avg_cpu_user"] == 0.0
+
+    def test_empty_job_average(self):
+        averages = job_metric_averages([], self._samples())
+        assert all(value == 0.0 for value in averages.values())

@@ -1,0 +1,90 @@
+"""End-to-end integration tests: workload -> log -> history files -> explanations."""
+
+import random
+
+import pytest
+
+from repro import PerfXplain
+from repro.core.explainer import PerfXplainExplainer
+from repro.core.evaluation import evaluate_precision_vs_width, measure_on_log
+from repro.core.explanation import Explanation
+from repro.core.pxql.ast import TRUE_PREDICATE
+from repro.core.queries import find_pair_of_interest, why_slower_despite_same_num_instances
+from repro.logs.parser import parse_job_history
+from repro.logs.store import ExecutionLog
+from repro.logs.writer import write_job_history
+
+
+class TestLogRoundTripIntegration:
+    def test_simulated_records_survive_history_files(self, tiny_log, tmp_path):
+        """Every simulated job can be written as a Hadoop-style history file
+        and parsed back without losing features."""
+        rebuilt = ExecutionLog()
+        for job in tiny_log.jobs:
+            path = tmp_path / f"{job.job_id}.log"
+            write_job_history(path, job, tiny_log.tasks_of_job(job.job_id))
+            parsed_job, parsed_tasks = parse_job_history(path)
+            rebuilt.add_job(parsed_job, parsed_tasks)
+        assert rebuilt.num_jobs == tiny_log.num_jobs
+        assert rebuilt.num_tasks == tiny_log.num_tasks
+        original = tiny_log.jobs[0]
+        assert rebuilt.find_job(original.job_id).features == original.features
+
+    def test_explanations_work_on_parsed_log(self, tiny_log, tmp_path):
+        rebuilt = ExecutionLog()
+        for job in tiny_log.jobs:
+            path = tmp_path / f"{job.job_id}.log"
+            write_job_history(path, job, tiny_log.tasks_of_job(job.job_id))
+            rebuilt.add_job(*parse_job_history(path))
+        px = PerfXplain(rebuilt)
+        explanation = px.explain("""
+            FOR JOBS ?, ?
+            DESPITE pig_script_isSame = T
+            OBSERVED duration_compare = GT
+            EXPECTED duration_compare = SIM
+        """, width=2)
+        assert explanation.width >= 1
+
+
+class TestPaperHeadlineResult:
+    """The headline claim: PerfXplain explanations are more precise than the
+    trivial (empty) explanation and at least match the naive baselines on the
+    job-level query, measured on a held-out log."""
+
+    def test_perfxplain_beats_empty_explanation_on_test_log(self, small_log, job_schema,
+                                                            job_query):
+        train, test = small_log.split_train_test(0.5, rng=random.Random(17),
+                                                 always_include_job_ids=[job_query.first_id,
+                                                                         job_query.second_id])
+        explanation = PerfXplainExplainer().explain(train, job_query, width=3)
+        empty = measure_on_log(Explanation(because=TRUE_PREDICATE), job_query, test)
+        learned = measure_on_log(explanation, job_query, test)
+        assert learned.precision > empty.precision + 0.1
+
+    def test_precision_grows_with_width(self, small_log, job_query):
+        sweep = evaluate_precision_vs_width(
+            small_log, job_query, [PerfXplainExplainer()], widths=(0, 1, 3),
+            repetitions=3, seed=5,
+        )
+        p0 = sweep.mean("PerfXplain", 0)
+        p1 = sweep.mean("PerfXplain", 1)
+        p3 = sweep.mean("PerfXplain", 3)
+        assert p1 > p0
+        assert p3 >= p1 - 0.05
+
+    def test_motivating_scenario_explanation_mentions_configuration(self, small_log,
+                                                                    job_schema):
+        """Ask the motivating question (same script, same cluster size, very
+        different input, same-ish runtime is *not* observed here, so we ask the
+        GT question) and check the explanation points at configuration or data
+        characteristics rather than identifiers."""
+        query = why_slower_despite_same_num_instances()
+        pair = find_pair_of_interest(small_log, query, schema=job_schema,
+                                     rng=random.Random(2))
+        explanation = PerfXplainExplainer().explain(
+            small_log, query.with_pair(*pair), schema=job_schema, width=3
+        )
+        mentioned = {feature.split("_isSame")[0].split("_compare")[0]
+                     for feature in explanation.because.features()}
+        identifiers = {"dataset_name", "submit_time", "start_time"}
+        assert mentioned - identifiers, "explanation should not consist solely of identifiers"

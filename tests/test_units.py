@@ -1,0 +1,68 @@
+"""Tests for repro.units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import GB, KB, MB, format_duration, format_size, parse_size
+
+
+class TestParseSize:
+    def test_plain_int(self):
+        assert parse_size(1024) == 1024
+
+    def test_plain_float(self):
+        assert parse_size(1536.0) == 1536
+
+    def test_digit_string(self):
+        assert parse_size("2048") == 2048
+
+    def test_megabytes(self):
+        assert parse_size("64 MB") == 64 * MB
+
+    def test_megabytes_no_space(self):
+        assert parse_size("128MB") == 128 * MB
+
+    def test_gigabytes_fractional(self):
+        assert parse_size("1.3GB") == int(1.3 * GB)
+
+    def test_kilobytes(self):
+        assert parse_size("4KB") == 4 * KB
+
+    def test_case_insensitive(self):
+        assert parse_size("64 mb") == 64 * MB
+
+    def test_bytes_suffix(self):
+        assert parse_size("512B") == 512
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            parse_size("lots of data")
+
+
+class TestFormatSize:
+    def test_bytes(self):
+        assert format_size(512) == "512.0 B"
+
+    def test_megabytes(self):
+        assert format_size(64 * MB) == "64.0 MB"
+
+    def test_gigabytes(self):
+        assert format_size(2 * GB) == "2.0 GB"
+
+    @given(st.integers(min_value=1, max_value=10**15))
+    def test_roundtrip_within_rounding(self, num_bytes):
+        rendered = format_size(num_bytes)
+        parsed = parse_size(rendered)
+        # One decimal digit of the displayed unit is the max rounding error.
+        assert abs(parsed - num_bytes) <= max(0.06 * num_bytes, 1)
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(12.34) == "12.3s"
+
+    def test_minutes(self):
+        assert format_duration(150) == "2m30s"
+
+    def test_hours(self):
+        assert format_duration(3723) == "1h02m03s"

@@ -1,0 +1,168 @@
+"""Tests for the Excite log generator and the Pig cost models."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.config import MapReduceConfig
+from repro.cluster.tasks import TaskType
+from repro.exceptions import WorkloadError
+from repro.units import GB, MB
+from repro.workloads.excite import (
+    BASE_FILE_BYTES,
+    ExciteLogProfile,
+    excite_dataset,
+    generate_excite_records,
+    records_to_text,
+)
+from repro.workloads.pig import (
+    PIG_SCRIPTS,
+    SIMPLE_FILTER,
+    SIMPLE_GROUPBY,
+    compile_pig_job,
+    get_script,
+)
+
+
+class TestExciteDataset:
+    def test_paper_sizes(self):
+        # Concatenating the tutorial file 30 / 60 times gives ~1.3 / ~2.6 GB.
+        assert excite_dataset(30).size_bytes == pytest.approx(1.3 * GB, rel=0.02)
+        assert excite_dataset(60).size_bytes == pytest.approx(2.6 * GB, rel=0.02)
+
+    def test_records_scale_with_factor(self):
+        assert excite_dataset(60).num_records == pytest.approx(
+            2 * excite_dataset(30).num_records, rel=0.01
+        )
+
+    def test_invalid_factor(self):
+        with pytest.raises(WorkloadError):
+            excite_dataset(0)
+
+    def test_profile_validation(self):
+        with pytest.raises(WorkloadError):
+            ExciteLogProfile(url_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            ExciteLogProfile(distinct_user_fraction=0.0)
+
+
+class TestExciteRecords:
+    def test_count(self):
+        records = list(generate_excite_records(500, rng=random.Random(0)))
+        assert len(records) == 500
+
+    def test_url_fraction_approximate(self):
+        profile = ExciteLogProfile(url_fraction=0.2)
+        records = list(generate_excite_records(4000, profile, rng=random.Random(1)))
+        urls = sum(1 for _, _, query in records if query.startswith("http://"))
+        assert 0.15 < urls / len(records) < 0.25
+
+    def test_users_are_skewed(self):
+        records = list(generate_excite_records(4000, rng=random.Random(2)))
+        counts = {}
+        for user, _, _ in records:
+            counts[user] = counts.get(user, 0) + 1
+        top = max(counts.values())
+        assert top > 3 * (len(records) / len(counts))
+
+    def test_timestamps_nondecreasing(self):
+        records = list(generate_excite_records(200, rng=random.Random(3)))
+        stamps = [ts for _, ts, _ in records]
+        assert all(b >= a for a, b in zip(stamps, stamps[1:]))
+
+    def test_text_rendering_is_tab_separated(self):
+        text = records_to_text(generate_excite_records(10, rng=random.Random(4)))
+        lines = text.strip().splitlines()
+        assert len(lines) == 10
+        assert all(line.count("\t") == 2 for line in lines)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            list(generate_excite_records(-1))
+
+
+class TestPigScripts:
+    def test_catalogue_contains_paper_scripts(self):
+        assert "simple-filter.pig" in PIG_SCRIPTS
+        assert "simple-groupby.pig" in PIG_SCRIPTS
+
+    def test_get_script_unknown(self):
+        with pytest.raises(WorkloadError):
+            get_script("mystery.pig")
+
+    def test_filter_is_map_only(self):
+        assert SIMPLE_FILTER.map_only is True
+
+    def test_groupby_shrinks_data(self):
+        assert SIMPLE_GROUPBY.map_output_byte_ratio < 0.5
+
+
+class TestCompilePigJob:
+    def _compile(self, script=SIMPLE_GROUPBY, concat=6, block=64 * MB, reducers=4):
+        dataset = excite_dataset(concat)
+        config = MapReduceConfig(dfs_block_size=block, num_reduce_tasks=reducers)
+        return compile_pig_job("job_x_0001", script, dataset, config,
+                               rng=random.Random(0)), dataset
+
+    def test_one_map_task_per_block(self):
+        job, dataset = self._compile(block=64 * MB)
+        expected = -(-dataset.size_bytes // (64 * MB))
+        assert job.num_map_tasks == expected
+
+    def test_block_size_controls_map_count(self):
+        small_block, _ = self._compile(block=64 * MB)
+        large_block, _ = self._compile(block=256 * MB)
+        assert small_block.num_map_tasks > large_block.num_map_tasks
+
+    def test_filter_has_no_reducers(self):
+        job, _ = self._compile(script=SIMPLE_FILTER, reducers=4)
+        assert job.num_reduce_tasks == 0
+
+    def test_groupby_has_requested_reducers(self):
+        job, _ = self._compile(script=SIMPLE_GROUPBY, reducers=5)
+        assert job.num_reduce_tasks == 5
+
+    def test_map_counters_cover_dataset(self):
+        job, dataset = self._compile()
+        read = sum(task.counters.input_bytes for task in job.map_tasks)
+        assert read == dataset.size_bytes
+
+    def test_reducer_shares_cover_map_output(self):
+        job, _ = self._compile(reducers=7)
+        map_output = sum(task.counters.output_bytes for task in job.map_tasks)
+        shuffle = sum(task.counters.shuffle_bytes for task in job.reduce_tasks)
+        assert shuffle == pytest.approx(map_output, rel=0.01)
+
+    def test_task_ids_are_unique_and_well_formed(self):
+        job, _ = self._compile()
+        ids = [task.task_id for task in job.all_tasks]
+        assert len(ids) == len(set(ids))
+        assert all(task.task_id.startswith("task_x_0001_m_") for task in job.map_tasks)
+        assert all(task.task_id.startswith("task_x_0001_r_") for task in job.reduce_tasks)
+
+    def test_reduce_skew_varies_shares(self):
+        job, _ = self._compile(script=SIMPLE_GROUPBY, reducers=8)
+        shares = [task.counters.shuffle_bytes for task in job.reduce_tasks]
+        assert max(shares) > min(shares)
+
+    def test_metadata_records_workload(self):
+        job, dataset = self._compile()
+        assert job.metadata["pig_script"] == SIMPLE_GROUPBY.name
+        assert job.metadata["inputsize"] == dataset.size_bytes
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        concat=st.integers(min_value=1, max_value=30),
+        block=st.sampled_from([64 * MB, 256 * MB, 1024 * MB]),
+        reducers=st.integers(min_value=1, max_value=16),
+    )
+    def test_compile_invariants(self, concat, block, reducers):
+        dataset = excite_dataset(concat)
+        config = MapReduceConfig(dfs_block_size=block, num_reduce_tasks=reducers)
+        job = compile_pig_job("job_p_0001", SIMPLE_GROUPBY, dataset, config,
+                              rng=random.Random(0))
+        assert job.num_map_tasks == -(-dataset.size_bytes // block)
+        assert job.num_reduce_tasks == reducers
+        assert all(task.nominal_duration > 0 for task in job.all_tasks)
+        assert all(task.task_type is TaskType.MAP for task in job.map_tasks)
