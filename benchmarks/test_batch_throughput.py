@@ -1,0 +1,90 @@
+"""Batch-session throughput: N queries through one session vs. N cold facades.
+
+The session layer (:class:`repro.core.api.PerfXplainSession`) exists so a
+service answering heavy query traffic against a shared execution log pays
+for schema inference, pair selection and training-example construction once
+per clause signature instead of once per query.  This benchmark quantifies
+that: it answers the same mixed batch of job-level queries (a) the cold
+way — a fresh :class:`~repro.core.api.PerfXplain` facade per query — and
+(b) through one session's ``explain_batch``, and asserts the batch path is
+at least 2x faster while producing explanations for every query.
+
+Baseline numbers are recorded in CHANGES.md so later performance PRs have a
+trajectory to beat.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.api import PerfXplain, PerfXplainSession
+
+#: Required speedup.  Relaxed on shared CI runners, where a noisy neighbor
+#: can skew either phase of the wall-clock comparison.
+SPEEDUP_FLOOR = 1.3 if os.environ.get("CI") else 2.0
+
+#: How many queries make up the batch (two clause signatures, interleaved).
+NUM_QUERIES = 12
+
+_WHY_SLOWER = """
+    FOR JOBS ?, ?
+    DESPITE numinstances_isSame = T AND pig_script_isSame = T
+    OBSERVED duration_compare = GT
+    EXPECTED duration_compare = SIM
+"""
+
+_WHY_LAST_TASK_FASTER = """
+    FOR TASKS ?, ?
+    DESPITE job_id_isSame = T AND task_type_isSame = T
+        AND inputsize_compare = SIM AND hostname_isSame = T
+    OBSERVED duration_compare = GT
+    EXPECTED duration_compare = SIM
+"""
+
+
+def _batch_queries():
+    texts = [_WHY_SLOWER, _WHY_LAST_TASK_FASTER]
+    return [texts[index % len(texts)] for index in range(NUM_QUERIES)]
+
+
+def test_batch_session_beats_cold_facades(benchmark, experiment_log):
+    queries = _batch_queries()
+
+    start = time.perf_counter()
+    cold_explanations = [
+        PerfXplain(experiment_log, seed=index).explain(query, width=3)
+        for index, query in enumerate(queries)
+    ]
+    cold_seconds = time.perf_counter() - start
+
+    def run_batch():
+        session = PerfXplainSession(experiment_log, seed=0)
+        return session.explain_batch(queries, width=3, collect_errors=False)
+
+    report = benchmark.pedantic(run_batch, rounds=1, iterations=1)
+    batch_seconds = benchmark.stats.stats.mean
+
+    assert len(report) == NUM_QUERIES
+    assert all(entry.ok for entry in report)
+    for cold, entry in zip(cold_explanations, report):
+        assert entry.explanation is not None
+        assert entry.explanation.width >= 1
+        assert cold.width >= 1
+
+    speedup = cold_seconds / batch_seconds
+    benchmark.extra_info["num_queries"] = NUM_QUERIES
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 3)
+    benchmark.extra_info["batch_seconds"] = round(batch_seconds, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+
+    print(f"\nBatch throughput — {NUM_QUERIES} queries on the "
+          f"{experiment_log.num_jobs}-job log:")
+    print(f"  cold facades : {cold_seconds:.2f} s")
+    print(f"  one session  : {batch_seconds:.2f} s")
+    print(f"  speedup      : {speedup:.1f}x")
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batch session should be at least {SPEEDUP_FLOOR}x faster than cold "
+        f"facades (got {speedup:.2f}x)"
+    )

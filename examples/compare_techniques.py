@@ -18,10 +18,9 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro.core.baselines import RuleOfThumbExplainer, SimButDiffExplainer
+from repro import PerfXplain
 from repro.core.evaluation import evaluate_precision_vs_width, precision_generality_points
-from repro.core.explainer import PerfXplainExplainer
-from repro.core.queries import find_pair_of_interest, why_slower_despite_same_num_instances
+from repro.core.queries import why_slower_despite_same_num_instances
 from repro.logs.parser import parse_job_history
 from repro.logs.store import ExecutionLog
 from repro.logs.writer import write_job_history
@@ -47,12 +46,13 @@ def main() -> None:
     log = roundtrip_through_history_files(log)
     print(f"  -> {log.num_jobs} jobs reloaded from history files\n")
 
-    query = why_slower_despite_same_num_instances()
-    pair = find_pair_of_interest(log, query)
-    query = query.with_pair(*pair)
-    print(f"Pair of interest: {pair[0]} (slower) vs {pair[1]}\n")
+    # The facade resolves the pair of interest and hands out one instance of
+    # every registered technique (custom ones included, had we registered any).
+    px = PerfXplain(log)
+    query = px.resolve(why_slower_despite_same_num_instances())
+    print(f"Pair of interest: {query.first_id} (slower) vs {query.second_id}\n")
 
-    techniques = [PerfXplainExplainer(), RuleOfThumbExplainer(), SimButDiffExplainer()]
+    techniques = list(px.techniques().values())
     print("Running repeated 2-fold cross-validation (3 repetitions, widths 0-4)...")
     sweep = evaluate_precision_vs_width(
         log, query, techniques, widths=(0, 1, 2, 3, 4), repetitions=3, seed=1,

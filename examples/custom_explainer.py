@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Extending PerfXplain with a custom explanation technique.
+
+The explainer registry (:mod:`repro.core.registry`) makes the set of
+techniques open-ended: anything with a ``name`` and an
+``explain(log, query, schema=None, width=None)`` method can be registered
+under a technique name and is then usable everywhere a built-in is — the
+:class:`repro.PerfXplain` facade, the batch
+:class:`repro.PerfXplainSession`, the evaluation harness, and the CLI
+(``--plugin this_file.py --technique biggest-gap``).
+
+The example technique is deliberately simple: it blames the ``diff`` pair
+feature with the largest relative numeric gap between the two executions.
+That is a worse explainer than the paper's Algorithm 1, but it shows the
+full extension surface, including how registered techniques can opt into
+the session's shared training examples to score their output.
+
+Run with:  python examples/custom_explainer.py
+"""
+
+from __future__ import annotations
+
+from repro import Explanation, PerfXplainSession, register_explainer
+from repro.core.evaluation import evaluate_precision_vs_width
+from repro.core.explanation import evaluate_explanation
+from repro.core.pairs import IS_SAME_SUFFIX, NOT_SAME
+from repro.core.pxql.ast import Comparison, Operator, Predicate
+from repro.core.queries import why_slower_despite_same_num_instances
+from repro.workloads import build_experiment_log, small_grid
+
+
+@register_explainer("biggest-gap")
+class BiggestGapExplainer:
+    """Blame the raw features on which the two executions differ the most."""
+
+    name = "BiggestGap"
+
+    def explain(self, log, query, schema=None, width=None, examples=None):
+        width = width if width is not None else 3
+        first = log.find_job(query.first_id) if query.entity.value == "job" \
+            else log.find_task(query.first_id)
+        second = log.find_job(query.second_id) if query.entity.value == "job" \
+            else log.find_task(query.second_id)
+
+        gaps: list[tuple[float, str]] = []
+        for feature, left in first.features.items():
+            right = second.features.get(feature)
+            if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+                continue
+            if isinstance(left, bool) or isinstance(right, bool):
+                continue
+            biggest = max(abs(left), abs(right))
+            if biggest == 0:
+                continue
+            gaps.append((abs(left - right) / biggest, feature))
+        gaps.sort(reverse=True)
+
+        atoms = [
+            Comparison(feature + IS_SAME_SUFFIX, Operator.EQ, NOT_SAME)
+            for _, feature in gaps[:width]
+        ]
+        explanation = Explanation(
+            because=Predicate.conjunction(atoms), technique=self.name
+        )
+        # `examples` is the session's shared training set; a technique that
+        # declares the keyword gets it for free and can score itself.
+        if examples:
+            explanation = explanation.with_metrics(
+                evaluate_explanation(explanation, examples)
+            )
+        return explanation
+
+
+def main() -> None:
+    print("Building the execution log...")
+    log = build_experiment_log(small_grid(), seed=7)
+
+    session = PerfXplainSession(log)
+    query = session.resolve(why_slower_despite_same_num_instances())
+    print(f"Pair of interest: {query.first_id} vs {query.second_id}\n")
+
+    for technique in ("biggest-gap", "perfxplain"):
+        explanation = session.explain(query, width=3, technique=technique)
+        print(f"{explanation.technique}:")
+        print(explanation.format())
+        print()
+
+    print("Evaluating the custom technique next to PerfXplain "
+          "(2-fold cross-validation, 2 repetitions)...")
+    sweep = evaluate_precision_vs_width(
+        log, query,
+        [session.technique("biggest-gap"), session.technique("perfxplain")],
+        widths=(1, 2, 3), repetitions=2, seed=1,
+    )
+    print(sweep.format_table("precision"))
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,9 @@ This script:
 3. asks the paper's job-level question — "why was this job slower than that
    one, even though both ran the same script on the same number of
    instances?" — written in PXQL;
-4. prints the generated explanation and its quality metrics.
+4. prints the generated explanation, its quality metrics, and the same
+   result as machine-readable JSON (``Explanation.to_json`` round-trips
+   through ``Explanation.from_json``).
 
 Run with:  python examples/quickstart.py
 """
@@ -27,20 +29,18 @@ def main() -> None:
 
     px = PerfXplain(log)
 
-    # The pair identifiers are left as '?' so PerfXplain picks a pair of
-    # interest from the log that matches the DESPITE and OBSERVED clauses.
-    query_text = """
+    # The pair identifiers are left as '?'; resolve() picks a pair of
+    # interest from the log that matches the DESPITE and OBSERVED clauses
+    # and returns a BoundQuery with both identifiers guaranteed set.
+    query = px.resolve("""
         FOR JOBS ?, ?
         DESPITE numinstances_isSame = T AND pig_script_isSame = T
         OBSERVED duration_compare = GT
         EXPECTED duration_compare = SIM
-    """
-    query = px.parse(query_text)
-    first_id, second_id = px.find_pair(query)
-    query = query.with_pair(first_id, second_id)
+    """)
 
-    slow = log.find_job(first_id)
-    fast = log.find_job(second_id)
+    slow = log.find_job(query.first_id)
+    fast = log.find_job(query.second_id)
     print("Pair of interest:")
     for job in (slow, fast):
         print(f"  {job.job_id}: {job.features['pig_script']} on "
@@ -57,6 +57,10 @@ def main() -> None:
     explanation = px.explain(query, width=3)
     print("PerfXplain explanation:")
     print(explanation.format())
+    print()
+
+    print("The same explanation as machine-readable JSON:")
+    print(explanation.to_json(indent=2))
 
 
 if __name__ == "__main__":

@@ -17,8 +17,8 @@ The package is organised as:
 * :mod:`repro.ml` — information gain, Relief and a small decision tree,
   implemented from scratch;
 * :mod:`repro.core` — the PerfXplain contribution: PXQL, pair features,
-  explanation metrics, Algorithm 1, the baselines and the evaluation
-  harness.
+  explanation metrics, Algorithm 1, the baselines, the pluggable explainer
+  registry, the batch session, and the evaluation harness.
 
 Quick start::
 
@@ -27,31 +27,71 @@ Quick start::
 
     log = build_experiment_log(small_grid(), seed=7)
     px = PerfXplain(log)
-    print(px.explain(\"\"\"
+    explanation = px.explain(\"\"\"
         FOR JOBS ?, ?
         DESPITE numinstances_isSame = T AND pig_script_isSame = T
         OBSERVED duration_compare = GT
         EXPECTED duration_compare = SIM
-    \"\"\").format())
+    \"\"\")
+    print(explanation.format())        # human-readable
+    print(explanation.to_json())       # machine-readable, round-trips
+
+Answering many queries?  Use a session, which shares schema inference,
+pair selection and training-example construction across calls::
+
+    from repro import PerfXplainSession
+
+    session = PerfXplainSession(log)
+    report = session.explain_batch([query1, query2, query3])
+    report.save("results.json")
+
+Need a custom technique?  Register it once and it works through the
+facade, the CLI ``--technique`` flag and the evaluation harness alike::
+
+    from repro import register_explainer
+
+    @register_explainer("always-blocksize")
+    class BlocksizeExplainer:
+        name = "AlwaysBlocksize"
+
+        def explain(self, log, query, schema=None, width=None):
+            ...
 """
 
-from repro.core.api import PerfXplain
+from repro.core.api import PerfXplain, PerfXplainSession
 from repro.core.explainer import PerfXplainConfig, PerfXplainExplainer
 from repro.core.explanation import Explanation, ExplanationMetrics
 from repro.core.features import FeatureLevel
-from repro.core.pxql import PXQLQuery, Predicate, parse_predicate, parse_query
+from repro.core.pxql import BoundQuery, PXQLQuery, Predicate, parse_predicate, parse_query
+from repro.core.registry import (
+    Explainer,
+    create_explainer,
+    register_explainer,
+    registered_explainers,
+    unregister_explainer,
+)
+from repro.core.report import Report, ReportEntry
 from repro.logs.records import JobRecord, TaskRecord
 from repro.logs.store import ExecutionLog
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PerfXplain",
+    "PerfXplainSession",
     "PerfXplainConfig",
     "PerfXplainExplainer",
+    "Explainer",
+    "create_explainer",
+    "register_explainer",
+    "registered_explainers",
+    "unregister_explainer",
     "Explanation",
     "ExplanationMetrics",
+    "Report",
+    "ReportEntry",
     "FeatureLevel",
+    "BoundQuery",
     "PXQLQuery",
     "Predicate",
     "parse_predicate",

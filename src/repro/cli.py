@@ -6,25 +6,37 @@ Three subcommands cover the typical workflow:
     Simulate a workload grid and save the execution log as JSON.
 
 ``repro-perfxplain explain --log log.json --query query.pxql``
-    Parse a PXQL query (from a file or stdin) and print the explanation.
+    Parse a PXQL query (from a file or stdin) and print the explanation,
+    as text or (with ``--format json``) as a machine-readable report.
 
 ``repro-perfxplain evaluate --log log.json --query-name WhySlowerDespiteSameNumInstances``
-    Run the cross-validated precision-vs-width comparison of the three
-    techniques for one of the paper's queries.
+    Run the cross-validated precision-vs-width comparison of every
+    registered technique for one of the paper's queries.
+
+The ``--technique`` argument accepts any name in the explainer registry;
+``--plugin`` imports a module (dotted name or ``.py`` path) before
+dispatch, so custom techniques registered with ``@register_explainer``
+work end-to-end from the command line::
+
+    repro-perfxplain explain --log log.json --plugin my_explainers \\
+        --technique my-technique --query query.pxql
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
+import importlib.util
+import json
 import sys
 from pathlib import Path
 
-from repro.core.api import PerfXplain
-from repro.core.baselines import RuleOfThumbExplainer, SimButDiffExplainer
+from repro.core.api import PerfXplain, PerfXplainSession
 from repro.core.evaluation import evaluate_precision_vs_width
-from repro.core.explainer import PerfXplainExplainer
 from repro.core.pxql.parser import parse_query
-from repro.core.queries import PAPER_QUERIES, find_pair_of_interest
+from repro.core.queries import PAPER_QUERIES
+from repro.core.report import Report, ReportEntry
+from repro.core.reporting import sweep_to_dict
 from repro.exceptions import ReproError
 from repro.logs.store import ExecutionLog
 from repro.workloads.grid import build_experiment_log, paper_grid, small_grid, tiny_grid
@@ -49,15 +61,22 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="keep only job records (smaller output)")
     generate.add_argument("--output", type=Path, required=True, help="output JSON path")
 
-    explain = subparsers.add_parser("explain", help="answer a PXQL query")
+    explain = subparsers.add_parser("explain", help="answer one or more PXQL queries")
     explain.add_argument("--log", type=Path, required=True, help="execution log JSON")
-    explain.add_argument("--query", type=Path,
-                         help="file containing the PXQL query (default: stdin)")
+    explain.add_argument("--query", type=Path, action="append",
+                         help="file containing a PXQL query; repeatable "
+                              "(default: one query from stdin)")
     explain.add_argument("--width", type=int, default=3, help="explanation width")
     explain.add_argument("--technique", default="perfxplain",
-                         choices=["perfxplain", "ruleofthumb", "simbutdiff"])
+                         help="registered technique name (built-ins: "
+                              "perfxplain, ruleofthumb, simbutdiff)")
     explain.add_argument("--auto-despite", action="store_true",
                          help="let PerfXplain extend the despite clause first")
+    explain.add_argument("--format", choices=["text", "json"], default="text",
+                         help="output format (default: text)")
+    explain.add_argument("--plugin", action="append", default=[],
+                         help="module (dotted name or .py path) to import "
+                              "before dispatch; may register explainers")
 
     evaluate = subparsers.add_parser("evaluate", help="compare techniques on a paper query")
     evaluate.add_argument("--log", type=Path, required=True, help="execution log JSON")
@@ -66,7 +85,50 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--widths", type=int, nargs="+", default=[0, 1, 2, 3])
     evaluate.add_argument("--repetitions", type=int, default=3)
     evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--technique", action="append", default=None, dest="techniques",
+                          help="technique to evaluate; repeatable "
+                               "(default: every registered technique)")
+    evaluate.add_argument("--format", choices=["text", "json"], default="text",
+                          help="output format (default: text)")
+    evaluate.add_argument("--plugin", action="append", default=[],
+                          help="module (dotted name or .py path) to import "
+                               "before dispatch; may register explainers")
     return parser
+
+
+def _load_plugins(specs: list[str]) -> None:
+    """Import each plugin module so its ``@register_explainer`` calls run."""
+    for spec in dict.fromkeys(specs):
+        path = Path(spec)
+        if path.suffix == ".py":
+            if not path.exists():
+                raise ReproError(f"plugin file {spec!r} does not exist")
+            module_spec = importlib.util.spec_from_file_location(path.stem, path)
+            if module_spec is None or module_spec.loader is None:
+                raise ReproError(f"cannot load plugin from {spec!r}")
+            module = importlib.util.module_from_spec(module_spec)
+            added = path.stem not in sys.modules
+            if added:
+                sys.modules[path.stem] = module
+            try:
+                module_spec.loader.exec_module(module)
+            except ReproError:
+                if added:
+                    sys.modules.pop(path.stem, None)
+                raise
+            except Exception as error:
+                if added:
+                    sys.modules.pop(path.stem, None)
+                raise ReproError(f"plugin {spec!r} failed to load: {error}") from error
+        else:
+            try:
+                importlib.import_module(spec)
+            except ReproError:
+                raise
+            except Exception as error:
+                raise ReproError(
+                    f"cannot import plugin module {spec!r}: {error}"
+                ) from error
 
 
 def _cmd_generate_log(args: argparse.Namespace) -> int:
@@ -84,31 +146,64 @@ def _cmd_generate_log(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
+    _load_plugins(args.plugin)
     log = ExecutionLog.load(args.log)
-    text = args.query.read_text(encoding="utf-8") if args.query else sys.stdin.read()
-    query = parse_query(text)
-    px = PerfXplain(log)
-    explanation = px.explain(query, width=args.width, technique=args.technique,
-                             auto_despite=args.auto_despite)
-    print(explanation.format())
+    if args.query:
+        texts = [path.read_text(encoding="utf-8") for path in args.query]
+    else:
+        texts = [sys.stdin.read()]
+    queries = [parse_query(text) for text in texts]
+
+    session = PerfXplainSession(log)
+    report = Report()
+    for query in queries:
+        resolved = session.resolve(query)
+        explanation = session.explain(
+            resolved, width=args.width, technique=args.technique,
+            auto_despite=args.auto_despite,
+        )
+        report.add(ReportEntry.for_query(resolved, explanation))
+
+    if args.format == "json":
+        print(report.to_json(indent=2))
+    else:
+        for entry in report:
+            if entry.first_id and entry.second_id:
+                print(f"Pair of interest: {entry.first_id} vs {entry.second_id}",
+                      file=sys.stderr)
+            assert entry.explanation is not None
+            print(entry.explanation.format())
     return 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    _load_plugins(args.plugin)
     log = ExecutionLog.load(args.log)
-    query = PAPER_QUERIES[args.query_name]()
-    pair = find_pair_of_interest(log, query)
-    query = query.with_pair(*pair)
-    print(f"Pair of interest: {pair[0]} vs {pair[1]}", file=sys.stderr)
-    techniques = [PerfXplainExplainer(), RuleOfThumbExplainer(), SimButDiffExplainer()]
+    px = PerfXplain(log, seed=args.seed)
+    query = px.resolve(PAPER_QUERIES[args.query_name]())
+    print(f"Pair of interest: {query.first_id} vs {query.second_id}", file=sys.stderr)
+    if args.techniques:
+        techniques = [px.technique(name) for name in args.techniques]
+    else:
+        techniques = list(px.techniques().values())
     sweep = evaluate_precision_vs_width(
         log, query, techniques, widths=tuple(args.widths),
         repetitions=args.repetitions, seed=args.seed,
     )
-    print("Precision on the held-out log:")
-    print(sweep.format_table("precision"))
-    print("\nGenerality on the held-out log:")
-    print(sweep.format_table("generality"))
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "query": str(query),
+                "pair": [query.first_id, query.second_id],
+                "results": sweep_to_dict(sweep),
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print("Precision on the held-out log:")
+        print(sweep.format_table("precision"))
+        print("\nGenerality on the held-out log:")
+        print(sweep.format_table("generality"))
     return 0
 
 

@@ -18,17 +18,38 @@ Submodules:
   Section 5;
 * :mod:`repro.core.evaluation` — the repeated 2-fold cross-validation
   harness used in Section 6;
-* :mod:`repro.core.api` — the :class:`~repro.core.api.PerfXplain` facade.
+* :mod:`repro.core.registry` — the pluggable explainer registry behind the
+  ``technique=`` argument everywhere;
+* :mod:`repro.core.report` — machine-readable result containers
+  (:class:`~repro.core.report.Report`);
+* :mod:`repro.core.api` — the :class:`~repro.core.api.PerfXplain` facade
+  and the batch :class:`~repro.core.api.PerfXplainSession`.
 """
 
 from repro.core.features import FeatureKind, FeatureLevel, FeatureSchema, infer_schema
 from repro.core.pairs import PairFeatureConfig, compute_pair_features, pair_feature_catalog
-from repro.core.pxql import Comparison, Operator, Predicate, PXQLQuery, parse_predicate, parse_query
+from repro.core.pxql import (
+    BoundQuery,
+    Comparison,
+    Operator,
+    Predicate,
+    PXQLQuery,
+    parse_predicate,
+    parse_query,
+)
 from repro.core.explanation import Explanation, ExplanationMetrics
 from repro.core.examples import Label, TrainingExample, construct_training_examples
 from repro.core.explainer import PerfXplainConfig, PerfXplainExplainer
 from repro.core.baselines import RuleOfThumbExplainer, SimButDiffExplainer
-from repro.core.api import PerfXplain
+from repro.core.registry import (
+    Explainer,
+    create_explainer,
+    register_explainer,
+    registered_explainers,
+    unregister_explainer,
+)
+from repro.core.report import Report, ReportEntry
+from repro.core.api import PerfXplain, PerfXplainSession
 
 __all__ = [
     "FeatureKind",
@@ -38,6 +59,7 @@ __all__ = [
     "PairFeatureConfig",
     "compute_pair_features",
     "pair_feature_catalog",
+    "BoundQuery",
     "Comparison",
     "Operator",
     "Predicate",
@@ -53,5 +75,13 @@ __all__ = [
     "PerfXplainExplainer",
     "RuleOfThumbExplainer",
     "SimButDiffExplainer",
+    "Explainer",
+    "create_explainer",
+    "register_explainer",
+    "registered_explainers",
+    "unregister_explainer",
+    "Report",
+    "ReportEntry",
     "PerfXplain",
+    "PerfXplainSession",
 ]

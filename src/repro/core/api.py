@@ -1,4 +1,4 @@
-"""The high-level PerfXplain facade.
+"""The high-level PerfXplain facade and batch session.
 
 This is the entry point most users need: load (or build) an execution log,
 wrap it in :class:`PerfXplain`, and ask questions either as PXQL text or as
@@ -18,26 +18,38 @@ wrap it in :class:`PerfXplain`, and ask questions either as PXQL text or as
         EXPECTED duration_compare = SIM
     ''')
     print(explanation.format())
+
+Techniques are resolved through the pluggable registry
+(:mod:`repro.core.registry`): anything registered with
+``@register_explainer`` is immediately usable as the ``technique=``
+argument.  For answering *many* queries against one log, use
+:class:`PerfXplainSession` — it shares schema inference, pair selection and
+training-example construction across calls, and offers
+:meth:`PerfXplainSession.explain_batch`.
 """
 
 from __future__ import annotations
 
 import random
 
-from repro.core.baselines import RuleOfThumbExplainer, SimButDiffExplainer
-from repro.core.examples import find_record, records_for_query
+from repro.core.examples import TrainingExample, construct_training_examples, find_record, records_for_query
 from repro.core.explanation import Explanation
 from repro.core.explainer import PerfXplainConfig, PerfXplainExplainer
-from repro.core.features import FeatureLevel, FeatureSchema, infer_schema
-from repro.core.pairs import PairFeatureConfig, compute_pair_features
-from repro.core.pxql import PXQLQuery, Predicate, parse_query
+from repro.core.features import FeatureSchema, infer_schema
+from repro.core.pairs import compute_pair_features
+from repro.core.pxql import BoundQuery, PXQLQuery, Predicate, parse_query
 from repro.core.queries import find_pair_of_interest
-from repro.exceptions import ExplanationError
+from repro.core.registry import (
+    Explainer,
+    call_explainer,
+    create_explainer,
+    explainer_seed_offset,
+    registered_explainers,
+)
+from repro.core.report import Report, ReportEntry
+from repro.exceptions import ExplanationError, ReproError
 from repro.logs.records import FeatureValue
 from repro.logs.store import ExecutionLog
-
-#: Names accepted by :meth:`PerfXplain.explain`'s ``technique`` argument.
-TECHNIQUE_NAMES = ("perfxplain", "ruleofthumb", "simbutdiff")
 
 
 class PerfXplain:
@@ -58,13 +70,7 @@ class PerfXplain:
         self.config = config if config is not None else PerfXplainConfig()
         self._seed = seed
         self._schemas: dict[str, FeatureSchema] = {}
-        self._explainer = PerfXplainExplainer(self.config, rng=random.Random(seed))
-        self._rule_of_thumb = RuleOfThumbExplainer(
-            pair_config=self.config.pair_config, rng=random.Random(seed + 1)
-        )
-        self._sim_but_diff = SimButDiffExplainer(
-            pair_config=self.config.pair_config, rng=random.Random(seed + 2)
-        )
+        self._technique_instances: dict[str, Explainer] = {}
 
     # ------------------------------------------------------------------ #
     # queries and explanations
@@ -87,38 +93,47 @@ class PerfXplain:
             are left unspecified, a representative pair of interest is picked
             from the log automatically.
         :param width: explanation width (defaults to the configured width).
-        :param technique: ``"perfxplain"`` (default), ``"ruleofthumb"`` or
-            ``"simbutdiff"``.
-        :param auto_despite: let PerfXplain extend the despite clause before
-            generating the because clause (only supported by PerfXplain).
+        :param technique: any registered technique name — ``"perfxplain"``
+            (default), ``"ruleofthumb"``, ``"simbutdiff"``, or a custom one
+            registered via
+            :func:`~repro.core.registry.register_explainer`.
+        :param auto_despite: let the technique extend the despite clause
+            before generating the because clause (techniques that do not
+            declare the keyword reject the request).
         """
-        query = self._resolve_query(query)
-        schema = self.schema_for(query)
-        technique_key = technique.lower()
-        if technique_key == "perfxplain":
-            return self._explainer.explain(
-                self.log, query, schema=schema, width=width, auto_despite=auto_despite
-            )
-        if technique_key == "ruleofthumb":
-            return self._rule_of_thumb.explain(self.log, query, schema=schema, width=width)
-        if technique_key == "simbutdiff":
-            return self._sim_but_diff.explain(self.log, query, schema=schema, width=width)
-        raise ExplanationError(
-            f"unknown technique {technique!r}; expected one of {TECHNIQUE_NAMES}"
+        resolved = self.resolve(query)
+        schema = self.schema_for(resolved)
+        return call_explainer(
+            self.technique(technique),
+            self.log,
+            resolved,
+            schema=schema,
+            width=width,
+            auto_despite=auto_despite,
+            # Deferred: only constructed if the technique accepts examples.
+            examples=lambda: self._examples_for(resolved),
         )
 
     def suggest_despite(self, query: str | PXQLQuery, width: int | None = None) -> Predicate:
         """Generate a ``des'`` clause for an under-specified query."""
-        query = self._resolve_query(query)
-        schema = self.schema_for(query)
-        return self._explainer.generate_despite(self.log, query, schema=schema, width=width)
+        resolved = self.resolve(query)
+        schema = self.schema_for(resolved)
+        explainer = self.technique("perfxplain")
+        if not isinstance(explainer, PerfXplainExplainer):
+            raise ExplanationError(
+                "despite-clause suggestion requires the PerfXplain technique"
+            )
+        return explainer.generate_despite(
+            self.log, resolved, schema=schema, width=width,
+            examples=self._examples_for(resolved),
+        )
 
     def pair_features(self, query: str | PXQLQuery) -> dict[str, FeatureValue]:
         """The full pair-feature vector of a query's pair of interest."""
-        query = self._resolve_query(query)
-        schema = self.schema_for(query)
-        first = find_record(self.log, query, query.first_id)  # type: ignore[arg-type]
-        second = find_record(self.log, query, query.second_id)  # type: ignore[arg-type]
+        resolved = self.resolve(query)
+        schema = self.schema_for(resolved)
+        first = find_record(self.log, resolved, resolved.first_id)
+        second = find_record(self.log, resolved, resolved.second_id)
         return compute_pair_features(first, second, schema, self.config.pair_config)
 
     def find_pair(self, query: str | PXQLQuery) -> tuple[str, str]:
@@ -129,6 +144,20 @@ class PerfXplain:
             self.log, query, schema=schema, config=self.config.pair_config,
             rng=random.Random(self._seed),
         )
+
+    def resolve(self, query: str | PXQLQuery) -> BoundQuery:
+        """Parse and bind a query to a concrete pair of interest.
+
+        Text queries are parsed first; queries without pair identifiers get
+        a representative pair picked from the log.  The result's identifiers
+        are guaranteed non-``None``.
+        """
+        if isinstance(query, str):
+            query = self.parse(query)
+        if not query.has_pair:
+            first_id, second_id = self.find_pair(query)
+            return query.with_pair(first_id, second_id)
+        return query.bound()
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -146,18 +175,155 @@ class PerfXplain:
             self._schemas[key] = infer_schema(records)
         return self._schemas[key]
 
-    def techniques(self) -> dict[str, object]:
-        """The underlying technique objects, keyed by their public names."""
-        return {
-            "perfxplain": self._explainer,
-            "ruleofthumb": self._rule_of_thumb,
-            "simbutdiff": self._sim_but_diff,
-        }
+    def technique(self, name: str) -> Explainer:
+        """The (lazily instantiated) explainer behind a technique name.
 
-    def _resolve_query(self, query: str | PXQLQuery) -> PXQLQuery:
-        if isinstance(query, str):
-            query = self.parse(query)
-        if not query.has_pair:
-            first_id, second_id = self.find_pair(query)
-            query = query.with_pair(first_id, second_id)
-        return query
+        Instances are cached per facade; each technique's random generator
+        is derived deterministically from the facade seed and the technique
+        name, so adding or removing registrations never perturbs another
+        technique's output.
+        """
+        key = name.lower()
+        if key not in self._technique_instances:
+            rng = random.Random(self._seed + explainer_seed_offset(key))
+            self._technique_instances[key] = create_explainer(
+                key, config=self.config, rng=rng
+            )
+        return self._technique_instances[key]
+
+    def techniques(self) -> dict[str, Explainer]:
+        """Every registered technique, instantiated, keyed by public name."""
+        return {name: self.technique(name) for name in registered_explainers()}
+
+    def _examples_for(self, query: BoundQuery) -> list[TrainingExample] | None:
+        """Precomputed training examples for a resolved query.
+
+        The plain facade computes nothing ahead of time (each technique
+        builds its own examples); :class:`PerfXplainSession` overrides this
+        with a shared per-clause-signature cache.
+        """
+        return None
+
+class PerfXplainSession(PerfXplain):
+    """A PerfXplain facade optimised for answering many queries on one log.
+
+    Queries against the same log repeat the same expensive intermediate
+    work: inferring the feature schema, enumerating the related pairs of
+    Definition 7, and encoding their pair-feature vectors.  The session
+    caches that work keyed by the query's *clause signature* — the
+    (entity, despite, observed, expected) quadruple — which is what the
+    training examples actually depend on (not the pair of interest), so N
+    queries with shared clauses pay for one construction.
+
+    All caching is deterministic: the session derives every random
+    generator from its seed, so a session answers a fixed query list
+    identically across runs.
+    """
+
+    def __init__(
+        self,
+        log: ExecutionLog,
+        config: PerfXplainConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(log, config=config, seed=seed)
+        self._example_cache: dict[tuple, list[TrainingExample]] = {}
+        self._pair_cache: dict[tuple, tuple[str, str]] = {}
+        self._pair_feature_cache: dict[tuple, dict[str, FeatureValue]] = {}
+
+    # ------------------------------------------------------------------ #
+    # batch answering
+    # ------------------------------------------------------------------ #
+
+    def explain_batch(
+        self,
+        queries: list[str | PXQLQuery] | tuple[str | PXQLQuery, ...],
+        width: int | None = None,
+        technique: str = "perfxplain",
+        auto_despite: bool = False,
+        collect_errors: bool = True,
+    ) -> Report:
+        """Answer many queries and collect the results in a :class:`Report`.
+
+        :param queries: PXQL texts and/or query objects, in answer order.
+        :param width: explanation width applied to every query.
+        :param technique: registered technique name applied to every query.
+        :param auto_despite: forwarded to every :meth:`explain` call.
+        :param collect_errors: record failing queries as error entries in
+            the report instead of raising on the first failure.
+        """
+        report = Report()
+        for query in queries:
+            try:
+                resolved = self.resolve(query)
+                explanation = self.explain(
+                    resolved, width=width, technique=technique,
+                    auto_despite=auto_despite,
+                )
+                report.add(ReportEntry.for_query(resolved, explanation))
+            except ReproError as error:
+                if not collect_errors:
+                    raise
+                text = query if isinstance(query, str) else str(query)
+                report.add(ReportEntry(query=text.strip(), error=str(error)))
+        return report
+
+    # ------------------------------------------------------------------ #
+    # shared-state caches
+    # ------------------------------------------------------------------ #
+
+    def training_examples(self, query: str | PXQLQuery) -> list[TrainingExample]:
+        """The (cached) training examples for a query's clause signature."""
+        resolved = self.resolve(query)
+        key = self._clause_signature(resolved)
+        if key not in self._example_cache:
+            self._example_cache[key] = construct_training_examples(
+                self.log,
+                resolved,
+                self.schema_for(resolved),
+                config=self.config.pair_config,
+                sample_size=self.config.sample_size,
+                rng=random.Random(self._seed),
+            )
+        return self._example_cache[key]
+
+    def find_pair(self, query: str | PXQLQuery) -> tuple[str, str]:
+        """Pick a pair of executions for a query (cached per clause signature)."""
+        query = query if isinstance(query, PXQLQuery) else self.parse(query)
+        key = self._clause_signature(query)
+        if key not in self._pair_cache:
+            self._pair_cache[key] = super().find_pair(query)
+        return self._pair_cache[key]
+
+    def pair_features(self, query: str | PXQLQuery) -> dict[str, FeatureValue]:
+        """The pair-feature vector of a query's pair (cached per pair)."""
+        resolved = self.resolve(query)
+        key = (resolved.entity.value, resolved.first_id, resolved.second_id)
+        if key not in self._pair_feature_cache:
+            self._pair_feature_cache[key] = super().pair_features(resolved)
+        return self._pair_feature_cache[key]
+
+    def _examples_for(self, query: BoundQuery) -> list[TrainingExample] | None:
+        return self.training_examples(query)
+
+    @staticmethod
+    def _clause_signature(query: PXQLQuery) -> tuple:
+        """What the training examples depend on: entity + the three clauses.
+
+        The key is structural (feature, operator, value, value type), not
+        ``str()``-rendered: rendering would alias predicates that compare
+        against ``2`` and ``"2"``, whose evaluation semantics differ.
+        """
+        def atoms(predicate: Predicate) -> tuple:
+            return tuple(
+                (atom.feature, atom.operator.value, atom.value,
+                 type(atom.value).__name__)
+                for atom in predicate.atoms
+            )
+
+        return (
+            query.entity.value,
+            atoms(query.despite),
+            atoms(query.observed),
+            atoms(query.expected),
+        )

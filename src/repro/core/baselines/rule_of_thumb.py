@@ -23,11 +23,13 @@ from repro.core.pairs import (
 from repro.core.pxql.ast import Comparison, Operator, Predicate, TRUE_PREDICATE
 from repro.core.pxql.query import PXQLQuery
 from repro.core.examples import construct_training_examples, records_for_query
+from repro.core.registry import register_explainer
 from repro.exceptions import ExplanationError
 from repro.logs.store import ExecutionLog
 from repro.ml.relief import relieff_importance
 
 
+@register_explainer("ruleofthumb", override=True)
 class RuleOfThumbExplainer:
     """Explain by pointing at globally important features the pair disagrees on."""
 
@@ -84,11 +86,14 @@ class RuleOfThumbExplainer:
         schema: FeatureSchema | None = None,
         width: int | None = None,
         auto_despite: bool = False,
+        examples: list | None = None,
     ) -> Explanation:
         """Top-``width`` important features the pair disagrees on.
 
         The ``auto_despite`` flag is accepted for interface compatibility but
-        ignored: RuleOfThumb never generates a despite clause.
+        ignored: RuleOfThumb never generates a despite clause.  Precomputed
+        training ``examples`` (from the session layer) are only used to
+        score the explanation's metrics.
         """
         if not query.has_pair:
             raise ExplanationError("the query must be bound to a pair of interest")
@@ -112,9 +117,10 @@ class RuleOfThumbExplainer:
         explanation = Explanation(
             because=because, despite=TRUE_PREDICATE, technique=self.name
         )
-        examples = construct_training_examples(
-            log, query, schema, config=self.pair_config, rng=self._rng
-        )
+        if examples is None:
+            examples = construct_training_examples(
+                log, query, schema, config=self.pair_config, rng=self._rng
+            )
         if examples:
             explanation = explanation.with_metrics(
                 evaluate_explanation(explanation, examples)

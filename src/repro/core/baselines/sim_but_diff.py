@@ -30,10 +30,12 @@ from repro.core.pairs import (
 )
 from repro.core.pxql.ast import Comparison, Operator, Predicate, TRUE_PREDICATE
 from repro.core.pxql.query import PXQLQuery
+from repro.core.registry import register_explainer
 from repro.exceptions import ConfigurationError, ExplanationError
 from repro.logs.store import ExecutionLog
 
 
+@register_explainer("simbutdiff", override=True)
 class SimButDiffExplainer:
     """What-if analysis over the isSame features of similar pairs."""
 
@@ -60,10 +62,13 @@ class SimButDiffExplainer:
         schema: FeatureSchema | None = None,
         width: int | None = None,
         auto_despite: bool = False,
+        examples: list[TrainingExample] | None = None,
     ) -> Explanation:
         """Generate a width-``width`` explanation via Algorithm 2.
 
         ``auto_despite`` is accepted for interface compatibility and ignored.
+        Precomputed training ``examples`` (from the session layer) replace
+        the internal related-pair enumeration.
         """
         if not query.has_pair:
             raise ExplanationError("the query must be bound to a pair of interest")
@@ -74,12 +79,13 @@ class SimButDiffExplainer:
         second = find_record(log, query, query.second_id)
         pair_values = compute_pair_features(first, second, schema, self.pair_config)
 
-        examples = construct_training_examples(
-            log, query, schema,
-            config=self.pair_config,
-            sample_size=self.sample_size,
-            rng=self._rng,
-        )
+        if examples is None:
+            examples = construct_training_examples(
+                log, query, schema,
+                config=self.pair_config,
+                sample_size=self.sample_size,
+                rng=self._rng,
+            )
         is_same_features = sorted(
             name
             for name in pair_values

@@ -35,7 +35,13 @@ from repro.logs.store import ExecutionLog
 
 
 class ExplanationTechnique(Protocol):
-    """The interface every explanation-generation technique exposes."""
+    """The interface every explanation-generation technique exposes.
+
+    This is the same contract as :class:`repro.core.registry.Explainer`
+    (plus the optional ``auto_despite`` keyword); instances obtained from
+    the registry — e.g. via :meth:`repro.core.api.PerfXplain.techniques` —
+    can be passed to every sweep in this module.
+    """
 
     name: str
 

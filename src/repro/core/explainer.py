@@ -36,6 +36,7 @@ from repro.core.features import FeatureLevel, FeatureSchema, infer_schema
 from repro.core.pairs import PairFeatureConfig, compute_pair_features, pair_feature_catalog
 from repro.core.pxql.ast import Comparison, Operator, Predicate, TRUE_PREDICATE
 from repro.core.pxql.query import PXQLQuery
+from repro.core.registry import register_explainer
 from repro.exceptions import ConfigurationError, ExplanationError
 from repro.logs.records import FeatureValue
 from repro.logs.store import ExecutionLog
@@ -85,6 +86,7 @@ class PerfXplainConfig:
             raise ConfigurationError("min_examples must be >= 2")
 
 
+@register_explainer("perfxplain", override=True)
 class PerfXplainExplainer:
     """Generates PerfXplain explanations for PXQL queries."""
 
@@ -107,6 +109,7 @@ class PerfXplainExplainer:
         width: int | None = None,
         auto_despite: bool = False,
         despite_width: int | None = None,
+        examples: list[TrainingExample] | None = None,
     ) -> Explanation:
         """Generate an explanation for a query bound to a pair of interest.
 
@@ -117,6 +120,10 @@ class PerfXplainExplainer:
         :param auto_despite: also generate a ``des'`` clause (Section 4.2)
             and use it as additional context for the because clause.
         :param despite_width: width of the generated despite clause.
+        :param examples: precomputed training examples for the query's
+            clauses (the session layer shares one construction across many
+            calls).  With ``auto_despite`` they are re-filtered by the
+            generated ``des'`` extension.
         """
         if not query.has_pair:
             raise ExplanationError("the query must be bound to a pair of interest")
@@ -132,15 +139,22 @@ class PerfXplainExplainer:
                 log, query, schema,
                 width=despite_width if despite_width is not None else width,
                 pair_values=pair_values,
+                examples=examples,
             )
             working_query = query.with_despite(query.despite.and_then(despite_extension))
 
-        examples = construct_training_examples(
-            log, working_query, schema,
-            config=self.config.pair_config,
-            sample_size=self.config.sample_size,
-            rng=self._rng,
-        )
+        if examples is None:
+            examples = construct_training_examples(
+                log, working_query, schema,
+                config=self.config.pair_config,
+                sample_size=self.config.sample_size,
+                rng=self._rng,
+            )
+        elif not despite_extension.is_true:
+            examples = [
+                example for example in examples
+                if despite_extension.evaluate(example.values)
+            ]
         if not examples:
             raise ExplanationError(
                 "no pair of executions in the log is related to the query; "
@@ -163,6 +177,7 @@ class PerfXplainExplainer:
         schema: FeatureSchema | None = None,
         width: int | None = None,
         pair_values: dict[str, FeatureValue] | None = None,
+        examples: list[TrainingExample] | None = None,
     ) -> Predicate:
         """Generate a ``des'`` clause for an (under-specified) query.
 
@@ -177,12 +192,13 @@ class PerfXplainExplainer:
         if pair_values is None:
             pair_values = self._pair_values(log, query, schema)
 
-        examples = construct_training_examples(
-            log, query, schema,
-            config=self.config.pair_config,
-            sample_size=self.config.sample_size,
-            rng=self._rng,
-        )
+        if examples is None:
+            examples = construct_training_examples(
+                log, query, schema,
+                config=self.config.pair_config,
+                sample_size=self.config.sample_size,
+                rng=self._rng,
+            )
         if not examples:
             raise ExplanationError(
                 "no pair of executions in the log is related to the query; "

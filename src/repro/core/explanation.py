@@ -19,8 +19,9 @@ OBSERVED or EXPECTED).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.core.pxql.ast import Predicate, TRUE_PREDICATE
 from repro.logs.records import FeatureValue
@@ -36,13 +37,27 @@ class ExplanationMetrics:
     support: int
 
     def as_dict(self) -> dict[str, float]:
-        """Metrics as a plain dictionary (handy for reports)."""
+        """Metrics as a plain all-float dictionary (handy for reports)."""
+        return {**self.to_dict(), "support": float(self.support)}
+
+    def to_dict(self) -> dict[str, float | int]:
+        """A JSON-compatible form that round-trips via :meth:`from_dict`."""
         return {
             "relevance": self.relevance,
             "precision": self.precision,
             "generality": self.generality,
-            "support": float(self.support),
+            "support": self.support,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExplanationMetrics":
+        """Rebuild metrics from their :meth:`to_dict` form."""
+        return cls(
+            relevance=float(data["relevance"]),
+            precision=float(data["precision"]),
+            generality=float(data["generality"]),
+            support=int(data["support"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -71,6 +86,40 @@ class Explanation:
             technique=self.technique,
             metrics=metrics,
         )
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible form of the explanation.
+
+        Predicates serialize symbolically (one ``{feature, op, value}``
+        entry per atom) rather than as rendered text, so the result
+        round-trips exactly through :meth:`from_dict`.
+        """
+        return {
+            "technique": self.technique,
+            "despite": self.despite.to_dict(),
+            "because": self.because.to_dict(),
+            "metrics": self.metrics.to_dict() if self.metrics is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Explanation":
+        """Rebuild an explanation from its :meth:`to_dict` form."""
+        metrics = data.get("metrics")
+        return cls(
+            because=Predicate.from_dict(data["because"]),
+            despite=Predicate.from_dict(data.get("despite", [])),
+            technique=data.get("technique", "perfxplain"),
+            metrics=ExplanationMetrics.from_dict(metrics) if metrics is not None else None,
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The :meth:`to_dict` form rendered as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Explanation":
+        """Rebuild an explanation from its :meth:`to_json` form."""
+        return cls.from_dict(json.loads(text))
 
     def format(self) -> str:
         """Human-readable rendering, mirroring the paper's output form."""

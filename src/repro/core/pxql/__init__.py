@@ -19,7 +19,7 @@ their pair features:
 """
 
 from repro.core.pxql.ast import Comparison, Operator, Predicate, TRUE_PREDICATE
-from repro.core.pxql.query import EntityKind, PXQLQuery
+from repro.core.pxql.query import BoundQuery, EntityKind, PXQLQuery
 from repro.core.pxql.parser import parse_predicate, parse_query
 
 __all__ = [
@@ -27,6 +27,7 @@ __all__ = [
     "Operator",
     "Predicate",
     "TRUE_PREDICATE",
+    "BoundQuery",
     "EntityKind",
     "PXQLQuery",
     "parse_predicate",

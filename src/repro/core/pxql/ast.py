@@ -82,6 +82,19 @@ class Comparison:
             return False
         raise AssertionError(f"unhandled operator {self.operator}")
 
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible symbolic form: feature, operator symbol, value."""
+        return {"feature": self.feature, "op": self.operator.value, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Comparison":
+        """Rebuild a comparison from its :meth:`to_dict` form."""
+        return cls(
+            feature=data["feature"],
+            operator=Operator.from_symbol(data["op"]),
+            value=data["value"],
+        )
+
     def __str__(self) -> str:
         value = self.value
         if isinstance(value, str) and (" " in value or not value):
@@ -134,6 +147,19 @@ class Predicate:
     def and_then(self, other: "Predicate") -> "Predicate":
         """The conjunction of two predicates (this one's atoms first)."""
         return Predicate(atoms=self.atoms + other.atoms)
+
+    def to_dict(self) -> list[dict[str, Any]]:
+        """A JSON-compatible symbolic form: one entry per atom, in order.
+
+        The empty list is the TRUE predicate.  Unlike ``str(predicate)``,
+        this form round-trips exactly — operator and value types survive.
+        """
+        return [atom.to_dict() for atom in self.atoms]
+
+    @classmethod
+    def from_dict(cls, data: Iterable[Mapping[str, Any]]) -> "Predicate":
+        """Rebuild a predicate from its :meth:`to_dict` form."""
+        return cls(atoms=tuple(Comparison.from_dict(atom) for atom in data))
 
     def __str__(self) -> str:
         if not self.atoms:

@@ -58,9 +58,29 @@ class PXQLQuery:
         """Whether both execution identifiers are specified."""
         return self.first_id is not None and self.second_id is not None
 
-    def with_pair(self, first_id: str, second_id: str) -> "PXQLQuery":
+    def with_pair(self, first_id: str, second_id: str) -> "BoundQuery":
         """A copy of the query bound to a concrete pair of interest."""
-        return replace(self, first_id=first_id, second_id=second_id)
+        return BoundQuery(
+            entity=self.entity,
+            observed=self.observed,
+            expected=self.expected,
+            despite=self.despite,
+            first_id=first_id,
+            second_id=second_id,
+            name=self.name,
+        )
+
+    def bound(self) -> "BoundQuery":
+        """This query as a :class:`BoundQuery` (pair identifiers non-None).
+
+        :raises PXQLValidationError: if either identifier is unspecified.
+        """
+        if self.first_id is None or self.second_id is None:
+            raise PXQLValidationError(
+                "the query is not bound to a pair of interest "
+                "(both execution identifiers must be specified)"
+            )
+        return self.with_pair(self.first_id, self.second_id)
 
     def with_despite(self, despite: Predicate) -> "PXQLQuery":
         """A copy of the query with a different despite clause."""
@@ -160,3 +180,24 @@ class PXQLQuery:
         lines.append(f"OBSERVED {self.observed}")
         lines.append(f"EXPECTED {self.expected}")
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class BoundQuery(PXQLQuery):
+    """A PXQL query whose pair identifiers are guaranteed to be set.
+
+    Narrows ``first_id``/``second_id`` from ``str | None`` to ``str`` so
+    downstream code (record lookup, pair-feature computation) needs no
+    ``None`` checks.  Obtained via :meth:`PXQLQuery.with_pair` or
+    :meth:`PXQLQuery.bound`, never constructed with missing identifiers.
+    """
+
+    first_id: str = ""
+    second_id: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.first_id or not self.second_id:
+            raise PXQLValidationError(
+                "a bound query requires both execution identifiers"
+            )

@@ -1,0 +1,154 @@
+"""Machine-readable result containers for one or many explanations.
+
+A :class:`Report` collects the outcome of answering one or more PXQL
+queries — the resolved query, the pair of interest it was bound to, and the
+generated :class:`~repro.core.explanation.Explanation` — and serializes the
+whole bundle to and from JSON.  The batch API
+(:meth:`repro.core.api.PerfXplainSession.explain_batch`) returns one, and
+the CLI's ``--format json`` output is a report's :meth:`Report.to_json`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.core.explanation import Explanation
+from repro.core.pxql.query import PXQLQuery
+
+
+@dataclass(frozen=True)
+class ReportEntry:
+    """One answered query: the query text, its pair and its explanation.
+
+    :param query: the resolved query in PXQL text form (re-parseable).
+    :param first_id: first execution of the pair of interest.
+    :param second_id: second execution of the pair of interest.
+    :param explanation: the generated explanation.
+    :param error: set (instead of ``explanation``) when a query failed and
+        the caller asked for failures to be collected rather than raised.
+    """
+
+    query: str
+    first_id: str | None = None
+    second_id: str | None = None
+    explanation: Explanation | None = None
+    error: str | None = None
+
+    @classmethod
+    def for_query(
+        cls, query: PXQLQuery, explanation: Explanation | None, error: str | None = None
+    ) -> "ReportEntry":
+        """Build an entry from a resolved query object."""
+        return cls(
+            query=str(query),
+            first_id=query.first_id,
+            second_id=query.second_id,
+            explanation=explanation,
+            error=error,
+        )
+
+    @property
+    def ok(self) -> bool:
+        """Whether the query produced an explanation."""
+        return self.explanation is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible form that round-trips via :meth:`from_dict`."""
+        return {
+            "query": self.query,
+            "pair": [self.first_id, self.second_id],
+            "explanation": (
+                self.explanation.to_dict() if self.explanation is not None else None
+            ),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ReportEntry":
+        """Rebuild an entry from its :meth:`to_dict` form."""
+        pair = data.get("pair") or [None, None]
+        explanation = data.get("explanation")
+        return cls(
+            query=data["query"],
+            first_id=pair[0],
+            second_id=pair[1],
+            explanation=(
+                Explanation.from_dict(explanation) if explanation is not None else None
+            ),
+            error=data.get("error"),
+        )
+
+
+@dataclass
+class Report:
+    """An ordered collection of answered queries."""
+
+    entries: list[ReportEntry] = field(default_factory=list)
+
+    def add(self, entry: ReportEntry) -> None:
+        """Append one entry."""
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[ReportEntry]:
+        return iter(self.entries)
+
+    def __getitem__(self, index: int) -> ReportEntry:
+        return self.entries[index]
+
+    @property
+    def explanations(self) -> list[Explanation]:
+        """The explanations of the successful entries, in order."""
+        return [entry.explanation for entry in self.entries if entry.explanation]
+
+    @property
+    def failures(self) -> list[ReportEntry]:
+        """The entries whose queries failed."""
+        return [entry for entry in self.entries if not entry.ok]
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible form that round-trips via :meth:`from_dict`."""
+        return {"entries": [entry.to_dict() for entry in self.entries]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Report":
+        """Rebuild a report from its :meth:`to_dict` form."""
+        return cls(entries=[ReportEntry.from_dict(e) for e in data.get("entries", ())])
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The :meth:`to_dict` form rendered as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Report":
+        """Rebuild a report from its :meth:`to_json` form."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path, indent: int = 2) -> Path:
+        """Write the report as JSON; returns the path written."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json(indent=indent), encoding="utf-8")
+        return target
+
+    def format(self) -> str:
+        """Human-readable rendering of every entry."""
+        blocks: list[str] = []
+        for index, entry in enumerate(self.entries, start=1):
+            first_line = (entry.query.splitlines() or ["<empty query>"])[0]
+            lines = [f"[{index}] {first_line}"]
+            if entry.first_id and entry.second_id:
+                lines.append(f"    pair: {entry.first_id} vs {entry.second_id}")
+            if entry.explanation is not None:
+                lines.extend(
+                    "    " + line for line in entry.explanation.format().splitlines()
+                )
+            else:
+                lines.append(f"    error: {entry.error}")
+            blocks.append("\n".join(lines))
+        return "\n\n".join(blocks)
