@@ -32,7 +32,14 @@ from __future__ import annotations
 
 import random
 
-from repro.core.examples import TrainingExample, construct_training_examples, find_record, records_for_query
+from repro.core.examples import (
+    TrainingExample,
+    TrainingMatrix,
+    construct_training_examples,
+    encode_training_examples,
+    find_record,
+    records_for_query,
+)
 from repro.core.explanation import Explanation
 from repro.core.explainer import PerfXplainConfig, PerfXplainExplainer
 from repro.core.features import FeatureSchema, infer_schema
@@ -195,12 +202,13 @@ class PerfXplain:
         """Every registered technique, instantiated, keyed by public name."""
         return {name: self.technique(name) for name in registered_explainers()}
 
-    def _examples_for(self, query: BoundQuery) -> list[TrainingExample] | None:
+    def _examples_for(self, query: BoundQuery) -> "list[TrainingExample] | TrainingMatrix | None":
         """Precomputed training examples for a resolved query.
 
         The plain facade computes nothing ahead of time (each technique
         builds its own examples); :class:`PerfXplainSession` overrides this
-        with a shared per-clause-signature cache.
+        with a shared per-clause-signature cache of encoded
+        :class:`~repro.core.examples.TrainingMatrix` objects.
         """
         return None
 
@@ -209,11 +217,14 @@ class PerfXplainSession(PerfXplain):
 
     Queries against the same log repeat the same expensive intermediate
     work: inferring the feature schema, enumerating the related pairs of
-    Definition 7, and encoding their pair-feature vectors.  The session
-    caches that work keyed by the query's *clause signature* — the
-    (entity, despite, observed, expected) quadruple — which is what the
-    training examples actually depend on (not the pair of interest), so N
-    queries with shared clauses pay for one construction.
+    Definition 7, encoding their pair-feature vectors, and building the
+    columnar :class:`~repro.core.examples.TrainingMatrix` (including one
+    global sort per numeric pair-feature column) the clause-growing loop
+    searches.  The session caches that work keyed by the query's *clause
+    signature* — the (entity, despite, observed, expected) quadruple —
+    which is what the training examples actually depend on (not the pair
+    of interest), so N queries with shared clauses pay for one
+    construction and one encoding.
 
     All caching is deterministic: the session derives every random
     generator from its seed, so a session answers a fixed query list
@@ -228,6 +239,7 @@ class PerfXplainSession(PerfXplain):
     ) -> None:
         super().__init__(log, config=config, seed=seed)
         self._example_cache: dict[tuple, list[TrainingExample]] = {}
+        self._matrix_cache: dict[tuple, TrainingMatrix] = {}
         self._pair_cache: dict[tuple, tuple[str, str]] = {}
         self._pair_feature_cache: dict[tuple, dict[str, FeatureValue]] = {}
 
@@ -287,6 +299,28 @@ class PerfXplainSession(PerfXplain):
             )
         return self._example_cache[key]
 
+    def training_matrix(self, query: str | PXQLQuery) -> TrainingMatrix:
+        """The (cached) columnar encoding of a query's training examples.
+
+        Keyed by the same clause signature as the example cache: the
+        encoding depends only on the example set and the session's pair
+        configuration, so N queries sharing clauses pay for one global sort
+        per numeric pair-feature column.  The cache is invalidated together
+        with the example cache — never, within a session: both are
+        append-only per clause signature, because the log a session wraps
+        is immutable.
+        """
+        resolved = self.resolve(query)
+        key = self._clause_signature(resolved)
+        if key not in self._matrix_cache:
+            self._matrix_cache[key] = encode_training_examples(
+                self.training_examples(resolved),
+                self.schema_for(resolved),
+                config=self.config.pair_config,
+                feature_level=self.config.feature_level,
+            )
+        return self._matrix_cache[key]
+
     def find_pair(self, query: str | PXQLQuery) -> tuple[str, str]:
         """Pick a pair of executions for a query (cached per clause signature)."""
         query = query if isinstance(query, PXQLQuery) else self.parse(query)
@@ -303,8 +337,8 @@ class PerfXplainSession(PerfXplain):
             self._pair_feature_cache[key] = super().pair_features(resolved)
         return self._pair_feature_cache[key]
 
-    def _examples_for(self, query: BoundQuery) -> list[TrainingExample] | None:
-        return self.training_examples(query)
+    def _examples_for(self, query: BoundQuery) -> "list[TrainingExample] | TrainingMatrix | None":
+        return self.training_matrix(query)
 
     @staticmethod
     def _clause_signature(query: PXQLQuery) -> tuple:

@@ -19,8 +19,11 @@ from __future__ import annotations
 
 import enum
 import random
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
+
+from repro.ml.matrix import FeatureMatrix
 
 from repro.core.features import FeatureSchema, FeatureLevel
 from repro.core.pairs import (
@@ -28,6 +31,7 @@ from repro.core.pairs import (
     SAME,
     PairFeatureConfig,
     compute_pair_features,
+    pair_feature_catalog,
     raw_feature_of,
 )
 from repro.core.pxql.ast import Operator, Predicate
@@ -222,3 +226,95 @@ def construct_training_examples(
             )
         )
     return examples
+
+
+class TrainingMatrix(SequenceABC):
+    """A training-example set plus its columnar encoding.
+
+    The greedy clause-growing loop queries the same pair-feature columns
+    over shrinking example subsets; encoding the examples once into a
+    :class:`~repro.ml.matrix.FeatureMatrix` (integer value codes, float
+    arrays, one global sort per numeric column) lets every iteration run as
+    an index-subset search instead of re-extracting and re-sorting dict
+    values.  :class:`PerfXplainSession` caches one ``TrainingMatrix`` per
+    clause signature.
+
+    The object is a read-only :class:`~collections.abc.Sequence` of
+    :class:`TrainingExample`, so callers written against plain example
+    lists (the baselines, :func:`~repro.core.explanation.evaluate_explanation`)
+    accept it unchanged.
+    """
+
+    __slots__ = ("examples", "matrix", "observed", "encoding")
+
+    def __init__(
+        self,
+        examples: list[TrainingExample],
+        matrix: FeatureMatrix,
+        observed: bytearray,
+        encoding: tuple | None = None,
+    ) -> None:
+        self.examples = examples
+        #: Columnar encoding of the catalog's pair features.
+        self.matrix = matrix
+        #: Per-example flag: the pair performed as observed.
+        self.observed = observed
+        #: The parameters the catalog was built under (feature level and
+        #: pair-encoding tunables) — checked by
+        #: :func:`encode_training_examples` so a matrix encoded for one
+        #: configuration is never silently reused under another.
+        self.encoding = encoding
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def __getitem__(self, index):
+        return self.examples[index]
+
+    def positive_labels(self, positive_label: Label) -> bytearray:
+        """Bitmap of examples carrying ``positive_label``."""
+        if positive_label is Label.OBSERVED:
+            return self.observed
+        return bytearray(0 if flag else 1 for flag in self.observed)
+
+
+def encode_training_examples(
+    examples: Sequence[TrainingExample],
+    schema: FeatureSchema,
+    config: PairFeatureConfig | None = None,
+    feature_level: FeatureLevel = FeatureLevel.FULL,
+) -> TrainingMatrix:
+    """Encode training examples into a :class:`TrainingMatrix`.
+
+    The encoded columns are exactly the pair-feature catalog the explainer
+    searches (performance-derived features excluded, level capped at
+    ``feature_level``), in catalog order.  An already-encoded
+    :class:`TrainingMatrix` is passed through only when it was built under
+    the same parameters; otherwise its examples are re-encoded, so a
+    matrix cached for one configuration never leaks a different feature
+    surface into another.
+    """
+    config = config if config is not None else PairFeatureConfig()
+    encoding = (feature_level, config.sim_threshold, config.is_same_tolerance)
+    if isinstance(examples, TrainingMatrix):
+        if examples.encoding == encoding:
+            return examples
+        examples = examples.examples
+    catalog = pair_feature_catalog(
+        schema,
+        PairFeatureConfig(
+            sim_threshold=config.sim_threshold,
+            is_same_tolerance=config.is_same_tolerance,
+            level=feature_level,
+        ),
+        exclude_performance=True,
+    )
+    examples = list(examples)
+    columns = {
+        feature: [example.values.get(feature) for example in examples]
+        for feature in catalog
+    }
+    matrix = FeatureMatrix.from_columns(columns, numeric=catalog,
+                                        n_rows=len(examples))
+    observed = bytearray(1 if example.is_observed else 0 for example in examples)
+    return TrainingMatrix(examples, matrix, observed, encoding=encoding)

@@ -25,7 +25,9 @@ from dataclasses import dataclass, field
 from repro.core.examples import (
     Label,
     TrainingExample,
+    TrainingMatrix,
     construct_training_examples,
+    encode_training_examples,
     find_record,
 )
 from repro.core.explanation import (
@@ -33,7 +35,7 @@ from repro.core.explanation import (
     evaluate_explanation,
 )
 from repro.core.features import FeatureLevel, FeatureSchema, infer_schema
-from repro.core.pairs import PairFeatureConfig, compute_pair_features, pair_feature_catalog
+from repro.core.pairs import PairFeatureConfig, compute_pair_features
 from repro.core.pxql.ast import Comparison, Operator, Predicate, TRUE_PREDICATE
 from repro.core.pxql.query import PXQLQuery
 from repro.core.registry import register_explainer
@@ -41,7 +43,7 @@ from repro.exceptions import ConfigurationError, ExplanationError
 from repro.logs.records import FeatureValue
 from repro.logs.store import ExecutionLog
 from repro.ml.ranking import percentile_ranks
-from repro.ml.splits import CandidatePredicate, best_predicate_for_feature
+from repro.ml.splits import CandidatePredicate
 
 #: Operator symbols produced by the split search, mapped to PXQL operators.
 _SPLIT_OPERATORS = {
@@ -109,7 +111,7 @@ class PerfXplainExplainer:
         width: int | None = None,
         auto_despite: bool = False,
         despite_width: int | None = None,
-        examples: list[TrainingExample] | None = None,
+        examples: "list[TrainingExample] | TrainingMatrix | None" = None,
     ) -> Explanation:
         """Generate an explanation for a query bound to a pair of interest.
 
@@ -121,9 +123,11 @@ class PerfXplainExplainer:
             and use it as additional context for the because clause.
         :param despite_width: width of the generated despite clause.
         :param examples: precomputed training examples for the query's
-            clauses (the session layer shares one construction across many
-            calls).  With ``auto_despite`` they are re-filtered by the
-            generated ``des'`` extension.
+            clauses — a plain list or an already-encoded
+            :class:`~repro.core.examples.TrainingMatrix` (the session layer
+            shares one construction *and* one encoding across many calls).
+            With ``auto_despite`` they are re-filtered by the generated
+            ``des'`` extension.
         """
         if not query.has_pair:
             raise ExplanationError("the query must be bound to a pair of interest")
@@ -132,6 +136,10 @@ class PerfXplainExplainer:
         pair_values = self._pair_values(log, query, schema)
         query.validate_against_pair(pair_values, strict=True)
 
+        if examples is not None:
+            # Encode once up front: generate_despite and the clause growth
+            # below share the same columnar encoding.
+            examples = self._encode(examples, schema)
         working_query = query
         despite_extension = TRUE_PREDICATE
         if auto_despite:
@@ -143,6 +151,7 @@ class PerfXplainExplainer:
             )
             working_query = query.with_despite(query.despite.and_then(despite_extension))
 
+        precomputed = examples is not None
         if examples is None:
             examples = construct_training_examples(
                 log, working_query, schema,
@@ -150,25 +159,32 @@ class PerfXplainExplainer:
                 sample_size=self.config.sample_size,
                 rng=self._rng,
             )
-        elif not despite_extension.is_true:
-            examples = [
-                example for example in examples
+        encoded = self._encode(examples, schema)
+        if precomputed and not despite_extension.is_true:
+            # Freshly constructed examples already satisfy the extension
+            # (it is part of ``working_query``); shared ones must be
+            # narrowed to the generated ``des'`` context.
+            indices = [
+                index for index, example in enumerate(encoded.examples)
                 if despite_extension.evaluate(example.values)
             ]
-        if not examples:
+        else:
+            indices = list(range(len(encoded)))
+        if not indices:
             raise ExplanationError(
                 "no pair of executions in the log is related to the query; "
                 "cannot generate an explanation"
             )
         because = self._grow_clause(
-            examples, pair_values, schema, width, positive_label=Label.OBSERVED
+            encoded, indices, pair_values, width, positive_label=Label.OBSERVED
         )
         explanation = Explanation(
             because=because,
             despite=despite_extension,
             technique=self.name,
         )
-        return explanation.with_metrics(evaluate_explanation(explanation, examples))
+        in_context = [encoded.examples[index] for index in indices]
+        return explanation.with_metrics(evaluate_explanation(explanation, in_context))
 
     def generate_despite(
         self,
@@ -177,7 +193,7 @@ class PerfXplainExplainer:
         schema: FeatureSchema | None = None,
         width: int | None = None,
         pair_values: dict[str, FeatureValue] | None = None,
-        examples: list[TrainingExample] | None = None,
+        examples: "list[TrainingExample] | TrainingMatrix | None" = None,
     ) -> Predicate:
         """Generate a ``des'`` clause for an (under-specified) query.
 
@@ -204,8 +220,10 @@ class PerfXplainExplainer:
                 "no pair of executions in the log is related to the query; "
                 "cannot generate a despite clause"
             )
+        encoded = self._encode(examples, schema)
         return self._grow_clause(
-            examples, pair_values, schema, width, positive_label=Label.EXPECTED,
+            encoded, list(range(len(encoded))), pair_values, width,
+            positive_label=Label.EXPECTED,
             exclude_features=set(query.despite.features()),
         )
 
@@ -213,38 +231,50 @@ class PerfXplainExplainer:
     # the greedy clause-growing loop
     # ------------------------------------------------------------------ #
 
+    def _encode(
+        self,
+        examples: "list[TrainingExample] | TrainingMatrix",
+        schema: FeatureSchema,
+    ) -> TrainingMatrix:
+        """The columnar encoding of a training set under this config.
+
+        Precomputed matrices are reused only when their encoding parameters
+        match (:func:`~repro.core.examples.encode_training_examples`
+        re-encodes otherwise).
+        """
+        return encode_training_examples(
+            examples, schema,
+            config=self.config.pair_config,
+            feature_level=self.config.feature_level,
+        )
+
     def _grow_clause(
         self,
-        examples: list[TrainingExample],
+        encoded: TrainingMatrix,
+        indices: list[int],
         pair_values: dict[str, FeatureValue],
-        schema: FeatureSchema,
         width: int,
         positive_label: Label,
         exclude_features: set[str] | None = None,
     ) -> Predicate:
-        catalog = pair_feature_catalog(
-            schema,
-            PairFeatureConfig(
-                sim_threshold=self.config.pair_config.sim_threshold,
-                is_same_tolerance=self.config.pair_config.is_same_tolerance,
-                level=self.config.feature_level,
-            ),
-            exclude_performance=True,
-        )
+        matrix = encoded.matrix
+        positive = encoded.positive_labels(positive_label)
         used: set[str] = set(exclude_features or ())
         clause = TRUE_PREDICATE
-        remaining = list(examples)
+        remaining = list(indices)
+        view = matrix.view(remaining)
 
         for _ in range(width):
             if len(remaining) < self.config.min_examples:
                 break
-            labels = [example.label is positive_label for example in remaining]
-            if all(labels) or not any(labels):
+            positives = sum(positive[index] for index in remaining)
+            if positives == 0 or positives == len(remaining):
                 break
-            candidates = self._best_predicates(remaining, labels, pair_values, catalog, used)
+            candidates = self._best_predicates(view, positive, pair_values, used,
+                                               positives)
             if not candidates:
                 break
-            best = self._select_candidate(candidates, remaining, labels)
+            best = self._select_candidate(candidates, encoded, remaining, positive)
             if best is None:
                 break
             atom = Comparison(
@@ -254,28 +284,34 @@ class PerfXplainExplainer:
             )
             clause = clause.extended(atom)
             used.add(best.feature)
-            remaining = [ex for ex in remaining if atom.evaluate(ex.values)]
+            keep = bytearray(matrix.n_rows)
+            survivors = []
+            for index in remaining:
+                if atom.evaluate(encoded.examples[index].values):
+                    keep[index] = 1
+                    survivors.append(index)
+            remaining = survivors
+            view = view.narrow(keep)
         return clause
 
     def _best_predicates(
         self,
-        examples: list[TrainingExample],
-        labels: list[bool],
+        view,
+        positive: bytearray,
         pair_values: dict[str, FeatureValue],
-        catalog: dict[str, bool],
         used: set[str],
+        positives: int | None = None,
     ) -> list[CandidatePredicate]:
         candidates: list[CandidatePredicate] = []
-        for feature, numeric in catalog.items():
+        for feature in view.matrix.features:
             if feature in used:
                 continue
             required = pair_values.get(feature)
             if required is None:
                 continue
-            values = [example.values.get(feature) for example in examples]
-            candidate = best_predicate_for_feature(
-                feature, values, labels, numeric=numeric, required_value=required
-            )
+            candidate = view.best_predicate(feature, positive,
+                                            required_value=required,
+                                            positives=positives)
             if candidate is not None:
                 candidates.append(candidate)
         return candidates
@@ -283,22 +319,24 @@ class PerfXplainExplainer:
     def _select_candidate(
         self,
         candidates: list[CandidatePredicate],
-        examples: list[TrainingExample],
-        labels: list[bool],
+        encoded: TrainingMatrix,
+        remaining: list[int],
+        positive: bytearray,
     ) -> CandidatePredicate | None:
         """Score candidates by percentile-ranked precision and generality."""
         precisions: list[float] = []
         generalities: list[float] = []
         for candidate in candidates:
+            raw = encoded.matrix.column(candidate.feature).raw
             matching = 0
             matching_positive = 0
-            for example, positive in zip(examples, labels):
-                if candidate.satisfied_by(example.values.get(candidate.feature)):
+            for index in remaining:
+                if candidate.satisfied_by(raw[index]):
                     matching += 1
-                    if positive:
+                    if positive[index]:
                         matching_positive += 1
             precisions.append(matching_positive / matching if matching else 0.0)
-            generalities.append(matching / len(examples) if examples else 0.0)
+            generalities.append(matching / len(remaining) if remaining else 0.0)
 
         precision_ranks = percentile_ranks(precisions)
         generality_ranks = percentile_ranks(generalities)

@@ -7,6 +7,20 @@ but it borrows the information-gain criterion.  This classifier exists so
 tests and ablation benchmarks can contrast the two: a tree reaches similar
 accuracy but produces path-shaped rules that need not apply to the pair of
 interest at all.
+
+Training runs on the columnar pipeline of :mod:`repro.ml.matrix`: ``fit``
+encodes the rows into a :class:`~repro.ml.matrix.FeatureMatrix` once, and
+every node operates on an index subset (a
+:class:`~repro.ml.matrix.MatrixView`) of that encoding.  Numeric columns
+are sorted once globally; each split filters the parent's order stably
+instead of re-extracting and re-sorting — the split search is a
+prefix-count sweep.  Split ties are broken explicitly by
+:func:`repro.ml.splits.prefer_candidate` (gain, then feature name, then
+operator), never by iteration accidents.
+
+The frozen row-oriented reference implementation lives in
+:mod:`repro.ml.rowpath`; the differential suite asserts both produce
+identical trees.
 """
 
 from __future__ import annotations
@@ -14,7 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
-from repro.ml.splits import CandidatePredicate, best_predicate_for_feature
+from repro.ml.matrix import FeatureMatrix, MatrixView
+from repro.ml.splits import CandidatePredicate, prefer_candidate
 
 
 @dataclass
@@ -61,55 +76,51 @@ class DecisionTree:
             raise ValueError("cannot fit a tree on zero examples")
         if numeric is not None:
             self.numeric = dict(numeric)
-        features: set[str] = set()
-        for row in rows:
-            features.update(row)
-        self.root = self._build(list(rows), list(labels), sorted(features), depth=0)
+        matrix = FeatureMatrix.from_rows(rows, numeric=self.numeric)
+        label_bits = bytearray(1 if label else 0 for label in labels)
+        self.root = self._build(matrix.view(), label_bits, depth=0)
         return self
 
     def _build(
         self,
-        rows: list[Mapping[str, Any]],
-        labels: list[bool],
-        features: list[str],
+        view: MatrixView,
+        labels: bytearray,
         depth: int,
     ) -> DecisionTreeNode:
-        positives = sum(1 for label in labels if label)
-        probability = positives / len(labels)
+        indices = view.indices
+        positives = sum(map(labels.__getitem__, indices))
+        probability = positives / len(indices)
         leaf = DecisionTreeNode(prediction=probability >= 0.5, probability=probability)
         if (
             depth >= self.max_depth
-            or len(rows) < self.min_samples_split
+            or len(indices) < self.min_samples_split
             or positives == 0
-            or positives == len(labels)
+            or positives == len(indices)
         ):
             return leaf
 
         best: CandidatePredicate | None = None
-        for feature in features:
-            values = [row.get(feature) for row in rows]
-            candidate = best_predicate_for_feature(
-                feature, values, labels, numeric=self.numeric.get(feature, False)
-            )
-            if candidate is not None and (best is None or candidate.gain > best.gain):
+        for feature in view.matrix.features:
+            candidate = view.best_predicate(feature, labels, positives=positives)
+            if candidate is not None and prefer_candidate(candidate, best):
                 best = candidate
         if best is None or best.gain < self.min_gain:
             return leaf
 
-        left_rows, left_labels, right_rows, right_labels = [], [], [], []
-        for row, label in zip(rows, labels):
-            if best.satisfied_by(row.get(best.feature)):
-                left_rows.append(row)
-                left_labels.append(label)
-            else:
-                right_rows.append(row)
-                right_labels.append(label)
-        if not left_rows or not right_rows:
+        raw = view.matrix.column(best.feature).raw
+        satisfied = bytearray(view.matrix.n_rows)
+        n_left = 0
+        for index in indices:
+            if best.satisfied_by(raw[index]):
+                satisfied[index] = 1
+                n_left += 1
+        if n_left == 0 or n_left == len(indices):
             return leaf
 
+        left_view, right_view = view.split(satisfied)
         node = DecisionTreeNode(probability=probability, split=best)
-        node.left = self._build(left_rows, left_labels, features, depth + 1)
-        node.right = self._build(right_rows, right_labels, features, depth + 1)
+        node.left = self._build(left_view, labels, depth + 1)
+        node.right = self._build(right_view, labels, depth + 1)
         return node
 
     def predict_proba(self, row: Mapping[str, Any]) -> float:

@@ -1,0 +1,654 @@
+"""Columnar training-data encoding for the ML layer.
+
+The row-oriented training path re-extracted every feature column from dict
+rows and re-sorted every numeric column *at every tree node*, making split
+search O(nodes x features x n log n).  This module encodes a training set
+once and lets every consumer (the decision tree, the explainer's greedy
+clause growth, RReliefF) operate on **index subsets** of that encoding:
+
+* :class:`FeatureColumn` — one feature's values encoded as integer codes
+  (for equality counting), a ``float`` array plus validity mask (for
+  threshold sweeps) and **one global stable sort of the numeric order**;
+* :class:`FeatureMatrix` — the per-feature columns of a dataset plus row
+  count;
+* :class:`MatrixView` — an index subset of a matrix.  Narrowing a view
+  filters each cached numeric order *stably*, so the global sort is reused
+  at every node instead of re-sorting;
+* :func:`search_column` — the best-predicate search over one column and one
+  index subset: equality candidates from code counts, threshold candidates
+  from a prefix-count sweep over the presorted order.
+
+Missing values (``None``) carry code ``-1`` and are excluded from the
+numeric order; at evaluation time they never *satisfy* any predicate,
+matching the PXQL semantics.  (One accounting quirk is inherited from the
+row path for exact equivalence: a constrained ``>`` threshold's gain
+counts the suffix as the complement of the ``<=`` prefix, so rows with
+missing or non-numeric values are tallied on the ``>`` side there even
+though ``satisfied_by`` later rejects them.)  Booleans are valid equality
+constants but never yield threshold candidates (mirroring the
+``isinstance(..., bool)`` guard the row path used), and ``NaN`` never
+enters the numeric order.
+
+Arrays come from the stdlib :mod:`array` module; no third-party numerics
+are required.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from itertools import accumulate, compress, islice
+from operator import ne
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.ml.splits import (
+    CandidatePredicate,
+    GAIN_TIE_TOLERANCE,
+    _UNCONSTRAINED,
+    build_xlog2_table,
+    canonical_value_key,
+)
+
+#: Shared empty order for nominal columns.
+_EMPTY_ORDER: array = array("l")
+
+
+class FeatureColumn:
+    """One feature's values, encoded once for repeated subset searches."""
+
+    __slots__ = ("name", "numeric", "raw", "floats", "numeric_ok", "order",
+                 "clean", "_codes", "_code_of", "_eq_values", "_eq_rank",
+                 "_canonical_codes")
+
+    def __init__(self, name: str, numeric: bool) -> None:
+        self.name = name
+        self.numeric = numeric
+        self.raw: list[Any] = []
+        #: Per-row float value (0.0 where not threshold-eligible).
+        self.floats: array = array("d")
+        #: Per-row flag: value participates in threshold candidates.
+        self.numeric_ok: bytearray = bytearray()
+        #: Row indices with ``numeric_ok`` set, stably sorted by value.
+        self.order: array = array("l")
+        #: A numeric column is *clean* when every present value is
+        #: threshold-eligible: equality buckets then coincide with the
+        #: sorted order's runs, enabling the fused fast path (which never
+        #: touches the lazily-built code tables below).
+        self.clean: bool = False
+        self._codes: array | None = None
+        self._code_of: dict[Any, int] | None = None
+        self._eq_values: list[Any] | None = None
+        self._eq_rank: list[int] | None = None
+        self._canonical_codes: list[int] | None = None
+
+    @classmethod
+    def from_values(cls, name: str, values: Sequence[Any], numeric: bool) -> "FeatureColumn":
+        """Encode one column of raw values (``None`` = missing)."""
+        column = cls(name, numeric)
+        raw = values if isinstance(values, list) else list(values)
+        column.raw = raw
+        if numeric:
+            n = len(raw)
+            floats = array("d", bytes(8 * n))
+            ok = bytearray(n)
+            missing = 0
+            for index, value in enumerate(raw):
+                # Exact-type fast paths for the overwhelmingly common cases;
+                # the fallback preserves the isinstance/bool/NaN semantics
+                # for exotic numeric subclasses.
+                kind = type(value)
+                if kind is float:
+                    if value == value:  # not NaN
+                        floats[index] = value
+                        ok[index] = 1
+                elif kind is int:
+                    floats[index] = float(value)
+                    ok[index] = 1
+                elif value is None:
+                    missing += 1
+                elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                    as_float = float(value)
+                    if not math.isnan(as_float):
+                        floats[index] = as_float
+                        ok[index] = 1
+            column.floats = floats
+            column.numeric_ok = ok
+            column.order = array(
+                "l", sorted(compress(range(n), ok), key=floats.__getitem__)
+            )
+            column.clean = len(column.order) == n - missing
+        return column
+
+    def _encode_values(self) -> None:
+        codes: array = array("l")
+        code_of: dict[Any, int] = {}
+        eq_values: list[Any] = []
+        append = codes.append
+        for value in self.raw:
+            if value is None:
+                append(-1)
+                continue
+            code = code_of.get(value, -1)
+            if code < 0:
+                code = len(eq_values)
+                code_of[value] = code
+                eq_values.append(value)
+            append(code)
+        self._codes = codes
+        self._code_of = code_of
+        self._eq_values = eq_values
+
+    @property
+    def codes(self) -> array:
+        """Per-row value code (``-1`` = missing); built on first use."""
+        if self._codes is None:
+            self._encode_values()
+        return self._codes
+
+    @property
+    def code_of(self) -> dict[Any, int]:
+        """Value -> code (dict equality, so ``1``/``1.0`` share a code)."""
+        if self._code_of is None:
+            self._encode_values()
+        return self._code_of
+
+    @property
+    def eq_values(self) -> list[Any]:
+        """Code -> representative value (first seen)."""
+        if self._eq_values is None:
+            self._encode_values()
+        return self._eq_values
+
+    @property
+    def eq_rank(self) -> list[int]:
+        """Code -> canonical rank, fixing equality tie-breaks deterministically."""
+        if self._eq_rank is None:
+            eq_values = self.eq_values
+            by_key = sorted(
+                range(len(eq_values)),
+                key=lambda code: canonical_value_key(eq_values[code]),
+            )
+            rank = [0] * len(by_key)
+            for position, code in enumerate(by_key):
+                rank[code] = position
+            self._eq_rank = rank
+        return self._eq_rank
+
+    @property
+    def canonical_codes(self) -> list[int]:
+        """All codes in canonical value order (the equality candidate order)."""
+        if self._canonical_codes is None:
+            rank = self.eq_rank
+            ordered = [0] * len(rank)
+            for code, position in enumerate(rank):
+                ordered[position] = code
+            self._canonical_codes = ordered
+        return self._canonical_codes
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+
+class FeatureMatrix:
+    """A dataset encoded column-by-column for index-subset training."""
+
+    __slots__ = ("columns", "n_rows", "_gain_table")
+
+    def __init__(self, columns: dict[str, FeatureColumn], n_rows: int) -> None:
+        self.columns = columns
+        self.n_rows = n_rows
+        self._gain_table: list[float] | None = None
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Mapping[str, Any]],
+        numeric: Mapping[str, bool] | None = None,
+        features: Sequence[str] | None = None,
+    ) -> "FeatureMatrix":
+        """Encode dict rows; features default to the sorted union of keys."""
+        numeric = numeric if numeric is not None else {}
+        if features is None:
+            names: set[str] = set()
+            for row in rows:
+                names.update(row)
+            features = sorted(names)
+        columns = {
+            name: FeatureColumn.from_values(
+                name, [row.get(name) for row in rows], bool(numeric.get(name, False))
+            )
+            for name in features
+        }
+        return cls(columns, len(rows))
+
+    @classmethod
+    def from_columns(
+        cls,
+        values_by_feature: Mapping[str, Sequence[Any]],
+        numeric: Mapping[str, bool],
+        n_rows: int | None = None,
+    ) -> "FeatureMatrix":
+        """Encode pre-extracted columns (all must share one row count)."""
+        columns: dict[str, FeatureColumn] = {}
+        for name, values in values_by_feature.items():
+            column = FeatureColumn.from_values(name, values, bool(numeric.get(name, False)))
+            if n_rows is None:
+                n_rows = len(column)
+            elif len(column) != n_rows:
+                raise ValueError(
+                    f"column {name!r} has {len(column)} rows, expected {n_rows}"
+                )
+            columns[name] = column
+        return cls(columns, n_rows if n_rows is not None else 0)
+
+    @property
+    def features(self) -> tuple[str, ...]:
+        """Feature names in encoding order."""
+        return tuple(self.columns)
+
+    def is_numeric(self, feature: str) -> bool:
+        """Whether a feature's column carries threshold candidates."""
+        return self.columns[feature].numeric
+
+    def column(self, feature: str) -> FeatureColumn:
+        """The encoded column for one feature."""
+        return self.columns[feature]
+
+    @property
+    def gain_table(self) -> list[float]:
+        """The shared ``xlog2`` table covering every possible subset count."""
+        if self._gain_table is None:
+            self._gain_table = build_xlog2_table(self.n_rows)
+        return self._gain_table
+
+    def view(self, indices: Iterable[int] | None = None) -> "MatrixView":
+        """A view over a subset of rows (all rows when ``indices`` is None)."""
+        if indices is None:
+            return MatrixView(self, array("l", range(self.n_rows)), full=True)
+        return MatrixView(self, array("l", indices))
+
+
+class MatrixView:
+    """An index subset of a :class:`FeatureMatrix`.
+
+    Views cache, per numeric feature, the subset's row order — produced by
+    stably filtering either the parent view's order (when narrowing) or the
+    column's global order.  No per-node sorting ever happens.
+    """
+
+    __slots__ = ("matrix", "indices", "_orders", "_member", "_full")
+
+    def __init__(
+        self,
+        matrix: FeatureMatrix,
+        indices: array,
+        orders: dict[str, array] | None = None,
+        full: bool = False,
+    ) -> None:
+        self.matrix = matrix
+        self.indices = indices
+        self._orders: dict[str, array] = orders if orders is not None else {}
+        self._member: bytearray | None = None
+        self._full = full
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def _membership(self) -> bytearray:
+        if self._member is None:
+            member = bytearray(self.matrix.n_rows)
+            for index in self.indices:
+                member[index] = 1
+            self._member = member
+        return self._member
+
+    def order_for(self, feature: str) -> array:
+        """The subset's rows in ascending numeric order (stable)."""
+        cached = self._orders.get(feature)
+        if cached is None:
+            column = self.matrix.column(feature)
+            if self._full:
+                cached = column.order
+            else:
+                member = self._membership()
+                cached = array(
+                    "l",
+                    compress(column.order, map(member.__getitem__, column.order)),
+                )
+            self._orders[feature] = cached
+        return cached
+
+    def best_predicate(
+        self,
+        feature: str,
+        labels: bytearray,
+        required_value: Any = _UNCONSTRAINED,
+        positives: int | None = None,
+    ) -> CandidatePredicate | None:
+        """Best predicate for one feature over this view's rows.
+
+        ``positives`` (the view's positive-label count) is the same for
+        every feature — callers sweeping many features should compute it
+        once and pass it in.
+        """
+        column = self.matrix.column(feature)
+        order = self.order_for(feature) if column.numeric else _EMPTY_ORDER
+        return search_column(column, self.indices, order, labels, required_value,
+                             table=self.matrix.gain_table, positives=positives)
+
+    def narrow(self, keep: bytearray) -> "MatrixView":
+        """The sub-view of rows flagged in ``keep`` (orders filtered stably)."""
+        keep_of = keep.__getitem__
+        indices = array("l", compress(self.indices, map(keep_of, self.indices)))
+        orders = {
+            feature: array("l", compress(order, map(keep_of, order)))
+            for feature, order in self._orders.items()
+        }
+        return MatrixView(self.matrix, indices, orders)
+
+    def split(self, keep: bytearray) -> "tuple[MatrixView, MatrixView]":
+        """Partition into (flagged, unflagged) sub-views, stably."""
+        keep_of = keep.__getitem__
+
+        def partition(rows: Sequence[int]) -> tuple[array, array]:
+            flags = bytes(map(keep_of, rows))
+            inside = array("l", compress(rows, flags))
+            outside = array("l", compress(rows, map((1).__sub__, flags)))
+            return inside, outside
+
+        left, right = partition(self.indices)
+        left_orders: dict[str, array] = {}
+        right_orders: dict[str, array] = {}
+        for feature, order in self._orders.items():
+            left_orders[feature], right_orders[feature] = partition(order)
+        return (
+            MatrixView(self.matrix, left, left_orders),
+            MatrixView(self.matrix, right, right_orders),
+        )
+
+
+def search_column(
+    column: FeatureColumn,
+    indices: Sequence[int],
+    order: Sequence[int],
+    labels: bytearray,
+    required_value: Any = _UNCONSTRAINED,
+    table: Sequence[float] | None = None,
+    positives: int | None = None,
+) -> CandidatePredicate | None:
+    """Best-predicate search over one column restricted to ``indices``.
+
+    The hot path of tree fitting and clause growing: candidate gains are
+    computed inline (the arithmetic mirrors
+    :meth:`~repro.ml.splits.CandidateSelector.consider` expression by
+    expression, so results are bit-identical to the row path), and in the
+    unconstrained case ``>`` thresholds are skipped entirely — a ``>``
+    candidate induces the same bipartition as its ``<=`` twin at the same
+    midpoint, their gains are exactly equal (IEEE addition is commutative),
+    and the first-wins tie rule always keeps ``<=``.  With a required value
+    the satisfied side is decided per midpoint instead, preserving the row
+    path's candidate sequence exactly.
+
+    :param column: the encoded feature column.
+    :param indices: row indices of the current subset (any order).
+    :param order: the subset's threshold-eligible rows in ascending value
+        order (ignored for nominal columns).
+    :param labels: full-length positive-label bitmap (indexed by row id).
+    :param required_value: optional constraint — only predicates satisfied
+        by this value are considered.
+    :param table: a ``xlog2`` lookup table covering ``0..n_total`` (built
+        locally when omitted — callers fitting many subsets should share
+        one, e.g. :attr:`FeatureMatrix.gain_table`).
+    :returns: the best candidate, or ``None`` when no valid predicate exists.
+    """
+    n_total = len(indices)
+    if n_total == 0:
+        return None
+    constrained = required_value is not _UNCONSTRAINED
+    if constrained and required_value is None:
+        return None
+    if table is None:
+        table = build_xlog2_table(n_total)
+
+    if column.clean and not constrained:
+        # Clean numeric column: equality buckets coincide with the sorted
+        # order's runs, so one fused pass yields both candidate families.
+        return _search_clean_numeric(column, indices, order, labels, n_total,
+                                     table, positives)
+
+    codes = column.codes
+    n_codes = len(column.eq_values)
+    pos_total = 0
+    # Per-code (count, positives), packed as ``positives << 32 | count`` so
+    # the counting pass costs one update per present row.  Small
+    # cardinalities use a flat list (no hashing, no per-node sort);
+    # high-cardinality columns fall back to a dict over present codes.
+    flat = n_codes <= 512 or n_codes <= n_total
+    counts: Any = [0] * n_codes if flat else {}
+    if flat:
+        for index in indices:
+            code = codes[index]
+            if labels[index]:
+                pos_total += 1
+                if code >= 0:
+                    counts[code] += _PACKED_POSITIVE
+            elif code >= 0:
+                counts[code] += 1
+    else:
+        counts_get = counts.get
+        for index in indices:
+            code = codes[index]
+            if labels[index]:
+                pos_total += 1
+                if code >= 0:
+                    counts[code] = counts_get(code, 0) + _PACKED_POSITIVE
+            elif code >= 0:
+                counts[code] = counts_get(code, 0) + 1
+
+    parent_parts = table[n_total] - table[pos_total] - table[n_total - pos_total]
+    tolerance = GAIN_TIE_TOLERANCE
+    best_gain = -1.0
+    best_operator: str | None = None
+    best_constant: Any = None
+
+    # Equality candidates, in canonical value order (deterministic ties).
+    if constrained:
+        # Only the required value itself can appear in an equality predicate
+        # the pair of interest satisfies; an absent value would create a
+        # degenerate partition and is skipped.  ``required == required``
+        # filters NaN, which satisfies no equality.
+        try:
+            code = column.code_of.get(required_value, -1)
+        except TypeError:  # unhashable required value: never stored
+            code = -1
+        if code < 0:
+            packed = 0
+        elif flat:
+            packed = counts[code]
+        else:
+            packed = counts.get(code, 0)
+        if packed and required_value == required_value:
+            equality_candidates = [(code, required_value)]
+        else:
+            equality_candidates = []
+    else:
+        eq_values = column.eq_values
+        if flat:
+            ordered = column.canonical_codes
+        else:
+            rank = column.eq_rank
+            ordered = sorted(counts, key=rank.__getitem__)
+        equality_candidates = [(code, eq_values[code]) for code in ordered]
+    for code, constant in equality_candidates:
+        packed = counts[code] if flat else counts.get(code, 0)
+        if not packed:
+            continue
+        n_in = packed & _PACKED_COUNT_MASK
+        if n_in == n_total:
+            continue
+        pos_in = packed >> 32
+        # Inline gain: same expression tree as CandidateSelector.consider.
+        n_out = n_total - n_in
+        pos_out = pos_total - pos_in
+        parts = parent_parts - (
+            (table[n_in] - table[pos_in] - table[n_in - pos_in])
+            + (table[n_out] - table[pos_out] - table[n_out - pos_out])
+        )
+        gain = parts / n_total if parts > 0.0 else 0.0
+        if best_operator is None or gain > best_gain + tolerance:
+            best_gain = gain
+            best_operator = "=="
+            best_constant = constant
+
+    if not column.numeric or len(order) < 2:
+        return _finalize(column.name, best_operator, best_constant, best_gain)
+
+    # Threshold candidates over midpoints between consecutive distinct
+    # values of the presorted subset (prefix counts, no re-sorting).
+    if constrained:
+        # The required value fixes which side of every midpoint is usable.
+        # Non-numeric (and NaN) required values satisfy no threshold at all
+        # — mirroring ``_satisfies`` returning False on TypeError.
+        if not isinstance(required_value, (int, float)) or required_value != required_value:
+            return _finalize(column.name, best_operator, best_constant, best_gain)
+
+    floats = column.floats
+    iterator = iter(order)
+    first = next(iterator)
+    previous = floats[first]
+    cumulative_n = 1
+    cumulative_pos = labels[first]
+    for index in iterator:
+        value = floats[index]
+        if value != previous:
+            threshold = (previous + value) / 2.0
+            previous = value
+            # ``<= threshold``: the inside partition is the prefix;
+            # ``> threshold`` is the same bipartition from the suffix side.
+            if not constrained:
+                n_in = cumulative_n
+                pos_in = cumulative_pos
+                operator = "<="
+            elif required_value <= threshold:
+                n_in = cumulative_n
+                pos_in = cumulative_pos
+                operator = "<="
+            else:
+                n_in = n_total - cumulative_n
+                pos_in = pos_total - cumulative_pos
+                operator = ">"
+            # Inline gain: same expression tree as CandidateSelector.consider.
+            n_out = n_total - n_in
+            pos_out = pos_total - pos_in
+            parts = parent_parts - (
+                (table[n_in] - table[pos_in] - table[n_in - pos_in])
+                + (table[n_out] - table[pos_out] - table[n_out - pos_out])
+            )
+            gain = parts / n_total if parts > 0.0 else 0.0
+            if best_operator is None or gain > best_gain + tolerance:
+                best_gain = gain
+                best_operator = operator
+                best_constant = threshold
+        if labels[index]:
+            cumulative_pos += 1
+        cumulative_n += 1
+
+    return _finalize(column.name, best_operator, best_constant, best_gain)
+
+
+#: Packed per-code counters: positives in the high bits, count in the low.
+_PACKED_POSITIVE = (1 << 32) + 1
+_PACKED_COUNT_MASK = (1 << 32) - 1
+
+
+def _search_clean_numeric(
+    column: FeatureColumn,
+    indices: Sequence[int],
+    order: Sequence[int],
+    labels: bytearray,
+    n_total: int,
+    table: Sequence[float],
+    positives: int | None = None,
+) -> CandidatePredicate | None:
+    """Fused unconstrained search over a clean numeric column.
+
+    Every present value is threshold-eligible, so the presorted subset
+    order enumerates the equality buckets as runs of equal values — in
+    ascending order, which for numbers *is* the canonical candidate order.
+    One C-level pass builds the value and prefix-positive lists; a C-level
+    adjacent compare finds the run boundaries; equality candidates then
+    thresholds are evaluated from the prefix sums via ``xlog2`` table
+    lookups, preserving the general path's candidate sequence (and
+    bit-identical gains) exactly.
+    """
+    label_of = labels.__getitem__
+    pos_total = sum(map(label_of, indices)) if positives is None else positives
+    n_present = len(order)
+    if n_present == 0:
+        return None
+    parent_parts = table[n_total] - table[pos_total] - table[n_total - pos_total]
+    tolerance = GAIN_TIE_TOLERANCE
+    best_gain = -1.0
+    best_operator: str | None = None
+    best_constant: Any = None
+
+    values = list(map(column.floats.__getitem__, order))
+    prefix = list(accumulate(map(label_of, order)))
+    # Positions where a new run of equal values starts (C-level adjacent
+    # compare: values[i] != values[i+1] marks position i+1 as a boundary).
+    bounds = list(
+        compress(range(1, n_present), map(ne, values, islice(values, 1, None)))
+    )
+
+    # Equality candidates: one per run, ascending (canonical) order.  The
+    # constant is the run's *raw* value (not its float image), so an
+    # integer column yields ``== 3`` here just like the general path.
+    raw = column.raw
+    start = 0
+    for end in bounds + [n_present]:
+        n_in = end - start
+        if n_in != n_total:
+            pos_in = prefix[end - 1] - (prefix[start - 1] if start else 0)
+            # Inline gain: same expression tree as CandidateSelector.consider.
+            n_out = n_total - n_in
+            pos_out = pos_total - pos_in
+            parts = parent_parts - (
+                (table[n_in] - table[pos_in] - table[n_in - pos_in])
+                + (table[n_out] - table[pos_out] - table[n_out - pos_out])
+            )
+            gain = parts / n_total if parts > 0.0 else 0.0
+            if best_operator is None or gain > best_gain + tolerance:
+                best_gain = gain
+                best_operator = "=="
+                best_constant = raw[order[start]]
+        start = end
+
+    # Threshold candidates at every run boundary, ascending.  ``>`` twins
+    # are skipped: same bipartition, exactly equal gain, ``<=`` wins the
+    # first-wins tie (see search_column).
+    for bound in bounds:
+        n_in = bound
+        pos_in = prefix[bound - 1]
+        threshold = (values[bound - 1] + values[bound]) / 2.0
+        # Inline gain: same expression tree as CandidateSelector.consider.
+        n_out = n_total - n_in
+        pos_out = pos_total - pos_in
+        parts = parent_parts - (
+            (table[n_in] - table[pos_in] - table[n_in - pos_in])
+            + (table[n_out] - table[pos_out] - table[n_out - pos_out])
+        )
+        gain = parts / n_total if parts > 0.0 else 0.0
+        if best_operator is None or gain > best_gain + tolerance:
+            best_gain = gain
+            best_operator = "<="
+            best_constant = threshold
+
+    return _finalize(column.name, best_operator, best_constant, best_gain)
+
+
+def _finalize(
+    feature: str, operator: str | None, constant: Any, gain: float
+) -> CandidatePredicate | None:
+    if operator is None:
+        return None
+    return CandidatePredicate(feature, operator, constant, gain)

@@ -1,0 +1,214 @@
+"""Frozen row-oriented training path (reference implementation).
+
+This module preserves the pre-columnar training algorithm: split search
+re-extracts the feature column from dict rows and re-sorts every numeric
+column at **every call**, and the reference decision tree re-runs that
+search per node — O(nodes x features x n log n) overall.  It exists for two
+reasons:
+
+* the differential suite (``tests/ml/test_columnar_equivalence.py``)
+  asserts the columnar pipeline of :mod:`repro.ml.matrix` produces
+  *identical* predicates, trees and probabilities;
+* the throughput benchmark (``benchmarks/test_tree_fit_throughput.py``)
+  measures the columnar speedup against this baseline.
+
+Do not "optimise" this module — it is the fixed point the fast path is
+proven against.  It shares the candidate-selection primitives
+(:class:`~repro.ml.splits.CandidateSelector`,
+:func:`~repro.ml.splits.prefer_candidate`) with the live path so both
+apply the same explicit tie-breaking policy and bit-identical gain
+arithmetic; only the *data layout and per-node work* differ.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.ml.splits import (
+    CandidatePredicate,
+    CandidateSelector,
+    _UNCONSTRAINED,
+    canonical_value_key,
+    prefer_candidate,
+)
+
+
+def rowpath_best_predicate_for_feature(
+    feature: str,
+    values: Sequence[Any],
+    labels: Sequence[bool],
+    numeric: bool,
+    required_value: Any = _UNCONSTRAINED,
+) -> CandidatePredicate | None:
+    """The row-oriented best-predicate search (frozen reference).
+
+    Semantically identical to
+    :func:`repro.ml.splits.best_predicate_for_feature`; the implementation
+    is the original per-call extract-count-sort algorithm.
+    """
+    if len(values) != len(labels):
+        raise ValueError("values and labels must have the same length")
+    constrained = required_value is not _UNCONSTRAINED
+    if constrained and required_value is None:
+        return None
+
+    n_total = len(values)
+    if n_total == 0:
+        return None
+    pos_total = sum(1 for label in labels if label)
+    selector = CandidateSelector(feature, n_total, pos_total, constrained,
+                                 required_value)
+
+    # Equality candidates (both nominal and numeric features), counted from
+    # scratch and offered in canonical value order.
+    counts: dict[Any, list[int]] = {}
+    for value, label in zip(values, labels):
+        if value is None:
+            continue
+        bucket = counts.setdefault(value, [0, 0])
+        bucket[0] += 1
+        if label:
+            bucket[1] += 1
+    if constrained:
+        # Only the pair of interest's own value can appear in an equality
+        # predicate that the pair satisfies.
+        equality_values = [required_value] if required_value in counts else []
+    else:
+        equality_values = sorted(counts, key=canonical_value_key)
+    for constant in equality_values:
+        n_in, pos_in = counts[constant][0], counts[constant][1]
+        selector.consider("==", constant, pos_in, n_in)
+
+    if not numeric:
+        return selector.best
+
+    # Threshold candidates over midpoints between distinct numeric values —
+    # re-sorted on every call.
+    present = [
+        (float(value), bool(label))
+        for value, label in zip(values, labels)
+        if value is not None and isinstance(value, (int, float))
+        and not isinstance(value, bool) and not math.isnan(float(value))
+    ]
+    if len(present) < 2:
+        return selector.best
+    present.sort(key=lambda item: item[0])
+    distinct: list[tuple[float, int, int]] = []  # (value, count, positives)
+    for value, label in present:
+        if distinct and distinct[-1][0] == value:
+            _, count, positives = distinct[-1]
+            distinct[-1] = (value, count + 1, positives + (1 if label else 0))
+        else:
+            distinct.append((value, 1, 1 if label else 0))
+    if len(distinct) < 2:
+        return selector.best
+
+    cumulative_n = 0
+    cumulative_pos = 0
+    for index in range(len(distinct) - 1):
+        value, count, positives = distinct[index]
+        cumulative_n += count
+        cumulative_pos += positives
+        threshold = (value + distinct[index + 1][0]) / 2.0
+        selector.consider("<=", threshold, cumulative_pos, cumulative_n)
+        selector.consider(">", threshold, pos_total - cumulative_pos,
+                          n_total - cumulative_n)
+
+    return selector.best
+
+
+@dataclass
+class RowPathDecisionTree:
+    """The pre-columnar decision tree (frozen reference).
+
+    Mirrors :class:`repro.ml.decision_tree.DecisionTree` exactly — same
+    stopping rules, same explicit tie-breaking — but trains the original
+    way: filtered row lists per node, per-node column extraction and
+    re-sorting.
+    """
+
+    max_depth: int = 6
+    min_samples_split: int = 10
+    min_gain: float = 1e-6
+    numeric: Mapping[str, bool] = field(default_factory=dict)
+    root: Any = None
+
+    def fit(
+        self,
+        rows: Sequence[Mapping[str, Any]],
+        labels: Sequence[bool],
+        numeric: Mapping[str, bool] | None = None,
+    ) -> "RowPathDecisionTree":
+        """Fit the tree; returns ``self`` for chaining."""
+        from repro.ml.decision_tree import DecisionTreeNode  # shared node type
+
+        if len(rows) != len(labels):
+            raise ValueError("rows and labels must have the same length")
+        if not rows:
+            raise ValueError("cannot fit a tree on zero examples")
+        if numeric is not None:
+            self.numeric = dict(numeric)
+        features: set[str] = set()
+        for row in rows:
+            features.update(row)
+        self._node_type = DecisionTreeNode
+        self.root = self._build(list(rows), list(labels), sorted(features), depth=0)
+        return self
+
+    def _build(self, rows, labels, features, depth):
+        node_type = self._node_type
+        positives = sum(1 for label in labels if label)
+        probability = positives / len(labels)
+        leaf = node_type(prediction=probability >= 0.5, probability=probability)
+        if (
+            depth >= self.max_depth
+            or len(rows) < self.min_samples_split
+            or positives == 0
+            or positives == len(labels)
+        ):
+            return leaf
+
+        best: CandidatePredicate | None = None
+        for feature in features:
+            values = [row.get(feature) for row in rows]
+            candidate = rowpath_best_predicate_for_feature(
+                feature, values, labels, numeric=self.numeric.get(feature, False)
+            )
+            if candidate is not None and prefer_candidate(candidate, best):
+                best = candidate
+        if best is None or best.gain < self.min_gain:
+            return leaf
+
+        left_rows, left_labels, right_rows, right_labels = [], [], [], []
+        for row, label in zip(rows, labels):
+            if best.satisfied_by(row.get(best.feature)):
+                left_rows.append(row)
+                left_labels.append(label)
+            else:
+                right_rows.append(row)
+                right_labels.append(label)
+        if not left_rows or not right_rows:
+            return leaf
+
+        node = node_type(probability=probability, split=best)
+        node.left = self._build(left_rows, left_labels, features, depth + 1)
+        node.right = self._build(right_rows, right_labels, features, depth + 1)
+        return node
+
+    def predict_proba(self, row: Mapping[str, Any]) -> float:
+        """Probability that the row belongs to the positive class."""
+        if self.root is None:
+            raise ValueError("the tree has not been fitted")
+        node = self.root
+        while not node.is_leaf:
+            if node.split.satisfied_by(row.get(node.split.feature)):
+                node = node.left
+            else:
+                node = node.right
+        return node.probability
+
+    def predict(self, row: Mapping[str, Any]) -> bool:
+        """Predicted class for one row."""
+        return self.predict_proba(row) >= 0.5

@@ -1,0 +1,175 @@
+"""Edge-case coverage for the columnar :class:`FeatureMatrix` encoding."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.ml.matrix import FeatureColumn, FeatureMatrix, search_column
+from repro.ml.splits import best_predicate_for_feature
+
+
+def _search_all(matrix: FeatureMatrix, feature: str, labels):
+    view = matrix.view()
+    return view.best_predicate(feature, bytearray(1 if l else 0 for l in labels))
+
+
+class TestEncoding:
+    def test_zero_rows(self):
+        matrix = FeatureMatrix.from_rows([], numeric={"x": True}, features=["x"])
+        assert matrix.n_rows == 0
+        assert matrix.features == ("x",)
+        column = matrix.column("x")
+        assert len(column) == 0
+        assert len(column.order) == 0
+        assert _search_all(matrix, "x", []) is None
+
+    def test_missing_values_have_no_code_and_no_order_slot(self):
+        column = FeatureColumn.from_values("x", [None, 1.0, None, 2.0], True)
+        assert list(column.codes) == [-1, 0, -1, 1]
+        assert list(column.order) == [1, 3]
+        assert column.numeric_ok[0] == 0 and column.numeric_ok[1] == 1
+
+    def test_global_sort_is_stable_for_duplicates(self):
+        column = FeatureColumn.from_values("x", [2.0, 1.0, 2.0, 1.0], True)
+        assert list(column.order) == [1, 3, 0, 2]
+
+    def test_equal_values_share_a_code_across_types(self):
+        # Dict equality folds 1 and 1.0 into one bucket, exactly like the
+        # row path's value counting did.
+        column = FeatureColumn.from_values("x", [1, 1.0, 2], True)
+        assert column.codes[0] == column.codes[1]
+        assert column.codes[2] != column.codes[0]
+
+    def test_nan_is_excluded_from_the_numeric_order(self):
+        column = FeatureColumn.from_values("x", [1.0, float("nan"), 3.0], True)
+        assert list(column.order) == [0, 2]
+        assert column.numeric_ok[1] == 0
+
+    def test_mismatched_column_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureMatrix.from_columns(
+                {"a": [1, 2], "b": [1, 2, 3]}, numeric={"a": True, "b": True}
+            )
+
+
+class TestDegenerateColumns:
+    def test_all_missing_column_yields_no_predicate(self):
+        matrix = FeatureMatrix.from_rows(
+            [{"x": None}, {"x": None}, {"x": None}, {"x": None}],
+            numeric={"x": True},
+        )
+        assert _search_all(matrix, "x", [True, False, True, False]) is None
+        assert best_predicate_for_feature(
+            "x", [None] * 4, [True, False, True, False], numeric=True
+        ) is None
+
+    def test_single_distinct_numeric_value_yields_no_predicate(self):
+        # One distinct value: the equality partition is degenerate and
+        # there is no midpoint for a threshold.
+        matrix = FeatureMatrix.from_rows(
+            [{"x": 5.0}] * 6, numeric={"x": True}
+        )
+        assert _search_all(matrix, "x", [True, False] * 3) is None
+
+    def test_single_distinct_value_with_missing_rows_allows_equality(self):
+        # With missing rows present the equality partition is no longer
+        # degenerate (missing rows fall outside), mirroring the row path.
+        values = [5.0, 5.0, 5.0, None, None, None]
+        labels = [True, True, True, False, False, False]
+        matrix = FeatureMatrix.from_rows(
+            [{"x": value} for value in values], numeric={"x": True}
+        )
+        predicate = _search_all(matrix, "x", labels)
+        assert predicate is not None
+        assert (predicate.operator, predicate.value) == ("==", 5.0)
+        assert predicate.gain == pytest.approx(1.0)
+
+
+class TestBooleanGuard:
+    def test_bools_never_become_thresholds(self):
+        # Mirrors the ``isinstance(..., bool)`` guard in the split search:
+        # a numeric column holding booleans yields equality candidates only.
+        values = [True, True, False, False, True, False]
+        labels = [True, True, False, False, True, False]
+        matrix = FeatureMatrix.from_rows(
+            [{"x": value} for value in values], numeric={"x": True}
+        )
+        column = matrix.column("x")
+        assert len(column.order) == 0
+        predicate = _search_all(matrix, "x", labels)
+        assert predicate.operator == "=="
+        assert predicate.value in (True, False)
+
+    def test_bools_mixed_with_numbers_only_numbers_get_thresholds(self):
+        values = [True, 1.5, 2.5, False, 3.5, 0.5]
+        matrix = FeatureMatrix.from_rows(
+            [{"x": value} for value in values], numeric={"x": True}
+        )
+        column = matrix.column("x")
+        # Only the four genuine numbers participate in the sorted order.
+        assert [values[i] for i in column.order] == [0.5, 1.5, 2.5, 3.5]
+
+
+class TestViews:
+    def test_narrowed_view_filters_order_stably(self):
+        values = [4.0, 1.0, 3.0, 2.0, 5.0]
+        matrix = FeatureMatrix.from_rows(
+            [{"x": value} for value in values], numeric={"x": True}
+        )
+        view = matrix.view()
+        assert list(view.order_for("x")) == [1, 3, 2, 0, 4]
+        keep = bytearray([1, 0, 1, 0, 1])
+        narrowed = view.narrow(keep)
+        assert list(narrowed.indices) == [0, 2, 4]
+        assert list(narrowed.order_for("x")) == [2, 0, 4]
+
+    def test_split_partitions_indices_and_orders(self):
+        values = [4.0, 1.0, 3.0, 2.0, 5.0]
+        matrix = FeatureMatrix.from_rows(
+            [{"x": value} for value in values], numeric={"x": True}
+        )
+        view = matrix.view()
+        view.order_for("x")  # populate the cache so split carries it over
+        left, right = view.split(bytearray([0, 1, 1, 0, 0]))
+        assert list(left.indices) == [1, 2]
+        assert list(right.indices) == [0, 3, 4]
+        assert list(left.order_for("x")) == [1, 2]
+        assert list(right.order_for("x")) == [3, 0, 4]
+
+    def test_subset_view_computes_order_from_global_sort(self):
+        values = [4.0, 1.0, None, 2.0, 5.0]
+        matrix = FeatureMatrix.from_rows(
+            [{"x": value} for value in values], numeric={"x": True}
+        )
+        view = matrix.view([4, 0, 3])
+        assert list(view.order_for("x")) == [3, 0, 4]
+
+    def test_search_column_subset_matches_row_adapter_on_subset(self):
+        values = [1.0, 9.0, 2.0, 8.0, 3.0, 7.0]
+        labels = [True, False, True, False, True, False]
+        matrix = FeatureMatrix.from_rows(
+            [{"x": value} for value in values], numeric={"x": True}
+        )
+        subset = [0, 1, 2, 3]
+        view = matrix.view(subset)
+        bits = bytearray(1 if l else 0 for l in labels)
+        from_view = view.best_predicate("x", bits)
+        from_rows = best_predicate_for_feature(
+            "x", [values[i] for i in subset], [labels[i] for i in subset],
+            numeric=True,
+        )
+        assert from_view == from_rows
+
+    def test_search_column_ignores_rows_outside_the_subset(self):
+        column = FeatureColumn.from_values("x", [1.0, 2.0, 3.0, 4.0], True)
+        labels = bytearray([1, 1, 0, 0])
+        full = search_column(column, range(4), column.order, labels)
+        assert full is not None and math.isclose(full.gain, 1.0)
+        # A pure subset still yields a candidate (like the row path), but
+        # with zero gain and a constant drawn from the subset's values only.
+        half = search_column(column, [0, 1], [0, 1], labels)
+        assert half.gain == 0.0
+        assert half.satisfied_by(1.0) or half.satisfied_by(2.0)
+        assert not half.satisfied_by(4.0) or half.operator == "<="

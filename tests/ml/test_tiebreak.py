@@ -1,0 +1,109 @@
+"""Regression tests for explicit, deterministic split tie-breaking.
+
+Historically, when two features tied on gain the tree kept whichever came
+first in ``sorted(features)`` only by accident of iteration, and within a
+feature the winning constant depended on row order (equality candidates
+were generated in first-occurrence order).  The policy is now explicit:
+
+* across features: gain first (ties within ``GAIN_TIE_TOLERANCE``), then
+  feature name, then operator rank (:func:`repro.ml.splits.prefer_candidate`);
+* within a feature: candidates are offered in canonical order — equality
+  constants sorted by :func:`repro.ml.splits.canonical_value_key`, then
+  thresholds ascending with ``<=`` before ``>`` — and the first candidate
+  within a gain tie wins.
+"""
+
+from __future__ import annotations
+
+from repro.ml.decision_tree import DecisionTree
+from repro.ml.splits import (
+    CandidatePredicate,
+    best_predicate_for_feature,
+    prefer_candidate,
+)
+
+
+class TestPreferCandidate:
+    def test_higher_gain_wins(self):
+        strong = CandidatePredicate("zzz", "==", "x", 0.9)
+        weak = CandidatePredicate("aaa", "==", "x", 0.4)
+        assert prefer_candidate(strong, weak)
+        assert not prefer_candidate(weak, strong)
+
+    def test_gain_tie_broken_by_feature_name(self):
+        first = CandidatePredicate("aaa", ">", 1.0, 0.5)
+        second = CandidatePredicate("bbb", "==", "x", 0.5)
+        assert prefer_candidate(first, second)
+        assert not prefer_candidate(second, first)
+
+    def test_sub_tolerance_gain_difference_is_a_tie(self):
+        nearly = CandidatePredicate("bbb", "==", "x", 0.5 + 1e-13)
+        incumbent = CandidatePredicate("aaa", "==", "x", 0.5)
+        # "bbb" is microscopically better but loses the name tie-break.
+        assert not prefer_candidate(nearly, incumbent)
+
+    def test_same_feature_tie_broken_by_operator_rank(self):
+        equality = CandidatePredicate("f", "==", 1.0, 0.5)
+        threshold = CandidatePredicate("f", "<=", 1.5, 0.5)
+        assert prefer_candidate(equality, threshold)
+        assert not prefer_candidate(threshold, equality)
+
+
+class TestTreeFeatureTieBreak:
+    def _tied_rows(self, first: str, second: str):
+        """Two features carrying identical, perfectly separating columns."""
+        rows = []
+        labels = []
+        for index in range(20):
+            value = "hot" if index < 10 else "cold"
+            rows.append({first: value, second: value})
+            labels.append(index < 10)
+        return rows, labels
+
+    def test_alphabetically_first_feature_wins_the_tie(self):
+        rows, labels = self._tied_rows("alpha", "zeta")
+        tree = DecisionTree(max_depth=2, min_samples_split=2).fit(
+            rows, labels, numeric={}
+        )
+        assert tree.root.split.feature == "alpha"
+
+    def test_winner_does_not_depend_on_insertion_order(self):
+        rows, labels = self._tied_rows("zeta", "alpha")
+        # Build rows whose dicts list "zeta" first; the winner must still be
+        # the alphabetically first feature, not the first-inserted one.
+        tree = DecisionTree(max_depth=2, min_samples_split=2).fit(
+            rows, labels, numeric={}
+        )
+        assert tree.root.split.feature == "alpha"
+
+
+class TestWithinFeatureTieBreak:
+    def test_equality_preferred_over_threshold_on_tie(self):
+        # Two distinct values, perfectly separating: "== 1.0" and the
+        # threshold at 1.5 induce the same bipartition (gain 1.0 both).
+        values = [1.0, 1.0, 2.0, 2.0]
+        labels = [True, True, False, False]
+        predicate = best_predicate_for_feature("f", values, labels, numeric=True)
+        assert predicate.operator == "=="
+        assert predicate.gain == 1.0
+
+    def test_tied_equality_constant_is_canonical_not_first_seen(self):
+        # "== a" and "== b" tie (complementary halves); the canonical
+        # (sorted) constant must win regardless of which value row 0 holds.
+        forward = best_predicate_for_feature(
+            "f", ["a", "a", "b", "b"], [True, True, False, False], numeric=False
+        )
+        backward = best_predicate_for_feature(
+            "f", ["b", "b", "a", "a"], [False, False, True, True], numeric=False
+        )
+        assert forward == backward
+        assert forward.value == "a"
+
+    def test_row_order_does_not_flip_threshold_ties(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        labels = [True, False, True, False]
+        forward = best_predicate_for_feature("f", values, labels, numeric=True)
+        reverse = best_predicate_for_feature(
+            "f", values[::-1], labels[::-1], numeric=True
+        )
+        assert forward == reverse
