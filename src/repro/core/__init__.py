@@ -10,7 +10,11 @@ Submodules:
 * :mod:`repro.core.explanation` — explanations and the relevance /
   precision / generality metrics of Section 3.3;
 * :mod:`repro.core.examples` — related-pair enumeration and training-example
-  construction (Definition 7-9);
+  construction (Definition 7-9), adapted over the columnar pair kernels;
+* :mod:`repro.core.pairkernel` — vectorised pair-feature kernels and clause
+  masks over a :class:`~repro.logs.store.RecordBlock`;
+* :mod:`repro.core.pairref` — the frozen dict-per-pair reference path the
+  differential suite compares the kernels against;
 * :mod:`repro.core.sampling` — the balanced sampling of Section 4.3;
 * :mod:`repro.core.explainer` — Algorithm 1 and automatic despite-clause
   generation;
@@ -38,7 +42,14 @@ from repro.core.pxql import (
     parse_query,
 )
 from repro.core.explanation import Explanation, ExplanationMetrics
-from repro.core.examples import Label, TrainingExample, construct_training_examples
+from repro.core.examples import (
+    Label,
+    TrainingExample,
+    TrainingMatrix,
+    construct_training_examples,
+    construct_training_matrix,
+    encode_training_examples,
+)
 from repro.core.explainer import PerfXplainConfig, PerfXplainExplainer
 from repro.core.baselines import RuleOfThumbExplainer, SimButDiffExplainer
 from repro.core.registry import (
@@ -70,7 +81,10 @@ __all__ = [
     "ExplanationMetrics",
     "Label",
     "TrainingExample",
+    "TrainingMatrix",
     "construct_training_examples",
+    "construct_training_matrix",
+    "encode_training_examples",
     "PerfXplainConfig",
     "PerfXplainExplainer",
     "RuleOfThumbExplainer",

@@ -35,8 +35,7 @@ import random
 from repro.core.examples import (
     TrainingExample,
     TrainingMatrix,
-    construct_training_examples,
-    encode_training_examples,
+    construct_training_matrix,
     find_record,
     records_for_query,
 )
@@ -238,14 +237,50 @@ class PerfXplainSession(PerfXplain):
         seed: int = 0,
     ) -> None:
         super().__init__(log, config=config, seed=seed)
-        self._example_cache: dict[tuple, list[TrainingExample]] = {}
         self._matrix_cache: dict[tuple, TrainingMatrix] = {}
         self._pair_cache: dict[tuple, tuple[str, str]] = {}
         self._pair_feature_cache: dict[tuple, dict[str, FeatureValue]] = {}
+        self._explanation_cache: dict[tuple, Explanation] = {}
 
     # ------------------------------------------------------------------ #
     # batch answering
     # ------------------------------------------------------------------ #
+
+    def explain(
+        self,
+        query: str | PXQLQuery,
+        width: int | None = None,
+        technique: str = "perfxplain",
+        auto_despite: bool = False,
+    ) -> Explanation:
+        """Generate (or reuse) an explanation for a PXQL query.
+
+        On top of the facade behaviour, the session memoises whole
+        explanations: against one immutable log, an explanation is a pure
+        function of the resolved query (clause signature plus pair of
+        interest), the width, the technique and the ``auto_despite`` flag,
+        so repeated identical questions — the common case for a service
+        answering heavy query traffic — cost one dictionary probe.  The
+        session therefore answers repeats of the same question
+        *idempotently*; a custom registered technique that deliberately
+        randomises repeated answers should be called through the plain
+        :class:`PerfXplain` facade instead.
+        """
+        resolved = self.resolve(query)
+        key = (
+            self._clause_signature(resolved),
+            resolved.first_id,
+            resolved.second_id,
+            width,
+            technique.lower(),
+            auto_despite,
+        )
+        if key not in self._explanation_cache:
+            self._explanation_cache[key] = super().explain(
+                resolved, width=width, technique=technique,
+                auto_despite=auto_despite,
+            )
+        return self._explanation_cache[key]
 
     def explain_batch(
         self,
@@ -285,38 +320,40 @@ class PerfXplainSession(PerfXplain):
     # ------------------------------------------------------------------ #
 
     def training_examples(self, query: str | PXQLQuery) -> list[TrainingExample]:
-        """The (cached) training examples for a query's clause signature."""
+        """The (cached) training examples for a query's clause signature.
+
+        A view on the matrix cache: the encoded
+        :class:`~repro.core.examples.TrainingMatrix` owns the example list,
+        so there is exactly one cache to keep coherent.
+        """
+        return self.training_matrix(query).examples
+
+    def training_matrix(self, query: str | PXQLQuery) -> TrainingMatrix:
+        """The (cached) columnar encoding of a query's training examples.
+
+        Built end-to-end on the columnar pipeline
+        (:func:`~repro.core.examples.construct_training_matrix`): the log's
+        :class:`~repro.logs.store.RecordBlock` is encoded once per log and
+        shared across every clause signature, the kernels filter the
+        candidate pairs, and the matrix is assembled straight from the
+        kernel output columns.  Keyed by the clause signature — the
+        (entity, despite, observed, expected) quadruple the examples
+        actually depend on — so N queries sharing clauses pay for one
+        construction and one global sort per numeric pair-feature column.
+        The cache is invalidated together with the example cache — never,
+        within a session: both are append-only per clause signature,
+        because the log a session wraps is immutable.
+        """
         resolved = self.resolve(query)
         key = self._clause_signature(resolved)
-        if key not in self._example_cache:
-            self._example_cache[key] = construct_training_examples(
+        if key not in self._matrix_cache:
+            self._matrix_cache[key] = construct_training_matrix(
                 self.log,
                 resolved,
                 self.schema_for(resolved),
                 config=self.config.pair_config,
                 sample_size=self.config.sample_size,
                 rng=random.Random(self._seed),
-            )
-        return self._example_cache[key]
-
-    def training_matrix(self, query: str | PXQLQuery) -> TrainingMatrix:
-        """The (cached) columnar encoding of a query's training examples.
-
-        Keyed by the same clause signature as the example cache: the
-        encoding depends only on the example set and the session's pair
-        configuration, so N queries sharing clauses pay for one global sort
-        per numeric pair-feature column.  The cache is invalidated together
-        with the example cache — never, within a session: both are
-        append-only per clause signature, because the log a session wraps
-        is immutable.
-        """
-        resolved = self.resolve(query)
-        key = self._clause_signature(resolved)
-        if key not in self._matrix_cache:
-            self._matrix_cache[key] = encode_training_examples(
-                self.training_examples(resolved),
-                self.schema_for(resolved),
-                config=self.config.pair_config,
                 feature_level=self.config.feature_level,
             )
         return self._matrix_cache[key]

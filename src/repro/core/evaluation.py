@@ -23,11 +23,20 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence
 
-from repro.core.examples import iter_related_pairs, Label, records_for_query
+from operator import and_, gt
+
+from repro.core.examples import (
+    Label,
+    pair_kernel_for,
+    related_index_batches,
+    validate_query_features,
+    records_for_query,
+)
 from repro.core.explanation import Explanation, ExplanationMetrics
 from repro.core.explainer import PerfXplainConfig, PerfXplainExplainer
 from repro.core.features import FeatureLevel, FeatureSchema, infer_schema
-from repro.core.pairs import PairFeatureConfig, compute_pair_features, raw_feature_of
+from repro.core.pairkernel import PairContext
+from repro.core.pairs import PairFeatureConfig
 from repro.core.pxql.ast import Predicate, TRUE_PREDICATE
 from repro.core.pxql.query import EntityKind, PXQLQuery
 from repro.exceptions import EvaluationError
@@ -74,45 +83,43 @@ def measure_on_log(
     """Relevance, precision and generality of an explanation over a log.
 
     The metrics are estimated over all pairs of the log that are related to
-    the query (Definition 7), using lazily-computed pair features for just
-    the raw features the query and the explanation mention.
+    the query (Definition 7).  Both the relatedness filter and the
+    explanation's despite/because clauses run as vectorised kernel masks
+    over batched candidate index pairs, so only the derived features the
+    query and explanation mention are ever computed — column-at-a-time,
+    never per pair.  Explanation atoms over features missing from the log's
+    schema behave like the missing pair-feature values they would read:
+    they satisfy nothing.
     """
     config = config if config is not None else PairFeatureConfig()
     rng = rng if rng is not None else random.Random(0)
     records = records_for_query(log, query)
     if schema is None:
         schema = infer_schema(records)
-
-    needed_features = set(query.referenced_features())
-    needed_features.update(explanation.despite.features())
-    needed_features.update(explanation.because.features())
-    needed_raw = sorted({raw_feature_of(name) for name in needed_features} & set(schema.names()))
+    validate_query_features(query, schema)
 
     in_context = 0
     in_context_expected = 0
     matching_because = 0
     matching_because_observed = 0
 
-    record_cache = {record.entity_id: record for record in records}
-    for first, second, label in iter_related_pairs(
-        log, query, schema, config, max_candidate_pairs, rng
+    kernel = pair_kernel_for(log, query, schema, config)
+    observed_label = Label.OBSERVED
+    for firsts, seconds, labels in related_index_batches(
+        kernel, query, max_candidate_pairs, rng
     ):
-        values = compute_pair_features(
-            record_cache[first.entity_id],
-            record_cache[second.entity_id],
-            schema,
-            config,
-            features=needed_raw,
+        ctx = PairContext(firsts, seconds)
+        despite = kernel.predicate_mask(explanation.despite, ctx)
+        because = kernel.predicate_mask(explanation.because, ctx)
+        observed_flags = bytearray(
+            1 if label is observed_label else 0 for label in labels
         )
-        if not explanation.despite.evaluate(values):
-            continue
-        in_context += 1
-        if label is Label.EXPECTED:
-            in_context_expected += 1
-        if explanation.because.evaluate(values):
-            matching_because += 1
-            if label is Label.OBSERVED:
-                matching_because_observed += 1
+        both = bytearray(map(and_, despite, because))
+        in_context += sum(despite)
+        # Labels are binary: expected == related and not observed.
+        in_context_expected += sum(map(gt, despite, observed_flags))
+        matching_because += sum(both)
+        matching_because_observed += sum(map(and_, both, observed_flags))
 
     relevance = in_context_expected / in_context if in_context else 0.0
     precision = matching_because_observed / matching_because if matching_because else 0.0

@@ -1,4 +1,4 @@
-"""Training-example construction (Definitions 7-9).
+"""Training-example construction (Definitions 7-9), columnar pipeline.
 
 Given a query and a log, the related pairs are the ordered pairs of
 executions that satisfy the despite clause and either the observed or the
@@ -13,6 +13,19 @@ can ever be related, so candidates are enumerated within groups sharing the
 corresponding raw value.  Blocking is purely an optimisation — it never
 changes which pairs are related — and is only applied to raw features whose
 equality is exact (nominal values and integers), not to noisy floats.
+
+Since the columnar refactor this module is a thin adapter over the pair
+kernels: the log's cached :class:`~repro.logs.store.RecordBlock` (layer 1)
+feeds :class:`~repro.core.pairkernel.PairKernel` (layer 2), which evaluates
+the three clauses as vectorised masks over batched candidate index pairs
+and emits the sampled pairs' feature vectors column-by-column — no per-pair
+feature dict is ever allocated while filtering.
+:func:`construct_training_matrix` extends the same pipeline one layer
+further and builds the :class:`TrainingMatrix` directly from the kernel's
+output columns.  The original pair-at-a-time dict path is preserved
+verbatim in :mod:`repro.core.pairref` (mirroring :mod:`repro.ml.rowpath`)
+as the reference implementation the differential suite checks this pipeline
+against.
 """
 
 from __future__ import annotations
@@ -20,17 +33,26 @@ from __future__ import annotations
 import enum
 import random
 from collections.abc import Sequence as SequenceABC
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from itertools import compress
+from operator import or_
 from typing import Iterator, Sequence
 
 from repro.ml.matrix import FeatureMatrix
 
 from repro.core.features import FeatureSchema, FeatureLevel
+from repro.core.pairkernel import (
+    PairContext,
+    PairKernel,
+    blocking_group_indices,
+    iter_candidate_batches,
+    keep_limit,
+    sampling_salt,
+)
 from repro.core.pairs import (
     IS_SAME_SUFFIX,
     SAME,
     PairFeatureConfig,
-    compute_pair_features,
     pair_feature_catalog,
     raw_feature_of,
 )
@@ -38,7 +60,7 @@ from repro.core.pxql.ast import Operator, Predicate
 from repro.core.pxql.query import EntityKind, PXQLQuery
 from repro.exceptions import ExplanationError
 from repro.logs.records import ExecutionRecord, FeatureValue
-from repro.logs.store import ExecutionLog
+from repro.logs.store import ExecutionLog, RecordBlock
 
 
 class Label(enum.Enum):
@@ -109,6 +131,7 @@ def _blocking_features(query: PXQLQuery, schema: FeatureSchema) -> list[str]:
 def _group_records(
     records: Sequence[ExecutionRecord], blocking: Sequence[str]
 ) -> list[list[ExecutionRecord]]:
+    """Reference record grouping (value-keyed; kept for the dict path)."""
     if not blocking:
         return [list(records)]
     groups: dict[tuple, list[ExecutionRecord]] = {}
@@ -121,6 +144,80 @@ def _group_records(
     return list(groups.values())
 
 
+def validate_query_features(query: PXQLQuery, schema: FeatureSchema) -> list[str]:
+    """The raw features a query's clauses touch; raise on unknown ones."""
+    query_raw_features = sorted(
+        {raw_feature_of(feature) for feature in query.referenced_features()}
+    )
+    for raw in query_raw_features:
+        if raw not in schema:
+            raise ExplanationError(
+                f"query references feature {raw!r} which is not in the log schema"
+            )
+    return query_raw_features
+
+
+def pair_kernel_for(
+    log: ExecutionLog,
+    query: PXQLQuery,
+    schema: FeatureSchema,
+    config: PairFeatureConfig,
+) -> PairKernel:
+    """The pair kernel over the log's cached columnar record block."""
+    kind = "job" if query.entity is EntityKind.JOB else "task"
+    return PairKernel(log.record_block(schema, kind=kind), config)
+
+
+def related_index_batches(
+    kernel: PairKernel,
+    query: PXQLQuery,
+    max_candidate_pairs: int | None,
+    rng: random.Random,
+) -> Iterator[tuple[list[int], list[int], list[Label]]]:
+    """Related pairs as labeled index batches, in candidate order.
+
+    Each batch holds the surviving ``(first, second)`` record indices and
+    their labels.  Candidates are enumerated lazily within blocking groups,
+    the despite clause prunes each batch first, then the observed and
+    expected clauses run over the survivors (sharing one gather cache) and
+    the labels fall out of the two masks at C level: a pair is related when
+    either holds, and OBSERVED wins — identical to the reference's
+    despite-then-observed-elif-expected sequence per pair.
+    """
+    block = kernel.block
+    schema = kernel.schema
+    blocking = _blocking_features(query, schema)
+    groups = blocking_group_indices(block, blocking)
+
+    total_candidates = sum(len(group) * (len(group) - 1) for group in groups)
+    salt: int | None = None
+    limit = 0
+    if max_candidate_pairs is not None and total_candidates > max_candidate_pairs:
+        salt = sampling_salt(rng)
+        limit = keep_limit(max_candidate_pairs, total_candidates)
+
+    label_by_observed = (Label.EXPECTED, Label.OBSERVED)
+    for first, second in iter_candidate_batches(block, groups, salt, limit):
+        ctx = PairContext(first, second)
+        despite = kernel.predicate_mask(query.despite, ctx)
+        first_kept = list(compress(first, despite))
+        if not first_kept:
+            continue
+        second_kept = list(compress(second, despite))
+        ctx = PairContext(first_kept, second_kept)
+        observed = kernel.predicate_mask(query.observed, ctx)
+        expected = kernel.predicate_mask(query.expected, ctx)
+        related = bytearray(map(or_, observed, expected))
+        firsts = list(compress(first_kept, related))
+        if not firsts:
+            continue
+        seconds = list(compress(second_kept, related))
+        labels = list(
+            map(label_by_observed.__getitem__, compress(observed, related))
+        )
+        yield firsts, seconds, labels
+
+
 def iter_related_pairs(
     log: ExecutionLog,
     query: PXQLQuery,
@@ -131,51 +228,104 @@ def iter_related_pairs(
 ) -> Iterator[tuple[ExecutionRecord, ExecutionRecord, Label]]:
     """Yield every related ordered pair of executions with its label.
 
-    Pair features are computed lazily: only the raw features referenced by
-    the query's three clauses are derived while classifying candidates.
+    Thin adapter over the pair kernels: clause evaluation runs as
+    vectorised masks over batched candidate index pairs (only the raw
+    features the query references are ever derived), and the records are
+    resolved back from the log's cached
+    :class:`~repro.logs.store.RecordBlock` when yielding.
 
     :param max_candidate_pairs: safety valve — if the blocked candidate
         space is still larger than this, a random subset of candidate pairs
-        is examined (with a warning-free deterministic ``rng``).
+        is examined.  The subset is derived from a hash of the pair ids and
+        a seed drawn from ``rng``, so it is deterministic and independent
+        of group iteration order.
     """
     config = config if config is not None else PairFeatureConfig()
     rng = rng if rng is not None else random.Random(0)
-    records = records_for_query(log, query)
-    query_raw_features = sorted(
-        {raw_feature_of(feature) for feature in query.referenced_features()}
-    )
-    for raw in query_raw_features:
-        if raw not in schema:
-            raise ExplanationError(
-                f"query references feature {raw!r} which is not in the log schema"
-            )
+    validate_query_features(query, schema)
+    kernel = pair_kernel_for(log, query, schema, config)
+    records = kernel.block.records
+    for firsts, seconds, labels in related_index_batches(
+        kernel, query, max_candidate_pairs, rng
+    ):
+        yield from zip(
+            map(records.__getitem__, firsts),
+            map(records.__getitem__, seconds),
+            labels,
+        )
 
-    blocking = _blocking_features(query, schema)
-    groups = _group_records(records, blocking)
 
-    total_candidates = sum(len(group) * (len(group) - 1) for group in groups)
-    keep_probability = 1.0
-    if max_candidate_pairs is not None and total_candidates > max_candidate_pairs:
-        keep_probability = max_candidate_pairs / total_candidates
+def _sampled_index_pairs(
+    kernel: PairKernel,
+    query: PXQLQuery,
+    sample_size: int | None,
+    max_candidate_pairs: int | None,
+    rng: random.Random,
+) -> tuple[list[int], list[int], list[Label]]:
+    """Collect the related index pairs and balanced-sample them."""
+    from repro.core.sampling import stratified_keep_indices  # local: avoids a cycle
 
-    for group in groups:
-        for first in group:
-            for second in group:
-                if first is second:
-                    continue
-                if keep_probability < 1.0 and rng.random() > keep_probability:
-                    continue
-                values = compute_pair_features(
-                    first, second, schema, config, features=query_raw_features
-                )
-                if not query.despite.evaluate(values):
-                    continue
-                observed = query.observed.evaluate(values)
-                expected = query.expected.evaluate(values)
-                if observed:
-                    yield first, second, Label.OBSERVED
-                elif expected:
-                    yield first, second, Label.EXPECTED
+    firsts: list[int] = []
+    seconds: list[int] = []
+    labels: list[Label] = []
+    for batch_firsts, batch_seconds, batch_labels in related_index_batches(
+        kernel, query, max_candidate_pairs, rng
+    ):
+        firsts.extend(batch_firsts)
+        seconds.extend(batch_seconds)
+        labels.extend(batch_labels)
+    if sample_size is not None:
+        kept = stratified_keep_indices(labels, sample_size, rng)
+        if kept is not None:
+            firsts = [firsts[index] for index in kept]
+            seconds = [seconds[index] for index in kept]
+            labels = [labels[index] for index in kept]
+    return firsts, seconds, labels
+
+
+def _full_vector_columns(
+    kernel: PairKernel,
+    firsts: Sequence[int],
+    seconds: Sequence[int],
+) -> list[tuple[str, list]]:
+    """Every FULL-level derived column over the sampled pairs, in order.
+
+    The kernel's config ``level`` only gates clause evaluation; column
+    derivation takes the level explicitly, so the caller's kernel serves
+    both.  Emission order matches the reference's per-pair dict
+    construction (sorted raw features, ``isSame``/``compare``/``diff``/base
+    per raw), so name collisions between a raw feature and a derived name
+    resolve to the same final column.
+    """
+    ctx = PairContext(list(firsts), list(seconds))
+    columns: list[tuple[str, list]] = []
+    for raw in kernel.block.schema.names():
+        columns.extend(kernel.derived_columns(ctx, raw, FeatureLevel.FULL))
+    return columns
+
+
+def _build_examples(
+    block: RecordBlock,
+    columns: Sequence[tuple[str, list]],
+    firsts: Sequence[int],
+    seconds: Sequence[int],
+    labels: Sequence[Label],
+) -> list[TrainingExample]:
+    """Assemble `TrainingExample`s from column-wise kernel output."""
+    vectors: list[dict[str, FeatureValue]] = [{} for _ in firsts]
+    for name, values in columns:
+        for vector, value in zip(vectors, values):
+            vector[name] = value
+    ids = block.ids
+    return [
+        TrainingExample(
+            first_id=ids[index_a],
+            second_id=ids[index_b],
+            values=vector,
+            label=label,
+        )
+        for index_a, index_b, vector, label in zip(firsts, seconds, vectors, labels)
+    ]
 
 
 def construct_training_examples(
@@ -191,41 +341,21 @@ def construct_training_examples(
 
     This corresponds to lines 1-2 of Algorithm 1: collect the related pairs,
     then keep a balanced sample of at most ``sample_size`` of them.  Full
-    pair-feature vectors are only computed for the sampled pairs.
+    pair-feature vectors are only computed for the sampled pairs — and
+    column-at-a-time through the pair kernels, never per pair.
 
     :returns: the sampled training examples (possibly empty if no pair in
         the log is related to the query).
     """
-    from repro.core.sampling import balanced_sample  # local import to avoid a cycle
-
     config = config if config is not None else PairFeatureConfig()
     rng = rng if rng is not None else random.Random(0)
-
-    labeled_pairs = list(
-        iter_related_pairs(log, query, schema, config, max_candidate_pairs, rng)
+    validate_query_features(query, schema)
+    kernel = pair_kernel_for(log, query, schema, config)
+    firsts, seconds, labels = _sampled_index_pairs(
+        kernel, query, sample_size, max_candidate_pairs, rng
     )
-    if sample_size is not None:
-        labeled_pairs = balanced_sample(
-            labeled_pairs, sample_size, rng, label_of=lambda item: item[2]
-        )
-
-    full_config = PairFeatureConfig(
-        sim_threshold=config.sim_threshold,
-        is_same_tolerance=config.is_same_tolerance,
-        level=FeatureLevel.FULL,
-    )
-    examples = []
-    for first, second, label in labeled_pairs:
-        values = compute_pair_features(first, second, schema, full_config)
-        examples.append(
-            TrainingExample(
-                first_id=first.entity_id,
-                second_id=second.entity_id,
-                values=values,
-                label=label,
-            )
-        )
-    return examples
+    columns = _full_vector_columns(kernel, firsts, seconds)
+    return _build_examples(kernel.block, columns, firsts, seconds, labels)
 
 
 class TrainingMatrix(SequenceABC):
@@ -278,6 +408,57 @@ class TrainingMatrix(SequenceABC):
         return bytearray(0 if flag else 1 for flag in self.observed)
 
 
+def construct_training_matrix(
+    log: ExecutionLog,
+    query: PXQLQuery,
+    schema: FeatureSchema,
+    config: PairFeatureConfig | None = None,
+    sample_size: int | None = 2000,
+    rng: random.Random | None = None,
+    max_candidate_pairs: int | None = 2_000_000,
+    feature_level: FeatureLevel = FeatureLevel.FULL,
+) -> TrainingMatrix:
+    """Construct a query's encoded :class:`TrainingMatrix` in one pass.
+
+    The end-to-end columnar fast path: related pairs are filtered through
+    the vectorised kernels, the sampled pairs' derived feature columns are
+    computed once, and the :class:`~repro.ml.matrix.FeatureMatrix` is built
+    *directly from those kernel output columns* — the per-example value
+    dicts are assembled from the same columns, so the result is
+    element-identical to encoding :func:`construct_training_examples`
+    output with :func:`encode_training_examples` (the differential suite
+    asserts this), without the intermediate dict re-extraction.
+    """
+    config = config if config is not None else PairFeatureConfig()
+    rng = rng if rng is not None else random.Random(0)
+    validate_query_features(query, schema)
+    kernel = pair_kernel_for(log, query, schema, config)
+    firsts, seconds, labels = _sampled_index_pairs(
+        kernel, query, sample_size, max_candidate_pairs, rng
+    )
+    columns = _full_vector_columns(kernel, firsts, seconds)
+    examples = _build_examples(kernel.block, columns, firsts, seconds, labels)
+
+    catalog = pair_feature_catalog(
+        schema,
+        PairFeatureConfig(
+            sim_threshold=config.sim_threshold,
+            is_same_tolerance=config.is_same_tolerance,
+            level=feature_level,
+        ),
+        exclude_performance=True,
+    )
+    column_store = dict(columns)  # later duplicates win, like the dict writes
+    matrix = FeatureMatrix.from_columns(
+        {name: column_store[name] for name in catalog},
+        numeric=catalog,
+        n_rows=len(examples),
+    )
+    observed = bytearray(1 if label is Label.OBSERVED else 0 for label in labels)
+    encoding = (feature_level, config.sim_threshold, config.is_same_tolerance)
+    return TrainingMatrix(examples, matrix, observed, encoding=encoding)
+
+
 def encode_training_examples(
     examples: Sequence[TrainingExample],
     schema: FeatureSchema,
@@ -290,8 +471,10 @@ def encode_training_examples(
     searches (performance-derived features excluded, level capped at
     ``feature_level``), in catalog order.  An already-encoded
     :class:`TrainingMatrix` is passed through only when it was built under
-    the same parameters; otherwise its examples are re-encoded, so a
-    matrix cached for one configuration never leaks a different feature
+    the same parameters (the fast path: matrices from
+    :func:`construct_training_matrix` carry their encoding and skip the
+    dict re-extraction entirely); otherwise its examples are re-encoded, so
+    a matrix cached for one configuration never leaks a different feature
     surface into another.
     """
     config = config if config is not None else PairFeatureConfig()

@@ -21,12 +21,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from operator import and_
 
 from repro.core.examples import (
     Label,
     TrainingExample,
     TrainingMatrix,
-    construct_training_examples,
+    construct_training_matrix,
     encode_training_examples,
     find_record,
 )
@@ -153,11 +154,15 @@ class PerfXplainExplainer:
 
         precomputed = examples is not None
         if examples is None:
-            examples = construct_training_examples(
+            # Fresh construction runs the columnar pipeline end to end:
+            # the TrainingMatrix is built directly from kernel output
+            # columns, so _encode below is a pass-through.
+            examples = construct_training_matrix(
                 log, working_query, schema,
                 config=self.config.pair_config,
                 sample_size=self.config.sample_size,
                 rng=self._rng,
+                feature_level=self.config.feature_level,
             )
         encoded = self._encode(examples, schema)
         if precomputed and not despite_extension.is_true:
@@ -209,11 +214,12 @@ class PerfXplainExplainer:
             pair_values = self._pair_values(log, query, schema)
 
         if examples is None:
-            examples = construct_training_examples(
+            examples = construct_training_matrix(
                 log, query, schema,
                 config=self.config.pair_config,
                 sample_size=self.config.sample_size,
                 rng=self._rng,
+                feature_level=self.config.feature_level,
             )
         if not examples:
             raise ExplanationError(
@@ -284,10 +290,15 @@ class PerfXplainExplainer:
             )
             clause = clause.extended(atom)
             used.add(best.feature)
+            # The atom's column holds exactly the values the examples carry
+            # for that feature, so scalar evaluation over the gathered
+            # column replaces the per-example dict probing.
+            raw = matrix.column(best.feature).raw
+            satisfied = map(atom.evaluate_value, map(raw.__getitem__, remaining))
             keep = bytearray(matrix.n_rows)
             survivors = []
-            for index in remaining:
-                if atom.evaluate(encoded.examples[index].values):
+            for index, keep_row in zip(remaining, satisfied):
+                if keep_row:
                     keep[index] = 1
                     survivors.append(index)
             remaining = survivors
@@ -323,18 +334,28 @@ class PerfXplainExplainer:
         remaining: list[int],
         positive: bytearray,
     ) -> CandidatePredicate | None:
-        """Score candidates by percentile-ranked precision and generality."""
+        """Score candidates by percentile-ranked precision and generality.
+
+        Per-candidate match counting runs over the columnar encoding:
+        equality candidates compare value codes (assigned under dict
+        equality — the same relation ``satisfied_by`` uses) and threshold
+        candidates sweep the float image of clean numeric columns; only
+        mixed-type columns fall back to scalar ``satisfied_by`` probing.
+        """
         precisions: list[float] = []
         generalities: list[float] = []
+        positive_flags = list(map(positive.__getitem__, remaining))
         for candidate in candidates:
-            raw = encoded.matrix.column(candidate.feature).raw
-            matching = 0
-            matching_positive = 0
-            for index in remaining:
-                if candidate.satisfied_by(raw[index]):
-                    matching += 1
-                    if positive[index]:
-                        matching_positive += 1
+            column = encoded.matrix.column(candidate.feature)
+            satisfied = self._satisfied_flags(candidate, column, remaining)
+            if satisfied is None:
+                raw = column.raw
+                satisfied = [
+                    1 if candidate.satisfied_by(raw[index]) else 0
+                    for index in remaining
+                ]
+            matching = sum(satisfied)
+            matching_positive = sum(map(and_, satisfied, positive_flags))
             precisions.append(matching_positive / matching if matching else 0.0)
             generalities.append(matching / len(remaining) if remaining else 0.0)
 
@@ -365,6 +386,49 @@ class PerfXplainExplainer:
                 key=lambda i: weight * precision_ranks[i] + (1 - weight) * generality_ranks[i],
             )
         return candidates[best_index]
+
+    @staticmethod
+    def _satisfied_flags(
+        candidate: CandidatePredicate, column, remaining: list[int]
+    ) -> "list[int] | None":
+        """Vectorised ``satisfied_by`` over one column's remaining rows.
+
+        Returns ``None`` when no exact vector path applies (the caller then
+        probes values one by one).  Semantics are identical to
+        :meth:`~repro.ml.splits.CandidatePredicate.satisfied_by`:
+
+        * ``==`` — value codes are assigned under dict equality, which is
+          the same relation ``value == constant`` evaluates for the hashable
+          constants the search emits; a NaN constant satisfies nothing.
+        * ``<=`` / ``>`` — exact only on *clean* numeric columns (every
+          present value threshold-eligible: no bools, NaN or mixed types),
+          where the float image ordering is the ordering ``satisfied_by``
+          sees; missing rows are excluded by the eligibility mask.
+        """
+        operator = candidate.operator
+        if operator == "==":
+            constant = candidate.value
+            if constant != constant:
+                return [0] * len(remaining)
+            code = column.code_of.get(constant, -1)
+            if code < 0:
+                # Not a stored value (candidates always are; be safe): the
+                # -1 sentinel must not match missing rows' -1 codes.
+                return [0] * len(remaining)
+            return list(map(code.__eq__, map(column.codes.__getitem__, remaining)))
+        if operator in ("<=", ">") and column.numeric and column.clean:
+            threshold = candidate.value
+            # value <= t  <=>  t >= value (and mirrored for >), giving a
+            # bound method mappable at C level over the float image.
+            compare = threshold.__ge__ if operator == "<=" else threshold.__lt__
+            return list(
+                map(
+                    and_,
+                    map(column.numeric_ok.__getitem__, remaining),
+                    map(compare, map(column.floats.__getitem__, remaining)),
+                )
+            )
+        return None
 
     # ------------------------------------------------------------------ #
     # helpers

@@ -1,0 +1,146 @@
+"""Reference pair-generation path: one feature dict per candidate pair.
+
+This module preserves the pre-columnar Section-4 pipeline exactly as it ran
+before the pair kernels existed (mirroring how :mod:`repro.ml.rowpath`
+freezes the pre-columnar tree fitting): candidate pairs are enumerated
+within blocking groups, each candidate gets a lazily-restricted pair-feature
+*dict* via :func:`repro.core.pairs.compute_pair_features`, and the query's
+clauses are evaluated per pair with
+:meth:`repro.core.pxql.ast.Predicate.evaluate`.
+
+It exists for two reasons:
+
+* the differential suite (``tests/core/test_pair_pipeline_equivalence.py``)
+  proves the kernel path in :mod:`repro.core.examples` yields identical
+  labeled pairs, feature vectors and training matrices on randomized logs;
+* the pair-pipeline throughput benchmark measures the kernel path's speedup
+  against it.
+
+Two deliberate behaviours are *shared* with the live path rather than
+frozen, because they changed in the same refactor: the order-independent
+hash-based candidate subsampling (:func:`repro.core.pairkernel.pair_is_kept`)
+and the exact-size stratified balanced sampling
+(:func:`repro.core.sampling.balanced_sample`).  Both paths therefore sample
+identical subsets, and the differential comparison isolates exactly the
+columnar re-layout.
+"""
+
+from __future__ import annotations
+
+import random
+from operator import itemgetter
+from typing import Iterator
+
+from repro.core.examples import (
+    Label,
+    TrainingExample,
+    _blocking_features,
+    _group_records,
+    validate_query_features,
+    records_for_query,
+)
+from repro.core.features import FeatureLevel, FeatureSchema
+from repro.core.pairkernel import keep_limit, pair_is_kept, sampling_salt
+from repro.core.pairs import PairFeatureConfig, compute_pair_features
+from repro.core.pxql.query import PXQLQuery
+from repro.logs.records import ExecutionRecord
+from repro.logs.store import ExecutionLog
+
+
+def iter_related_pairs_reference(
+    log: ExecutionLog,
+    query: PXQLQuery,
+    schema: FeatureSchema,
+    config: PairFeatureConfig | None = None,
+    max_candidate_pairs: int | None = 2_000_000,
+    rng: random.Random | None = None,
+) -> Iterator[tuple[ExecutionRecord, ExecutionRecord, Label]]:
+    """Yield every related ordered pair, dict-per-candidate (reference).
+
+    Pair features are computed lazily: only the raw features referenced by
+    the query's three clauses are derived while classifying candidates.
+    """
+    config = config if config is not None else PairFeatureConfig()
+    rng = rng if rng is not None else random.Random(0)
+    records = records_for_query(log, query)
+    query_raw_features = validate_query_features(query, schema)
+
+    blocking = _blocking_features(query, schema)
+    groups = _group_records(records, blocking)
+
+    total_candidates = sum(len(group) * (len(group) - 1) for group in groups)
+    salt: int | None = None
+    limit = 0
+    if max_candidate_pairs is not None and total_candidates > max_candidate_pairs:
+        salt = sampling_salt(rng)
+        limit = keep_limit(max_candidate_pairs, total_candidates)
+
+    for group in groups:
+        for first in group:
+            for second in group:
+                if first is second:
+                    continue
+                if salt is not None and not pair_is_kept(
+                    first.entity_id, second.entity_id, salt, limit
+                ):
+                    continue
+                values = compute_pair_features(
+                    first, second, schema, config, features=query_raw_features
+                )
+                if not query.despite.evaluate(values):
+                    continue
+                observed = query.observed.evaluate(values)
+                expected = query.expected.evaluate(values)
+                if observed:
+                    yield first, second, Label.OBSERVED
+                elif expected:
+                    yield first, second, Label.EXPECTED
+
+
+def construct_training_examples_reference(
+    log: ExecutionLog,
+    query: PXQLQuery,
+    schema: FeatureSchema,
+    config: PairFeatureConfig | None = None,
+    sample_size: int | None = 2000,
+    rng: random.Random | None = None,
+    max_candidate_pairs: int | None = 2_000_000,
+) -> list[TrainingExample]:
+    """Construct and balanced-sample the training examples (reference).
+
+    Full pair-feature vectors are computed one sampled pair at a time with
+    :func:`repro.core.pairs.compute_pair_features` — the per-pair dict
+    allocation the columnar pipeline eliminates.
+    """
+    from repro.core.sampling import balanced_sample  # local import: avoids a cycle
+
+    config = config if config is not None else PairFeatureConfig()
+    rng = rng if rng is not None else random.Random(0)
+
+    labeled_pairs = list(
+        iter_related_pairs_reference(
+            log, query, schema, config, max_candidate_pairs, rng
+        )
+    )
+    if sample_size is not None:
+        labeled_pairs = balanced_sample(
+            labeled_pairs, sample_size, rng, label_of=itemgetter(2)
+        )
+
+    full_config = PairFeatureConfig(
+        sim_threshold=config.sim_threshold,
+        is_same_tolerance=config.is_same_tolerance,
+        level=FeatureLevel.FULL,
+    )
+    examples = []
+    for first, second, label in labeled_pairs:
+        values = compute_pair_features(first, second, schema, full_config)
+        examples.append(
+            TrainingExample(
+                first_id=first.entity_id,
+                second_id=second.entity_id,
+                values=values,
+                label=label,
+            )
+        )
+    return examples

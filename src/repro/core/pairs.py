@@ -19,6 +19,12 @@ the paper's ``isSame`` features have (documented in DESIGN.md).
 
 Missing raw values propagate: if either side is missing, every derived
 feature of ``f`` is missing.
+
+The functions here define the *scalar* semantics and serve the reference
+path (:mod:`repro.core.pairref`) plus single-pair probes like
+``PerfXplain.pair_features``; bulk derivation over many candidate pairs
+runs column-at-a-time in :mod:`repro.core.pairkernel`, whose outputs the
+differential suite pins to these definitions.
 """
 
 from __future__ import annotations

@@ -60,7 +60,15 @@ class Comparison:
         A missing feature value (``None`` or absent) never satisfies the
         comparison, matching the semantics used throughout the paper.
         """
-        actual = pair_values.get(self.feature)
+        return self.evaluate_value(pair_values.get(self.feature))
+
+    def evaluate_value(self, actual: FeatureValue) -> bool:
+        """Whether the comparison holds on one already-extracted value.
+
+        This is the scalar core of :meth:`evaluate`; the columnar pair
+        kernels (:mod:`repro.core.pairkernel`) map it over whole derived
+        columns when no specialised vector path applies.
+        """
         if actual is None:
             return False
         if self.operator is Operator.EQ:

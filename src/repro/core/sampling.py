@@ -2,20 +2,73 @@
 
 A heavily unbalanced example set lets a trivial explanation look precise
 (if 99% of pairs performed as observed, the empty explanation already has
-precision 0.99).  The paper therefore keeps each example with a probability
-inversely proportional to its class frequency so that the sample contains
-roughly the same number of OBSERVED and EXPECTED pairs, with an expected
-total of ``sample_size``.
+precision 0.99).  The paper keeps each example with a probability inversely
+proportional to its class frequency — ``sample_size / (2 * count(c))``,
+capped at 1 — so that the sample contains roughly the same number of
+OBSERVED and EXPECTED pairs with an *expected* total of ``sample_size``.
+
+**Deliberate deviation from the paper:** this implementation replaces the
+per-item keep-probability pass with deterministic *exact-size* stratified
+sampling.  Each class's target is half of ``sample_size`` (never
+redistributed, matching the capped probability's expectation
+``min(count(c), sample_size / 2)``), and a seeded partial shuffle
+(``random.Random.sample``) draws exactly that many items per class.  The
+paper's 50/50 balance target is preserved while the sample size stops being
+a random variable, and the kept subset depends only on the item order,
+labels and seed — never on interleaving between classes.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Sequence, TypeVar
+from operator import attrgetter
+from typing import Any, Callable, Sequence, TypeVar
 
 from repro.core.examples import Label
 
 T = TypeVar("T")
+
+#: Default label accessor: the item's ``label`` attribute (training
+#: examples); tuple inputs pass an explicit ``label_of`` instead.
+label_attribute: Callable[[Any], Label] = attrgetter("label")
+
+
+def stratified_keep_indices(
+    labels: Sequence[Label],
+    sample_size: int,
+    rng: random.Random | None = None,
+) -> list[int] | None:
+    """Indices of an exact-size class-balanced sample, in original order.
+
+    Per class the target is half of ``sample_size`` (OBSERVED receives the
+    remainder of an odd size); classes smaller than their target are kept
+    whole without redistributing the slack, so the result can be smaller
+    than ``sample_size`` when one class is scarce — exactly the expectation
+    of the paper's capped keep probability.
+
+    :returns: sorted kept indices, or ``None`` when everything is kept
+        (``len(labels) <= sample_size``).
+    """
+    if sample_size <= 0:
+        raise ValueError("sample_size must be positive")
+    rng = rng if rng is not None else random.Random(0)
+    if len(labels) <= sample_size:
+        return None
+    half = sample_size // 2
+    targets = {Label.OBSERVED: sample_size - half, Label.EXPECTED: half}
+    by_class: dict[Label, list[int]] = {Label.OBSERVED: [], Label.EXPECTED: []}
+    for index, label in enumerate(labels):
+        by_class[label].append(index)
+    kept: list[int] = []
+    for label in (Label.OBSERVED, Label.EXPECTED):
+        indices = by_class[label]
+        target = targets[label]
+        if len(indices) <= target:
+            kept.extend(indices)
+        else:
+            kept.extend(rng.sample(indices, target))
+    kept.sort()
+    return kept
 
 
 def balanced_sample(
@@ -24,46 +77,33 @@ def balanced_sample(
     rng: random.Random | None = None,
     label_of: Callable[[T], Label] | None = None,
 ) -> list[T]:
-    """Keep each item with the class-balancing probability from the paper.
+    """An exact-size class-balanced sample of labeled items.
 
-    For an item of class ``c`` the keep probability is
-    ``sample_size / (2 * count(c))``, capped at 1.
+    See :func:`stratified_keep_indices` for the sampling rule (and the
+    documented deviation from the paper's expected-size probability pass).
 
     :param items: labeled items (training examples or (first, second, label)
         tuples).
-    :param sample_size: desired expected sample size ``m``.
-    :param rng: random generator.
-    :param label_of: how to obtain an item's label (defaults to ``item.label``).
+    :param sample_size: desired sample size ``m`` (exact when both classes
+        are large enough).
+    :param rng: random generator seeding the per-class partial shuffles.
+    :param label_of: how to obtain an item's label (defaults to
+        :data:`label_attribute`).
     """
-    if sample_size <= 0:
-        raise ValueError("sample_size must be positive")
     rng = rng if rng is not None else random.Random(0)
-    if label_of is None:
-        label_of = lambda item: item.label  # type: ignore[attr-defined]
-
-    counts = {Label.OBSERVED: 0, Label.EXPECTED: 0}
-    for item in items:
-        counts[label_of(item)] += 1
-
-    if len(items) <= sample_size:
+    label_of = label_of if label_of is not None else label_attribute
+    labels = [label_of(item) for item in items]
+    kept = stratified_keep_indices(labels, sample_size, rng)
+    if kept is None:
         return list(items)
-
-    kept: list[T] = []
-    for item in items:
-        label = label_of(item)
-        class_count = counts[label]
-        if class_count == 0:
-            continue
-        probability = min(1.0, sample_size / (2.0 * class_count))
-        if rng.random() < probability:
-            kept.append(item)
-    return kept
+    return [items[index] for index in kept]
 
 
-def class_counts(items: Sequence[T], label_of: Callable[[T], Label] | None = None) -> dict[Label, int]:
+def class_counts(
+    items: Sequence[T], label_of: Callable[[T], Label] | None = None
+) -> dict[Label, int]:
     """Number of items per label."""
-    if label_of is None:
-        label_of = lambda item: item.label  # type: ignore[attr-defined]
+    label_of = label_of if label_of is not None else label_attribute
     counts = {Label.OBSERVED: 0, Label.EXPECTED: 0}
     for item in items:
         counts[label_of(item)] += 1

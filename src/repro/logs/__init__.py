@@ -6,14 +6,15 @@ This package provides:
 
 * :mod:`repro.logs.records` — :class:`JobRecord` and :class:`TaskRecord`;
 * :mod:`repro.logs.store` — :class:`ExecutionLog`, the in-memory store with
-  filtering, train/test splitting and JSON persistence;
+  filtering, train/test splitting, JSON persistence, O(1) id lookup and the
+  cached :class:`RecordBlock` columnar encoding the pair kernels run on;
 * :mod:`repro.logs.writer` / :mod:`repro.logs.parser` — a Hadoop
   job-history-style textual format and its parser, so that the feature
   extraction path mirrors parsing real Hadoop logs.
 """
 
 from repro.logs.records import JobRecord, TaskRecord, FeatureValue
-from repro.logs.store import ExecutionLog
+from repro.logs.store import BlockColumn, ExecutionLog, RecordBlock
 from repro.logs.writer import write_job_history, job_history_text
 from repro.logs.parser import parse_job_history, parse_job_history_text
 
@@ -21,7 +22,9 @@ __all__ = [
     "JobRecord",
     "TaskRecord",
     "FeatureValue",
+    "BlockColumn",
     "ExecutionLog",
+    "RecordBlock",
     "write_job_history",
     "job_history_text",
     "parse_job_history",

@@ -5,6 +5,26 @@ An :class:`ExecutionLog` holds job and task records, supports filtering
 random job-level train/test splits (the paper's repeated 2-fold
 cross-validation splits *jobs*, carrying each job's tasks with it), and JSON
 persistence.
+
+Record lookup by id (:meth:`ExecutionLog.find_job`,
+:meth:`ExecutionLog.find_task`, :meth:`ExecutionLog.tasks_of_job`) runs on
+lazily-built hash indexes that are rebuilt automatically whenever the
+underlying record lists change length, so the public mutation API
+(:meth:`ExecutionLog.add_job` / :meth:`ExecutionLog.add_task`) and direct
+list appends both stay O(1) amortised.  The ``jobs``/``tasks`` lists are
+**append-only**: replacing or removing records in place keeps the length
+(and the cached indexes and blocks) unchanged and is not supported —
+build a new log (e.g. via :meth:`ExecutionLog.filter_jobs`) instead.
+
+This module also holds the first layer of the columnar pair pipeline: a
+:class:`RecordBlock` encodes a whole record list column-by-column (per raw
+feature: float values, numeric-eligibility and missing masks, and integer
+value codes for exact-equality tests) so that the pair kernels in
+:mod:`repro.core.pairkernel` can derive Table-1 pair features for millions
+of candidate pairs in bulk instead of record-dict probing per pair.  Blocks
+are built once per (entity kind, schema) and cached on the log
+(:meth:`ExecutionLog.record_block`); logs are treated as append-only, which
+every mutation API in this module respects.
 """
 
 from __future__ import annotations
@@ -12,17 +32,182 @@ from __future__ import annotations
 import json
 import random
 from dataclasses import dataclass, field
+from operator import and_, eq
 from pathlib import Path
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.exceptions import LogFormatError
 from repro.logs.records import (
+    ExecutionRecord,
     FeatureValue,
     JobRecord,
     TaskRecord,
     record_from_dict,
     record_to_dict,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.features import FeatureSchema
+
+#: The performance metric pseudo-feature (mirrors
+#: :data:`repro.core.features.PERFORMANCE_METRIC` without importing the
+#: core layer from the logs layer).
+_PERFORMANCE_METRIC = "duration"
+
+
+# --------------------------------------------------------------------- #
+# columnar record encoding (layer 1 of the pair pipeline)
+# --------------------------------------------------------------------- #
+
+
+class BlockColumn:
+    """One raw feature's values across a record list, encoded for kernels.
+
+    The encoding carries everything the pair kernels need to derive the
+    Table-1 pair features of this raw feature for arbitrary ``(i, j)``
+    index pairs without touching the record dicts again:
+
+    * ``raw`` — the original values (``None`` = missing), for ``diff``
+      strings and shared base values;
+    * ``codes`` — integer value codes under dict equality (``-1`` =
+      missing), so exact equality of two records is one integer compare;
+    * ``selfeq`` — per-record flag ``value == value`` (present and not
+      ``NaN``), the guard that keeps code equality faithful to ``==``;
+    * ``floats`` / ``num_ok`` — numeric features only: the ``float`` image
+      used by the tolerance/similarity rules and the per-record flag that
+      the value really is numeric (bools are nominal by fiat).
+    """
+
+    __slots__ = (
+        "name",
+        "numeric",
+        "raw",
+        "codes",
+        "selfeq",
+        "floats",
+        "num_ok",
+        "all_numeric",
+        "code_of",
+    )
+
+    def __init__(self, name: str, numeric: bool) -> None:
+        self.name = name
+        self.numeric = numeric
+        self.raw: list[FeatureValue] = []
+        self.codes: list[int] = []
+        self.selfeq: bytearray = bytearray()
+        self.floats: list[float] = []
+        self.num_ok: bytearray = bytearray()
+        #: Every present value is numeric (lets kernels skip the
+        #: mixed-type equality fallback).
+        self.all_numeric: bool = False
+        self.code_of: dict[FeatureValue, int] = {}
+
+    @classmethod
+    def from_values(
+        cls, name: str, values: Sequence[FeatureValue], numeric: bool
+    ) -> "BlockColumn":
+        """Encode one column of raw values (``None`` = missing).
+
+        Code assignment runs as C pipelines: distinct values are collected
+        with one ``set`` pass and codes are assigned by dict lookup mapped
+        over the column.  Code *numbering* is therefore arbitrary — kernels
+        only ever compare codes for equality, never for order.
+        """
+        column = cls(name, numeric)
+        n = len(values)
+        raw = list(values)
+        column.raw = raw
+        distinct = set(raw)
+        distinct.discard(None)
+        code_of: dict[FeatureValue, int] = {
+            value: code for code, value in enumerate(distinct)
+        }
+        code_of[None] = -1
+        codes = list(map(code_of.__getitem__, raw))
+        del code_of[None]
+        column.code_of = code_of
+        column.codes = codes
+        present_mask = list(map((-1).__lt__, codes))
+        # ``value == value`` is false only for NaN (and None == None is
+        # masked out by presence).
+        column.selfeq = bytearray(map(and_, present_mask, map(eq, raw, raw)))
+        present = sum(present_mask)
+        if numeric:
+            # Kinds come from the full column, not ``distinct``: the set
+            # dedups ``True`` against ``1``, which could hide a bool.
+            kinds = set(map(type, raw))
+            kinds.discard(type(None))
+            if kinds <= {int, float}:
+                # Purely numeric column (bool is type-distinct from int):
+                # one C conversion pass; NaN stays float-eligible exactly
+                # like the isinstance path.
+                if present == n:
+                    column.floats = list(map(float, raw))
+                    column.num_ok = bytearray(b"\x01") * n
+                else:
+                    column.floats = [
+                        0.0 if value is None else float(value) for value in raw
+                    ]
+                    column.num_ok = bytearray(present_mask)
+                column.all_numeric = True
+                return column
+            floats = [0.0] * n
+            ok = bytearray(n)
+            numeric_count = 0
+            for index, value in enumerate(raw):
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    floats[index] = float(value)
+                    ok[index] = 1
+                    numeric_count += 1
+            column.floats = floats
+            column.num_ok = ok
+            column.all_numeric = numeric_count == present
+        return column
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+
+class RecordBlock:
+    """A record list encoded column-by-column for the pair kernels.
+
+    Columns are built lazily per raw feature (a query usually touches a
+    handful of the schema), cached forever: blocks are only ever built for
+    append-only logs via :meth:`ExecutionLog.record_block`, which keys the
+    cache by record count.  ``duration`` reads the record's performance
+    metric, mirroring :func:`repro.core.pairs.compute_pair_feature`.
+    """
+
+    __slots__ = ("records", "schema", "ids", "id_bytes", "columns")
+
+    def __init__(self, records: Sequence[ExecutionRecord], schema: "FeatureSchema") -> None:
+        self.records: list[ExecutionRecord] = list(records)
+        self.schema = schema
+        #: Entity id per row, plus its UTF-8 image for hash-based sampling.
+        self.ids: list[str] = [record.entity_id for record in self.records]
+        self.id_bytes: list[bytes] = [entity_id.encode("utf-8") for entity_id in self.ids]
+        self.columns: dict[str, BlockColumn] = {}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def column(self, name: str) -> BlockColumn:
+        """The (lazily built) encoded column of one raw feature."""
+        column = self.columns.get(name)
+        if column is None:
+            if name == _PERFORMANCE_METRIC:
+                values: list[FeatureValue] = [record.duration for record in self.records]
+            else:
+                values = [record.features.get(name) for record in self.records]
+            column = BlockColumn.from_values(name, values, self.schema.is_numeric(name))
+            self.columns[name] = column
+        return column
+
+
+def _schema_signature(schema: "FeatureSchema") -> tuple:
+    """A hashable fingerprint of a schema (name/kind pairs, sorted)."""
+    return tuple(sorted((name, spec.kind.value) for name, spec in schema.specs.items()))
 
 
 @dataclass
@@ -31,6 +216,21 @@ class ExecutionLog:
 
     jobs: list[JobRecord] = field(default_factory=list)
     tasks: list[TaskRecord] = field(default_factory=list)
+    #: Lazy id -> record indexes (rebuilt when the record lists change
+    #: length) and the per-(kind, schema) RecordBlock cache.
+    _job_index: dict[str, JobRecord] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _task_index: dict[str, TaskRecord] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _job_tasks: dict[str, list[TaskRecord]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _job_tasks_size: int = field(default=-1, init=False, repr=False, compare=False)
+    _blocks: dict[tuple, RecordBlock] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     # construction
@@ -38,28 +238,35 @@ class ExecutionLog:
 
     def add_job(self, job: JobRecord, tasks: Iterable[TaskRecord] = ()) -> None:
         """Add a job record and (optionally) its task records."""
-        if any(existing.job_id == job.job_id for existing in self.jobs):
+        index = self._job_lookup()
+        if job.job_id in index:
             raise ValueError(f"duplicate job id: {job.job_id}")
         self.jobs.append(job)
+        index[job.job_id] = job
         for task in tasks:
             self.add_task(task)
 
     def add_task(self, task: TaskRecord) -> None:
         """Add a single task record."""
-        if any(existing.task_id == task.task_id for existing in self.tasks):
+        index = self._task_lookup()
+        if task.task_id in index:
             raise ValueError(f"duplicate task id: {task.task_id}")
         self.tasks.append(task)
+        index[task.task_id] = task
 
     def merge(self, other: "ExecutionLog") -> "ExecutionLog":
         """Return a new log containing the records of both logs."""
         merged = ExecutionLog(jobs=list(self.jobs), tasks=list(self.tasks))
+        existing_jobs = {job.job_id for job in merged.jobs}
         for job in other.jobs:
-            if merged.find_job(job.job_id) is None:
+            if job.job_id not in existing_jobs:
                 merged.jobs.append(job)
+                existing_jobs.add(job.job_id)
         existing_tasks = {task.task_id for task in merged.tasks}
         for task in other.tasks:
             if task.task_id not in existing_tasks:
                 merged.tasks.append(task)
+                existing_tasks.add(task.task_id)
         return merged
 
     # ------------------------------------------------------------------ #
@@ -76,23 +283,55 @@ class ExecutionLog:
         """Number of task records."""
         return len(self.tasks)
 
+    def _job_lookup(self) -> dict[str, JobRecord]:
+        """The id -> job index, rebuilt when the job list changed length.
+
+        ``setdefault`` preserves the first-match semantics of the previous
+        linear scan if duplicate ids were ever injected by direct list
+        mutation (the index then simply never validates as complete and is
+        rebuilt per call, degrading to the old O(n) behaviour).
+        """
+        index = self._job_index
+        if len(index) != len(self.jobs):
+            index.clear()
+            for job in self.jobs:
+                index.setdefault(job.job_id, job)
+        return index
+
+    def _task_lookup(self) -> dict[str, TaskRecord]:
+        """The id -> task index (same contract as :meth:`_job_lookup`)."""
+        index = self._task_index
+        if len(index) != len(self.tasks):
+            index.clear()
+            for task in self.tasks:
+                index.setdefault(task.task_id, task)
+        return index
+
     def find_job(self, job_id: str) -> JobRecord | None:
-        """The job with the given id, or ``None``."""
-        for job in self.jobs:
-            if job.job_id == job_id:
-                return job
-        return None
+        """The job with the given id, or ``None`` (O(1) amortised).
+
+        Correct under appends; in-place record replacement is outside the
+        log's append-only contract (see the module docstring).
+        """
+        return self._job_lookup().get(job_id)
 
     def find_task(self, task_id: str) -> TaskRecord | None:
-        """The task with the given id, or ``None``."""
-        for task in self.tasks:
-            if task.task_id == task_id:
-                return task
-        return None
+        """The task with the given id, or ``None`` (O(1) amortised).
+
+        Correct under appends; in-place record replacement is outside the
+        log's append-only contract (see the module docstring).
+        """
+        return self._task_lookup().get(task_id)
 
     def tasks_of_job(self, job_id: str) -> list[TaskRecord]:
-        """All task records belonging to a job."""
-        return [task for task in self.tasks if task.job_id == job_id]
+        """All task records belonging to a job (indexed, O(tasks of job))."""
+        if self._job_tasks_size != len(self.tasks):
+            groups: dict[str, list[TaskRecord]] = {}
+            for task in self.tasks:
+                groups.setdefault(task.job_id, []).append(task)
+            self._job_tasks = groups
+            self._job_tasks_size = len(self.tasks)
+        return list(self._job_tasks.get(job_id, ()))
 
     def filter_jobs(
         self, predicate: Callable[[JobRecord], bool], keep_tasks: bool = True
@@ -115,6 +354,38 @@ class ExecutionLog:
     def job_feature_values(self, feature: str) -> list[FeatureValue]:
         """Values of one raw feature across all jobs (missing included)."""
         return [job.features.get(feature) for job in self.jobs]
+
+    # ------------------------------------------------------------------ #
+    # columnar encoding
+    # ------------------------------------------------------------------ #
+
+    def record_block(self, schema: "FeatureSchema", kind: str = "job") -> RecordBlock:
+        """The (cached) columnar :class:`RecordBlock` of one entity kind.
+
+        Blocks are keyed by ``(kind, schema fingerprint)`` and invalidated
+        by record count: one build is shared by every query, clause
+        signature and session touching the log, and appending records
+        replaces the stale block on the next request.
+        The log's record lists are treated as append-only (the public
+        mutation API only ever appends); callers who replace records
+        in-place must drop the log and build a new one.
+
+        :param schema: the raw-feature schema to encode under.
+        :param kind: ``"job"`` or ``"task"``.
+        """
+        if kind not in ("job", "task"):
+            raise ValueError(f"kind must be 'job' or 'task', got {kind!r}")
+        records: Sequence[ExecutionRecord] = self.jobs if kind == "job" else self.tasks
+        key = (kind, _schema_signature(schema))
+        cached = self._blocks.get(key)
+        if cached is not None and len(cached) == len(records):
+            return cached
+        # Only the newest block per (kind, schema) is kept: a record-count
+        # mismatch means the log grew, and the stale snapshot is dropped
+        # rather than stranded.
+        block = RecordBlock(records, schema)
+        self._blocks[key] = block
+        return block
 
     # ------------------------------------------------------------------ #
     # splitting

@@ -130,15 +130,34 @@ class TestBalancedSampling:
         items = self._items(2000, 100)
         sampled = balanced_sample(items, 400, random.Random(1))
         counts = class_counts(sampled)
-        # The minority class is kept (probability 1) and the majority class
-        # is downsampled to roughly the same order of magnitude.
-        assert counts[Label.EXPECTED] == pytest.approx(100, abs=5)
-        assert counts[Label.OBSERVED] == pytest.approx(200, rel=0.4)
+        # The minority class is kept whole (its target is not reached) and
+        # the majority class is cut to exactly half the sample size; the
+        # slack is never redistributed (the capped-probability expectation).
+        assert counts[Label.EXPECTED] == 100
+        assert counts[Label.OBSERVED] == 200
 
-    def test_expected_total_close_to_sample_size(self):
+    def test_exact_sample_size_when_classes_large(self):
         items = self._items(5000, 5000)
         sampled = balanced_sample(items, 1000, random.Random(2))
-        assert len(sampled) == pytest.approx(1000, rel=0.2)
+        assert len(sampled) == 1000
+        counts = class_counts(sampled)
+        assert counts[Label.OBSERVED] == 500
+        assert counts[Label.EXPECTED] == 500
+
+    def test_odd_sample_size_gives_observed_the_remainder(self):
+        items = self._items(500, 500)
+        sampled = balanced_sample(items, 101, random.Random(3))
+        counts = class_counts(sampled)
+        assert counts[Label.OBSERVED] == 51
+        assert counts[Label.EXPECTED] == 50
+
+    def test_deterministic_for_a_seed_and_order_preserving(self):
+        items = self._items(300, 300)
+        first = balanced_sample(items, 100, random.Random(7))
+        second = balanced_sample(items, 100, random.Random(7))
+        assert first == second
+        positions = [items.index(item) for item in first]
+        assert positions == sorted(positions)
 
     def test_invalid_sample_size(self):
         with pytest.raises(ValueError):
@@ -197,6 +216,33 @@ class TestRelatedPairs:
         )
         full = list(iter_related_pairs(small_log, query, job_schema))
         assert len(limited) < len(full)
+
+    def test_subsample_independent_of_record_order(self, small_log, job_schema):
+        """Regression: the capped subset must not depend on enumeration order.
+
+        Keep decisions hash the pair ids with a seed-derived salt instead of
+        consuming a shared rng stream, so reordering the log's records (and
+        therefore the blocking groups and candidate sequence) must keep the
+        exact same subset.
+        """
+        query = why_slower_despite_same_num_instances()
+        reordered_log = type(small_log)(
+            jobs=list(reversed(small_log.jobs)), tasks=list(small_log.tasks)
+        )
+
+        def kept(log):
+            return {
+                (first.entity_id, second.entity_id, label)
+                for first, second, label in iter_related_pairs(
+                    log, query, job_schema, max_candidate_pairs=200,
+                    rng=random.Random(0),
+                )
+            }
+
+        original = kept(small_log)
+        reordered = kept(reordered_log)
+        assert original, "the cap should still keep a non-empty subset"
+        assert original == reordered
 
 
 class TestConstructTrainingExamples:

@@ -1,0 +1,286 @@
+"""Differential suite: columnar pair pipeline vs the dict reference path.
+
+The kernel pipeline (`RecordBlock` -> `PairKernel` -> `TrainingMatrix`) must
+be a pure re-layout of the pair-at-a-time dict algorithm preserved in
+:mod:`repro.core.pairref`: on any log and query it must produce **identical**
+related pairs (ids, labels *and order*), identical training examples
+(feature vectors included) and an identical encoded training matrix.  This
+file checks that on 48 randomized logs mixing nominal/numeric/bool/int
+columns, missing values, duplicated values, NaN, blocking clauses and every
+atom family (isSame/compare/diff/base, EQ/NE/ordering), plus capped
+candidate subsampling and the three feature levels.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.examples import (
+    Label,
+    construct_training_examples,
+    construct_training_matrix,
+    encode_training_examples,
+    iter_related_pairs,
+)
+from repro.core.features import (
+    FeatureKind,
+    FeatureLevel,
+    FeatureSchema,
+    infer_schema,
+)
+from repro.core.pairref import (
+    construct_training_examples_reference,
+    iter_related_pairs_reference,
+)
+from repro.core.pairs import PairFeatureConfig, compute_pair_features
+from repro.core.explanation import Explanation
+from repro.core.evaluation import measure_on_log
+from repro.core.pxql.ast import Comparison, Operator, Predicate
+from repro.core.pxql.query import EntityKind, PXQLQuery
+from repro.logs.records import JobRecord
+from repro.logs.store import ExecutionLog
+
+#: Randomized log/query seeds exercised by every differential test.
+DATASET_SEEDS = list(range(48))
+
+SCRIPTS = ["wordcount.pig", "join.pig", "filter.pig", None]
+HOSTS = ["host-a", "host-b", "host-c", "host-d", None]
+MEM_POOL = [0.5, 0.5, 2.0, 2.0, 8.0, 17.5, -3.25, 0.0, None, None]
+SIZE_POOL = [64, 64, 128, 256, 1024, None]
+FLAG_POOL = [True, False, False, None]
+DURATION_POOL = [1.0, 2.0, 2.0, 5.0, 5.5, 30.0, 120.0]
+
+
+def random_log(seed: int) -> ExecutionLog:
+    """A randomized job log with missing values, duplicates and NaN."""
+    rng = random.Random(seed)
+    nan = float("nan")
+    log = ExecutionLog()
+    for index in range(rng.randint(10, 60)):
+        features = {
+            "script": rng.choice(SCRIPTS),
+            "host": rng.choice(HOSTS),
+            "mem": nan if rng.random() < 0.05 else rng.choice(MEM_POOL),
+            "size": rng.choice(SIZE_POOL),
+            "flag": rng.choice(FLAG_POOL),
+        }
+        duration = rng.choice(DURATION_POOL) * rng.choice([1.0, 1.0, 1.0, 1.09, 3.0])
+        log.add_job(JobRecord(job_id=f"job_{seed}_{index}", features=features,
+                              duration=duration))
+    return log
+
+
+#: Despite-atom pool: every kernel mask family (vector paths and fallbacks).
+def _despite_pool() -> list[Comparison]:
+    return [
+        Comparison("script_isSame", Operator.EQ, "T"),      # nominal isSame (blocking)
+        Comparison("host_isSame", Operator.EQ, "T"),        # nominal isSame (blocking)
+        Comparison("host_isSame", Operator.EQ, "F"),        # isSame EQ F
+        Comparison("flag_isSame", Operator.EQ, "T"),        # bool nominal isSame
+        Comparison("mem_isSame", Operator.EQ, "T"),         # numeric tolerance isSame
+        Comparison("size_isSame", Operator.NE, "F"),        # NE on isSame
+        Comparison("mem_compare", Operator.EQ, "SIM"),      # compare EQ SIM
+        Comparison("size_compare", Operator.EQ, "GT"),      # compare EQ GT
+        Comparison("size_compare", Operator.NE, "LT"),      # compare NE
+        Comparison("script", Operator.EQ, "join.pig"),      # base EQ (nominal)
+        Comparison("size", Operator.EQ, 64),                # base EQ (numeric)
+        Comparison("mem", Operator.LE, 4.0),                # base ordering (fallback)
+        Comparison("script_diff", Operator.NE, "(a, b)"),   # diff NE (fallback)
+        Comparison("host_isSame", Operator.LT, "U"),        # ordering on isSame (fallback)
+    ]
+
+
+def random_query(seed: int) -> PXQLQuery:
+    rng = random.Random(seed * 31 + 7)
+    despite = Predicate.conjunction(
+        rng.sample(_despite_pool(), rng.randint(0, 3))
+    )
+    observed = Predicate.of(Comparison("duration_compare", Operator.EQ, "GT"))
+    expected = Predicate.of(Comparison("duration_compare", Operator.EQ, "SIM"))
+    return PXQLQuery(
+        entity=EntityKind.JOB,
+        despite=despite,
+        observed=observed,
+        expected=expected,
+        name=f"differential-{seed}",
+    )
+
+
+def pair_ids(pairs):
+    return [(first.entity_id, second.entity_id, label) for first, second, label in pairs]
+
+
+class TestRelatedPairEquivalence:
+    @pytest.mark.parametrize("seed", DATASET_SEEDS)
+    def test_related_pairs_identical(self, seed):
+        log = random_log(seed)
+        query = random_query(seed)
+        schema = infer_schema(log.jobs)
+        kernel = pair_ids(iter_related_pairs(log, query, schema,
+                                             rng=random.Random(seed)))
+        reference = pair_ids(iter_related_pairs_reference(log, query, schema,
+                                                          rng=random.Random(seed)))
+        assert kernel == reference
+
+    @pytest.mark.parametrize("seed", DATASET_SEEDS[:12])
+    @pytest.mark.parametrize("level", list(FeatureLevel))
+    def test_related_pairs_identical_per_level(self, seed, level):
+        log = random_log(seed)
+        query = random_query(seed)
+        schema = infer_schema(log.jobs)
+        config = PairFeatureConfig(level=level)
+        kernel = pair_ids(iter_related_pairs(log, query, schema, config,
+                                             rng=random.Random(seed)))
+        reference = pair_ids(iter_related_pairs_reference(log, query, schema, config,
+                                                          rng=random.Random(seed)))
+        assert kernel == reference
+
+    @pytest.mark.parametrize("seed", DATASET_SEEDS[:16])
+    def test_capped_subsampling_identical(self, seed):
+        log = random_log(seed)
+        query = random_query(seed)
+        schema = infer_schema(log.jobs)
+        kernel = pair_ids(iter_related_pairs(log, query, schema,
+                                             max_candidate_pairs=50,
+                                             rng=random.Random(seed)))
+        reference = pair_ids(iter_related_pairs_reference(log, query, schema,
+                                                          max_candidate_pairs=50,
+                                                          rng=random.Random(seed)))
+        assert kernel == reference
+
+    @pytest.mark.parametrize("seed", DATASET_SEEDS[:8])
+    def test_mixed_type_numeric_column_identical(self, seed):
+        """A schema forcing numeric kind onto a mixed-type column."""
+        log = random_log(seed)
+        rng = random.Random(seed + 999)
+        for job in log.jobs:
+            if rng.random() < 0.3:
+                job.features["mem"] = rng.choice(["low", "high", True])
+        schema = FeatureSchema()
+        for name in ("script", "host", "flag"):
+            schema.add(name, FeatureKind.NOMINAL)
+        for name in ("mem", "size", "duration"):
+            schema.add(name, FeatureKind.NUMERIC)
+        query = random_query(seed)
+        kernel = pair_ids(iter_related_pairs(log, query, schema,
+                                             rng=random.Random(seed)))
+        reference = pair_ids(iter_related_pairs_reference(log, query, schema,
+                                                          rng=random.Random(seed)))
+        assert kernel == reference
+
+
+class TestTrainingExampleEquivalence:
+    @pytest.mark.parametrize("seed", DATASET_SEEDS)
+    def test_examples_identical(self, seed):
+        log = random_log(seed)
+        query = random_query(seed)
+        schema = infer_schema(log.jobs)
+        sample_size = random.Random(seed + 5).choice([None, 20, 75, 2000])
+        kernel = construct_training_examples(
+            log, query, schema, sample_size=sample_size, rng=random.Random(seed)
+        )
+        reference = construct_training_examples_reference(
+            log, query, schema, sample_size=sample_size, rng=random.Random(seed)
+        )
+        assert len(kernel) == len(reference)
+        for kernel_example, reference_example in zip(kernel, reference):
+            assert kernel_example.first_id == reference_example.first_id
+            assert kernel_example.second_id == reference_example.second_id
+            assert kernel_example.label == reference_example.label
+            assert _vectors_equal(kernel_example.values, reference_example.values)
+
+
+def _vectors_equal(kernel_values: dict, reference_values: dict) -> bool:
+    """Dict equality that distinguishes NaN-valued from differing entries."""
+    if list(kernel_values) != list(reference_values):
+        return False
+    for key, reference_value in reference_values.items():
+        kernel_value = kernel_values[key]
+        if kernel_value != reference_value and not (
+            kernel_value != kernel_value and reference_value != reference_value
+        ):
+            return False
+    return True
+
+
+class TestTrainingMatrixEquivalence:
+    @pytest.mark.parametrize("seed", DATASET_SEEDS)
+    def test_matrix_identical_to_encoded_reference(self, seed):
+        log = random_log(seed)
+        query = random_query(seed)
+        schema = infer_schema(log.jobs)
+        level = random.Random(seed + 17).choice(list(FeatureLevel))
+        kernel_matrix = construct_training_matrix(
+            log, query, schema, sample_size=60, rng=random.Random(seed),
+            feature_level=level,
+        )
+        reference_examples = construct_training_examples_reference(
+            log, query, schema, sample_size=60, rng=random.Random(seed)
+        )
+        reference_matrix = encode_training_examples(
+            reference_examples, schema, feature_level=level
+        )
+        assert kernel_matrix.encoding == reference_matrix.encoding
+        assert kernel_matrix.matrix.features == reference_matrix.matrix.features
+        assert bytes(kernel_matrix.observed) == bytes(reference_matrix.observed)
+        for feature in kernel_matrix.matrix.features:
+            kernel_column = kernel_matrix.matrix.column(feature)
+            reference_column = reference_matrix.matrix.column(feature)
+            assert kernel_column.numeric == reference_column.numeric, feature
+            assert _columns_equal(kernel_column.raw, reference_column.raw), feature
+        # The Sequence protocol surfaces the same example objectsively.
+        assert [example.label for example in kernel_matrix] == [
+            example.label for example in reference_matrix
+        ]
+
+
+def _columns_equal(kernel_column: list, reference_column: list) -> bool:
+    if len(kernel_column) != len(reference_column):
+        return False
+    for kernel_value, reference_value in zip(kernel_column, reference_column):
+        if kernel_value != reference_value and not (
+            kernel_value != kernel_value and reference_value != reference_value
+        ):
+            return False
+    return True
+
+
+class TestMeasureOnLogEquivalence:
+    """The kernelized metric estimation matches a dict-path recount."""
+
+    @pytest.mark.parametrize("seed", DATASET_SEEDS[:12])
+    def test_metrics_match_dict_recount(self, seed):
+        log = random_log(seed)
+        query = random_query(seed)
+        schema = infer_schema(log.jobs)
+        rng = random.Random(seed + 3)
+        explanation = Explanation(
+            because=Predicate.conjunction(rng.sample(_despite_pool(), 2)),
+            despite=Predicate.conjunction(rng.sample(_despite_pool(), 1)),
+        )
+        metrics = measure_on_log(explanation, query, log, schema=schema,
+                                 rng=random.Random(seed))
+
+        in_context = in_context_expected = 0
+        matching = matching_observed = 0
+        for first, second, label in iter_related_pairs_reference(
+            log, query, schema, rng=random.Random(seed)
+        ):
+            values = compute_pair_features(first, second, schema)
+            if not explanation.despite.evaluate(values):
+                continue
+            in_context += 1
+            if label is Label.EXPECTED:
+                in_context_expected += 1
+            if explanation.because.evaluate(values):
+                matching += 1
+                if label is Label.OBSERVED:
+                    matching_observed += 1
+        assert metrics.support == in_context
+        if in_context:
+            assert metrics.relevance == in_context_expected / in_context
+            assert metrics.generality == matching / in_context
+        if matching:
+            assert metrics.precision == matching_observed / matching

@@ -221,7 +221,7 @@ class TestSession:
         first = session.training_examples(job_query)
         second = session.training_examples(JOB_QUERY_TEXT)
         assert first is second  # same clause signature -> one construction
-        assert len(session._example_cache) == 1
+        assert len(session._matrix_cache) == 1
 
     def test_find_pair_cached(self, small_log):
         session = PerfXplainSession(small_log)
@@ -246,7 +246,7 @@ class TestSession:
         report = session.explain_batch([JOB_QUERY_TEXT, JOB_QUERY_TEXT], width=2)
         assert len(report) == 2
         assert all(entry.ok for entry in report)
-        assert len(session._example_cache) == 1
+        assert len(session._matrix_cache) == 1
         parsed = json.loads(report.to_json())
         assert len(parsed["entries"]) == 2
 
@@ -282,4 +282,4 @@ class TestSession:
     ):
         session = PerfXplainSession(small_log)
         session.explain(job_query, technique="constant")
-        assert session._example_cache == {}  # construction was deferred and skipped
+        assert session._matrix_cache == {}  # construction was deferred and skipped

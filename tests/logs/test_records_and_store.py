@@ -183,3 +183,119 @@ class TestExecutionLog:
         test_ids = {job.job_id for job in test.jobs}
         assert train_ids | test_ids == {f"job_{i}" for i in range(20)}
         assert not train_ids & test_ids
+
+
+class TestIdIndexes:
+    """The lazy id indexes behind find_job/find_task/tasks_of_job."""
+
+    def _log(self, n_jobs=20, tasks_per_job=3):
+        log = ExecutionLog()
+        for j in range(n_jobs):
+            job = make_job(job_id=f"job_{j}")
+            tasks = [
+                make_task(task_id=f"task_{j}_{t}", job_id=f"job_{j}")
+                for t in range(tasks_per_job)
+            ]
+            log.add_job(job, tasks)
+        return log
+
+    def test_find_after_direct_list_append(self):
+        """Direct list mutation (from_json style) is picked up lazily."""
+        log = self._log()
+        log.jobs.append(make_job(job_id="job_direct"))
+        log.tasks.append(make_task(task_id="task_direct", job_id="job_direct"))
+        assert log.find_job("job_direct") is not None
+        assert log.find_task("task_direct") is not None
+        assert log.find_job("job_0") is not None
+
+    def test_add_after_find_keeps_index_fresh(self):
+        log = self._log()
+        assert log.find_job("job_5") is not None  # builds the index
+        log.add_job(make_job(job_id="job_new"))
+        assert log.find_job("job_new") is not None
+        with pytest.raises(ValueError):
+            log.add_job(make_job(job_id="job_new"))
+
+    def test_tasks_of_job_grouping_matches_linear_scan(self):
+        log = self._log()
+        for job in log.jobs:
+            expected = [task for task in log.tasks if task.job_id == job.job_id]
+            assert log.tasks_of_job(job.job_id) == expected
+        assert log.tasks_of_job("missing") == []
+
+    def test_tasks_of_job_sees_new_tasks(self):
+        log = self._log()
+        before = log.tasks_of_job("job_0")
+        log.add_task(make_task(task_id="task_late", job_id="job_0"))
+        assert len(log.tasks_of_job("job_0")) == len(before) + 1
+
+    def test_returned_task_list_is_a_copy(self):
+        log = self._log()
+        log.tasks_of_job("job_0").append("garbage")
+        assert all(isinstance(t, TaskRecord) for t in log.tasks_of_job("job_0"))
+
+
+class TestRecordBlock:
+    def test_block_is_cached_per_schema_and_count(self):
+        from repro.core.features import infer_schema
+
+        log = ExecutionLog()
+        for j in range(5):
+            log.add_job(make_job(job_id=f"job_{j}", inputsize=100 * j))
+        schema = infer_schema(log.jobs)
+        block = log.record_block(schema, kind="job")
+        assert log.record_block(schema, kind="job") is block
+        # Same contents, different schema object: still one build.
+        assert log.record_block(infer_schema(log.jobs), kind="job") is block
+        # Appending a record keys a fresh block.
+        log.add_job(make_job(job_id="job_extra"))
+        assert log.record_block(schema, kind="job") is not block
+
+    def test_block_rejects_unknown_kind(self):
+        from repro.core.features import infer_schema
+
+        log = ExecutionLog(jobs=[make_job()])
+        with pytest.raises(ValueError):
+            log.record_block(infer_schema(log.jobs), kind="stage")
+
+    def test_column_encoding_roundtrip(self):
+        from repro.core.features import FeatureKind, FeatureSchema
+
+        log = ExecutionLog()
+        values = [3.5, None, 3.5, 0.0, True, "x"]
+        for index, value in enumerate(values):
+            log.add_job(
+                JobRecord(job_id=f"job_{index}", features={"f": value},
+                          duration=float(index))
+            )
+        schema = FeatureSchema()
+        schema.add("f", FeatureKind.NUMERIC)
+        schema.add("duration", FeatureKind.NUMERIC)
+        block = log.record_block(schema, kind="job")
+        column = block.column("f")
+        assert column.raw == values
+        # Missing -> code -1; equal values share a code.
+        assert column.codes[0] == column.codes[2]
+        assert column.codes[1] == -1
+        assert bytes(column.selfeq) == bytes([1, 0, 1, 1, 1, 1])
+        # Only genuinely numeric values are float-eligible (bool is not).
+        assert bytes(column.num_ok) == bytes([1, 0, 1, 1, 0, 0])
+        assert not column.all_numeric
+        assert column.floats[0] == 3.5
+        # duration reads the performance metric off the record.
+        duration = block.column("duration")
+        assert duration.raw == [float(i) for i in range(6)]
+        assert duration.all_numeric
+
+    def test_ids_align_with_records(self):
+        from repro.core.features import infer_schema
+
+        log = ExecutionLog()
+        for j in range(4):
+            log.add_job(make_job(job_id=f"job_{j}"), [
+                make_task(task_id=f"task_{j}", job_id=f"job_{j}")
+            ])
+        block = log.record_block(infer_schema(log.tasks), kind="task")
+        assert block.ids == [task.task_id for task in log.tasks]
+        assert block.id_bytes == [task.task_id.encode() for task in log.tasks]
+        assert len(block) == len(log.tasks)
