@@ -40,6 +40,13 @@ from repro.core.reporting import sweep_to_dict
 from repro.exceptions import ReproError
 from repro.logs.store import ExecutionLog
 from repro.workloads.grid import build_experiment_log, paper_grid, small_grid, tiny_grid
+from repro.workloads.runner import ENGINES
+from repro.workloads.scenarios import (
+    build_catalog_log,
+    build_scenario_log,
+    get_scenario,
+    scenario_catalog,
+)
 
 _GRIDS = {"tiny": tiny_grid, "small": small_grid, "paper": paper_grid}
 
@@ -60,6 +67,22 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--no-tasks", action="store_true",
                           help="keep only job records (smaller output)")
     generate.add_argument("--output", type=Path, required=True, help="output JSON path")
+    generate.add_argument("--engine", choices=sorted(ENGINES), default="event",
+                          help="simulation engine (default: event)")
+    generate.add_argument("--workers", type=int, default=1,
+                          help="worker processes for the sweep (default: 1)")
+
+    scenario = subparsers.add_parser(
+        "generate-scenario",
+        help="simulate a scenario-catalog pathology into an execution log",
+    )
+    scenario.add_argument("--scenario", default="all",
+                          choices=sorted(scenario_catalog()) + ["all"],
+                          help="catalog scenario to simulate (default: all)")
+    scenario.add_argument("--seed", type=int, default=0, help="base random seed")
+    scenario.add_argument("--engine", choices=sorted(ENGINES), default="event",
+                          help="simulation engine (default: event)")
+    scenario.add_argument("--output", type=Path, required=True, help="output JSON path")
 
     explain = subparsers.add_parser("explain", help="answer one or more PXQL queries")
     explain.add_argument("--log", type=Path, required=True, help="execution log JSON")
@@ -137,8 +160,25 @@ def _cmd_generate_log(args: argparse.Namespace) -> int:
           f"({args.repetitions} repetition(s), seed {args.seed})...", file=sys.stderr)
     log = build_experiment_log(
         grid, seed=args.seed, repetitions=args.repetitions,
-        include_tasks=not args.no_tasks,
+        include_tasks=not args.no_tasks, engine=args.engine,
+        workers=args.workers,
     )
+    log.save(args.output)
+    print(f"Wrote {log.num_jobs} jobs and {log.num_tasks} tasks to {args.output}",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_generate_scenario(args: argparse.Namespace) -> int:
+    if args.scenario == "all":
+        names = sorted(scenario_catalog())
+        print(f"Simulating all {len(names)} catalog scenarios...", file=sys.stderr)
+        log = build_catalog_log(seed=args.seed, engine=args.engine)
+    else:
+        scenario = get_scenario(args.scenario)
+        print(f"Simulating scenario {scenario.name!r} ({scenario.knobs})...",
+              file=sys.stderr)
+        log = build_scenario_log(scenario, seed=args.seed, engine=args.engine)
     log.save(args.output)
     print(f"Wrote {log.num_jobs} jobs and {log.num_tasks} tasks to {args.output}",
           file=sys.stderr)
@@ -213,6 +253,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "generate-log": _cmd_generate_log,
+        "generate-scenario": _cmd_generate_scenario,
         "explain": _cmd_explain,
         "evaluate": _cmd_evaluate,
     }

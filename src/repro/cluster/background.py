@@ -143,3 +143,45 @@ class BackgroundLoadProfile:
             total_time += span
             weighted += load * span
         return weighted / total_time if total_time else 0.0
+
+    def cursor(self) -> "LoadCursor":
+        """A monotonic-time reader over this profile's episodes."""
+        return LoadCursor(self)
+
+
+class LoadCursor:
+    """O(1)-amortised episode lookup for monotonically increasing times.
+
+    :meth:`BackgroundLoadProfile.load_at` bisects the episode table on every
+    call; consumers that walk time forward (the simulation engine, the
+    Ganglia sampler) instead advance this cursor, which returns exactly the
+    same ``(load, extra_procs)`` values as the bisecting accessors.
+    """
+
+    __slots__ = ("_profile", "_pos", "_last")
+
+    def __init__(self, profile: BackgroundLoadProfile) -> None:
+        self._profile = profile
+        self._pos = 0
+        self._last = len(profile.loads) - 1
+
+    def at(self, time: float) -> tuple[float, int]:
+        """(load, extra_procs) at ``time``; times must not go backwards."""
+        profile = self._profile
+        times = profile.times
+        pos = self._pos
+        last = self._last
+        while pos < last and time >= times[pos + 1]:
+            pos += 1
+        self._pos = pos
+        return profile.loads[pos], profile.extra_procs[pos]
+
+    def next_change_after(self, time: float) -> float:
+        """The next episode boundary strictly after ``time`` (inf if none).
+
+        Matches :meth:`BackgroundLoadProfile.next_change_after` for the
+        episode the cursor currently points at — call :meth:`at` with the
+        same ``time`` first.
+        """
+        boundary = self._profile.times[self._pos + 1]
+        return boundary if boundary > time else float("inf")

@@ -4,12 +4,20 @@ The engine records, for every instance, a sequence of half-open time
 intervals during which the set of running tasks (and therefore CPU, disk and
 network pressure) was constant.  The :mod:`repro.monitoring` package samples
 these intervals every few seconds the way Ganglia samples ``/proc``.
+
+Storage is columnar: the engine emits one plain tuple per interval
+(:data:`INTERVAL_FIELDS` order) via :meth:`UtilizationTrace.add_row`, and the
+hot consumers (the Ganglia sampler) read the raw rows directly.
+:class:`UtilizationInterval` dataclass objects are materialised lazily —
+only when :meth:`UtilizationTrace.for_instance` or
+:meth:`UtilizationTrace.at` is called — which keeps the simulation loop free
+of per-event dataclass construction for every instance in the cluster.
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import astuple, dataclass
 
 
 @dataclass(frozen=True)
@@ -56,35 +64,86 @@ class UtilizationInterval:
         return self.running_maps + self.running_reduces
 
 
-@dataclass
-class UtilizationTrace:
-    """Per-instance utilization intervals for one simulated job."""
+#: Field order of the raw row tuples stored by :class:`UtilizationTrace`
+#: (positional constructor order of :class:`UtilizationInterval`).
+INTERVAL_FIELDS: tuple[str, ...] = (
+    "start",
+    "end",
+    "running_maps",
+    "running_reduces",
+    "cpu_demand",
+    "cpu_utilization",
+    "disk_read_mbps",
+    "disk_write_mbps",
+    "net_in_mbps",
+    "net_out_mbps",
+    "memory_used_mb",
+    "background_load",
+    "background_extra_procs",
+)
 
-    intervals: dict[int, list[UtilizationInterval]] = field(default_factory=dict)
+#: Row indexes of the fields the sampler reads, for readable tuple access.
+ROW_START = 0
+ROW_END = 1
+
+
+class UtilizationTrace:
+    """Per-instance utilization intervals for one simulated job.
+
+    Rows are stored as plain tuples in :data:`INTERVAL_FIELDS` order;
+    :class:`UtilizationInterval` objects are materialised on demand and
+    cached per instance.
+    """
+
+    __slots__ = ("_rows", "_materialized")
+
+    def __init__(self) -> None:
+        self._rows: dict[int, list[tuple]] = {}
+        #: instance index -> (row count at materialisation, interval list)
+        self._materialized: dict[int, tuple[int, list[UtilizationInterval]]] = {}
 
     def add(self, instance_index: int, interval: UtilizationInterval) -> None:
         """Append an interval for an instance (intervals must be in order)."""
-        self.intervals.setdefault(instance_index, []).append(interval)
+        self.add_row(instance_index, astuple(interval))
+
+    def add_row(self, instance_index: int, row: tuple) -> None:
+        """Append one raw interval row (:data:`INTERVAL_FIELDS` order)."""
+        rows = self._rows.get(instance_index)
+        if rows is None:
+            rows = self._rows[instance_index] = []
+        rows.append(row)
+
+    def rows_for(self, instance_index: int) -> list[tuple]:
+        """The raw rows of one instance (the sampler's fast path)."""
+        return self._rows.get(instance_index, [])
 
     def for_instance(self, instance_index: int) -> list[UtilizationInterval]:
-        """All intervals recorded for the given instance."""
-        return self.intervals.get(instance_index, [])
+        """All intervals recorded for the given instance (materialised)."""
+        rows = self._rows.get(instance_index)
+        if rows is None:
+            return []
+        cached = self._materialized.get(instance_index)
+        if cached is not None and cached[0] == len(rows):
+            return cached[1]
+        intervals = [UtilizationInterval(*row) for row in rows]
+        self._materialized[instance_index] = (len(rows), intervals)
+        return intervals
 
     def instances(self) -> list[int]:
         """Indices of instances that have at least one interval."""
-        return sorted(self.intervals)
+        return sorted(index for index, rows in self._rows.items() if rows)
 
     def end_time(self) -> float:
         """Latest interval end across all instances (0 if empty)."""
         latest = 0.0
-        for intervals in self.intervals.values():
-            if intervals:
-                latest = max(latest, intervals[-1].end)
+        for rows in self._rows.values():
+            if rows:
+                latest = max(latest, rows[-1][ROW_END])
         return latest
 
     def at(self, instance_index: int, time: float) -> UtilizationInterval | None:
         """The interval covering ``time`` on the given instance, if any."""
-        intervals = self.intervals.get(instance_index)
+        intervals = self.for_instance(instance_index)
         if not intervals:
             return None
         starts = [interval.start for interval in intervals]

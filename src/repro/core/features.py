@@ -49,6 +49,16 @@ DEFAULT_NOMINAL_OVERRIDES: frozenset[str] = frozenset(
     {"instance_index", "grid_repetition"}
 )
 
+#: Provenance stamps the workload runner writes into every record so that a
+#: log line can be replayed (``engine_seed``) and scored against ground
+#: truth (``scenario``/``scenario_variant``).  They label the data rather
+#: than describe the execution, so schema inference drops them entirely —
+#: an explanation must never cite the scenario label that generated its own
+#: ground truth.
+DEFAULT_EXCLUDED_FEATURES: frozenset[str] = frozenset(
+    {"engine_seed", "scenario", "scenario_variant"}
+)
+
 
 @dataclass(frozen=True)
 class FeatureSpec:
@@ -110,6 +120,7 @@ def infer_schema(
     records: Sequence[ExecutionRecord] | Iterable[ExecutionRecord],
     nominal_overrides: Iterable[str] = DEFAULT_NOMINAL_OVERRIDES,
     include_duration: bool = True,
+    excluded: Iterable[str] = DEFAULT_EXCLUDED_FEATURES,
 ) -> FeatureSchema:
     """Infer the raw-feature schema from a collection of records.
 
@@ -122,13 +133,18 @@ def infer_schema(
     :param include_duration: whether to add the ``duration`` pseudo-feature
         (needed so that PXQL predicates over ``duration_compare`` can be
         evaluated; it is still excluded from explanations).
+    :param excluded: features dropped from the schema entirely (provenance
+        stamps by default; see :data:`DEFAULT_EXCLUDED_FEATURES`).
     """
     overrides = set(nominal_overrides)
+    dropped = frozenset(excluded)
     seen: dict[str, bool] = {}
     any_records = False
     for record in records:
         any_records = True
         for name, value in record.features.items():
+            if name in dropped:
+                continue
             if value is None:
                 seen.setdefault(name, True)
                 continue

@@ -8,13 +8,18 @@ persistence.
 
 Record lookup by id (:meth:`ExecutionLog.find_job`,
 :meth:`ExecutionLog.find_task`, :meth:`ExecutionLog.tasks_of_job`) runs on
-lazily-built hash indexes that are rebuilt automatically whenever the
-underlying record lists change length, so the public mutation API
-(:meth:`ExecutionLog.add_job` / :meth:`ExecutionLog.add_task`) and direct
-list appends both stay O(1) amortised.  The ``jobs``/``tasks`` lists are
-**append-only**: replacing or removing records in place keeps the length
-(and the cached indexes and blocks) unchanged and is not supported —
-build a new log (e.g. via :meth:`ExecutionLog.filter_jobs`) instead.
+lazily-built hash indexes.  Every cache (indexes and
+:class:`RecordBlock` encodings) is keyed on an explicit per-kind **mutation
+version counter** that each mutation API bumps
+(:meth:`ExecutionLog.add_job`, :meth:`ExecutionLog.add_task`,
+:meth:`ExecutionLog.extend`, :meth:`ExecutionLog.replace_job`,
+:meth:`ExecutionLog.replace_task`), plus the record-list length as a
+safety net for direct list appends.  In-place record *replacement* is
+therefore supported through :meth:`ExecutionLog.replace_job` /
+:meth:`ExecutionLog.replace_task` — the version bump guarantees no stale
+index entry or :class:`RecordBlock` snapshot can ever be served.  Callers
+who mutate the ``jobs``/``tasks`` lists in place directly (outside the
+API) must call :meth:`ExecutionLog.invalidate_caches` afterwards.
 
 This module also holds the first layer of the columnar pair pipeline: a
 :class:`RecordBlock` encodes a whole record list column-by-column (per raw
@@ -23,8 +28,7 @@ value codes for exact-equality tests) so that the pair kernels in
 :mod:`repro.core.pairkernel` can derive Table-1 pair features for millions
 of candidate pairs in bulk instead of record-dict probing per pair.  Blocks
 are built once per (entity kind, schema) and cached on the log
-(:meth:`ExecutionLog.record_block`); logs are treated as append-only, which
-every mutation API in this module respects.
+(:meth:`ExecutionLog.record_block`) under the same mutation-version key.
 """
 
 from __future__ import annotations
@@ -216,24 +220,35 @@ class ExecutionLog:
 
     jobs: list[JobRecord] = field(default_factory=list)
     tasks: list[TaskRecord] = field(default_factory=list)
-    #: Lazy id -> record indexes (rebuilt when the record lists change
-    #: length) and the per-(kind, schema) RecordBlock cache.
+    #: Per-kind mutation version counters.  Every cache below is valid only
+    #: for the (version, record count) it was built against.
+    _jobs_version: int = field(default=0, init=False, repr=False, compare=False)
+    _tasks_version: int = field(default=0, init=False, repr=False, compare=False)
     _job_index: dict[str, JobRecord] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
+    _job_index_key: tuple = field(default=(-1, -1), init=False, repr=False, compare=False)
     _task_index: dict[str, TaskRecord] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
+    _task_index_key: tuple = field(default=(-1, -1), init=False, repr=False, compare=False)
     _job_tasks: dict[str, list[TaskRecord]] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
-    _job_tasks_size: int = field(default=-1, init=False, repr=False, compare=False)
-    _blocks: dict[tuple, RecordBlock] = field(
+    _job_tasks_key: tuple = field(default=(-1, -1), init=False, repr=False, compare=False)
+    #: (kind, schema fingerprint) -> (mutation key, RecordBlock).
+    _blocks: dict[tuple, tuple[tuple, RecordBlock]] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
 
+    def _jobs_key(self) -> tuple:
+        return (self._jobs_version, len(self.jobs))
+
+    def _tasks_key(self) -> tuple:
+        return (self._tasks_version, len(self.tasks))
+
     # ------------------------------------------------------------------ #
-    # construction
+    # construction and mutation
     # ------------------------------------------------------------------ #
 
     def add_job(self, job: JobRecord, tasks: Iterable[TaskRecord] = ()) -> None:
@@ -242,7 +257,9 @@ class ExecutionLog:
         if job.job_id in index:
             raise ValueError(f"duplicate job id: {job.job_id}")
         self.jobs.append(job)
+        self._jobs_version += 1
         index[job.job_id] = job
+        self._job_index_key = self._jobs_key()
         for task in tasks:
             self.add_task(task)
 
@@ -252,21 +269,102 @@ class ExecutionLog:
         if task.task_id in index:
             raise ValueError(f"duplicate task id: {task.task_id}")
         self.tasks.append(task)
+        self._tasks_version += 1
         index[task.task_id] = task
+        self._task_index_key = self._tasks_key()
+
+    def extend(
+        self,
+        jobs: Iterable[JobRecord] = (),
+        tasks: Iterable[TaskRecord] = (),
+    ) -> None:
+        """Bulk-append record batches with one duplicate check per record.
+
+        The sweep executor's emission path: whole per-job record batches
+        land in the log with a single version bump per kind instead of one
+        :meth:`add_task` round-trip per record.  Atomic: both batches are
+        validated against the log (and against themselves) before any
+        mutation, so a duplicate id leaves the log untouched.
+        """
+        jobs = list(jobs)
+        tasks = list(tasks)
+        job_index = self._job_lookup() if jobs else self._job_index
+        batch_job_ids: set[str] = set()
+        for job in jobs:
+            if job.job_id in job_index or job.job_id in batch_job_ids:
+                raise ValueError(f"duplicate job id: {job.job_id}")
+            batch_job_ids.add(job.job_id)
+        task_index = self._task_lookup() if tasks else self._task_index
+        batch_task_ids: set[str] = set()
+        for task in tasks:
+            if task.task_id in task_index or task.task_id in batch_task_ids:
+                raise ValueError(f"duplicate task id: {task.task_id}")
+            batch_task_ids.add(task.task_id)
+        if jobs:
+            for job in jobs:
+                job_index[job.job_id] = job
+            self.jobs.extend(jobs)
+            self._jobs_version += 1
+            self._job_index_key = self._jobs_key()
+        if tasks:
+            for task in tasks:
+                task_index[task.task_id] = task
+            self.tasks.extend(tasks)
+            self._tasks_version += 1
+            self._task_index_key = self._tasks_key()
+
+    def replace_job(self, job: JobRecord) -> None:
+        """Replace the job record with the same id, in place.
+
+        The mutation bumps the job version counter, so every cached view —
+        the id index and any :class:`RecordBlock` built over the job list —
+        is rebuilt on next access instead of serving the stale record.
+        """
+        for position, existing in enumerate(self.jobs):
+            if existing.job_id == job.job_id:
+                self.jobs[position] = job
+                self._jobs_version += 1
+                return
+        raise ValueError(f"no job with id {job.job_id} to replace")
+
+    def replace_task(self, task: TaskRecord) -> None:
+        """Replace the task record with the same id, in place.
+
+        Same cache-invalidation contract as :meth:`replace_job`.
+        """
+        for position, existing in enumerate(self.tasks):
+            if existing.task_id == task.task_id:
+                self.tasks[position] = task
+                self._tasks_version += 1
+                return
+        raise ValueError(f"no task with id {task.task_id} to replace")
+
+    def invalidate_caches(self) -> None:
+        """Declare out-of-band mutation of the record lists.
+
+        Callers that mutate ``jobs``/``tasks`` directly (slicing, sorting,
+        in-place element assignment) must call this so the versioned caches
+        are rebuilt; the mutation APIs above do it automatically.
+        """
+        self._jobs_version += 1
+        self._tasks_version += 1
 
     def merge(self, other: "ExecutionLog") -> "ExecutionLog":
         """Return a new log containing the records of both logs."""
         merged = ExecutionLog(jobs=list(self.jobs), tasks=list(self.tasks))
         existing_jobs = {job.job_id for job in merged.jobs}
+        new_jobs: list[JobRecord] = []
         for job in other.jobs:
             if job.job_id not in existing_jobs:
-                merged.jobs.append(job)
                 existing_jobs.add(job.job_id)
+                new_jobs.append(job)
         existing_tasks = {task.task_id for task in merged.tasks}
+        new_tasks: list[TaskRecord] = []
         for task in other.tasks:
             if task.task_id not in existing_tasks:
-                merged.tasks.append(task)
                 existing_tasks.add(task.task_id)
+                new_tasks.append(task)
+        merged.extend(jobs=new_jobs, tasks=new_tasks)
         return merged
 
     # ------------------------------------------------------------------ #
@@ -284,53 +382,55 @@ class ExecutionLog:
         return len(self.tasks)
 
     def _job_lookup(self) -> dict[str, JobRecord]:
-        """The id -> job index, rebuilt when the job list changed length.
+        """The id -> job index, rebuilt when the job version/length moves.
 
         ``setdefault`` preserves the first-match semantics of the previous
         linear scan if duplicate ids were ever injected by direct list
-        mutation (the index then simply never validates as complete and is
-        rebuilt per call, degrading to the old O(n) behaviour).
+        mutation (the index then never reaches full length and is rebuilt
+        per call, degrading to the old O(n) behaviour).
         """
         index = self._job_index
-        if len(index) != len(self.jobs):
+        if self._job_index_key != self._jobs_key() or len(index) != len(self.jobs):
             index.clear()
             for job in self.jobs:
                 index.setdefault(job.job_id, job)
+            self._job_index_key = self._jobs_key()
         return index
 
     def _task_lookup(self) -> dict[str, TaskRecord]:
         """The id -> task index (same contract as :meth:`_job_lookup`)."""
         index = self._task_index
-        if len(index) != len(self.tasks):
+        if self._task_index_key != self._tasks_key() or len(index) != len(self.tasks):
             index.clear()
             for task in self.tasks:
                 index.setdefault(task.task_id, task)
+            self._task_index_key = self._tasks_key()
         return index
 
     def find_job(self, job_id: str) -> JobRecord | None:
         """The job with the given id, or ``None`` (O(1) amortised).
 
-        Correct under appends; in-place record replacement is outside the
-        log's append-only contract (see the module docstring).
+        Correct under appends and API-level replacement
+        (:meth:`replace_job`); direct out-of-band list mutation requires
+        :meth:`invalidate_caches` (see the module docstring).
         """
         return self._job_lookup().get(job_id)
 
     def find_task(self, task_id: str) -> TaskRecord | None:
         """The task with the given id, or ``None`` (O(1) amortised).
 
-        Correct under appends; in-place record replacement is outside the
-        log's append-only contract (see the module docstring).
+        Same cache contract as :meth:`find_job`.
         """
         return self._task_lookup().get(task_id)
 
     def tasks_of_job(self, job_id: str) -> list[TaskRecord]:
         """All task records belonging to a job (indexed, O(tasks of job))."""
-        if self._job_tasks_size != len(self.tasks):
+        if self._job_tasks_key != self._tasks_key():
             groups: dict[str, list[TaskRecord]] = {}
             for task in self.tasks:
                 groups.setdefault(task.job_id, []).append(task)
             self._job_tasks = groups
-            self._job_tasks_size = len(self.tasks)
+            self._job_tasks_key = self._tasks_key()
         return list(self._job_tasks.get(job_id, ()))
 
     def filter_jobs(
@@ -363,28 +463,33 @@ class ExecutionLog:
         """The (cached) columnar :class:`RecordBlock` of one entity kind.
 
         Blocks are keyed by ``(kind, schema fingerprint)`` and invalidated
-        by record count: one build is shared by every query, clause
-        signature and session touching the log, and appending records
+        by the kind's mutation version (plus record count, covering direct
+        list appends): one build is shared by every query, clause signature
+        and session touching the log, and any mutation — append, bulk
+        extend or in-place :meth:`replace_job` / :meth:`replace_task` —
         replaces the stale block on the next request.
-        The log's record lists are treated as append-only (the public
-        mutation API only ever appends); callers who replace records
-        in-place must drop the log and build a new one.
 
         :param schema: the raw-feature schema to encode under.
         :param kind: ``"job"`` or ``"task"``.
         """
         if kind not in ("job", "task"):
             raise ValueError(f"kind must be 'job' or 'task', got {kind!r}")
-        records: Sequence[ExecutionRecord] = self.jobs if kind == "job" else self.tasks
+        records: Sequence[ExecutionRecord]
+        if kind == "job":
+            records = self.jobs
+            mutation_key = self._jobs_key()
+        else:
+            records = self.tasks
+            mutation_key = self._tasks_key()
         key = (kind, _schema_signature(schema))
         cached = self._blocks.get(key)
-        if cached is not None and len(cached) == len(records):
-            return cached
-        # Only the newest block per (kind, schema) is kept: a record-count
-        # mismatch means the log grew, and the stale snapshot is dropped
+        if cached is not None and cached[0] == mutation_key:
+            return cached[1]
+        # Only the newest block per (kind, schema) is kept: a mutation-key
+        # mismatch means the log changed, and the stale snapshot is dropped
         # rather than stranded.
         block = RecordBlock(records, schema)
-        self._blocks[key] = block
+        self._blocks[key] = (mutation_key, block)
         return block
 
     # ------------------------------------------------------------------ #

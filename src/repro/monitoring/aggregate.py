@@ -14,6 +14,9 @@ from repro.cluster.engine import TaskExecution
 from repro.monitoring.metrics import METRIC_NAMES
 from repro.monitoring.sampler import InstanceSamples
 
+#: The ``avg_``-prefixed feature names, precomputed once in metric order.
+AVG_METRIC_NAMES: list[str] = [f"avg_{name}" for name in METRIC_NAMES]
+
 
 def average_metrics_over_window(
     samples: InstanceSamples, start: float, end: float
@@ -41,20 +44,35 @@ def task_metric_averages(
     """Per-task ``avg_*`` features from the samples of the task's instance."""
     samples = samples_by_instance.get(task.instance_index)
     if samples is None:
-        return {f"avg_{name}": 0.0 for name in METRIC_NAMES}
+        return dict.fromkeys(AVG_METRIC_NAMES, 0.0)
     averages = average_metrics_over_window(samples, task.start_time, task.finish_time)
-    return {f"avg_{name}": value for name, value in averages.items()}
+    return dict(zip(AVG_METRIC_NAMES, averages.values()))
+
+
+def job_averages_from_task_averages(
+    task_averages: list[dict[str, float]],
+) -> dict[str, float]:
+    """Per-job ``avg_*`` features from precomputed per-task averages.
+
+    The workload runner computes each task's averages exactly once and
+    feeds them to both the task records and this job-level mean, instead of
+    re-averaging every task's sample windows a second time.  Same totals,
+    same accumulation order, same result as :func:`job_metric_averages`.
+    """
+    if not task_averages:
+        return dict.fromkeys(AVG_METRIC_NAMES, 0.0)
+    totals: dict[str, float] = dict.fromkeys(AVG_METRIC_NAMES, 0.0)
+    for averages in task_averages:
+        for key, value in averages.items():
+            totals[key] += value
+    count = len(task_averages)
+    return {key: value / count for key, value in totals.items()}
 
 
 def job_metric_averages(
     tasks: list[TaskExecution], samples_by_instance: dict[int, InstanceSamples]
 ) -> dict[str, float]:
     """Per-job ``avg_*`` features: the mean of the task-level averages."""
-    if not tasks:
-        return {f"avg_{name}": 0.0 for name in METRIC_NAMES}
-    totals: dict[str, float] = {f"avg_{name}": 0.0 for name in METRIC_NAMES}
-    for task in tasks:
-        task_averages = task_metric_averages(task, samples_by_instance)
-        for key, value in task_averages.items():
-            totals[key] += value
-    return {key: value / len(tasks) for key, value in totals.items()}
+    return job_averages_from_task_averages(
+        [task_metric_averages(task, samples_by_instance) for task in tasks]
+    )

@@ -94,12 +94,10 @@ class GangliaSampler:
         # background load) rather than at zero — otherwise every job would
         # show an artificial warm-up ramp that swamps real load differences.
         initial_queue = instance.background_at(start)
-        load_state = {
-            "load_one": initial_queue,
-            "load_five": initial_queue,
-            "load_fifteen": initial_queue,
-        }
-        time_constants = {"load_one": 60.0, "load_five": 300.0, "load_fifteen": 900.0}
+        load_one = load_five = load_fifteen = initial_queue
+        decay_one = math.exp(-self._period / 60.0)
+        decay_five = math.exp(-self._period / 300.0)
+        decay_fifteen = math.exp(-self._period / 900.0)
         time = start
         # Guarantee at least one sample even for jobs shorter than the period.
         sample_times = []
@@ -109,62 +107,95 @@ class GangliaSampler:
         if len(sample_times) < 2:
             sample_times = [start, max(start + self._period, end)]
 
+        # Sample times and trace rows both walk forward in time, so the
+        # interval lookup is a merged cursor walk over the raw columnar rows
+        # rather than one bisection per sample, and background load on idle
+        # stretches comes from a monotonic episode cursor.
+        rows = trace.rows_for(instance.index)
+        num_rows = len(rows)
+        position = 0
+        profile = instance.load_profile
+        load_cursor = profile.cursor() if profile is not None else None
+        quiet_background = instance.background_procs
+        cores = instance.cores
+        memory_mb = instance.memory_mb
+        base_proc_count = instance.base_proc_count
+        mem_cached = instance.memory_mb * 1024.0 * 0.2
+        swap_free = 1024.0 * 1024.0
+        boottime = instance.boot_time
+        noise = self._noise
+        gauss = self._rng.gauss
+        series = [result.metric(name) for name in METRIC_NAMES]
+        appenders = [
+            (s.times.append, s.values.append, name != "boottime")
+            for s, name in zip(series, METRIC_NAMES)
+        ]
+
         for sample_time in sample_times:
-            interval = trace.at(instance.index, sample_time)
-            if interval is None:
-                background = instance.background_at(sample_time)
-                extra_procs = instance.extra_procs_at(sample_time)
+            while position < num_rows and rows[position][1] <= sample_time:
+                position += 1
+            if position < num_rows and rows[position][0] <= sample_time:
+                row = rows[position]
+                background = row[11]
+                extra_procs = row[12]
+                running = row[2] + row[3]
+                cpu_util = row[5]
+                disk_read = row[6]
+                disk_write = row[7]
+                net_in = row[8]
+                net_out = row[9]
+                memory_used = row[10]
+                run_queue = row[4]
+            else:
+                if load_cursor is None:
+                    background = quiet_background
+                    extra_procs = 0
+                else:
+                    background, extra_procs = load_cursor.at(sample_time)
                 running = 0
-                cpu_util = min(1.0, background / instance.cores)
+                cpu_util = min(1.0, background / cores)
                 disk_read = disk_write = 0.0
                 net_in = net_out = 0.0
                 memory_used = 600.0 + background * 400.0
                 run_queue = background
-            else:
-                background = interval.background_load
-                extra_procs = interval.background_extra_procs
-                running = interval.running_tasks
-                cpu_util = interval.cpu_utilization
-                disk_read = interval.disk_read_mbps
-                disk_write = interval.disk_write_mbps
-                net_in = interval.net_in_mbps
-                net_out = interval.net_out_mbps
-                memory_used = interval.memory_used_mb
-                run_queue = interval.cpu_demand
-            for name, constant in time_constants.items():
-                decay = math.exp(-self._period / constant)
-                load_state[name] = load_state[name] * decay + run_queue * (1.0 - decay)
+            load_one = load_one * decay_one + run_queue * (1.0 - decay_one)
+            load_five = load_five * decay_five + run_queue * (1.0 - decay_five)
+            load_fifteen = (
+                load_fifteen * decay_fifteen + run_queue * (1.0 - decay_fifteen)
+            )
 
             cpu_user = 100.0 * cpu_util * 0.85
             cpu_system = 100.0 * cpu_util * 0.10
             cpu_wio = 100.0 * cpu_util * 0.05
             cpu_idle = max(0.0, 100.0 - cpu_user - cpu_system - cpu_wio)
-            mem_free_kb = max(0.0, (instance.memory_mb - memory_used) * 1024.0)
+            mem_free_kb = max(0.0, (memory_mb - memory_used) * 1024.0)
+            bytes_in = net_in * 1024.0 * 1024.0
+            bytes_out = net_out * 1024.0 * 1024.0
 
-            values = {
-                "cpu_user": cpu_user,
-                "cpu_system": cpu_system,
-                "cpu_idle": cpu_idle,
-                "cpu_wio": cpu_wio,
-                "load_one": load_state["load_one"],
-                "load_five": load_state["load_five"],
-                "load_fifteen": load_state["load_fifteen"],
-                "proc_total": instance.base_proc_count + running + extra_procs,
-                "proc_run": run_queue,
-                "bytes_in": net_in * 1024.0 * 1024.0,
-                "bytes_out": net_out * 1024.0 * 1024.0,
-                "pkts_in": net_in * 1024.0 * 1024.0 / AVG_PACKET_BYTES,
-                "pkts_out": net_out * 1024.0 * 1024.0 / AVG_PACKET_BYTES,
-                "disk_read": disk_read * 1024.0 * 1024.0,
-                "disk_write": disk_write * 1024.0 * 1024.0,
-                "mem_free": mem_free_kb,
-                "mem_cached": instance.memory_mb * 1024.0 * 0.2,
-                "swap_free": 1024.0 * 1024.0,
-                "boottime": instance.boot_time,
-            }
-            for name in METRIC_NAMES:
-                value = values[name]
-                if self._noise and name != "boottime":
-                    value *= 1.0 + self._rng.gauss(0.0, self._noise)
-                result.metric(name).append(sample_time, value)
+            values = (
+                cpu_user,
+                cpu_system,
+                cpu_idle,
+                cpu_wio,
+                load_one,
+                load_five,
+                load_fifteen,
+                base_proc_count + running + extra_procs,
+                run_queue,
+                bytes_in,
+                bytes_out,
+                bytes_in / AVG_PACKET_BYTES,
+                bytes_out / AVG_PACKET_BYTES,
+                disk_read * 1024.0 * 1024.0,
+                disk_write * 1024.0 * 1024.0,
+                mem_free_kb,
+                mem_cached,
+                swap_free,
+                boottime,
+            )
+            for value, (append_time, append_value, noisy) in zip(values, appenders):
+                if noise and noisy:
+                    value *= 1.0 + gauss(0.0, noise)
+                append_time(sample_time)
+                append_value(value)
         return result

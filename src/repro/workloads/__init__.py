@@ -12,9 +12,14 @@ package recreates that pipeline:
 * :mod:`repro.workloads.pig` — Pig script cost models compiled into
   simulator :class:`~repro.cluster.jobs.JobSpec` objects;
 * :mod:`repro.workloads.runner` — run one configured job through the
-  simulator + monitoring and emit execution-log records;
-* :mod:`repro.workloads.grid` — the Table 2 parameter grid and helpers that
-  build a full experiment log.
+  simulator + monitoring and emit execution-log records (columnar task
+  batches, engine selection, provenance stamps);
+* :mod:`repro.workloads.grid` — the Table 2 parameter grid and the
+  (optionally process-parallel) sweep executor that builds a full
+  experiment log;
+* :mod:`repro.workloads.scenarios` — the declarative catalog of
+  performance pathologies (skew, stragglers, contention, misconfiguration,
+  locality misses, ...) with per-scenario ground truth for evaluation.
 """
 
 from repro.workloads.excite import ExciteLogProfile, excite_dataset, generate_excite_records
@@ -22,12 +27,15 @@ from repro.workloads.pig import (
     PigScript,
     SIMPLE_FILTER,
     SIMPLE_GROUPBY,
+    SKEWED_GROUPBY,
+    SCAN_HEAVY,
+    SHUFFLE_HEAVY,
     SIMPLE_JOIN,
     SIMPLE_DISTINCT,
     PIG_SCRIPTS,
     compile_pig_job,
 )
-from repro.workloads.runner import WorkloadRun, run_workload
+from repro.workloads.runner import ENGINES, WorkloadRun, run_workload
 from repro.workloads.grid import (
     GridPoint,
     ParameterGrid,
@@ -35,6 +43,14 @@ from repro.workloads.grid import (
     small_grid,
     tiny_grid,
     build_experiment_log,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    ScenarioVariant,
+    build_catalog_log,
+    build_scenario_log,
+    get_scenario,
+    scenario_catalog,
 )
 
 __all__ = [
@@ -44,10 +60,14 @@ __all__ = [
     "PigScript",
     "SIMPLE_FILTER",
     "SIMPLE_GROUPBY",
+    "SKEWED_GROUPBY",
+    "SCAN_HEAVY",
+    "SHUFFLE_HEAVY",
     "SIMPLE_JOIN",
     "SIMPLE_DISTINCT",
     "PIG_SCRIPTS",
     "compile_pig_job",
+    "ENGINES",
     "WorkloadRun",
     "run_workload",
     "GridPoint",
@@ -56,4 +76,10 @@ __all__ = [
     "small_grid",
     "tiny_grid",
     "build_experiment_log",
+    "Scenario",
+    "ScenarioVariant",
+    "build_catalog_log",
+    "build_scenario_log",
+    "get_scenario",
+    "scenario_catalog",
 ]

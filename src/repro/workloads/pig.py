@@ -43,6 +43,10 @@ from repro.workloads.excite import DEFAULT_PROFILE, ExciteLogProfile
 REFERENCE_DISK_MBPS = 80.0
 #: Reference network bandwidth used for shuffle transfers.
 REFERENCE_NET_MBPS = 60.0
+#: Bandwidth of a non-local (rack-remote) HDFS block read.  Cross-rack links
+#: are oversubscribed, so a locality miss reads well below the in-rack
+#: shuffle bandwidth.
+REMOTE_READ_MBPS = 30.0
 #: CPU cost of sorting map output, per megabyte.
 SORT_CPU_MS_PER_MB = 25.0
 #: Fixed per-task startup overhead (JVM launch, split localisation).
@@ -126,6 +130,51 @@ SIMPLE_JOIN = PigScript(
     uses_combiner=False,
 )
 
+#: A group-by whose key distribution is pathologically skewed — one reducer
+#: receives a large multiple of the median share.  Used by the data-skew
+#: scenario in :mod:`repro.workloads.scenarios`.
+SKEWED_GROUPBY = PigScript(
+    name="skewed-groupby.pig",
+    map_cpu_ms_per_mb=420.0,
+    map_output_byte_ratio=0.06,
+    map_output_record_ratio=0.15,
+    map_only=False,
+    reduce_cpu_ms_per_mb=180.0,
+    reduce_output_byte_ratio=0.5,
+    reducer_skew_sigma=1.2,
+    uses_combiner=True,
+)
+
+#: An I/O-bound scan: almost no CPU per record, so runtime is dominated by
+#: reading the input.  Used by the cold-HDFS-locality scenario, where the
+#: read path (local disk vs remote replica) is the whole story.
+SCAN_HEAVY = PigScript(
+    name="scan-heavy.pig",
+    map_cpu_ms_per_mb=10.0,
+    map_output_byte_ratio=0.9,
+    map_output_record_ratio=0.9,
+    map_only=True,
+    reduce_cpu_ms_per_mb=1.0,
+    reduce_output_byte_ratio=1.0,
+    reducer_skew_sigma=0.0,
+    uses_combiner=False,
+)
+
+#: A shuffle-bound job: map output as large as the input and cheap reducers,
+#: so the reduce-side merge sort (governed by ``io.sort.factor``) dominates.
+#: Used by the merge-misconfiguration scenario.
+SHUFFLE_HEAVY = PigScript(
+    name="shuffle-heavy.pig",
+    map_cpu_ms_per_mb=150.0,
+    map_output_byte_ratio=1.0,
+    map_output_record_ratio=1.0,
+    map_only=False,
+    reduce_cpu_ms_per_mb=30.0,
+    reduce_output_byte_ratio=1.0,
+    reducer_skew_sigma=0.0,
+    uses_combiner=False,
+)
+
 SIMPLE_DISTINCT = PigScript(
     name="simple-distinct.pig",
     map_cpu_ms_per_mb=380.0,
@@ -141,7 +190,8 @@ SIMPLE_DISTINCT = PigScript(
 #: All scripts, keyed by file name.
 PIG_SCRIPTS: dict[str, PigScript] = {
     script.name: script
-    for script in (SIMPLE_FILTER, SIMPLE_GROUPBY, SIMPLE_JOIN, SIMPLE_DISTINCT)
+    for script in (SIMPLE_FILTER, SIMPLE_GROUPBY, SKEWED_GROUPBY, SCAN_HEAVY,
+                   SHUFFLE_HEAVY, SIMPLE_JOIN, SIMPLE_DISTINCT)
 }
 
 
@@ -163,6 +213,7 @@ def compile_pig_job(
     rng: random.Random | None = None,
     submit_time: float = 0.0,
     metadata: dict | None = None,
+    locality_miss_fraction: float = 0.0,
 ) -> JobSpec:
     """Compile a Pig script over a dataset into a simulator job.
 
@@ -175,7 +226,14 @@ def compile_pig_job(
     :param rng: randomness for reducer skew.
     :param submit_time: job submission timestamp.
     :param metadata: extra job-level features recorded in the log.
+    :param locality_miss_fraction: fraction of map tasks whose input block
+        has no local replica (cold HDFS cache, rack-remote block): their
+        read phase crosses the oversubscribed rack link at
+        :data:`REMOTE_READ_MBPS` — well below both local-disk and in-rack
+        shuffle bandwidth — instead of streaming from local disk.
     """
+    if not 0.0 <= locality_miss_fraction <= 1.0:
+        raise WorkloadError("locality_miss_fraction must be in [0, 1]")
     rng = rng if rng is not None else random.Random(0)
     splits = split_dataset(dataset, config.dfs_block_size)
     map_tasks: list[TaskAttempt] = []
@@ -184,6 +242,12 @@ def compile_pig_job(
 
     for split in splits:
         input_mb = split.length / MB
+        # Only draw when the knob is on, so the default path consumes the
+        # shared random stream exactly as before.
+        remote_read = (
+            locality_miss_fraction > 0.0
+            and rng.random() < locality_miss_fraction
+        )
         pre_combine_records = int(split.num_records * (
             script.map_output_record_ratio if not script.uses_combiner else 1.0
         ))
@@ -192,9 +256,13 @@ def compile_pig_job(
         total_map_output_bytes += output_bytes
         total_map_output_records += output_records
 
+        if remote_read:
+            read_phase = Phase("read", input_mb / REMOTE_READ_MBPS, PhaseKind.NETWORK)
+        else:
+            read_phase = Phase("read", input_mb / REFERENCE_DISK_MBPS, PhaseKind.DISK)
         phases = [
             Phase("setup", TASK_STARTUP_SECONDS, PhaseKind.OVERHEAD),
-            Phase("read", input_mb / REFERENCE_DISK_MBPS, PhaseKind.DISK),
+            read_phase,
             Phase("map", input_mb * script.map_cpu_ms_per_mb / 1000.0, PhaseKind.CPU),
         ]
         output_mb = output_bytes / MB

@@ -1,0 +1,181 @@
+"""Hypothesis property suite for :class:`SlotScheduler` wave invariants.
+
+The scheduler is driven in *lockstep*: every scheduling round assigns as
+many tasks as free slots allow, then all running tasks complete at once
+(uniform task durations).  Under that model the paper's wave structure is
+exact, so three invariants must hold on every randomized configuration:
+
+* the number of map waves equals ``ceil(num_maps / total map slots)``;
+* reduce tasks are held back until the slowstart fraction of maps has
+  completed (and with slowstart 1.0, until every map has completed);
+* whenever the map count does not divide the slot capacity, the final wave
+  is partial — some instance runs strictly fewer co-located map tasks than
+  its slot count, which is exactly the lighter-loaded machine the
+  WhyLastTaskFaster query probes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.config import MapReduceConfig
+from repro.cluster.scheduler import SlotScheduler
+from repro.cluster.tasks import Phase, PhaseKind, TaskAttempt, TaskType
+from repro.exceptions import SimulationError
+
+
+def make_attempts(count: int, task_type: TaskType) -> list[TaskAttempt]:
+    suffix = "m" if task_type is TaskType.MAP else "r"
+    return [
+        TaskAttempt(
+            task_id=f"task_prop_{suffix}_{index:04d}",
+            task_type=task_type,
+            phases=[Phase("work", 1.0, PhaseKind.CPU)],
+        )
+        for index in range(count)
+    ]
+
+
+def run_lockstep(num_instances, map_slots, reduce_slots, num_maps, num_reduces,
+                 slowstart):
+    """Drive the scheduler with lockstep completions; return assignments.
+
+    Returns ``(map_assignments, reduce_assignments, violations)`` where
+    ``violations`` collects any slowstart breach observed while running.
+    """
+    cluster = ClusterSpec(
+        num_instances=num_instances, speed_jitter=0.0, background_model=None,
+    ).provision(random.Random(0))
+    config = MapReduceConfig(
+        num_reduce_tasks=max(1, num_reduces),
+        map_slots_per_instance=map_slots,
+        reduce_slots_per_instance=reduce_slots,
+        reduce_slowstart=slowstart,
+    )
+    maps = make_attempts(num_maps, TaskType.MAP)
+    reduces = make_attempts(num_reduces, TaskType.REDUCE)
+    scheduler = SlotScheduler(cluster, config, maps, reduces)
+
+    map_assignments = []
+    reduce_assignments = []
+    violations = []
+    rounds = 0
+    while scheduler.has_pending():
+        rounds += 1
+        assert rounds <= 2 * (num_maps + num_reduces) + 2, "scheduler stalled"
+        batch = scheduler.next_assignments()
+        assert batch, "work pending but nothing schedulable"
+        for assignment in batch:
+            if assignment.attempt.task_type is TaskType.REDUCE:
+                needed = slowstart * num_maps
+                if scheduler.completed_maps < needed:
+                    violations.append(
+                        (scheduler.completed_maps, needed)
+                    )
+                reduce_assignments.append(assignment)
+            else:
+                map_assignments.append(assignment)
+        # Lockstep: everything assigned this round completes together.
+        for assignment in batch:
+            scheduler.release(assignment.instance, assignment.attempt,
+                              completed=True)
+    return map_assignments, reduce_assignments, violations
+
+
+configurations = st.tuples(
+    st.integers(min_value=1, max_value=5),    # num_instances
+    st.integers(min_value=1, max_value=3),    # map slots
+    st.integers(min_value=1, max_value=3),    # reduce slots
+    st.integers(min_value=0, max_value=40),   # num maps
+    st.integers(min_value=0, max_value=10),   # num reduces
+    st.sampled_from([0.0, 0.25, 0.5, 1.0]),   # slowstart
+)
+
+
+class TestWaveInvariants:
+    @settings(max_examples=120, deadline=None)
+    @given(configurations)
+    def test_every_task_assigned_exactly_once(self, configuration):
+        num_instances, map_slots, reduce_slots, num_maps, num_reduces, slow = configuration
+        maps, reduces, _ = run_lockstep(*configuration)
+        assert len(maps) == num_maps
+        assert len(reduces) == num_reduces
+        assert len({a.attempt.task_id for a in maps + reduces}) == num_maps + num_reduces
+
+    @settings(max_examples=120, deadline=None)
+    @given(configurations)
+    def test_map_wave_count_is_ceiling_of_tasks_over_slots(self, configuration):
+        num_instances, map_slots, _, num_maps, _, _ = configuration
+        maps, _, _ = run_lockstep(*configuration)
+        if num_maps == 0:
+            assert maps == []
+            return
+        total_slots = num_instances * map_slots
+        observed_waves = max(a.wave for a in maps) + 1
+        assert observed_waves == -(-num_maps // total_slots)
+
+    @settings(max_examples=120, deadline=None)
+    @given(configurations)
+    def test_slowstart_holds_reduces_back(self, configuration):
+        *_, violations = run_lockstep(*configuration)
+        assert violations == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(configurations.filter(lambda c: c[3] > 0 and c[4] > 0))
+    def test_full_slowstart_serialises_reduces_after_maps(self, configuration):
+        num_instances, map_slots, reduce_slots, num_maps, num_reduces, _ = configuration
+        configuration = (num_instances, map_slots, reduce_slots, num_maps,
+                         num_reduces, 1.0)
+        maps, reduces, violations = run_lockstep(*configuration)
+        assert violations == []
+        # In lockstep rounds, slot_order is assignment order: with full
+        # slowstart every reduce is assigned after every map.
+        last_map_order = max(a.slot_order for a in maps)
+        first_reduce_order = min(a.slot_order for a in reduces)
+        assert first_reduce_order > last_map_order
+
+    @settings(max_examples=120, deadline=None)
+    @given(configurations.filter(lambda c: c[3] > 0))
+    def test_final_wave_partial_when_capacity_not_divided(self, configuration):
+        num_instances, map_slots, _, num_maps, _, _ = configuration
+        maps, _, _ = run_lockstep(*configuration)
+        per_instance: dict[int, list] = {}
+        for assignment in maps:
+            per_instance.setdefault(assignment.instance.index, []).append(assignment)
+        for assignments in per_instance.values():
+            final_wave = max(a.wave for a in assignments)
+            final_size = sum(1 for a in assignments if a.wave == final_wave)
+            assert final_size <= map_slots
+            # Within one instance, waves before the final are full.
+            for wave in range(final_wave):
+                size = sum(1 for a in assignments if a.wave == wave)
+                assert size == map_slots
+        if num_maps % (num_instances * map_slots) != 0:
+            # The WhyLastTaskFaster precondition: during the global final
+            # wave some machine runs strictly fewer co-located map tasks
+            # than its slot count (possibly zero — an idle instance).
+            global_final = max(a.wave for a in maps)
+            final_sizes = [
+                sum(1 for a in assignments if a.wave == global_final)
+                for assignments in per_instance.values()
+            ]
+            final_sizes.extend([0] * (num_instances - len(per_instance)))
+            assert min(final_sizes) < map_slots, (
+                "a non-dividing map count must leave some instance lighter "
+                "during the final wave"
+            )
+
+
+class TestReleaseSafety:
+    def test_release_without_use_raises(self):
+        cluster = ClusterSpec(num_instances=1, speed_jitter=0.0,
+                              background_model=None).provision(random.Random(0))
+        config = MapReduceConfig(num_reduce_tasks=1)
+        [attempt] = make_attempts(1, TaskType.MAP)
+        scheduler = SlotScheduler(cluster, config, [attempt], [])
+        with pytest.raises(SimulationError):
+            scheduler.release(cluster[0], attempt, completed=True)

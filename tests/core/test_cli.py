@@ -39,6 +39,23 @@ class TestGenerateLog:
                      "--output", str(path)]) == 0
         assert ExecutionLog.load(path).num_tasks == 0
 
+    def test_reference_engine_flag_builds_identical_log(self, log_path, tmp_path):
+        path = tmp_path / "reference.json"
+        assert main(["generate-log", "--grid", "tiny", "--seed", "11",
+                     "--engine", "reference", "--output", str(path)]) == 0
+        assert ExecutionLog.load(path).to_json() == ExecutionLog.load(log_path).to_json()
+
+
+class TestGenerateScenario:
+    def test_scenario_log_is_stamped(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        assert main(["generate-scenario", "--scenario", "data-skew",
+                     "--seed", "5", "--output", str(path)]) == 0
+        log = ExecutionLog.load(path)
+        assert log.num_jobs > 0
+        assert all(job.features["scenario"] == "data-skew" for job in log.jobs)
+        assert all("engine_seed" in job.features for job in log.jobs)
+
 
 class TestExplain:
     def test_explain_from_query_file(self, log_path, tmp_path, capsys):

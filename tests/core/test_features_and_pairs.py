@@ -219,3 +219,30 @@ class TestPairVectorShape:
             assert raw + IS_SAME_SUFFIX in values
             assert raw in values
             assert (raw + COMPARE_SUFFIX in values) or (raw + DIFF_SUFFIX in values)
+
+
+class TestExcludedProvenanceFeatures:
+    def _records(self):
+        from repro.logs.records import JobRecord
+
+        return [
+            JobRecord(
+                job_id="j1",
+                features={"x": 1, "engine_seed": 5, "scenario": "s",
+                          "scenario_variant": "baseline"},
+                duration=1.0,
+            )
+        ]
+
+    def test_provenance_features_dropped_by_default(self):
+        from repro.core.features import DEFAULT_EXCLUDED_FEATURES
+
+        schema = infer_schema(self._records())
+        assert "x" in schema
+        for name in DEFAULT_EXCLUDED_FEATURES:
+            assert name not in schema
+
+    def test_exclusion_can_be_disabled(self):
+        schema = infer_schema(self._records(), excluded=())
+        assert "engine_seed" in schema
+        assert "scenario" in schema

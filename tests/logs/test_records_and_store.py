@@ -299,3 +299,113 @@ class TestRecordBlock:
         assert block.ids == [task.task_id for task in log.tasks]
         assert block.id_bytes == [task.task_id.encode() for task in log.tasks]
         assert len(block) == len(log.tasks)
+
+
+class TestMutationVersioning:
+    """The mutation version counter behind every cached view (PR 4)."""
+
+    def _schema(self, log):
+        from repro.core.features import infer_schema
+
+        return infer_schema(log.jobs)
+
+    def test_replace_job_updates_find_job(self):
+        log = ExecutionLog()
+        log.add_job(make_job("job_1", numinstances=4))
+        log.replace_job(make_job("job_1", numinstances=16))
+        assert log.find_job("job_1").features["numinstances"] == 16
+
+    def test_replace_job_invalidates_record_block(self):
+        # Regression: same-length in-place replacement used to keep serving
+        # the stale block because the cache was keyed on record count only.
+        log = ExecutionLog()
+        log.add_job(make_job("job_1", numinstances=4))
+        log.add_job(make_job("job_2", numinstances=8))
+        schema = self._schema(log)
+        before = log.record_block(schema, kind="job")
+        assert before.column("numinstances").raw == [4, 8]
+        log.replace_job(make_job("job_2", numinstances=2))
+        after = log.record_block(schema, kind="job")
+        assert after is not before
+        assert after.column("numinstances").raw == [4, 2]
+
+    def test_replace_task_invalidates_block_and_groups(self):
+        from repro.core.features import infer_schema
+
+        log = ExecutionLog()
+        log.add_job(make_job("job_1"), [make_task("task_1", hostname="host-0")])
+        schema = infer_schema(log.tasks)
+        before = log.record_block(schema, kind="task")
+        log.replace_task(make_task("task_1", hostname="host-9"))
+        after = log.record_block(schema, kind="task")
+        assert after is not before
+        assert after.column("hostname").raw == ["host-9"]
+        assert log.find_task("task_1").features["hostname"] == "host-9"
+        assert log.tasks_of_job("job_1")[0].features["hostname"] == "host-9"
+
+    def test_replace_missing_record_raises(self):
+        log = ExecutionLog()
+        log.add_job(make_job("job_1"))
+        with pytest.raises(ValueError):
+            log.replace_job(make_job("job_x"))
+        with pytest.raises(ValueError):
+            log.replace_task(make_task("task_x"))
+
+    def test_extend_bulk_appends_and_checks_duplicates(self):
+        log = ExecutionLog()
+        log.extend(jobs=[make_job("job_1"), make_job("job_2")],
+                   tasks=[make_task("task_1")])
+        assert log.num_jobs == 2 and log.num_tasks == 1
+        assert log.find_job("job_2") is log.jobs[1]
+        with pytest.raises(ValueError):
+            log.extend(jobs=[make_job("job_1")])
+        with pytest.raises(ValueError):
+            log.extend(tasks=[make_task("task_1")])
+        with pytest.raises(ValueError):
+            log.extend(jobs=[make_job("job_3"), make_job("job_3")])
+
+    def test_extend_is_atomic_on_duplicates(self):
+        log = ExecutionLog()
+        log.add_job(make_job("job_1"))
+        log.add_task(make_task("task_1"))
+        with pytest.raises(ValueError):
+            log.extend(jobs=[make_job("job_2")], tasks=[make_task("task_1")])
+        # The failing batch left no partial state behind...
+        assert log.num_jobs == 1 and log.num_tasks == 1
+        assert log.find_job("job_2") is None
+        # ...so a corrected retry goes through cleanly.
+        log.extend(jobs=[make_job("job_2")], tasks=[make_task("task_2")])
+        assert log.num_jobs == 2 and log.num_tasks == 2
+
+    def test_merge_result_serves_fresh_blocks(self):
+        first = ExecutionLog()
+        first.add_job(make_job("job_1", numinstances=1))
+        schema = self._schema(first)
+        stale = first.record_block(schema, kind="job")
+        second = ExecutionLog()
+        second.add_job(make_job("job_2", numinstances=2))
+        merged = first.merge(second)
+        block = merged.record_block(schema, kind="job")
+        assert block is not stale
+        assert block.column("numinstances").raw == [1, 2]
+        # The source log's cache is untouched and still valid.
+        assert first.record_block(schema, kind="job") is stale
+
+    def test_invalidate_caches_after_direct_mutation(self):
+        log = ExecutionLog()
+        log.add_job(make_job("job_1", numinstances=4))
+        schema = self._schema(log)
+        log.record_block(schema, kind="job")
+        log.jobs[0] = make_job("job_1", numinstances=32)  # out-of-band
+        log.invalidate_caches()
+        assert log.record_block(schema, kind="job").column("numinstances").raw == [32]
+        assert log.find_job("job_1").features["numinstances"] == 32
+
+    def test_direct_appends_still_invalidate_by_length(self):
+        log = ExecutionLog()
+        log.add_job(make_job("job_1"))
+        schema = self._schema(log)
+        log.record_block(schema, kind="job")
+        log.jobs.append(make_job("job_2"))  # legacy direct append
+        assert len(log.record_block(schema, kind="job")) == 2
+        assert log.find_job("job_2") is log.jobs[1]

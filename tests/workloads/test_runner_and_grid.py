@@ -179,3 +179,88 @@ class TestBuildExperimentLog:
 
     def test_returns_execution_log(self, tiny_log):
         assert isinstance(tiny_log, ExecutionLog)
+
+
+class TestEngineSelectionAndProvenance:
+    def test_reference_engine_builds_identical_log(self):
+        event = build_experiment_log(tiny_grid(), seed=3, engine="event")
+        reference = build_experiment_log(tiny_grid(), seed=3, engine="reference")
+        assert event.jobs == reference.jobs
+        assert event.tasks == reference.tasks
+
+    def test_unknown_engine_rejected(self):
+        config = MapReduceConfig(dfs_block_size=64 * MB, num_reduce_tasks=2)
+        with pytest.raises(WorkloadError):
+            run_workload(SIMPLE_FILTER, excite_dataset(3), config, 2, engine="warp")
+
+    def test_engine_seed_stamped_on_all_records(self, tiny_log):
+        assert all("engine_seed" in job.features for job in tiny_log.jobs)
+        assert all("engine_seed" in task.features for task in tiny_log.tasks)
+
+    def test_engine_seed_replays_the_run(self):
+        config = MapReduceConfig(dfs_block_size=64 * MB, num_reduce_tasks=2)
+        run = run_workload(SIMPLE_FILTER, excite_dataset(3), config, 2, seed=77)
+        seed = run.job_record.features["engine_seed"]
+        assert seed == run.simulation.engine_seed == 77
+        replay = run_workload(SIMPLE_FILTER, excite_dataset(3), config, 2, seed=seed)
+        assert replay.job_record.duration == run.job_record.duration
+        assert [t.duration for t in replay.task_records] == [
+            t.duration for t in run.task_records
+        ]
+
+    def test_scenario_stamp_only_when_set(self):
+        config = MapReduceConfig(dfs_block_size=64 * MB, num_reduce_tasks=2)
+        plain = run_workload(SIMPLE_FILTER, excite_dataset(3), config, 2)
+        tagged = run_workload(SIMPLE_FILTER, excite_dataset(3), config, 2,
+                              scenario="data-skew")
+        assert "scenario" not in plain.job_record.features
+        assert tagged.job_record.features["scenario"] == "data-skew"
+        assert all(t.features["scenario"] == "data-skew" for t in tagged.task_records)
+
+    def test_provenance_excluded_from_schema(self, tiny_log):
+        from repro.core.features import infer_schema
+
+        schema = infer_schema(tiny_log.jobs)
+        assert "engine_seed" not in schema
+        assert "scenario" not in schema
+
+    def test_cluster_spec_override(self):
+        from repro.cluster.cluster import ClusterSpec
+
+        config = MapReduceConfig(dfs_block_size=64 * MB, num_reduce_tasks=2)
+        run = run_workload(
+            SIMPLE_FILTER, excite_dataset(3), config, 2, seed=4,
+            cluster_spec=ClusterSpec(num_instances=2, instance_type="m1.small"),
+        )
+        assert run.job_record.features["instance_type"] == "m1.small"
+        with pytest.raises(WorkloadError):
+            run_workload(
+                SIMPLE_FILTER, excite_dataset(3), config, 4, seed=4,
+                cluster_spec=ClusterSpec(num_instances=2),
+            )
+
+    def test_locality_misses_slow_the_job_via_network_reads(self):
+        config = MapReduceConfig(dfs_block_size=64 * MB, num_reduce_tasks=1)
+        local = run_workload(SIMPLE_FILTER, excite_dataset(6), config, 2, seed=5,
+                             sampling_period=0.5)
+        remote = run_workload(SIMPLE_FILTER, excite_dataset(6), config, 2, seed=5,
+                              sampling_period=0.5, locality_miss_fraction=1.0)
+        assert remote.job_record.duration > local.job_record.duration
+        # Remote reads show up as network traffic on a map-only job.
+        assert (remote.job_record.features["avg_bytes_in"]
+                > local.job_record.features["avg_bytes_in"])
+        with pytest.raises(WorkloadError):
+            run_workload(SIMPLE_FILTER, excite_dataset(3), config, 2,
+                         locality_miss_fraction=1.5)
+
+
+class TestParallelSweep:
+    def test_parallel_log_identical_to_sequential(self):
+        sequential = build_experiment_log(tiny_grid(), seed=11)
+        parallel = build_experiment_log(tiny_grid(), seed=11, workers=2)
+        assert parallel.jobs == sequential.jobs
+        assert parallel.tasks == sequential.tasks
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_experiment_log(tiny_grid(), workers=0)

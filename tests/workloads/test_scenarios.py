@@ -1,0 +1,187 @@
+"""End-to-end tests for the scenario catalog.
+
+Each catalog scenario must (a) manufacture the pathology it claims —
+affected jobs really are slower (or really similar, for the SIM-observed
+scenarios), (b) stamp full provenance into every record, and (c) lead
+PerfXplain to a *scenario-consistent* explanation: the because clause cites
+at least one feature from the scenario's declared ground truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import PerfXplain
+from repro.core.features import infer_schema
+from repro.core.pairs import raw_feature_of
+from repro.exceptions import WorkloadError
+from repro.workloads.scenarios import (
+    Scenario,
+    ScenarioVariant,
+    build_catalog_log,
+    build_scenario_log,
+    get_scenario,
+    scenario_catalog,
+)
+
+#: One deterministic seed under which every scenario's end-to-end
+#: explanation is scenario-consistent (asserted below).
+SEED = 5
+
+CATALOG = scenario_catalog()
+SCENARIO_NAMES = sorted(CATALOG)
+
+
+@pytest.fixture(scope="module")
+def scenario_logs():
+    """Every scenario's log, built once for the module."""
+    return {
+        name: build_scenario_log(CATALOG[name], seed=SEED)
+        for name in SCENARIO_NAMES
+    }
+
+
+class TestCatalogShape:
+    def test_catalog_ships_at_least_eight_scenarios(self):
+        assert len(CATALOG) >= 8
+
+    def test_catalog_names_match_keys(self):
+        assert all(scenario.name == name for name, scenario in CATALOG.items())
+
+    def test_every_scenario_declares_ground_truth_and_query(self):
+        for scenario in CATALOG.values():
+            assert scenario.consistent_features
+            assert scenario.despite
+            query = scenario.query()
+            assert query.name == f"scenario:{scenario.name}"
+            assert query.despite.atoms
+
+    def test_get_scenario_roundtrip_and_unknown(self):
+        assert get_scenario("data-skew").name == "data-skew"
+        with pytest.raises(WorkloadError):
+            get_scenario("no-such-pathology")
+
+    def test_invalid_entity_rejected(self):
+        scenario = CATALOG["data-skew"]
+        with pytest.raises(WorkloadError):
+            Scenario(
+                name="bad", entity="stage", description="", paper_query="",
+                knobs="", consistent_features=frozenset({"x"}),
+                variants=scenario.variants, despite=scenario.despite,
+            )
+
+    def test_variant_composition(self):
+        base = ScenarioVariant(label="baseline")
+        derived = base.but("affected", concat_factor=12)
+        assert derived.label == "affected"
+        assert derived.concat_factor == 12
+        assert base.concat_factor == 6
+
+
+class TestProvenanceStamps:
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_every_record_is_stamped(self, scenario_logs, name):
+        log = scenario_logs[name]
+        for job in log.jobs:
+            assert job.features["scenario"] == name
+            assert "scenario_variant" in job.features
+            assert isinstance(job.features["engine_seed"], int)
+        for task in log.tasks:
+            assert task.features["scenario"] == name
+            assert "scenario_variant" in task.features
+            assert isinstance(task.features["engine_seed"], int)
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_stamps_never_reach_the_schema(self, scenario_logs, name):
+        log = scenario_logs[name]
+        schema = infer_schema(log.jobs)
+        for stamp in ("scenario", "scenario_variant", "engine_seed"):
+            assert stamp not in schema
+        if log.tasks:
+            task_schema = infer_schema(log.tasks)
+            assert "scenario" not in task_schema
+            assert "engine_seed" not in task_schema
+
+    def test_build_is_deterministic(self):
+        scenario = CATALOG["data-skew"]
+        first = build_scenario_log(scenario, seed=SEED)
+        second = build_scenario_log(scenario, seed=SEED)
+        assert first.to_json() == second.to_json()
+
+    def test_different_seeds_differ(self):
+        scenario = CATALOG["degraded-node"]
+        first = build_scenario_log(scenario, seed=1)
+        second = build_scenario_log(scenario, seed=2)
+        assert first.to_json() != second.to_json()
+
+
+class TestPathologyIsReal:
+    """The affected variants actually exhibit the claimed pathology."""
+
+    def _mean_durations(self, log):
+        by_variant: dict[str, list[float]] = {}
+        for job in log.jobs:
+            by_variant.setdefault(job.features["scenario_variant"], []).append(
+                job.duration
+            )
+        return {label: sum(values) / len(values)
+                for label, values in by_variant.items()}
+
+    @pytest.mark.parametrize("name", [
+        "input-growth-step", "degraded-node", "background-contention",
+        "heterogeneous-hardware", "merge-misconfiguration",
+        "reducer-starvation", "cold-hdfs-locality",
+    ])
+    def test_affected_jobs_slower(self, scenario_logs, name):
+        means = self._mean_durations(scenario_logs[name])
+        assert means["affected"] > means["baseline"] * 1.1
+
+    def test_cluster_underuse_durations_similar_despite_input(self, scenario_logs):
+        means = self._mean_durations(scenario_logs["cluster-underuse"])
+        assert means["affected"] < means["baseline"] * 1.4
+        assert means["contrast"] < means["baseline"]
+
+    def test_data_skew_spreads_reduce_durations(self, scenario_logs):
+        log = scenario_logs["data-skew"]
+        job = log.jobs[0]
+        reduces = [task.duration for task in log.tasks_of_job(job.job_id)
+                   if task.features["task_type"] == "REDUCE"]
+        assert max(reduces) > 2.0 * min(reduces)
+
+    def test_last_task_faster_has_partial_final_wave(self, scenario_logs):
+        log = scenario_logs["last-task-faster"]
+        job = log.jobs[0]
+        tasks = log.tasks_of_job(job.job_id)
+        final_wave = max(task.features["wave"] for task in tasks)
+        finals = [task for task in tasks if task.features["wave"] == final_wave]
+        assert 0 < len(finals) < 4  # fewer tasks than the cluster's map slots
+
+
+class TestScenarioConsistentExplanations:
+    """The acceptance bar: PerfXplain explains each pathology with ground
+    truth — at least one because-atom cites a consistent feature."""
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_explanation_is_scenario_consistent(self, scenario_logs, name):
+        scenario = CATALOG[name]
+        log = scenario_logs[name]
+        explainer = PerfXplain(log, seed=1)
+        explanation = explainer.explain(scenario.query(), width=2)
+        assert explanation.because.atoms, "expected a non-empty because clause"
+        cited = {raw_feature_of(atom.feature) for atom in explanation.because.atoms}
+        assert scenario.is_consistent(explanation), (
+            f"scenario {name}: because clause {explanation.because} cites "
+            f"{sorted(cited)}, none of which are in the scenario's ground "
+            f"truth {sorted(scenario.consistent_features)}"
+        )
+
+
+class TestCatalogLog:
+    def test_merged_catalog_log_has_unique_ids(self):
+        scenarios = [CATALOG["data-skew"], CATALOG["degraded-node"]]
+        log = build_catalog_log(scenarios, seed=SEED)
+        job_ids = [job.job_id for job in log.jobs]
+        assert len(job_ids) == len(set(job_ids))
+        assert {job.features["scenario"] for job in log.jobs} == {
+            "data-skew", "degraded-node",
+        }
