@@ -1,0 +1,158 @@
+"""Concurrent-service throughput: a mixed workload vs. cold facade calls.
+
+The service layer (:mod:`repro.service`) exists so one long-lived process
+can serve heavy query traffic over a catalog of execution logs: per-log
+sessions keep record blocks, training matrices and whole explanations warm,
+identical in-flight queries are deduplicated, and a thread pool interleaves
+traffic across logs.  This benchmark quantifies that against the baseline a
+service replaces — a cold :class:`~repro.core.api.PerfXplain` facade built
+per query — on a mixed workload of repeated and novel queries spread over
+two catalog logs.
+
+Responses are asserted **bit-identical** to direct synchronous
+:class:`~repro.core.api.PerfXplainSession` calls: concurrency and caching
+must never change an answer.
+
+Baseline numbers are recorded in CHANGES.md so later performance PRs have a
+trajectory to beat.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.api import PerfXplain, PerfXplainSession
+from repro.service import BatchRequest, LogCatalog, PerfXplainService, QueryRequest
+from repro.workloads.grid import build_experiment_log, tiny_grid
+
+#: Required speedup.  Relaxed on shared CI runners, where a noisy neighbor
+#: can skew either phase of the wall-clock comparison.
+SPEEDUP_FLOOR = 1.3 if os.environ.get("CI") else 2.0
+
+_WHY_SLOWER = """
+    FOR JOBS ?, ?
+    DESPITE numinstances_isSame = T AND pig_script_isSame = T
+    OBSERVED duration_compare = GT
+    EXPECTED duration_compare = SIM
+"""
+
+_WHY_SLOWER_LOOSE = """
+    FOR JOBS ?, ?
+    DESPITE pig_script_isSame = T
+    OBSERVED duration_compare = GT
+    EXPECTED duration_compare = SIM
+"""
+
+_WHY_LAST_TASK_FASTER = """
+    FOR TASKS ?, ?
+    DESPITE job_id_isSame = T AND task_type_isSame = T
+        AND inputsize_compare = SIM AND hostname_isSame = T
+    OBSERVED duration_compare = GT
+    EXPECTED duration_compare = SIM
+"""
+
+
+def _request_mix() -> list[QueryRequest]:
+    """Repeated and novel queries interleaved across the two logs.
+
+    Six distinct (log, clause-signature, width, technique) shapes, each
+    asked several times — the traffic profile a debugging service sees:
+    most questions repeat, a few are novel.
+    """
+    shapes = [
+        QueryRequest(log="grid", query=_WHY_SLOWER, width=3),
+        QueryRequest(log="grid", query=_WHY_LAST_TASK_FASTER, width=3),
+        QueryRequest(log="grid", query=_WHY_SLOWER_LOOSE, width=2),
+        QueryRequest(log="aux", query=_WHY_SLOWER, width=3),
+        QueryRequest(log="aux", query=_WHY_SLOWER_LOOSE, width=2),
+        QueryRequest(log="grid", query=_WHY_SLOWER, width=3, technique="simbutdiff"),
+    ]
+    repeats = [4, 4, 3, 4, 3, 2]
+    mix: list[QueryRequest] = []
+    for round_index in range(max(repeats)):
+        for shape, count in zip(shapes, repeats):
+            if round_index < count:
+                mix.append(shape)
+    return mix
+
+
+def test_concurrent_service_beats_cold_facades(benchmark, experiment_log):
+    aux_log = build_experiment_log(tiny_grid(), seed=23)
+    logs = {"grid": experiment_log, "aux": aux_log}
+    mix = _request_mix()
+
+    # Sequential oracle: one direct synchronous session per log, fixed
+    # seed 0 (the catalog default) — the ground truth every service
+    # response must match bit-for-bit.
+    oracle_sessions = {
+        name: PerfXplainSession(log, seed=0) for name, log in logs.items()
+    }
+    oracle: dict[tuple, dict] = {}
+    for request in mix:
+        key = request.canonical_key()
+        if key not in oracle:
+            session = oracle_sessions[request.log]
+            resolved = session.resolve(request.query)
+            explanation = session.explain(
+                resolved, width=request.width, technique=request.technique
+            )
+            oracle[key] = explanation.to_dict()
+
+    # Cold baseline: a fresh facade per query, as scripted one-shot use
+    # (or a service without the session/catalog layers) would pay.
+    start = time.perf_counter()
+    cold_explanations = [
+        PerfXplain(logs[request.log], seed=0).explain(
+            request.query, width=request.width, technique=request.technique
+        )
+        for request in mix
+    ]
+    cold_seconds = time.perf_counter() - start
+
+    def run_service():
+        catalog = LogCatalog()
+        for name, log in logs.items():
+            catalog.register(name, log)
+        with PerfXplainService(catalog, max_workers=4) as service:
+            response = service.execute_batch(BatchRequest(requests=tuple(mix)))
+            return response, service.stats()
+
+    response, stats = benchmark.pedantic(run_service, rounds=1, iterations=1)
+    service_seconds = benchmark.stats.stats.mean
+
+    assert len(response.responses) == len(mix)
+    assert response.ok, [item for item in response.responses if not item.ok]
+    for request, item in zip(mix, response.responses):
+        assert item.entry.explanation is not None
+        assert item.entry.explanation.to_dict() == oracle[request.canonical_key()], (
+            "service response diverged from the direct session call"
+        )
+    # The cold path is a timing baseline only: a facade lets each technique
+    # draw its own training sample (technique-offset rng), so its metrics
+    # legitimately differ in the last decimals from the session path.
+    assert all(cold.width >= 1 for cold in cold_explanations)
+    assert stats["executed"] + stats["deduplicated"] == len(mix)
+    assert stats["deduplicated"] > 0, "repeated queries should dedup or hit caches"
+
+    speedup = cold_seconds / service_seconds
+    benchmark.extra_info["num_requests"] = len(mix)
+    benchmark.extra_info["num_logs"] = len(logs)
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 3)
+    benchmark.extra_info["service_seconds"] = round(service_seconds, 3)
+    benchmark.extra_info["deduplicated"] = stats["deduplicated"]
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+
+    print(
+        f"\nService throughput — {len(mix)} mixed queries over "
+        f"{logs['grid'].num_jobs}-job and {logs['aux'].num_jobs}-job logs:"
+    )
+    print(f"  cold facades       : {cold_seconds:.2f} s")
+    print(f"  concurrent service : {service_seconds:.2f} s")
+    print(f"  deduplicated       : {stats['deduplicated']} of {len(mix)}")
+    print(f"  speedup            : {speedup:.1f}x")
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"the concurrent service should be at least {SPEEDUP_FLOOR}x faster "
+        f"than cold facades (got {speedup:.2f}x)"
+    )

@@ -18,7 +18,10 @@ The package is organised as:
   implemented from scratch;
 * :mod:`repro.core` — the PerfXplain contribution: PXQL, pair features,
   explanation metrics, Algorithm 1, the baselines, the pluggable explainer
-  registry, the batch session, and the evaluation harness.
+  registry, the batch session, and the evaluation harness;
+* :mod:`repro.service` — the long-running service layer: a catalog of
+  named logs, the versioned request/response protocol, the concurrent
+  query service, and the HTTP endpoint behind ``repro-perfxplain serve``.
 
 Quick start::
 
@@ -58,7 +61,8 @@ facade, the CLI ``--technique`` flag and the evaluation harness alike::
             ...
 """
 
-from repro.core.api import PerfXplain, PerfXplainSession
+from repro.core.api import DEFAULT_CACHE_CAPACITY, PerfXplain, PerfXplainSession
+from repro.core.cache import CacheStats, LRUCache
 from repro.core.explainer import PerfXplainConfig, PerfXplainExplainer
 from repro.core.explanation import Explanation, ExplanationMetrics
 from repro.core.features import FeatureLevel
@@ -74,11 +78,14 @@ from repro.core.report import Report, ReportEntry
 from repro.logs.records import JobRecord, TaskRecord
 from repro.logs.store import ExecutionLog
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "PerfXplain",
     "PerfXplainSession",
+    "DEFAULT_CACHE_CAPACITY",
+    "CacheStats",
+    "LRUCache",
     "PerfXplainConfig",
     "PerfXplainExplainer",
     "Explainer",

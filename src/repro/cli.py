@@ -1,9 +1,12 @@
 """Command-line interface for the PerfXplain reproduction.
 
-Three subcommands cover the typical workflow:
+Four subcommands cover the typical workflow:
 
 ``repro-perfxplain generate-log --grid small --output log.json``
-    Simulate a workload grid and save the execution log as JSON.
+    Simulate a workload grid and save the execution log.  The output
+    suffix picks the format: ``.json`` (pretty document), ``.jsonl``
+    (streaming, one record per line), and either with a trailing ``.gz``
+    for transparent gzip compression.
 
 ``repro-perfxplain explain --log log.json --query query.pxql``
     Parse a PXQL query (from a file or stdin) and print the explanation,
@@ -12,6 +15,19 @@ Three subcommands cover the typical workflow:
 ``repro-perfxplain evaluate --log log.json --query-name WhySlowerDespiteSameNumInstances``
     Run the cross-validated precision-vs-width comparison of every
     registered technique for one of the paper's queries.
+
+``repro-perfxplain serve --log prod=prod.jsonl.gz --log staging=st.json --port 8000``
+    Run the long-lived query service: every ``--log name=path`` registers
+    an execution log in the catalog (lazily loaded on first query), and
+    PXQL queries are answered as JSON over HTTP (``POST /v1/query``,
+    ``POST /v1/batch``, ``POST /v1/evaluate``; ``GET /v1/logs`` for
+    catalog and cache statistics).  See
+    :class:`repro.service.ServiceClient` for the matching client.
+
+``explain`` and ``evaluate`` are thin shells over the same service layer
+``serve`` exposes: they build the versioned request objects of
+:mod:`repro.service.protocol` and execute them in-process, so the
+programmatic, CLI and HTTP entry points share one code path.
 
 The ``--technique`` argument accepts any name in the explainer registry;
 ``--plugin`` imports a module (dotted name or ``.py`` path) before
@@ -31,14 +47,21 @@ import json
 import sys
 from pathlib import Path
 
-from repro.core.api import PerfXplain, PerfXplainSession
-from repro.core.evaluation import evaluate_precision_vs_width
-from repro.core.pxql.parser import parse_query
 from repro.core.queries import PAPER_QUERIES
-from repro.core.report import Report, ReportEntry
-from repro.core.reporting import sweep_to_dict
+from repro.core.report import Report
+from repro.core.reporting import summary_table
 from repro.exceptions import ReproError
 from repro.logs.store import ExecutionLog
+from repro.logs.writer import LOG_SUFFIXES
+from repro.service import (
+    DEFAULT_MAX_WORKERS,
+    ErrorResponse,
+    EvaluateRequest,
+    LogCatalog,
+    PerfXplainHTTPServer,
+    PerfXplainService,
+    QueryRequest,
+)
 from repro.workloads.grid import build_experiment_log, paper_grid, small_grid, tiny_grid
 from repro.workloads.runner import ENGINES
 from repro.workloads.scenarios import (
@@ -66,7 +89,8 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="how many times to run each grid point")
     generate.add_argument("--no-tasks", action="store_true",
                           help="keep only job records (smaller output)")
-    generate.add_argument("--output", type=Path, required=True, help="output JSON path")
+    generate.add_argument("--output", type=Path, required=True,
+                          help="output path (.json, .jsonl, or either + .gz)")
     generate.add_argument("--engine", choices=sorted(ENGINES), default="event",
                           help="simulation engine (default: event)")
     generate.add_argument("--workers", type=int, default=1,
@@ -82,7 +106,8 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--seed", type=int, default=0, help="base random seed")
     scenario.add_argument("--engine", choices=sorted(ENGINES), default="event",
                           help="simulation engine (default: event)")
-    scenario.add_argument("--output", type=Path, required=True, help="output JSON path")
+    scenario.add_argument("--output", type=Path, required=True,
+                          help="output path (.json, .jsonl, or either + .gz)")
 
     explain = subparsers.add_parser("explain", help="answer one or more PXQL queries")
     explain.add_argument("--log", type=Path, required=True, help="execution log JSON")
@@ -116,6 +141,35 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--plugin", action="append", default=[],
                           help="module (dotted name or .py path) to import "
                                "before dispatch; may register explainers")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived query service over HTTP",
+        description="Serve a catalog of execution logs as a JSON-over-HTTP "
+                    "query service.  Logs are loaded lazily on first query "
+                    "and each gets a shared session, so repeated traffic "
+                    "reuses record blocks, training matrices and whole "
+                    "explanations.  Endpoints: POST /v1/query, /v1/batch, "
+                    "/v1/evaluate; GET /v1/logs (catalog + cache stats), "
+                    "/v1/health.",
+    )
+    serve.add_argument("--log", action="append", required=True, metavar="NAME=PATH",
+                       help="register an execution log under NAME (repeatable; "
+                            "a bare PATH uses the file stem as the name); "
+                            "accepts .json, .jsonl and gzipped variants")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="TCP port; 0 picks a free one (default: 8000)")
+    serve.add_argument("--workers", type=int, default=DEFAULT_MAX_WORKERS,
+                       help=f"query-executor threads (default: {DEFAULT_MAX_WORKERS})")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for every per-log session (default: 0)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per handled HTTP request")
+    serve.add_argument("--plugin", action="append", default=[],
+                       help="module (dotted name or .py path) to import "
+                            "before serving; may register explainers")
     return parser
 
 
@@ -185,24 +239,43 @@ def _cmd_generate_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _single_log_service(path: Path) -> PerfXplainService:
+    """An in-process service fronting one log under the name ``default``.
+
+    ``explain`` and ``evaluate`` execute through this, so the CLI answers
+    queries via exactly the code path the HTTP endpoint uses.  Loading is
+    eager here: a missing or malformed log file should fail before any
+    query work starts.
+    """
+    catalog = LogCatalog()
+    catalog.register("default", ExecutionLog.load(path))
+    return PerfXplainService(catalog)
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     _load_plugins(args.plugin)
-    log = ExecutionLog.load(args.log)
     if args.query:
         texts = [path.read_text(encoding="utf-8") for path in args.query]
     else:
         texts = [sys.stdin.read()]
-    queries = [parse_query(text) for text in texts]
-
-    session = PerfXplainSession(log)
-    report = Report()
-    for query in queries:
-        resolved = session.resolve(query)
-        explanation = session.explain(
-            resolved, width=args.width, technique=args.technique,
-            auto_despite=args.auto_despite,
+    requests = [
+        QueryRequest(
+            log="default", query=text, width=args.width,
+            technique=args.technique, auto_despite=args.auto_despite,
         )
-        report.add(ReportEntry.for_query(resolved, explanation))
+        for text in texts
+    ]
+    report = Report()
+    with _single_log_service(args.log) as service:
+        # Sequential on purpose: every request targets the same log (whose
+        # traffic the service serialises anyway), and executing one at a
+        # time preserves the pre-service behaviour of aborting on the
+        # first failing query without paying for the rest.
+        for request in requests:
+            item = service.execute(request)
+            if isinstance(item, ErrorResponse):
+                raise ReproError(item.message)
+            report.add(item.entry)
 
     if args.format == "json":
         print(report.to_json(indent=2))
@@ -218,32 +291,75 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     _load_plugins(args.plugin)
-    log = ExecutionLog.load(args.log)
-    px = PerfXplain(log, seed=args.seed)
-    query = px.resolve(PAPER_QUERIES[args.query_name]())
-    print(f"Pair of interest: {query.first_id} vs {query.second_id}", file=sys.stderr)
-    if args.techniques:
-        techniques = [px.technique(name) for name in args.techniques]
-    else:
-        techniques = list(px.techniques().values())
-    sweep = evaluate_precision_vs_width(
-        log, query, techniques, widths=tuple(args.widths),
-        repetitions=args.repetitions, seed=args.seed,
+    request = EvaluateRequest(
+        log="default",
+        query=str(PAPER_QUERIES[args.query_name]()),
+        widths=tuple(args.widths),
+        repetitions=args.repetitions,
+        seed=args.seed,
+        techniques=tuple(args.techniques) if args.techniques else None,
     )
+    with _single_log_service(args.log) as service:
+        response = service.execute(request)
+    if isinstance(response, ErrorResponse):
+        raise ReproError(response.message)
+    print(f"Pair of interest: {response.first_id} vs {response.second_id}",
+          file=sys.stderr)
     if args.format == "json":
-        print(json.dumps(
-            {
-                "query": str(query),
-                "pair": [query.first_id, query.second_id],
-                "results": sweep_to_dict(sweep),
-            },
-            indent=2, sort_keys=True,
-        ))
+        print(json.dumps(response.to_dict(), indent=2, sort_keys=True))
     else:
         print("Precision on the held-out log:")
-        print(sweep.format_table("precision"))
+        print(summary_table(response.results, "precision"))
         print("\nGenerality on the held-out log:")
-        print(sweep.format_table("generality"))
+        print(summary_table(response.results, "generality"))
+    return 0
+
+
+def _parse_log_specs(specs: list[str]) -> list[tuple[str, Path]]:
+    """``NAME=PATH`` (or bare ``PATH``) serve arguments -> (name, path)."""
+    entries: list[tuple[str, Path]] = []
+    for spec in specs:
+        name, separator, path_text = spec.partition("=")
+        if separator:
+            name = name.strip()
+            if not name or not path_text:
+                raise ReproError(
+                    f"invalid --log {spec!r}: expected NAME=PATH with both parts"
+                )
+            entries.append((name, Path(path_text)))
+        else:
+            path = Path(spec)
+            name = path.name
+            for suffix in LOG_SUFFIXES:
+                if name.lower().endswith(suffix):
+                    name = name[: -len(suffix)]
+                    break
+            if not name:
+                raise ReproError(f"cannot derive a log name from {spec!r}")
+            entries.append((name, path))
+    return entries
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    _load_plugins(args.plugin)
+    catalog = LogCatalog(seed=args.seed)
+    for name, path in _parse_log_specs(args.log):
+        catalog.register_path(name, path)
+    service = PerfXplainService(catalog, max_workers=args.workers)
+    server = PerfXplainHTTPServer(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    names = ", ".join(catalog.names())
+    print(f"Serving {len(catalog)} log(s) [{names}] on {server.url}", file=sys.stderr)
+    print("Endpoints: POST /v1/query /v1/batch /v1/evaluate; "
+          "GET /v1/logs /v1/health", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+        service.close()
     return 0
 
 
@@ -256,6 +372,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate-scenario": _cmd_generate_scenario,
         "explain": _cmd_explain,
         "evaluate": _cmd_evaluate,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -31,7 +31,9 @@ training-example construction across calls, and offers
 from __future__ import annotations
 
 import random
+import time
 
+from repro.core.cache import CacheStats, LRUCache
 from repro.core.examples import (
     TrainingExample,
     TrainingMatrix,
@@ -56,6 +58,13 @@ from repro.core.report import Report, ReportEntry
 from repro.exceptions import ExplanationError, ReproError
 from repro.logs.records import FeatureValue
 from repro.logs.store import ExecutionLog
+
+#: Default bound on each session cache (entries, not bytes).  Generous —
+#: a service answering a realistic query mix rarely sees this many distinct
+#: clause signatures or pairs — but finite, so a long-lived session cannot
+#: grow without limit.  Pass ``cache_capacity=None`` for the old unbounded
+#: behaviour.
+DEFAULT_CACHE_CAPACITY = 1024
 
 
 class PerfXplain:
@@ -227,7 +236,11 @@ class PerfXplainSession(PerfXplain):
 
     All caching is deterministic: the session derives every random
     generator from its seed, so a session answers a fixed query list
-    identically across runs.
+    identically across runs.  Each cache is a bounded
+    :class:`~repro.core.cache.LRUCache` (``cache_capacity`` entries,
+    ``None`` = unlimited); eviction only ever costs recomputation, never
+    correctness, and :meth:`cache_stats` reports the running
+    hit/miss/eviction counters per cache.
     """
 
     def __init__(
@@ -235,12 +248,13 @@ class PerfXplainSession(PerfXplain):
         log: ExecutionLog,
         config: PerfXplainConfig | None = None,
         seed: int = 0,
+        cache_capacity: int | None = DEFAULT_CACHE_CAPACITY,
     ) -> None:
         super().__init__(log, config=config, seed=seed)
-        self._matrix_cache: dict[tuple, TrainingMatrix] = {}
-        self._pair_cache: dict[tuple, tuple[str, str]] = {}
-        self._pair_feature_cache: dict[tuple, dict[str, FeatureValue]] = {}
-        self._explanation_cache: dict[tuple, Explanation] = {}
+        self._matrix_cache = LRUCache(cache_capacity)
+        self._pair_cache = LRUCache(cache_capacity)
+        self._pair_feature_cache = LRUCache(cache_capacity)
+        self._explanation_cache = LRUCache(cache_capacity)
 
     # ------------------------------------------------------------------ #
     # batch answering
@@ -275,12 +289,14 @@ class PerfXplainSession(PerfXplain):
             technique.lower(),
             auto_despite,
         )
-        if key not in self._explanation_cache:
-            self._explanation_cache[key] = super().explain(
+        explanation = self._explanation_cache.get(key)
+        if explanation is None:
+            explanation = super().explain(
                 resolved, width=width, technique=technique,
                 auto_despite=auto_despite,
             )
-        return self._explanation_cache[key]
+            self._explanation_cache.put(key, explanation)
+        return explanation
 
     def explain_batch(
         self,
@@ -301,13 +317,17 @@ class PerfXplainSession(PerfXplain):
         """
         report = Report()
         for query in queries:
+            start = time.perf_counter()
             try:
                 resolved = self.resolve(query)
                 explanation = self.explain(
                     resolved, width=width, technique=technique,
                     auto_despite=auto_despite,
                 )
-                report.add(ReportEntry.for_query(resolved, explanation))
+                elapsed_ms = (time.perf_counter() - start) * 1000.0
+                report.add(
+                    ReportEntry.for_query(resolved, explanation, elapsed_ms=elapsed_ms)
+                )
             except ReproError as error:
                 if not collect_errors:
                     raise
@@ -346,8 +366,9 @@ class PerfXplainSession(PerfXplain):
         """
         resolved = self.resolve(query)
         key = self._clause_signature(resolved)
-        if key not in self._matrix_cache:
-            self._matrix_cache[key] = construct_training_matrix(
+        matrix = self._matrix_cache.get(key)
+        if matrix is None:
+            matrix = construct_training_matrix(
                 self.log,
                 resolved,
                 self.schema_for(resolved),
@@ -356,23 +377,37 @@ class PerfXplainSession(PerfXplain):
                 rng=random.Random(self._seed),
                 feature_level=self.config.feature_level,
             )
-        return self._matrix_cache[key]
+            self._matrix_cache.put(key, matrix)
+        return matrix
 
     def find_pair(self, query: str | PXQLQuery) -> tuple[str, str]:
         """Pick a pair of executions for a query (cached per clause signature)."""
         query = query if isinstance(query, PXQLQuery) else self.parse(query)
         key = self._clause_signature(query)
-        if key not in self._pair_cache:
-            self._pair_cache[key] = super().find_pair(query)
-        return self._pair_cache[key]
+        pair = self._pair_cache.get(key)
+        if pair is None:
+            pair = super().find_pair(query)
+            self._pair_cache.put(key, pair)
+        return pair
 
     def pair_features(self, query: str | PXQLQuery) -> dict[str, FeatureValue]:
         """The pair-feature vector of a query's pair (cached per pair)."""
         resolved = self.resolve(query)
         key = (resolved.entity.value, resolved.first_id, resolved.second_id)
-        if key not in self._pair_feature_cache:
-            self._pair_feature_cache[key] = super().pair_features(resolved)
-        return self._pair_feature_cache[key]
+        features = self._pair_feature_cache.get(key)
+        if features is None:
+            features = super().pair_features(resolved)
+            self._pair_feature_cache.put(key, features)
+        return features
+
+    def cache_stats(self) -> dict[str, CacheStats]:
+        """Hit/miss/eviction counters for every session cache, by name."""
+        return {
+            "explanations": self._explanation_cache.stats(),
+            "matrices": self._matrix_cache.stats(),
+            "pairs": self._pair_cache.stats(),
+            "pair_features": self._pair_feature_cache.stats(),
+        }
 
     def _examples_for(self, query: BoundQuery) -> "list[TrainingExample] | TrainingMatrix | None":
         return self.training_matrix(query)

@@ -172,9 +172,12 @@ class PXQLQuery:
         return issues
 
     def __str__(self) -> str:
-        first = self.first_id if self.first_id is not None else "?"
-        second = self.second_id if self.second_id is not None else "?"
-        lines = [f"FOR {self.entity.value.upper()}S '{first}', '{second}'"]
+        # Unbound slots render as bare ?: quoting them would turn the
+        # placeholder into a literal identifier on re-parse, so the text
+        # form would silently stop being re-parseable.
+        first = f"'{self.first_id}'" if self.first_id is not None else "?"
+        second = f"'{self.second_id}'" if self.second_id is not None else "?"
+        lines = [f"FOR {self.entity.value.upper()}S {first}, {second}"]
         if not self.despite.is_true:
             lines.append(f"DESPITE {self.despite}")
         lines.append(f"OBSERVED {self.observed}")

@@ -29,6 +29,12 @@ class ReportEntry:
     :param explanation: the generated explanation.
     :param error: set (instead of ``explanation``) when a query failed and
         the caller asked for failures to be collected rather than raised.
+    :param technique: name of the technique that produced the explanation
+        (self-describing JSON: consumers need not parse the explanation).
+    :param width: the generated explanation's width (atom count).
+    :param elapsed_ms: wall-clock milliseconds spent answering the query,
+        as measured by whichever layer produced the entry (session batch,
+        service executor, CLI).
     """
 
     query: str
@@ -36,18 +42,33 @@ class ReportEntry:
     second_id: str | None = None
     explanation: Explanation | None = None
     error: str | None = None
+    technique: str | None = None
+    width: int | None = None
+    elapsed_ms: float | None = None
 
     @classmethod
     def for_query(
-        cls, query: PXQLQuery, explanation: Explanation | None, error: str | None = None
+        cls,
+        query: PXQLQuery,
+        explanation: Explanation | None,
+        error: str | None = None,
+        elapsed_ms: float | None = None,
     ) -> "ReportEntry":
-        """Build an entry from a resolved query object."""
+        """Build an entry from a resolved query object.
+
+        ``technique`` and ``width`` are read off the explanation itself, so
+        the entry always describes what was actually generated rather than
+        what was requested.
+        """
         return cls(
             query=str(query),
             first_id=query.first_id,
             second_id=query.second_id,
             explanation=explanation,
             error=error,
+            technique=explanation.technique if explanation is not None else None,
+            width=explanation.width if explanation is not None else None,
+            elapsed_ms=elapsed_ms,
         )
 
     @property
@@ -64,21 +85,54 @@ class ReportEntry:
                 self.explanation.to_dict() if self.explanation is not None else None
             ),
             "error": self.error,
+            # Self-describing even for hand-built entries: fall back to the
+            # explanation's own technique/width when the fields are unset.
+            "technique": (
+                self.technique
+                if self.technique is not None
+                else (self.explanation.technique if self.explanation else None)
+            ),
+            "width": (
+                self.width
+                if self.width is not None
+                else (self.explanation.width if self.explanation else None)
+            ),
+            "elapsed_ms": self.elapsed_ms,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ReportEntry":
-        """Rebuild an entry from its :meth:`to_dict` form."""
+        """Rebuild an entry from its :meth:`to_dict` form.
+
+        Payloads written before the self-describing fields existed (no
+        ``technique``/``width``/``elapsed_ms`` keys) still parse; when an
+        old payload carries an explanation, ``technique`` and ``width``
+        are recovered from it.
+        """
         pair = data.get("pair") or [None, None]
-        explanation = data.get("explanation")
+        explanation_data = data.get("explanation")
+        explanation = (
+            Explanation.from_dict(explanation_data)
+            if explanation_data is not None
+            else None
+        )
+        technique = data.get("technique")
+        width = data.get("width")
+        if explanation is not None:
+            if technique is None:
+                technique = explanation.technique
+            if width is None:
+                width = explanation.width
+        elapsed_ms = data.get("elapsed_ms")
         return cls(
             query=data["query"],
             first_id=pair[0],
             second_id=pair[1],
-            explanation=(
-                Explanation.from_dict(explanation) if explanation is not None else None
-            ),
+            explanation=explanation,
             error=data.get("error"),
+            technique=technique,
+            width=width,
+            elapsed_ms=float(elapsed_ms) if elapsed_ms is not None else None,
         )
 
 

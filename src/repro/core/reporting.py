@@ -55,6 +55,35 @@ def save_sweep_json(sweep: SweepResult, path: str | Path) -> Path:
     return target
 
 
+def summary_table(
+    results: Mapping[str, Mapping[str, Mapping[str, float]]],
+    metric: str = "precision",
+) -> str:
+    """A plain-text table rendered from the :func:`sweep_to_dict` form.
+
+    The service layer ships evaluation results over the wire in exactly
+    this form (:class:`repro.service.protocol.EvaluateResponse`), so the
+    CLI prints the same tables whether a sweep ran in-process or arrived
+    from a remote service.  One row per width, one column per technique.
+    """
+    techniques = sorted(results)
+    widths = sorted({int(w) for by_width in results.values() for w in by_width})
+    header = "width".ljust(8) + "".join(name.ljust(22) for name in techniques)
+    lines = [header]
+    for width in widths:
+        cells = [str(width).ljust(8)]
+        for name in techniques:
+            entry = results[name].get(str(width))
+            if entry is None:
+                cells.append("-".ljust(22))
+            else:
+                mean = entry[f"{metric}_mean"]
+                std = entry[f"{metric}_std"]
+                cells.append(f"{mean:.3f} +/- {std:.3f}".ljust(22))
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
 def sweep_to_csv(sweep: SweepResult) -> str:
     """CSV text with one row per (technique, width)."""
     buffer = io.StringIO()

@@ -63,3 +63,30 @@ class ExplanationError(ReproError):
 
 class EvaluationError(ReproError):
     """The evaluation harness was asked to do something impossible."""
+
+
+class ServiceError(ReproError):
+    """Base class for service-layer failures (:mod:`repro.service`).
+
+    Every service error carries a stable machine-readable ``code`` (one of
+    :class:`repro.service.protocol.ErrorCode`'s values) so it maps directly
+    onto a wire-level ``ErrorResponse``.
+    """
+
+    default_code = "internal_error"
+
+    def __init__(self, message: str, code: str | None = None):
+        self.code = code if code is not None else self.default_code
+        super().__init__(message)
+
+
+class ProtocolError(ServiceError):
+    """A service request or response violates the wire protocol."""
+
+    default_code = "invalid_request"
+
+
+class CatalogError(ServiceError):
+    """A log-catalog operation failed (unknown name, load failure, ...)."""
+
+    default_code = "unknown_log"

@@ -1,19 +1,34 @@
-"""Parser for the Hadoop job-history-style format emitted by the writer.
+"""Parsers for the log formats emitted by :mod:`repro.logs.writer`.
 
-The parser is deliberately forgiving about unknown record types and
-attributes (real job-history files carry many more event lines than we
-emit), but strict about malformed attribute syntax and missing mandatory
-fields, raising :class:`~repro.exceptions.LogFormatError` with the offending
-line number.
+Two formats are read here:
+
+* the Hadoop job-history-style text format
+  (:func:`parse_job_history`) — deliberately forgiving about unknown
+  record types and attributes (real job-history files carry many more
+  event lines than we emit), but strict about malformed attribute syntax
+  and missing mandatory fields;
+* the JSONL execution-log format (:func:`read_records_jsonl`) — one JSON
+  record per line, transparently gzip-decompressed for ``.jsonl.gz``
+  paths.
+
+Both raise :class:`~repro.exceptions.LogFormatError` with the offending
+line number on malformed input.
 """
 
 from __future__ import annotations
 
+import json
 import re
 from pathlib import Path
 
 from repro.exceptions import LogFormatError
-from repro.logs.records import FeatureValue, JobRecord, TaskRecord
+from repro.logs.records import (
+    FeatureValue,
+    JobRecord,
+    TaskRecord,
+    record_from_dict,
+)
+from repro.logs.writer import JSONL_FORMAT, JSONL_VERSION, open_log_text
 
 _ATTRIBUTE_RE = re.compile(r'([A-Z_]+)="((?:[^"\\]|\\.)*)"')
 _LINE_RE = re.compile(r"^([A-Za-z]+)\s+(.*?)\s*\.?\s*$")
@@ -139,3 +154,62 @@ def parse_job_history_text(text: str) -> tuple[JobRecord, list[TaskRecord]]:
 def parse_job_history(path: str | Path) -> tuple[JobRecord, list[TaskRecord]]:
     """Parse a job-history file from disk."""
     return parse_job_history_text(Path(path).read_text(encoding="utf-8"))
+
+
+def _jsonl_record(payload: object, line_number: int) -> JobRecord | TaskRecord | None:
+    """One parsed JSONL line -> a record, or ``None`` for the meta header."""
+    if not isinstance(payload, dict):
+        raise LogFormatError(
+            f"line {line_number}: expected a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    if payload.get("kind") == "meta":
+        log_format = payload.get("format", JSONL_FORMAT)
+        if log_format != JSONL_FORMAT:
+            raise LogFormatError(
+                f"line {line_number}: unknown JSONL log format {log_format!r}"
+            )
+        version = payload.get("version", JSONL_VERSION)
+        if version != JSONL_VERSION:
+            raise LogFormatError(
+                f"line {line_number}: unsupported JSONL log version {version!r}"
+            )
+        return None
+    try:
+        return record_from_dict(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise LogFormatError(f"line {line_number}: invalid record: {exc}") from exc
+
+
+def read_records_jsonl(path: str | Path) -> tuple[list[JobRecord], list[TaskRecord]]:
+    """Read a JSONL execution log (plain or ``.gz``) into record lists.
+
+    The inverse of :func:`repro.logs.writer.write_records_jsonl`.  Blank
+    lines are skipped and the ``meta`` header is optional, so plain
+    record-per-line files parse too.
+    """
+    jobs: list[JobRecord] = []
+    tasks: list[TaskRecord] = []
+    try:
+        with open_log_text(path, "r") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    payload = json.loads(stripped)
+                except json.JSONDecodeError as exc:
+                    raise LogFormatError(
+                        f"line {line_number}: invalid JSON: {exc}"
+                    ) from exc
+                record = _jsonl_record(payload, line_number)
+                if isinstance(record, JobRecord):
+                    jobs.append(record)
+                elif isinstance(record, TaskRecord):
+                    tasks.append(record)
+    except FileNotFoundError:
+        raise
+    except (OSError, EOFError) as exc:
+        # gzip.BadGzipFile (truncated or mislabeled .gz files) is an OSError.
+        raise LogFormatError(f"cannot read JSONL log {path}: {exc}") from exc
+    return jobs, tasks

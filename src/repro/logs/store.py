@@ -576,11 +576,46 @@ class ExecutionLog:
             log.tasks.append(record)
         return log
 
+    @staticmethod
+    def _is_jsonl(path: Path) -> bool:
+        name = path.name.lower()
+        return name.endswith(".jsonl") or name.endswith(".jsonl.gz")
+
     def save(self, path: str | Path) -> None:
-        """Write the log to a JSON file."""
-        Path(path).write_text(self.to_json(), encoding="utf-8")
+        """Write the log to disk; the file suffix selects the format.
+
+        ``.jsonl`` / ``.jsonl.gz`` paths get the streaming one-record-per-
+        line format (:func:`repro.logs.writer.write_records_jsonl`); any
+        other path gets the pretty-printed JSON document of
+        :meth:`to_json`.  Either way a trailing ``.gz`` transparently
+        gzip-compresses the output — production logs are large.
+        """
+        from repro.logs.writer import open_log_text, write_records_jsonl
+
+        target = Path(path)
+        if self._is_jsonl(target):
+            write_records_jsonl(target, self.jobs, self.tasks)
+            return
+        with open_log_text(target, "w") as handle:
+            handle.write(self.to_json())
 
     @classmethod
     def load(cls, path: str | Path) -> "ExecutionLog":
-        """Read a log from a JSON file."""
-        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+        """Read a log from disk; accepts every format :meth:`save` writes."""
+        from repro.logs.parser import read_records_jsonl
+        from repro.logs.writer import open_log_text
+
+        source = Path(path)
+        if cls._is_jsonl(source):
+            jobs, tasks = read_records_jsonl(source)
+            log = cls()
+            log.extend(jobs=jobs, tasks=tasks)
+            return log
+        try:
+            with open_log_text(source, "r") as handle:
+                text = handle.read()
+        except (OSError, EOFError) as exc:
+            if not source.exists():
+                raise
+            raise LogFormatError(f"cannot read execution log {source}: {exc}") from exc
+        return cls.from_json(text)

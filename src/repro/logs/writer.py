@@ -11,16 +11,89 @@ path, as it would against real Hadoop logs:
 * one ``JobConf`` line per configuration property,
 * one ``Feature`` line per job-level raw feature,
 * a ``Task`` line plus ``Feature`` lines per task.
+
+The module also owns the **JSONL execution-log format** used for large
+production logs: one JSON object per line (a ``meta`` header followed by
+every job and task record), streamable, and transparently gzip-compressed
+when the path ends in ``.gz`` (:func:`open_log_text` is the shared
+suffix-dispatching opener; :func:`write_records_jsonl` the writer; the
+matching reader lives in :func:`repro.logs.parser.read_records_jsonl`).
+:meth:`repro.logs.store.ExecutionLog.save` picks the format from the file
+suffix, so ``log.save("big.jsonl.gz")`` just works.
 """
 
 from __future__ import annotations
 
+import gzip
+import json
 from pathlib import Path
-from typing import Iterable
+from typing import IO, Iterable, Iterator
 
-from repro.logs.records import FeatureValue, JobRecord, TaskRecord
+from repro.logs.records import FeatureValue, JobRecord, TaskRecord, record_to_dict
 
 FORMAT_VERSION = "1"
+
+#: Format tag stamped into the first line of a JSONL execution log.
+JSONL_FORMAT = "perfxplain-log"
+#: Version of the JSONL record layout.
+JSONL_VERSION = 1
+
+#: Every file suffix the execution-log persistence layer understands,
+#: longest first.  The single source of truth for suffix knowledge: keep
+#: in sync with :meth:`repro.logs.store.ExecutionLog.save` dispatch when
+#: adding a format.  Callers (e.g. the CLI deriving catalog names from
+#: bare paths) strip these rather than re-encoding the list.
+LOG_SUFFIXES = (".jsonl.gz", ".json.gz", ".jsonl", ".json")
+
+
+def open_log_text(path: str | Path, mode: str) -> IO[str]:
+    """Open a log file for text I/O, transparently gzipped for ``.gz`` paths.
+
+    :param mode: ``"r"`` or ``"w"`` (text mode is implied).
+    """
+    target = Path(path)
+    if target.suffix == ".gz":
+        return gzip.open(target, mode + "t", encoding="utf-8")
+    return open(target, mode, encoding="utf-8")
+
+
+def iter_jsonl_lines(
+    jobs: Iterable[JobRecord], tasks: Iterable[TaskRecord] = ()
+) -> Iterator[str]:
+    """The lines of a JSONL execution log (without trailing newlines).
+
+    The first line is a ``meta`` header carrying the format tag and
+    version; every following line is one record in its
+    :func:`~repro.logs.records.record_to_dict` form.
+    """
+    yield json.dumps(
+        {"kind": "meta", "format": JSONL_FORMAT, "version": JSONL_VERSION},
+        sort_keys=True,
+    )
+    for job in jobs:
+        yield json.dumps(record_to_dict(job), sort_keys=True)
+    for task in tasks:
+        yield json.dumps(record_to_dict(task), sort_keys=True)
+
+
+def write_records_jsonl(
+    path: str | Path,
+    jobs: Iterable[JobRecord],
+    tasks: Iterable[TaskRecord] = (),
+) -> Path:
+    """Write job/task records as a JSONL execution log; returns the path.
+
+    Gzip compression is applied automatically when the path ends in
+    ``.gz`` (so ``log.jsonl.gz`` round-trips through
+    :func:`repro.logs.parser.read_records_jsonl` unchanged).
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open_log_text(target, "w") as handle:
+        for line in iter_jsonl_lines(jobs, tasks):
+            handle.write(line)
+            handle.write("\n")
+    return target
 
 
 def _escape(value: str) -> str:

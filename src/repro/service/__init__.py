@@ -1,0 +1,84 @@
+"""The PerfXplain service layer: catalog, protocol, executor, HTTP.
+
+This package turns the library into what the paper describes — a
+long-running debugging *service* users query interactively — and what the
+roadmap asks for: one process serving heavy query traffic over a corpus of
+past executions.
+
+The layers, bottom to top:
+
+* :mod:`repro.service.catalog` — :class:`LogCatalog`: named execution
+  logs (in-memory or lazily loaded from disk, ``.jsonl.gz`` included),
+  one shared :class:`~repro.core.api.PerfXplainSession` per log;
+* :mod:`repro.service.protocol` — the versioned request/response wire
+  protocol (``to_dict``/``from_dict``/JSON round-trip, stable error
+  codes, protocol-version validation on every request);
+* :mod:`repro.service.service` — :class:`PerfXplainService`: concurrent
+  execution on a thread pool with per-log locking (responses bit-identical
+  to direct synchronous session calls) and in-flight deduplication of
+  identical queries;
+* :mod:`repro.service.http` — a stdlib ``http.server`` JSON endpoint
+  (:class:`PerfXplainHTTPServer`) and the matching
+  :class:`ServiceClient`, also available from the command line as
+  ``repro-perfxplain serve``.
+
+.. code-block:: python
+
+    from repro.service import LogCatalog, PerfXplainService, QueryRequest
+
+    catalog = LogCatalog()
+    catalog.register_path("prod", "logs/prod.jsonl.gz")
+    with PerfXplainService(catalog) as service:
+        response = service.execute(QueryRequest(log="prod", query=pxql))
+        print(response.entry.explanation.format())
+"""
+
+from repro.service.catalog import LogCatalog
+from repro.service.http import PerfXplainHTTPServer, ServiceClient
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOL_VERSIONS,
+    BatchRequest,
+    BatchResponse,
+    ErrorCode,
+    ErrorResponse,
+    EvaluateRequest,
+    EvaluateResponse,
+    QueryRequest,
+    QueryResponse,
+    ServiceRequest,
+    ServiceResponse,
+    check_protocol_version,
+    error_code_for,
+    parse_request,
+    parse_request_json,
+    parse_response,
+    parse_response_json,
+)
+from repro.service.service import DEFAULT_MAX_WORKERS, PerfXplainService
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SUPPORTED_PROTOCOL_VERSIONS",
+    "DEFAULT_MAX_WORKERS",
+    "LogCatalog",
+    "PerfXplainService",
+    "PerfXplainHTTPServer",
+    "ServiceClient",
+    "QueryRequest",
+    "QueryResponse",
+    "BatchRequest",
+    "BatchResponse",
+    "EvaluateRequest",
+    "EvaluateResponse",
+    "ErrorResponse",
+    "ErrorCode",
+    "ServiceRequest",
+    "ServiceResponse",
+    "check_protocol_version",
+    "error_code_for",
+    "parse_request",
+    "parse_request_json",
+    "parse_response",
+    "parse_response_json",
+]

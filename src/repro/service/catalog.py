@@ -1,0 +1,221 @@
+"""A catalog of named execution logs with per-log session reuse.
+
+The paper frames PerfXplain as a debugging *service*: a long-lived process
+fronting a corpus of past executions that users query interactively.  The
+:class:`LogCatalog` is that corpus: execution logs are registered under
+names — either as in-memory :class:`~repro.logs.store.ExecutionLog`
+objects or as file paths loaded lazily on first query (any format
+:meth:`~repro.logs.store.ExecutionLog.load` accepts, including ``.jsonl``
+and ``.jsonl.gz``) — and every log gets exactly one long-lived
+:class:`~repro.core.api.PerfXplainSession`, so the expensive intermediates
+(record blocks, training matrices, whole explanations) are shared across
+all traffic to that log.
+
+The catalog is thread-safe: registration, lazy loading and session
+creation are serialised internally, and :meth:`LogCatalog.lock` hands out
+the per-log mutex the service holds while a session answers a query (the
+session caches themselves are not thread-safe by design — locking at the
+log level keeps them deterministic).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.core.api import DEFAULT_CACHE_CAPACITY, PerfXplainSession
+from repro.exceptions import CatalogError, ReproError
+from repro.logs.store import ExecutionLog
+from repro.service.protocol import ErrorCode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.explainer import PerfXplainConfig
+
+
+@dataclass
+class _CatalogEntry:
+    """One named log: its source, lazily-created state and its mutex."""
+
+    name: str
+    path: Path | None = None
+    log: ExecutionLog | None = None
+    session: PerfXplainSession | None = None
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class LogCatalog:
+    """Named execution logs, lazily loaded, one shared session per log.
+
+    :param config: explanation configuration applied to every session.
+    :param seed: seed every session is created with; fixing it is what
+        makes service responses bit-identical to direct session calls.
+    :param cache_capacity: per-session LRU cache bound
+        (:class:`~repro.core.api.PerfXplainSession`; ``None`` = unlimited).
+    """
+
+    def __init__(
+        self,
+        config: "PerfXplainConfig | None" = None,
+        seed: int = 0,
+        cache_capacity: int | None = DEFAULT_CACHE_CAPACITY,
+    ) -> None:
+        self._config = config
+        self._seed = seed
+        self._cache_capacity = cache_capacity
+        self._registry_lock = threading.Lock()
+        self._entries: dict[str, _CatalogEntry] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+
+    def register(self, name: str, log: ExecutionLog) -> None:
+        """Register an in-memory execution log under a name."""
+        entry = _CatalogEntry(name=self._check_name(name), log=log)
+        self._add(entry)
+
+    def register_path(self, name: str, path: str | Path) -> None:
+        """Register a log file to be loaded lazily on first query.
+
+        The file need not exist yet at registration time; a missing or
+        malformed file surfaces as a :class:`~repro.exceptions.CatalogError`
+        (code ``log_load_failed``) when the log is first needed.
+        """
+        entry = _CatalogEntry(name=self._check_name(name), path=Path(path))
+        self._add(entry)
+
+    def unregister(self, name: str) -> None:
+        """Drop a log (and its session) from the catalog."""
+        with self._registry_lock:
+            if name not in self._entries:
+                raise CatalogError(f"unknown log {name!r}")
+            del self._entries[name]
+
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not isinstance(name, str) or not name.strip():
+            raise CatalogError(
+                "log names must be non-empty strings",
+                code=ErrorCode.INVALID_REQUEST,
+            )
+        return name
+
+    def _add(self, entry: _CatalogEntry) -> None:
+        with self._registry_lock:
+            if entry.name in self._entries:
+                raise CatalogError(
+                    f"log {entry.name!r} is already registered",
+                    code=ErrorCode.INVALID_REQUEST,
+                )
+            self._entries[entry.name] = entry
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+
+    def names(self) -> tuple[str, ...]:
+        """Every registered log name, sorted."""
+        with self._registry_lock:
+            return tuple(sorted(self._entries))
+
+    def __contains__(self, name: str) -> bool:
+        with self._registry_lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._registry_lock:
+            return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def _entry(self, name: str) -> _CatalogEntry:
+        with self._registry_lock:
+            entry = self._entries.get(name)
+        if entry is None:
+            known = ", ".join(self.names()) or "(none)"
+            raise CatalogError(f"unknown log {name!r}; registered logs: {known}")
+        return entry
+
+    def is_loaded(self, name: str) -> bool:
+        """Whether a registered log has been materialised in memory yet."""
+        return self._entry(name).log is not None
+
+    def lock(self, name: str) -> threading.Lock:
+        """The per-log mutex serialising session access for one log."""
+        return self._entry(name).lock
+
+    def log(self, name: str) -> ExecutionLog:
+        """The execution log behind a name, loading it on first use."""
+        entry = self._entry(name)
+        if entry.log is None:
+            with entry.lock:
+                if entry.log is None:
+                    entry.log = self._load(entry)
+        return entry.log
+
+    def session(self, name: str) -> PerfXplainSession:
+        """The shared long-lived session for a log (created on first use)."""
+        entry = self._entry(name)
+        if entry.session is None:
+            log = self.log(name)
+            with entry.lock:
+                if entry.session is None:
+                    entry.session = PerfXplainSession(
+                        log,
+                        config=self._config,
+                        seed=self._seed,
+                        cache_capacity=self._cache_capacity,
+                    )
+        return entry.session
+
+    def _load(self, entry: _CatalogEntry) -> ExecutionLog:
+        assert entry.path is not None
+        try:
+            return ExecutionLog.load(entry.path)
+        except ReproError as exc:
+            raise CatalogError(
+                f"cannot load log {entry.name!r} from {entry.path}: {exc}",
+                code=ErrorCode.LOG_LOAD_FAILED,
+            ) from exc
+        except OSError as exc:
+            raise CatalogError(
+                f"cannot read log {entry.name!r} from {entry.path}: {exc}",
+                code=ErrorCode.LOG_LOAD_FAILED,
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> dict[str, dict[str, Any]]:
+        """A JSON-compatible snapshot of every log's state and cache stats.
+
+        Describing is passive: it never triggers a lazy load, so an
+        operator can inspect a catalog without paying for log parsing.
+        """
+        snapshot: dict[str, dict[str, Any]] = {}
+        for name in self.names():
+            try:
+                entry = self._entry(name)
+            except CatalogError:
+                # The log was unregistered between the snapshot and here.
+                continue
+            log, session = entry.log, entry.session
+            snapshot[name] = {
+                "path": str(entry.path) if entry.path is not None else None,
+                "loaded": log is not None,
+                "num_jobs": log.num_jobs if log is not None else None,
+                "num_tasks": log.num_tasks if log is not None else None,
+                "cache_stats": (
+                    {
+                        key: stats.to_dict()
+                        for key, stats in session.cache_stats().items()
+                    }
+                    if session is not None
+                    else None
+                ),
+            }
+        return snapshot

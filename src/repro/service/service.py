@@ -1,0 +1,265 @@
+"""The concurrent query service: the executor behind every entry point.
+
+:class:`PerfXplainService` turns a :class:`~repro.service.catalog.LogCatalog`
+into a long-running query-answering service.  Requests — the versioned
+dataclasses of :mod:`repro.service.protocol` — are executed on a thread
+pool, with two guarantees:
+
+* **Determinism.**  All traffic to one log is serialised on that log's
+  mutex, so its shared :class:`~repro.core.api.PerfXplainSession` sees a
+  strictly sequential access pattern and every response is bit-identical
+  to what a direct synchronous session call would return (the concurrency
+  tests and the service benchmark assert this).  Concurrency comes from
+  interleaving traffic *across* logs and from the protocol work around
+  the per-log critical sections.
+* **Deduplication.**  Identical in-flight queries (same log, query text
+  modulo whitespace, width, technique, flags) share one execution: the
+  second submitter gets the first one's future.  Combined with the
+  session's explanation memoisation, a burst of identical questions —
+  the common case for heavy query traffic — costs one computation.
+
+Failures never escape as exceptions: every error is folded into a wire
+:class:`~repro.service.protocol.ErrorResponse` with a stable code, so one
+code path serves programmatic callers, the CLI and the HTTP endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any
+
+from repro.core.api import PerfXplain
+from repro.core.evaluation import evaluate_precision_vs_width
+from repro.core.report import ReportEntry
+from repro.core.reporting import sweep_to_dict
+from repro.exceptions import ReproError
+from repro.service.catalog import LogCatalog
+from repro.service.protocol import (
+    BatchRequest,
+    BatchResponse,
+    ErrorCode,
+    ErrorResponse,
+    EvaluateRequest,
+    EvaluateResponse,
+    ProtocolError,
+    QueryRequest,
+    QueryResponse,
+    ServiceRequest,
+    ServiceResponse,
+    check_protocol_version,
+)
+
+#: Default worker-thread count for the request pool.
+DEFAULT_MAX_WORKERS = 4
+
+
+class PerfXplainService:
+    """Execute protocol requests concurrently against a log catalog.
+
+    :param catalog: the named logs (and their shared sessions) to serve.
+    :param max_workers: thread-pool size for query execution.
+    """
+
+    def __init__(
+        self, catalog: LogCatalog, max_workers: int = DEFAULT_MAX_WORKERS
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.catalog = catalog
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="perfxplain"
+        )
+        self._inflight_lock = threading.Lock()
+        self._inflight: dict[tuple, Future] = {}
+        self._executed = 0
+        self._deduplicated = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def execute(self, request: ServiceRequest) -> ServiceResponse:
+        """Execute any protocol request synchronously; never raises.
+
+        Query requests still flow through the pool (and its dedup map), so
+        a synchronous caller and a concurrent batch racing on the same
+        question share one execution.
+        """
+        if isinstance(request, QueryRequest):
+            return self.submit(request).result()
+        if isinstance(request, BatchRequest):
+            return self.execute_batch(request)
+        if isinstance(request, EvaluateRequest):
+            return self._execute_evaluate(request)
+        return ErrorResponse(
+            code=ErrorCode.INVALID_REQUEST,
+            message=f"unsupported request type {type(request).__name__}",
+        )
+
+    def submit(self, request: QueryRequest) -> "Future[ServiceResponse]":
+        """Schedule one query; identical in-flight queries share a future."""
+        try:
+            self._check_open()
+            check_protocol_version(request.protocol_version)
+        except ProtocolError as error:
+            return _completed(ErrorResponse.for_error(error))
+        key = request.canonical_key()
+        with self._inflight_lock:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self._deduplicated += 1
+                return existing
+            try:
+                future: "Future[ServiceResponse]" = self._pool.submit(
+                    self._run_query, key, request
+                )
+            except RuntimeError:
+                # close() raced this submission and shut the pool down.
+                return _completed(
+                    ErrorResponse(
+                        code=ErrorCode.INVALID_REQUEST,
+                        message="the service is closed",
+                    )
+                )
+            self._inflight[key] = future
+            return future
+
+    def execute_batch(self, batch: BatchRequest) -> BatchResponse | ErrorResponse:
+        """Execute a batch concurrently; responses come in request order."""
+        try:
+            self._check_open()
+            check_protocol_version(batch.protocol_version)
+        except ProtocolError as error:
+            return ErrorResponse.for_error(error)
+        futures = [self.submit(request) for request in batch.requests]
+        return BatchResponse(responses=tuple(future.result() for future in futures))
+
+    # ------------------------------------------------------------------ #
+    # request handlers
+    # ------------------------------------------------------------------ #
+
+    def _run_query(self, key: tuple, request: QueryRequest) -> ServiceResponse:
+        try:
+            return self._execute_query(request)
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+
+    def _execute_query(self, request: QueryRequest) -> ServiceResponse:
+        try:
+            session = self.catalog.session(request.log)
+            start = time.perf_counter()
+            # One query at a time per log: the shared session's caches are
+            # not thread-safe, and serialising here is exactly what makes
+            # concurrent responses bit-identical to sequential ones.
+            with self.catalog.lock(request.log):
+                resolved = session.resolve(request.query)
+                explanation = session.explain(
+                    resolved,
+                    width=request.width,
+                    technique=request.technique,
+                    auto_despite=request.auto_despite,
+                )
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            entry = ReportEntry.for_query(resolved, explanation, elapsed_ms=elapsed_ms)
+            response: ServiceResponse = QueryResponse(log=request.log, entry=entry)
+        except ReproError as error:
+            response = ErrorResponse.for_error(error)
+        except Exception as error:  # defensive: plugins may raise anything
+            response = ErrorResponse(
+                code=ErrorCode.INTERNAL_ERROR,
+                message=f"{type(error).__name__}: {error}",
+            )
+        with self._inflight_lock:
+            self._executed += 1
+        return response
+
+    def _execute_evaluate(self, request: EvaluateRequest) -> ServiceResponse:
+        try:
+            check_protocol_version(request.protocol_version)
+            log = self.catalog.log(request.log)
+            with self.catalog.lock(request.log):
+                # Evaluation builds its own facade: the sweep re-splits the
+                # log per repetition, which must not pollute (or race with)
+                # the shared query session's caches.
+                facade = PerfXplain(log, seed=request.seed)
+                query = facade.resolve(request.query)
+                if request.techniques:
+                    techniques = [
+                        facade.technique(name) for name in request.techniques
+                    ]
+                else:
+                    techniques = list(facade.techniques().values())
+                sweep = evaluate_precision_vs_width(
+                    log,
+                    query,
+                    techniques,
+                    widths=request.widths,
+                    repetitions=request.repetitions,
+                    seed=request.seed,
+                )
+            with self._inflight_lock:
+                self._executed += 1
+            assert query.first_id is not None and query.second_id is not None
+            return EvaluateResponse(
+                log=request.log,
+                query=str(query),
+                first_id=query.first_id,
+                second_id=query.second_id,
+                results=sweep_to_dict(sweep),
+            )
+        except ReproError as error:
+            return ErrorResponse.for_error(error)
+        except Exception as error:  # defensive: plugins may raise anything
+            return ErrorResponse(
+                code=ErrorCode.INTERNAL_ERROR,
+                message=f"{type(error).__name__}: {error}",
+            )
+
+    # ------------------------------------------------------------------ #
+    # introspection and lifecycle
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> dict[str, Any]:
+        """Service counters plus the per-log catalog snapshot.
+
+        ``executed`` counts requests that actually ran; ``deduplicated``
+        counts submissions that piggybacked on an identical in-flight
+        query; ``logs`` is :meth:`LogCatalog.describe`, whose per-log
+        ``cache_stats`` expose each session's hit/miss/eviction counters.
+        """
+        with self._inflight_lock:
+            executed, deduplicated = self._executed, self._deduplicated
+            in_flight = len(self._inflight)
+        return {
+            "executed": executed,
+            "deduplicated": deduplicated,
+            "in_flight": in_flight,
+            "logs": self.catalog.describe(),
+        }
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ProtocolError(
+                "the service is closed", code=ErrorCode.INVALID_REQUEST
+            )
+
+    def close(self) -> None:
+        """Stop accepting work and wait for in-flight queries to finish."""
+        self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "PerfXplainService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _completed(response: ServiceResponse) -> "Future[ServiceResponse]":
+    future: "Future[ServiceResponse]" = Future()
+    future.set_result(response)
+    return future

@@ -282,4 +282,107 @@ class TestSession:
     ):
         session = PerfXplainSession(small_log)
         session.explain(job_query, technique="constant")
-        assert session._matrix_cache == {}  # construction was deferred and skipped
+        assert len(session._matrix_cache) == 0  # construction deferred and skipped
+
+
+class TestSessionCacheBounds:
+    """The session's caches are bounded LRUs with observable counters."""
+
+    def test_cache_stats_names_every_cache(self, tiny_log):
+        session = PerfXplainSession(tiny_log)
+        stats = session.cache_stats()
+        assert set(stats) == {"explanations", "matrices", "pairs", "pair_features"}
+        assert all(s.size == 0 for s in stats.values())
+
+    def test_repeated_explain_hits_the_explanation_cache(self, tiny_log):
+        session = PerfXplainSession(tiny_log)
+        first = session.explain(JOB_QUERY_TEXT, width=2)
+        second = session.explain(JOB_QUERY_TEXT, width=2)
+        assert first is second
+        stats = session.cache_stats()
+        assert stats["explanations"].hits == 1
+        assert stats["explanations"].misses == 1
+
+    def test_capacity_none_is_unbounded(self, tiny_log):
+        session = PerfXplainSession(tiny_log, cache_capacity=None)
+        session.explain(JOB_QUERY_TEXT, width=2)
+        assert session.cache_stats()["explanations"].capacity is None
+
+    def test_eviction_only_costs_recomputation(self, tiny_log):
+        bounded = PerfXplainSession(tiny_log, cache_capacity=1)
+        reference = PerfXplainSession(tiny_log)
+        widths = [1, 2, 3]
+        first_round = [bounded.explain(JOB_QUERY_TEXT, width=w) for w in widths]
+        # Capacity 1 means earlier widths were evicted; re-asking recomputes
+        # the identical explanation (determinism is seed-derived, not cached).
+        second_round = [bounded.explain(JOB_QUERY_TEXT, width=w) for w in widths]
+        expected = [reference.explain(JOB_QUERY_TEXT, width=w) for w in widths]
+        for recomputed, once, oracle in zip(second_round, first_round, expected):
+            assert recomputed.to_dict() == once.to_dict() == oracle.to_dict()
+        assert bounded.cache_stats()["explanations"].evictions >= 2
+
+    def test_default_capacity_is_generous_but_finite(self, tiny_log):
+        from repro.core.api import DEFAULT_CACHE_CAPACITY
+
+        session = PerfXplainSession(tiny_log)
+        assert session.cache_stats()["explanations"].capacity == DEFAULT_CACHE_CAPACITY
+        assert DEFAULT_CACHE_CAPACITY >= 256
+
+
+class TestReportEntrySelfDescription:
+    """ReportEntry JSON carries technique/width/elapsed_ms (satellite)."""
+
+    def _explanation(self):
+        because = Predicate.of(Comparison("blocksize_compare", Operator.EQ, "GT"))
+        return Explanation(because=because, technique="PerfXplain")
+
+    def test_to_dict_carries_new_fields(self):
+        entry = ReportEntry(
+            query="FOR JOBS 'a', 'b'\nOBSERVED duration_compare = GT\n"
+                  "EXPECTED duration_compare = SIM",
+            first_id="a", second_id="b", explanation=self._explanation(),
+            technique="PerfXplain", width=1, elapsed_ms=12.5,
+        )
+        payload = entry.to_dict()
+        assert payload["technique"] == "PerfXplain"
+        assert payload["width"] == 1
+        assert payload["elapsed_ms"] == 12.5
+        rebuilt = ReportEntry.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+
+    def test_to_dict_derives_fields_from_explanation(self):
+        entry = ReportEntry(query="FOR JOBS ?, ?", explanation=self._explanation())
+        payload = entry.to_dict()
+        assert payload["technique"] == "PerfXplain"
+        assert payload["width"] == 1
+        assert payload["elapsed_ms"] is None
+
+    def test_from_dict_accepts_old_payloads(self):
+        # A pre-1.2 payload: no technique/width/elapsed_ms keys at all.
+        old = {
+            "query": "FOR JOBS 'a', 'b'\nOBSERVED duration_compare = GT\n"
+                     "EXPECTED duration_compare = SIM",
+            "pair": ["a", "b"],
+            "explanation": self._explanation().to_dict(),
+            "error": None,
+        }
+        entry = ReportEntry.from_dict(old)
+        assert entry.ok
+        assert entry.technique == "PerfXplain"  # recovered from the explanation
+        assert entry.width == 1
+        assert entry.elapsed_ms is None
+
+    def test_from_dict_accepts_old_error_payloads(self):
+        old = {"query": "FOR JOBS ?, ?", "error": "no such pair"}
+        entry = ReportEntry.from_dict(old)
+        assert not entry.ok
+        assert entry.technique is None and entry.width is None
+
+    def test_batch_entries_record_elapsed_time(self, tiny_log):
+        session = PerfXplainSession(tiny_log)
+        report = session.explain_batch([JOB_QUERY_TEXT], width=2)
+        entry = report[0]
+        assert entry.ok
+        assert entry.technique == "PerfXplain"
+        assert entry.width is not None and entry.width >= 1
+        assert entry.elapsed_ms is not None and entry.elapsed_ms > 0.0

@@ -1,0 +1,177 @@
+"""Round-trip tests for the JSONL (+ gzip) execution-log format."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.exceptions import LogFormatError
+from repro.logs.parser import read_records_jsonl
+from repro.logs.records import JobRecord, TaskRecord
+from repro.logs.store import ExecutionLog
+from repro.logs.writer import (
+    JSONL_FORMAT,
+    iter_jsonl_lines,
+    open_log_text,
+    write_records_jsonl,
+)
+
+
+def sample_records():
+    jobs = [
+        JobRecord(
+            job_id="job_1",
+            features={
+                "pig_script": "simple-filter.pig",
+                "numinstances": 8,
+                "reduce_tasks_factor": 1.5,
+                "speculative": False,
+                "dataset_name": 'excite "quoted" \n name',
+                "missing_metric": None,
+            },
+            duration=412.75,
+        ),
+        JobRecord(job_id="job_2", features={"numinstances": 2}, duration=7.0),
+    ]
+    tasks = [
+        TaskRecord(
+            task_id="task_1_m_0",
+            job_id="job_1",
+            features={"task_type": "MAP", "avg_cpu_user": 81.25, "sorttime": None},
+            duration=35.5,
+        ),
+    ]
+    return jobs, tasks
+
+
+@pytest.mark.parametrize("suffix", [".jsonl", ".jsonl.gz"])
+class TestRecordRoundTrip:
+    def test_records_survive_unchanged(self, tmp_path, suffix):
+        jobs, tasks = sample_records()
+        path = write_records_jsonl(tmp_path / f"log{suffix}", jobs, tasks)
+        jobs_back, tasks_back = read_records_jsonl(path)
+        assert jobs_back == jobs
+        assert tasks_back == tasks
+
+    def test_execution_log_save_load(self, tmp_path, suffix):
+        jobs, tasks = sample_records()
+        log = ExecutionLog()
+        log.extend(jobs=jobs, tasks=tasks)
+        path = tmp_path / f"log{suffix}"
+        log.save(path)
+        back = ExecutionLog.load(path)
+        assert back.to_json() == log.to_json()
+
+    def test_header_line_present(self, tmp_path, suffix):
+        jobs, tasks = sample_records()
+        path = write_records_jsonl(tmp_path / f"log{suffix}", jobs, tasks)
+        with open_log_text(path, "r") as handle:
+            header = json.loads(handle.readline())
+        assert header["kind"] == "meta"
+        assert header["format"] == JSONL_FORMAT
+
+
+class TestGzipTransparency:
+    def test_gz_output_is_actually_gzipped(self, tmp_path):
+        jobs, tasks = sample_records()
+        path = write_records_jsonl(tmp_path / "log.jsonl.gz", jobs, tasks)
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            assert json.loads(handle.readline())["kind"] == "meta"
+
+    def test_gzipped_json_document_round_trips(self, tmp_path):
+        jobs, tasks = sample_records()
+        log = ExecutionLog()
+        log.extend(jobs=jobs, tasks=tasks)
+        path = tmp_path / "log.json.gz"
+        log.save(path)
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert len(payload["jobs"]) == 2
+        assert ExecutionLog.load(path).to_json() == log.to_json()
+
+    def test_gz_is_smaller_than_plain(self, tmp_path):
+        log = ExecutionLog()
+        jobs, tasks = sample_records()
+        log.extend(jobs=jobs * 1, tasks=tasks)
+        plain = tmp_path / "log.jsonl"
+        packed = tmp_path / "log.jsonl.gz"
+        # Repeat the features to give gzip something to chew on.
+        big = ExecutionLog()
+        big.extend(
+            jobs=[
+                JobRecord(job_id=f"job_{i}", features={"pig_script": "x.pig" * 10},
+                          duration=1.0)
+                for i in range(200)
+            ]
+        )
+        big.save(plain)
+        big.save(packed)
+        assert packed.stat().st_size < plain.stat().st_size
+
+    def test_truncated_gz_reports_format_error(self, tmp_path):
+        jobs, tasks = sample_records()
+        path = write_records_jsonl(tmp_path / "log.jsonl.gz", jobs, tasks)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(LogFormatError):
+            read_records_jsonl(path)
+
+    def test_not_actually_gzip_reports_format_error(self, tmp_path):
+        path = tmp_path / "log.jsonl.gz"
+        path.write_text("this is not gzip data", encoding="utf-8")
+        with pytest.raises(LogFormatError):
+            read_records_jsonl(path)
+
+
+class TestMalformedJsonl:
+    def test_invalid_json_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"kind": "meta"}\nnot json\n', encoding="utf-8")
+        with pytest.raises(LogFormatError, match="line 2"):
+            read_records_jsonl(path)
+
+    def test_unknown_record_kind_rejected(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"kind": "mystery"}\n', encoding="utf-8")
+        with pytest.raises(LogFormatError, match="line 1"):
+            read_records_jsonl(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text("[1, 2, 3]\n", encoding="utf-8")
+        with pytest.raises(LogFormatError, match="JSON object"):
+            read_records_jsonl(path)
+
+    def test_unknown_format_tag_rejected(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"kind": "meta", "format": "other-tool"}\n', encoding="utf-8")
+        with pytest.raises(LogFormatError, match="other-tool"):
+            read_records_jsonl(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"kind": "meta", "version": 99}\n', encoding="utf-8")
+        with pytest.raises(LogFormatError, match="99"):
+            read_records_jsonl(path)
+
+    def test_missing_header_is_fine(self, tmp_path):
+        jobs, tasks = sample_records()
+        path = tmp_path / "log.jsonl"
+        lines = list(iter_jsonl_lines(jobs, tasks))[1:]  # drop the header
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        jobs_back, tasks_back = read_records_jsonl(path)
+        assert jobs_back == jobs and tasks_back == tasks
+
+    def test_blank_lines_skipped(self, tmp_path):
+        jobs, tasks = sample_records()
+        path = tmp_path / "log.jsonl"
+        lines = list(iter_jsonl_lines(jobs, tasks))
+        path.write_text("\n\n".join(lines) + "\n", encoding="utf-8")
+        jobs_back, _tasks_back = read_records_jsonl(path)
+        assert jobs_back == jobs
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_records_jsonl(tmp_path / "absent.jsonl")
+        with pytest.raises(FileNotFoundError):
+            ExecutionLog.load(tmp_path / "absent.jsonl.gz")

@@ -1,0 +1,22 @@
+"""Shared fixtures for the service-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import LogCatalog, PerfXplainService
+
+
+@pytest.fixture()
+def catalog(tiny_log) -> LogCatalog:
+    """A fresh catalog holding the tiny log under the name ``tiny``."""
+    catalog = LogCatalog()
+    catalog.register("tiny", tiny_log)
+    return catalog
+
+
+@pytest.fixture()
+def service(catalog):
+    """A fresh service over the ``tiny`` catalog (closed after the test)."""
+    with PerfXplainService(catalog, max_workers=4) as service:
+        yield service

@@ -1,0 +1,85 @@
+"""Tests for the ``serve`` CLI subcommand wiring."""
+
+import pytest
+
+from repro.cli import _parse_log_specs, main
+from repro.service import ServiceClient
+from repro.service.http import PerfXplainHTTPServer
+
+WHY_SLOWER_LOOSE = """
+    FOR JOBS ?, ?
+    DESPITE pig_script_isSame = T
+    OBSERVED duration_compare = GT
+    EXPECTED duration_compare = SIM
+"""
+
+
+@pytest.fixture(scope="module")
+def log_path(tmp_path_factory, tiny_log):
+    path = tmp_path_factory.mktemp("serve") / "tiny.jsonl.gz"
+    tiny_log.save(path)
+    return path
+
+
+class TestLogSpecParsing:
+    def test_name_equals_path(self):
+        entries = _parse_log_specs(["prod=/data/prod.jsonl.gz"])
+        assert entries == [("prod", entries[0][1])]
+        assert str(entries[0][1]) == "/data/prod.jsonl.gz"
+
+    def test_bare_path_uses_stem(self):
+        entries = _parse_log_specs(["/data/prod.jsonl.gz", "x/staging.json"])
+        assert [name for name, _ in entries] == ["prod", "staging"]
+
+    @pytest.mark.parametrize("spec", ["=path.json", "name=", "  =x"])
+    def test_malformed_specs_rejected(self, spec):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            _parse_log_specs([spec])
+
+
+class TestServeCommand:
+    def test_serve_answers_queries_over_http(self, log_path, monkeypatch, capsys):
+        """End-to-end: `repro serve` wiring answers PXQL over HTTP."""
+        probe: dict = {}
+
+        def probing_serve_forever(self: PerfXplainHTTPServer) -> None:
+            # Stand-in for the blocking loop: serve on a background thread,
+            # issue real HTTP queries against it, then return (as if the
+            # operator hit Ctrl-C).
+            self.start()
+            client = ServiceClient(self.url)
+            probe["health"] = client.health()
+            probe["entry"] = client.explain("tiny", WHY_SLOWER_LOOSE, width=2)
+            probe["logs"] = client.logs()
+
+        monkeypatch.setattr(
+            PerfXplainHTTPServer, "serve_forever", probing_serve_forever
+        )
+        exit_code = main([
+            "serve", "--log", f"tiny={log_path}", "--port", "0", "--workers", "2",
+        ])
+        assert exit_code == 0
+        assert probe["health"]["status"] == "ok"
+        assert probe["entry"].ok and probe["entry"].technique == "PerfXplain"
+        assert probe["logs"]["logs"]["tiny"]["loaded"] is True
+        banner = capsys.readouterr().err
+        assert "Serving 1 log(s)" in banner
+        assert "/v1/query" in banner
+
+    def test_serve_duplicate_names_fail_cleanly(self, log_path, capsys):
+        exit_code = main([
+            "serve", "--log", f"a={log_path}", "--log", f"a={log_path}",
+            "--port", "0",
+        ])
+        assert exit_code == 1
+        assert "already registered" in capsys.readouterr().err
+
+    def test_serve_help_documents_endpoints(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        help_text = capsys.readouterr().out
+        assert "NAME=PATH" in help_text
+        assert "/v1/query" in help_text
