@@ -1,0 +1,154 @@
+"""Ingestion throughput: streaming real-log adapters must stay fast.
+
+The adapters in :mod:`repro.ingest` parse real Hadoop JobHistory and Spark
+event-log files line-at-a-time — no whole-file buffering — so ingesting a
+large history directory is bounded by JSON decoding, not by memory.  This
+benchmark synthesises a large Spark event log and a large JobHistory file
+in memory and asserts a floor on parsed events per second, so a future
+"one more pass over the payload" change cannot silently make ingestion
+quadratic or pathologically slow.
+
+Baseline numbers are recorded in CHANGES.md so later performance PRs have
+a trajectory to beat.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.ingest import parse_hadoop_jhist, parse_spark_eventlog
+
+#: Parsed events per second, floor.  Local runs comfortably exceed this;
+#: shared CI runners get slack for noisy neighbors.
+EVENTS_PER_SECOND_FLOOR = 4_000 if os.environ.get("CI") else 12_000
+
+#: Tasks per synthetic application/job — large enough that per-line work
+#: dominates fixed setup cost.
+TASKS = 4_000
+
+
+def _spark_lines(tasks: int) -> list[str]:
+    environment = {
+        "Event": "SparkListenerEnvironmentUpdate",
+        "Spark Properties": {"spark.executor.instances": "8"},
+    }
+    app_start = {
+        "Event": "SparkListenerApplicationStart",
+        "App Name": "bench",
+        "App ID": "app-bench-0001",
+        "Timestamp": 1_700_000_000_000,
+        "User": "bench",
+    }
+    lines = [
+        json.dumps({"Event": "SparkListenerLogStart", "Spark Version": "3.3.0"}),
+        json.dumps(environment),
+        json.dumps(app_start),
+    ]
+    for index in range(tasks):
+        event = {
+            "Event": "SparkListenerTaskEnd",
+            "Stage ID": index % 4,
+            "Task Type": "ShuffleMapTask" if index % 4 < 3 else "ResultTask",
+            "Task Info": {
+                "Task ID": index,
+                "Attempt": 0,
+                "Host": f"exec-{index % 16}",
+                "Launch Time": 1_700_000_000_000 + index,
+                "Finish Time": 1_700_000_010_000 + index * 2,
+                "Failed": False,
+                "Killed": False,
+            },
+            "Task Metrics": {
+                "Executor Run Time": 9_000 + index % 500,
+                "JVM GC Time": index % 100,
+                "Input Metrics": {
+                    "Bytes Read": 1_000_000 + index,
+                    "Records Read": 10_000 + index,
+                },
+                "Shuffle Write Metrics": {
+                    "Shuffle Bytes Written": 500_000,
+                    "Shuffle Records Written": 5_000,
+                },
+            },
+        }
+        lines.append(json.dumps(event))
+    end = {"Event": "SparkListenerApplicationEnd", "Timestamp": 1_700_000_100_000}
+    lines.append(json.dumps(end))
+    return lines
+
+
+def _jhist_lines(tasks: int) -> list[str]:
+    job_id = "job_1700000000000_0001"
+    submitted = {
+        "jobid": job_id,
+        "jobName": "bench.pig",
+        "userName": "bench",
+        "submitTime": 1_700_000_000_000,
+    }
+    inited = {
+        "jobid": job_id,
+        "launchTime": 1_700_000_001_000,
+        "totalMaps": tasks,
+        "totalReduces": 0,
+    }
+    lines = [
+        "Avro-Json",
+        json.dumps({"type": "record", "name": "Event"}),
+        json.dumps({"type": "JOB_SUBMITTED", "event": {"w": submitted}}),
+        json.dumps({"type": "JOB_INITED", "event": {"w": inited}}),
+    ]
+    for index in range(tasks):
+        task_id = f"task_1700000000000_0001_m_{index:06d}"
+        started = {
+            "taskid": task_id,
+            "taskType": "MAP",
+            "startTime": 1_700_000_002_000 + index,
+        }
+        count = {"name": "HDFS_BYTES_READ", "value": 1_000_000 + index}
+        group = {"name": "FileSystemCounter", "counts": [count]}
+        finished = {
+            "taskid": task_id,
+            "taskType": "MAP",
+            "finishTime": 1_700_000_012_000 + index * 2,
+            "counters": {"groups": [group]},
+        }
+        lines.append(json.dumps({"type": "TASK_STARTED", "event": {"w": started}}))
+        lines.append(json.dumps({"type": "TASK_FINISHED", "event": {"w": finished}}))
+    ended = {
+        "jobid": job_id,
+        "finishTime": 1_700_000_100_000,
+        "totalCounters": {"groups": []},
+    }
+    lines.append(json.dumps({"type": "JOB_FINISHED", "event": {"w": ended}}))
+    return lines
+
+
+class TestIngestThroughput:
+    def test_spark_adapter_meets_the_event_rate_floor(self):
+        lines = _spark_lines(TASKS)
+        started = time.perf_counter()
+        jobs, tasks, stats = parse_spark_eventlog(lines)
+        elapsed = time.perf_counter() - started
+        assert len(jobs) == 1 and len(tasks) == TASKS
+        assert stats.clean
+        rate = stats.events / elapsed
+        print(
+            f"\nspark ingest: {stats.events} events in {elapsed:.3f}s "
+            f"({rate:,.0f} events/s; floor {EVENTS_PER_SECOND_FLOOR:,})"
+        )
+        assert rate >= EVENTS_PER_SECOND_FLOOR
+
+    def test_hadoop_adapter_meets_the_event_rate_floor(self):
+        lines = _jhist_lines(TASKS)
+        started = time.perf_counter()
+        jobs, tasks, stats = parse_hadoop_jhist(lines)
+        elapsed = time.perf_counter() - started
+        assert len(jobs) == 1 and len(tasks) == TASKS
+        rate = stats.events / elapsed
+        print(
+            f"\njhist ingest: {stats.events} events in {elapsed:.3f}s "
+            f"({rate:,.0f} events/s; floor {EVENTS_PER_SECOND_FLOOR:,})"
+        )
+        assert rate >= EVENTS_PER_SECOND_FLOOR

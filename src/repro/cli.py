@@ -1,12 +1,24 @@
 """Command-line interface for the PerfXplain reproduction.
 
-Four subcommands cover the typical workflow:
+The subcommands cover the typical workflow:
 
 ``repro-perfxplain generate-log --grid small --output log.json``
     Simulate a workload grid and save the execution log.  The output
     suffix picks the format: ``.json`` (pretty document), ``.jsonl``
     (streaming, one record per line), and either with a trailing ``.gz``
     for transparent gzip compression.
+
+``repro-perfxplain ingest --input job.jhist --output log.jsonl``
+    Parse a *real* log — Hadoop JobHistory (``.jhist``) or a Spark event
+    log, sniffed automatically — into canonical job/task records and save
+    them as a native execution log.  ``--strict`` turns skipped lines,
+    unknown events and truncated entities into hard errors.
+
+``repro-perfxplain detect --log log.jsonl``
+    Run the deterministic rule-based detectors (data skew, stragglers,
+    misconfiguration, cluster underuse) over a log — native or real —
+    each answering its own PXQL query (or one given with ``--query``)
+    with threshold evidence attached to the explanation metrics.
 
 ``repro-perfxplain explain --log log.json --query query.pxql``
     Parse a PXQL query (from a file or stdin) and print the explanation,
@@ -48,13 +60,16 @@ import sys
 from pathlib import Path
 
 from repro.core.queries import PAPER_QUERIES
+from repro.core.registry import create_explainer
 from repro.core.report import Report
 from repro.core.reporting import summary_table
+from repro.detectors import DETECTOR_TECHNIQUES
 from repro.exceptions import ReproError
-from repro.logs.store import ExecutionLog
+from repro.ingest import HADOOP_JHIST, SPARK_EVENTLOG, ingest_path, load_execution_log
 from repro.logs.writer import LOG_SUFFIXES
 from repro.service import (
     DEFAULT_MAX_WORKERS,
+    ErrorCode,
     ErrorResponse,
     EvaluateRequest,
     LogCatalog,
@@ -108,6 +123,52 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="simulation engine (default: event)")
     scenario.add_argument("--output", type=Path, required=True,
                           help="output path (.json, .jsonl, or either + .gz)")
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="convert a real Hadoop/Spark log into a native execution log",
+        description="Parse a Hadoop JobHistory (.jhist) or Spark event-log "
+                    "file into canonical job/task records and save them as a "
+                    "native execution log.  The input format is sniffed from "
+                    "the file head unless --input-format pins it.  Ingestion "
+                    "statistics (lines, events, skipped lines, unknown "
+                    "events, truncated entities) are printed to stderr.",
+    )
+    ingest.add_argument("--input", type=Path, required=True,
+                        help="real log file (.jhist or Spark event log; "
+                             ".gz accepted)")
+    ingest.add_argument("--input-format", dest="input_format", default="auto",
+                        choices=["auto", HADOOP_JHIST, SPARK_EVENTLOG],
+                        help="source format (default: sniff from the file)")
+    ingest.add_argument("--output", type=Path, required=True,
+                        help="output path (.json, .jsonl, or either + .gz)")
+    ingest.add_argument("--strict", action="store_true",
+                        help="fail on malformed lines, unknown events or "
+                             "truncated entities instead of skipping them")
+
+    detect = subparsers.add_parser(
+        "detect",
+        help="run deterministic rule-based detectors over a log",
+        description="Run rule-based detectors (data skew, stragglers, "
+                    "misconfiguration, cluster underuse) over an execution "
+                    "log — native or real Hadoop/Spark, sniffed like "
+                    "ingest.  Each detector answers a PXQL query (its own "
+                    "default, or --query) through the same service layer "
+                    "as explain; a detector whose rules do not fire "
+                    "reports 'no evidence' and does not fail the run.",
+    )
+    detect.add_argument("--log", type=Path, required=True,
+                        help="execution log (native or real Hadoop/Spark)")
+    detect.add_argument("--detector", action="append", default=None,
+                        dest="detectors", choices=sorted(DETECTOR_TECHNIQUES),
+                        help="detector technique to run; repeatable "
+                             "(default: all detectors)")
+    detect.add_argument("--query", type=Path, default=None,
+                        help="file containing a PXQL query to pose to every "
+                             "detector (default: each detector's own query)")
+    detect.add_argument("--width", type=int, default=3, help="explanation width")
+    detect.add_argument("--format", choices=["text", "json"], default="text",
+                        help="output format (default: text)")
 
     explain = subparsers.add_parser("explain", help="answer one or more PXQL queries")
     explain.add_argument("--log", type=Path, required=True, help="execution log JSON")
@@ -242,14 +303,91 @@ def _cmd_generate_scenario(args: argparse.Namespace) -> int:
 def _single_log_service(path: Path) -> PerfXplainService:
     """An in-process service fronting one log under the name ``default``.
 
-    ``explain`` and ``evaluate`` execute through this, so the CLI answers
-    queries via exactly the code path the HTTP endpoint uses.  Loading is
-    eager here: a missing or malformed log file should fail before any
-    query work starts.
+    ``explain``, ``evaluate`` and ``detect`` execute through this, so the
+    CLI answers queries via exactly the code path the HTTP endpoint uses.
+    Loading is eager here — and format-sniffing, so real Hadoop JobHistory
+    and Spark event-log files work wherever native logs do — because a
+    missing or malformed log file should fail before any query work starts.
     """
+    log, _ = load_execution_log(path)
     catalog = LogCatalog()
-    catalog.register("default", ExecutionLog.load(path))
+    catalog.register("default", log)
     return PerfXplainService(catalog)
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    result = ingest_path(args.input, format=args.input_format, strict=args.strict)
+    stats = result.stats
+    print(f"Ingested {args.input} [{result.source_format}]: "
+          f"{stats.jobs} job(s), {stats.tasks} task(s) "
+          f"from {stats.lines} line(s) / {stats.events} event(s)",
+          file=sys.stderr)
+    if not stats.clean:
+        print(f"  skipped lines: {stats.skipped_lines}, "
+              f"unknown events: {stats.unknown_events}, "
+              f"truncated entities: {stats.truncated_entities}, "
+              f"missing counters: {stats.missing_counters}",
+              file=sys.stderr)
+    result.log.save(args.output)
+    print(f"Wrote {result.log.num_jobs} jobs and {result.log.num_tasks} tasks "
+          f"to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    detectors = tuple(args.detectors) if args.detectors else DETECTOR_TECHNIQUES
+    query_text = (
+        args.query.read_text(encoding="utf-8") if args.query is not None else None
+    )
+    report: list[dict] = []
+    with _single_log_service(args.log) as service:
+        for name in detectors:
+            text = query_text or create_explainer(name).default_query
+            request = QueryRequest(
+                log="default", query=text, width=args.width, technique=name,
+            )
+            item = service.execute(request)
+            if isinstance(item, ErrorResponse):
+                if item.code == ErrorCode.EXPLANATION_FAILED:
+                    # A detector whose rules do not fire is a result, not
+                    # a failure: report it and keep going.
+                    report.append({"detector": name, "fired": False,
+                                   "reason": item.message})
+                    continue
+                raise ReproError(item.message)
+            entry = item.entry
+            assert entry.explanation is not None
+            report.append({
+                "detector": name,
+                "fired": True,
+                "first_id": entry.first_id,
+                "second_id": entry.second_id,
+                "explanation": entry.explanation,
+            })
+
+    if args.format == "json":
+        serializable = [
+            {**item, "explanation": item["explanation"].to_dict()}
+            if item["fired"] else item
+            for item in report
+        ]
+        print(json.dumps(serializable, indent=2, sort_keys=True))
+        return 0
+    for item in report:
+        print(f"== {item['detector']} ==")
+        if not item["fired"]:
+            print(f"no evidence: {item['reason']}")
+            continue
+        if item["first_id"] and item["second_id"]:
+            print(f"Pair of interest: {item['first_id']} vs {item['second_id']}",
+                  file=sys.stderr)
+        explanation = item["explanation"]
+        print(explanation.format())
+        metrics = explanation.metrics
+        if metrics is not None and metrics.evidence:
+            for key, value in metrics.evidence:
+                print(f"  {key} = {value:g}")
+    return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -370,6 +508,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "generate-log": _cmd_generate_log,
         "generate-scenario": _cmd_generate_scenario,
+        "ingest": _cmd_ingest,
+        "detect": _cmd_detect,
         "explain": _cmd_explain,
         "evaluate": _cmd_evaluate,
         "serve": _cmd_serve,

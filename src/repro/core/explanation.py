@@ -29,34 +29,85 @@ from repro.logs.records import FeatureValue
 
 @dataclass(frozen=True)
 class ExplanationMetrics:
-    """Quality metrics of one explanation on one example set."""
+    """Quality metrics of one explanation on one example set.
+
+    ``evidence`` carries a technique's quantitative justification beyond
+    the three probability estimates — the deterministic detectors
+    (:mod:`repro.detectors`) record the threshold comparisons their rules
+    fired on (skew ratio, straggler factor, merge-pass counts, ...).  It
+    is stored as a sorted tuple of ``(name, value)`` pairs so the frozen
+    dataclass stays hashable; a mapping passed to the constructor is
+    normalised automatically.
+    """
 
     relevance: float
     precision: float
     generality: float
     support: int
+    evidence: tuple[tuple[str, float], ...] | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.evidence, Mapping):
+            object.__setattr__(
+                self,
+                "evidence",
+                tuple(sorted((str(k), float(v)) for k, v in self.evidence.items())),
+            )
+        elif self.evidence is not None:
+            object.__setattr__(
+                self,
+                "evidence",
+                tuple(sorted((str(k), float(v)) for k, v in self.evidence)),
+            )
 
     def as_dict(self) -> dict[str, float]:
         """Metrics as a plain all-float dictionary (handy for reports)."""
-        return {**self.to_dict(), "support": float(self.support)}
+        data = {
+            "relevance": self.relevance,
+            "precision": self.precision,
+            "generality": self.generality,
+            "support": float(self.support),
+        }
+        return data
 
-    def to_dict(self) -> dict[str, float | int]:
-        """A JSON-compatible form that round-trips via :meth:`from_dict`."""
-        return {
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible form that round-trips via :meth:`from_dict`.
+
+        ``evidence`` is emitted (as a plain dictionary) only when present,
+        so serialized metrics from evidence-free techniques are unchanged.
+        """
+        data: dict[str, Any] = {
             "relevance": self.relevance,
             "precision": self.precision,
             "generality": self.generality,
             "support": self.support,
         }
+        if self.evidence is not None:
+            data["evidence"] = dict(self.evidence)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExplanationMetrics":
         """Rebuild metrics from their :meth:`to_dict` form."""
+        evidence = data.get("evidence")
         return cls(
             relevance=float(data["relevance"]),
             precision=float(data["precision"]),
             generality=float(data["generality"]),
             support=int(data["support"]),
+            evidence=evidence if evidence is not None else None,
+        )
+
+    def with_evidence(
+        self, evidence: "Mapping[str, float] | tuple[tuple[str, float], ...]"
+    ) -> "ExplanationMetrics":
+        """A copy of the metrics carrying (replacing) threshold evidence."""
+        return ExplanationMetrics(
+            relevance=self.relevance,
+            precision=self.precision,
+            generality=self.generality,
+            support=self.support,
+            evidence=evidence,  # type: ignore[arg-type]
         )
 
 

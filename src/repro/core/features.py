@@ -49,14 +49,15 @@ DEFAULT_NOMINAL_OVERRIDES: frozenset[str] = frozenset(
     {"instance_index", "grid_repetition"}
 )
 
-#: Provenance stamps the workload runner writes into every record so that a
-#: log line can be replayed (``engine_seed``) and scored against ground
-#: truth (``scenario``/``scenario_variant``).  They label the data rather
-#: than describe the execution, so schema inference drops them entirely —
-#: an explanation must never cite the scenario label that generated its own
-#: ground truth.
+#: Provenance stamps written into every record: the workload runner's
+#: replay/ground-truth labels (``engine_seed``/``scenario``/
+#: ``scenario_variant``) and the ingestion layer's source-file stamps
+#: (``source_format``/``source_path``, see :mod:`repro.ingest`).  They
+#: label the data rather than describe the execution, so schema inference
+#: drops them entirely — an explanation must never cite the scenario label
+#: that generated its own ground truth, nor the file a record came from.
 DEFAULT_EXCLUDED_FEATURES: frozenset[str] = frozenset(
-    {"engine_seed", "scenario", "scenario_variant"}
+    {"engine_seed", "scenario", "scenario_variant", "source_format", "source_path"}
 )
 
 

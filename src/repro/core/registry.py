@@ -242,3 +242,4 @@ def _ensure_builtins() -> None:
     """Import the modules that register the built-in techniques."""
     import repro.core.baselines  # noqa: F401  (registers ruleofthumb, simbutdiff)
     import repro.core.explainer  # noqa: F401  (registers perfxplain)
+    import repro.detectors  # noqa: F401  (registers the detect-* techniques)

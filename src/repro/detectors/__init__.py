@@ -1,0 +1,66 @@
+"""Deterministic rule-based detectors as first-class techniques.
+
+Importing this package registers four detectors in the explainer
+registry (:mod:`repro.core.registry` imports it lazily, so they are
+always available by name):
+
+* ``detect-skew`` — reducer data skew (:mod:`repro.detectors.skew`);
+* ``detect-straggler`` — straggling tasks / degraded or contended nodes
+  (:mod:`repro.detectors.straggler`);
+* ``detect-misconfig`` — merge-spill and reducer-count misconfiguration
+  (:mod:`repro.detectors.misconfig`);
+* ``detect-underuse`` — cluster underuse / input growth
+  (:mod:`repro.detectors.underuse`).
+
+Each emits standard :class:`~repro.core.explanation.Explanation` objects
+whose metrics carry the rule's threshold evidence, so detector output
+flows through the session, service and CLI unchanged.
+:func:`~repro.detectors.agreement.score_agreement` runs a detector and a
+learned technique on the same query and reports where they cite the same
+features — the two-sided validation the scenario suite asserts.
+"""
+
+from repro.detectors.agreement import AgreementReport, cited_features, score_agreement
+from repro.detectors.base import DEFAULT_DETECTOR_WIDTH, Finding, RuleBasedDetector
+from repro.detectors.misconfig import MisconfigurationDetector, merge_passes
+from repro.detectors.skew import DataSkewDetector
+from repro.detectors.straggler import StragglerDetector
+from repro.detectors.underuse import ClusterUnderuseDetector
+
+#: Every detector technique name, in a stable order (the CLI's "all").
+DETECTOR_TECHNIQUES = (
+    "detect-skew",
+    "detect-straggler",
+    "detect-misconfig",
+    "detect-underuse",
+)
+
+#: Which detector(s) apply to which catalog scenario.  Scenarios absent
+#: here (cold-hdfs-locality, heterogeneous-hardware, last-task-faster)
+#: have no deterministic rule yet — the learned explainer is on its own.
+SCENARIO_DETECTORS: dict[str, tuple[str, ...]] = {
+    "data-skew": ("detect-skew",),
+    "straggler-node": ("detect-straggler",),
+    "degraded-node": ("detect-straggler",),
+    "background-contention": ("detect-straggler",),
+    "merge-misconfiguration": ("detect-misconfig",),
+    "reducer-starvation": ("detect-misconfig",),
+    "cluster-underuse": ("detect-underuse",),
+    "input-growth-step": ("detect-underuse",),
+}
+
+__all__ = [
+    "AgreementReport",
+    "ClusterUnderuseDetector",
+    "DataSkewDetector",
+    "DEFAULT_DETECTOR_WIDTH",
+    "DETECTOR_TECHNIQUES",
+    "Finding",
+    "MisconfigurationDetector",
+    "RuleBasedDetector",
+    "SCENARIO_DETECTORS",
+    "StragglerDetector",
+    "cited_features",
+    "merge_passes",
+    "score_agreement",
+]

@@ -1,0 +1,107 @@
+"""Detector-vs-learned agreement scoring.
+
+The detectors exist to give PerfXplain an independent check: a rule that
+knows *why* a pathology is slow, run on the same log and the same pair of
+interest as the learned explainer.  :func:`score_agreement` does exactly
+that — one resolved query, two techniques, and a report of where their
+because clauses cite the same raw features.  High agreement on a scenario
+log means the learned explanation recovered the mechanism the rule
+encodes; the scenario test suite asserts both sides against the catalog's
+ground truth.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.api import PerfXplain
+from repro.core.explanation import Explanation
+from repro.core.pairs import raw_feature_of
+from repro.core.pxql.query import PXQLQuery
+from repro.logs.store import ExecutionLog
+
+
+def cited_features(explanation: Explanation) -> frozenset[str]:
+    """The raw features an explanation's because clause cites."""
+    atoms = explanation.because.atoms
+    return frozenset(raw_feature_of(atom.feature) for atom in atoms)
+
+
+@dataclass(frozen=True)
+class AgreementReport:
+    """Where a detector and a learned technique agree on one query."""
+
+    detector: str
+    learned: str
+    query: str
+    detector_features: frozenset[str]
+    learned_features: frozenset[str]
+    detector_explanation: Explanation
+    learned_explanation: Explanation
+
+    @property
+    def shared_features(self) -> frozenset[str]:
+        """Raw features both because clauses cite."""
+        return self.detector_features & self.learned_features
+
+    @property
+    def jaccard(self) -> float:
+        """Jaccard similarity of the two cited feature sets."""
+        union = self.detector_features | self.learned_features
+        if not union:
+            return 0.0
+        return len(self.shared_features) / len(union)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible form of the report."""
+        return {
+            "detector": self.detector,
+            "learned": self.learned,
+            "query": self.query,
+            "detector_features": sorted(self.detector_features),
+            "learned_features": sorted(self.learned_features),
+            "shared_features": sorted(self.shared_features),
+            "jaccard": self.jaccard,
+            "detector_explanation": self.detector_explanation.to_dict(),
+            "learned_explanation": self.learned_explanation.to_dict(),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The :meth:`to_dict` form rendered as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def score_agreement(
+    log: ExecutionLog,
+    query: str | PXQLQuery,
+    detector: str,
+    learned: str = "perfxplain",
+    width: int | None = None,
+    seed: int = 0,
+) -> AgreementReport:
+    """Run a detector and a learned technique on one query and compare.
+
+    Both techniques see the *same* resolved pair of interest (unbound
+    queries are bound once, up front), so the comparison is about the
+    explanation, never about pair selection.
+
+    :param detector: registered detector technique name (``detect-*``).
+    :param learned: registered learned technique to compare against.
+    :param width: because-clause width for both techniques.
+    :param seed: facade seed (pair selection and example sampling).
+    """
+    facade = PerfXplain(log, seed=seed)
+    resolved = facade.resolve(query)
+    detector_explanation = facade.explain(resolved, width=width, technique=detector)
+    learned_explanation = facade.explain(resolved, width=width, technique=learned)
+    return AgreementReport(
+        detector=detector,
+        learned=learned,
+        query=str(resolved),
+        detector_features=cited_features(detector_explanation),
+        learned_features=cited_features(learned_explanation),
+        detector_explanation=detector_explanation,
+        learned_explanation=learned_explanation,
+    )

@@ -1,0 +1,196 @@
+"""Merge-spill and reducer-count misconfiguration detector.
+
+Two configuration rules from Herodotou's Hadoop performance models:
+
+* **Merge passes.**  The reduce-side merge runs
+  ``ceil(log_F(segments))`` on-disk passes for ``io.sort.factor = F``
+  over ``segments`` map-output segments (approximated by the job's map
+  count).  If the slower job needs more merge passes than the faster one,
+  its smaller sort factor is the explanation — plus its spill counters,
+  which are the observable symptom.
+* **Reducer starvation.**  If the slower job ran its shuffle through
+  ``REDUCE_STARVATION_RATIO`` × fewer reducers than the faster one, the
+  reduce phase serialised; the reducer count (and the derived
+  ``reduce_tasks_factor``) is the explanation.
+
+Both rules require the configuration difference to *align* with the
+duration difference — a job that is slower despite the bigger sort
+factor is not explained by this detector.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.core.features import FeatureSchema
+from repro.core.pairs import COMPARE_SUFFIX, SIMILAR
+from repro.core.pxql.ast import Comparison, Operator
+from repro.core.pxql.query import EntityKind, PXQLQuery
+from repro.core.registry import register_explainer
+from repro.detectors.base import (
+    Finding,
+    RuleBasedDetector,
+    duration_direction,
+    numeric_feature,
+    relative_difference,
+    slower_faster,
+)
+from repro.logs.records import ExecutionRecord, FeatureValue
+from repro.logs.store import ExecutionLog
+
+#: Reducer starvation: the slower job has this many times fewer reducers.
+REDUCE_STARVATION_RATIO = 2.0
+
+#: Symptom counters that ride along with a merge-pass finding.
+SPILL_FEATURES = ("spilled_records", "file_bytes_written", "file_bytes_read")
+
+
+def merge_passes(segments: float | None, sort_factor: float | None) -> int | None:
+    """``ceil(log_F(segments))`` — Herodotou's on-disk merge pass count."""
+    if segments is None or sort_factor is None:
+        return None
+    if segments <= 1:
+        return 0
+    if sort_factor < 2:
+        return None
+    return max(1, math.ceil(math.log(segments) / math.log(sort_factor)))
+
+
+@register_explainer("detect-misconfig", override=True)
+class MisconfigurationDetector(RuleBasedDetector):
+    """Explain a slow job by the configuration knob that throttled it."""
+
+    name = "detect-misconfig"
+    default_query = (
+        "FOR JOBS ?, ?\n"
+        "DESPITE pig_script_isSame = T AND inputsize_isSame = T\n"
+        "OBSERVED duration_compare = GT\n"
+        "EXPECTED duration_compare = SIM"
+    )
+
+    def findings(
+        self,
+        log: ExecutionLog,
+        query: PXQLQuery,
+        schema: FeatureSchema,
+        first: ExecutionRecord,
+        second: ExecutionRecord,
+        pair_values: Mapping[str, FeatureValue],
+    ) -> list[Finding]:
+        if query.entity is not EntityKind.JOB:
+            return []
+        direction = duration_direction(pair_values)
+        if direction is None or direction == SIMILAR:
+            return []
+        slower, faster = slower_faster(first, second, direction)
+        findings = self._merge_findings(
+            schema, first, second, slower, faster, pair_values, direction
+        )
+        findings.extend(
+            self._starvation_findings(
+                schema, first, second, slower, faster, pair_values
+            )
+        )
+        return findings
+
+    def _merge_findings(
+        self,
+        schema: FeatureSchema,
+        first: ExecutionRecord,
+        second: ExecutionRecord,
+        slower: ExecutionRecord,
+        faster: ExecutionRecord,
+        pair_values: Mapping[str, FeatureValue],
+        direction: str,
+    ) -> list[Finding]:
+        slow_passes = merge_passes(
+            numeric_feature(slower, "num_map_tasks"),
+            numeric_feature(slower, "iosortfactor"),
+        )
+        fast_passes = merge_passes(
+            numeric_feature(faster, "num_map_tasks"),
+            numeric_feature(faster, "iosortfactor"),
+        )
+        if slow_passes is None or fast_passes is None or slow_passes <= fast_passes:
+            return []
+        evidence = (
+            ("merge_passes_faster", float(fast_passes)),
+            ("merge_passes_slower", float(slow_passes)),
+            ("sort_factor_faster", numeric_feature(faster, "iosortfactor") or 0.0),
+            ("sort_factor_slower", numeric_feature(slower, "iosortfactor") or 0.0),
+        )
+        findings: list[Finding] = []
+        for feature, score in (("iosortfactor", 2.0), ("iosortmb", 1.5)):
+            if feature not in schema:
+                continue
+            observed = pair_values.get(feature + COMPARE_SUFFIX)
+            if observed not in (None, SIMILAR):
+                findings.append(
+                    Finding(
+                        atom=Comparison(
+                            feature + COMPARE_SUFFIX, Operator.EQ, observed
+                        ),
+                        score=score,
+                        evidence=evidence,
+                    )
+                )
+        for feature in SPILL_FEATURES:
+            if feature not in schema:
+                continue
+            if pair_values.get(feature + COMPARE_SUFFIX) != direction:
+                continue
+            score = relative_difference(
+                numeric_feature(first, feature), numeric_feature(second, feature)
+            )
+            if score > 0.0:
+                findings.append(
+                    Finding(
+                        atom=Comparison(
+                            feature + COMPARE_SUFFIX, Operator.EQ, direction
+                        ),
+                        score=score,
+                        evidence=evidence,
+                    )
+                )
+        return findings
+
+    def _starvation_findings(
+        self,
+        schema: FeatureSchema,
+        first: ExecutionRecord,
+        second: ExecutionRecord,
+        slower: ExecutionRecord,
+        faster: ExecutionRecord,
+        pair_values: Mapping[str, FeatureValue],
+    ) -> list[Finding]:
+        slow_reduces = numeric_feature(slower, "num_reduce_tasks")
+        fast_reduces = numeric_feature(faster, "num_reduce_tasks")
+        if (
+            slow_reduces is None
+            or fast_reduces is None
+            or slow_reduces <= 0
+            or fast_reduces / slow_reduces < REDUCE_STARVATION_RATIO
+        ):
+            return []
+        evidence = (
+            ("reduce_starvation_threshold", REDUCE_STARVATION_RATIO),
+            ("reduce_tasks_faster", fast_reduces),
+            ("reduce_tasks_slower", slow_reduces),
+        )
+        findings: list[Finding] = []
+        for feature, score in (("num_reduce_tasks", 2.0), ("reduce_tasks_factor", 1.5)):
+            if feature not in schema:
+                continue
+            observed = pair_values.get(feature + COMPARE_SUFFIX)
+            if observed not in (None, SIMILAR):
+                findings.append(
+                    Finding(
+                        atom=Comparison(
+                            feature + COMPARE_SUFFIX, Operator.EQ, observed
+                        ),
+                        score=score,
+                        evidence=evidence,
+                    )
+                )
+        return findings

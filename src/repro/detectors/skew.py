@@ -1,0 +1,138 @@
+"""Reducer data-skew detector.
+
+The classic MapReduce pathology: a skewed key distribution hands one
+reducer a large multiple of the median shuffle share, and that reducer
+dominates the job tail.  The rule (after Herodotou's data-distribution
+profiles): within the slower task's job, a task-level volume feature is
+*skewed* when its maximum share exceeds ``SKEW_RATIO`` × the median
+share.  When the gate passes, every volume feature on which the pair's
+difference points the same way as the duration difference becomes a
+finding — the slower task read/wrote/spilled more because its share of
+the data was bigger.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.features import FeatureSchema
+from repro.core.pairs import COMPARE_SUFFIX, SIMILAR
+from repro.core.pxql.ast import Comparison, Operator
+from repro.core.pxql.query import EntityKind, PXQLQuery
+from repro.core.registry import register_explainer
+from repro.detectors.base import (
+    Finding,
+    RuleBasedDetector,
+    duration_direction,
+    median,
+    numeric_feature,
+    relative_difference,
+    slower_faster,
+)
+from repro.logs.records import ExecutionRecord, FeatureValue, TaskRecord
+from repro.logs.store import ExecutionLog
+
+#: A volume feature is skewed when max/median share exceeds this.
+SKEW_RATIO = 2.0
+
+#: Task-level volume features skew shows up in, by probe priority.
+VOLUME_FEATURES = (
+    "shuffle_bytes",
+    "inputsize",
+    "input_records",
+    "output_bytes",
+    "output_records",
+    "spilled_records",
+    "file_bytes_read",
+    "hdfs_bytes_written",
+    "sorttime",
+    "shuffletime",
+    "combine_input_records",
+    "combine_output_records",
+)
+
+
+@register_explainer("detect-skew", override=True)
+class DataSkewDetector(RuleBasedDetector):
+    """Explain a slow task by its outsized share of the data."""
+
+    name = "detect-skew"
+    default_query = (
+        "FOR TASKS ?, ?\n"
+        "DESPITE job_id_isSame = T AND task_type_isSame = T\n"
+        "OBSERVED duration_compare = GT\n"
+        "EXPECTED duration_compare = SIM"
+    )
+
+    def findings(
+        self,
+        log: ExecutionLog,
+        query: PXQLQuery,
+        schema: FeatureSchema,
+        first: ExecutionRecord,
+        second: ExecutionRecord,
+        pair_values: Mapping[str, FeatureValue],
+    ) -> list[Finding]:
+        if query.entity is not EntityKind.TASK:
+            return []
+        direction = duration_direction(pair_values)
+        if direction is None or direction == SIMILAR:
+            return []
+        slower, _ = slower_faster(first, second, direction)
+        gate = self._skew_gate(log, slower)
+        if gate is None:
+            return []
+        findings: list[Finding] = []
+        for feature in VOLUME_FEATURES:
+            if feature not in schema:
+                continue
+            if pair_values.get(feature + COMPARE_SUFFIX) != direction:
+                continue
+            score = relative_difference(
+                numeric_feature(first, feature), numeric_feature(second, feature)
+            )
+            if score == 0.0:
+                continue
+            findings.append(
+                Finding(
+                    atom=Comparison(feature + COMPARE_SUFFIX, Operator.EQ, direction),
+                    score=score,
+                    evidence=gate,
+                )
+            )
+        return findings
+
+    def _skew_gate(
+        self, log: ExecutionLog, slower: ExecutionRecord
+    ) -> tuple[tuple[str, float], ...] | None:
+        """Threshold evidence when the slower task's peer group is skewed."""
+        if not isinstance(slower, TaskRecord):
+            return None
+        task_type = slower.features.get("task_type")
+        peers = [
+            task
+            for task in log.tasks_of_job(slower.job_id)
+            if task.features.get("task_type") == task_type
+        ]
+        if len(peers) < 3:
+            return None
+        for feature in VOLUME_FEATURES:
+            shares = [
+                value
+                for value in (numeric_feature(task, feature) for task in peers)
+                if value is not None
+            ]
+            if len(shares) < 3:
+                continue
+            middle = median(shares)
+            if middle is None or middle <= 0:
+                continue
+            ratio = max(shares) / middle
+            if ratio >= SKEW_RATIO:
+                return (
+                    ("max_share", max(shares)),
+                    ("median_share", middle),
+                    ("skew_ratio", ratio),
+                    ("skew_threshold", SKEW_RATIO),
+                )
+        return None

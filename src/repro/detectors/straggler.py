@@ -1,0 +1,175 @@
+"""Straggler / degraded-node detector.
+
+Hadoop's speculative-execution heuristic, turned into an explanation
+rule: an execution *straggles* when its duration exceeds
+``STRAGGLER_FACTOR`` × the median duration of its peer group (the tasks
+of the same job and type, or the whole job population) — or, pairwise,
+``STRAGGLER_FACTOR`` × its twin's duration.  When the gate passes, the
+cause is the machine, not the work: the findings are the monitoring
+features that separate a contended or degraded node from a healthy one
+(load averages, CPU splits, process counts, network rates), each checked
+against the direction the duration difference implies — contention
+metrics higher on the slower side, idle/free metrics lower.  For task
+pairs, running on different machines (``hostname_isSame = F``) is itself
+the leading finding.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.features import FeatureSchema
+from repro.core.pairs import (
+    COMPARE_SUFFIX,
+    IS_SAME_SUFFIX,
+    NOT_SAME,
+    SIMILAR,
+)
+from repro.core.pxql.ast import Comparison, Operator
+from repro.core.pxql.query import EntityKind, PXQLQuery
+from repro.core.registry import register_explainer
+from repro.detectors.base import (
+    Finding,
+    RuleBasedDetector,
+    duration_direction,
+    invert_direction,
+    median,
+    numeric_feature,
+    relative_difference,
+    slower_faster,
+)
+from repro.logs.records import ExecutionRecord, FeatureValue, TaskRecord
+from repro.logs.store import ExecutionLog
+
+#: An execution straggles beyond this multiple of its peer median (or of
+#: its twin) — Hadoop's classic speculative-execution threshold is 1.5x.
+STRAGGLER_FACTOR = 1.5
+
+#: Monitoring features that rise on a contended/degraded machine.
+CONTENTION_FEATURES = (
+    "avg_cpu_user",
+    "avg_cpu_system",
+    "avg_cpu_wio",
+    "avg_load_one",
+    "avg_load_five",
+    "avg_load_fifteen",
+    "avg_proc_total",
+    "avg_proc_run",
+    "avg_bytes_in",
+    "avg_bytes_out",
+    "avg_pkts_in",
+    "avg_pkts_out",
+)
+
+#: Monitoring features that *fall* on a contended/degraded machine.
+IDLE_FEATURES = ("avg_cpu_idle", "avg_mem_free", "avg_mem_cached", "avg_mem_buffers")
+
+#: Task placement features: different machine, different fate.
+PLACEMENT_FEATURES = ("hostname", "tracker_name")
+
+
+@register_explainer("detect-straggler", override=True)
+class StragglerDetector(RuleBasedDetector):
+    """Explain a slow execution by the state of the machine(s) it ran on."""
+
+    name = "detect-straggler"
+    default_query = (
+        "FOR JOBS ?, ?\n"
+        "DESPITE pig_script_isSame = T\n"
+        "OBSERVED duration_compare = GT\n"
+        "EXPECTED duration_compare = SIM"
+    )
+
+    def findings(
+        self,
+        log: ExecutionLog,
+        query: PXQLQuery,
+        schema: FeatureSchema,
+        first: ExecutionRecord,
+        second: ExecutionRecord,
+        pair_values: Mapping[str, FeatureValue],
+    ) -> list[Finding]:
+        direction = duration_direction(pair_values)
+        if direction is None or direction == SIMILAR:
+            return []
+        slower, faster = slower_faster(first, second, direction)
+        gate = self._straggler_gate(log, query, slower, faster)
+        if gate is None:
+            return []
+        findings: list[Finding] = []
+        if query.entity is EntityKind.TASK:
+            for feature in PLACEMENT_FEATURES:
+                if feature not in schema:
+                    continue
+                if pair_values.get(feature + IS_SAME_SUFFIX) != NOT_SAME:
+                    continue
+                findings.append(
+                    Finding(
+                        atom=Comparison(
+                            feature + IS_SAME_SUFFIX, Operator.EQ, NOT_SAME
+                        ),
+                        score=2.0,  # placement dominates the monitoring deltas
+                        evidence=gate,
+                    )
+                )
+        for feature, expected in self._directional_features(direction):
+            if feature not in schema:
+                continue
+            if pair_values.get(feature + COMPARE_SUFFIX) != expected:
+                continue
+            score = relative_difference(
+                numeric_feature(first, feature), numeric_feature(second, feature)
+            )
+            if score == 0.0:
+                continue
+            findings.append(
+                Finding(
+                    atom=Comparison(feature + COMPARE_SUFFIX, Operator.EQ, expected),
+                    score=score,
+                    evidence=gate,
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _directional_features(direction: str) -> list[tuple[str, str]]:
+        """(feature, expected compare value) under the pair's direction."""
+        inverse = invert_direction(direction)
+        pairs = [(feature, direction) for feature in CONTENTION_FEATURES]
+        pairs += [(feature, inverse) for feature in IDLE_FEATURES]
+        return pairs
+
+    def _straggler_gate(
+        self,
+        log: ExecutionLog,
+        query: PXQLQuery,
+        slower: ExecutionRecord,
+        faster: ExecutionRecord,
+    ) -> tuple[tuple[str, float], ...] | None:
+        """Threshold evidence when the slower execution truly straggles."""
+        if isinstance(slower, TaskRecord):
+            peers = [
+                task.duration
+                for task in log.tasks_of_job(slower.job_id)
+                if task.features.get("task_type") == slower.features.get("task_type")
+            ]
+        else:
+            peers = [job.duration for job in log.jobs]
+        peer_median = median(peers)
+        pair_ratio = slower.duration / faster.duration if faster.duration > 0 else 0.0
+        median_ratio = (
+            slower.duration / peer_median
+            if peer_median is not None and peer_median > 0
+            else 0.0
+        )
+        if max(pair_ratio, median_ratio) < STRAGGLER_FACTOR:
+            return None
+        evidence = [
+            ("pair_ratio", pair_ratio),
+            ("slower_duration", slower.duration),
+            ("straggler_threshold", STRAGGLER_FACTOR),
+        ]
+        if peer_median is not None:
+            evidence.append(("median_duration", peer_median))
+            evidence.append(("median_ratio", median_ratio))
+        return tuple(evidence)

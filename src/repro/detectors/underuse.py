@@ -1,0 +1,184 @@
+"""Cluster-underuse / input-growth detector.
+
+The paper's motivating example, as a deterministic rule.  Two regimes of
+the same phenomenon — runtime tracks the *wave structure*, not the input
+size:
+
+* **Underuse** (durations similar despite different inputs): both jobs
+  finished their maps in a single wave because neither input fills the
+  cluster's map slots.  The explanation is the shared wave structure —
+  ``map_waves`` (same, and equal to one), the block size and slot count
+  that produce it — plus the task-count difference the input change
+  *did* cause.
+* **Growth** (one job slower, with more input): the input grew past the
+  slot capacity and added map waves; the explanation is the input-volume
+  and wave features that moved with the duration.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.features import FeatureSchema
+from repro.core.pairs import (
+    COMPARE_SUFFIX,
+    IS_SAME_SUFFIX,
+    SAME,
+    SIMILAR,
+)
+from repro.core.pxql.ast import Comparison, Operator
+from repro.core.pxql.query import EntityKind, PXQLQuery
+from repro.core.registry import register_explainer
+from repro.detectors.base import (
+    Finding,
+    RuleBasedDetector,
+    duration_direction,
+    numeric_feature,
+    relative_difference,
+    slower_faster,
+)
+from repro.logs.records import ExecutionRecord, FeatureValue
+from repro.logs.store import ExecutionLog
+
+#: Input-volume and wave features that explain a growth-driven slowdown.
+GROWTH_FEATURES = (
+    "inputsize",
+    "input_records",
+    "num_map_tasks",
+    "map_waves",
+    "hdfs_bytes_read",
+    "hdfs_bytes_written",
+    "map_input_records",
+    "map_output_bytes",
+    "map_output_records",
+    "file_bytes_written",
+)
+
+#: Wave-structure features that explain an underused cluster.
+STRUCTURE_FEATURES = ("map_waves", "blocksize", "cluster_map_slots")
+
+
+@register_explainer("detect-underuse", override=True)
+class ClusterUnderuseDetector(RuleBasedDetector):
+    """Explain runtime by wave structure: underused cluster or grown input."""
+
+    name = "detect-underuse"
+    default_query = (
+        "FOR JOBS ?, ?\n"
+        "DESPITE pig_script_isSame = T AND inputsize_isSame = F\n"
+        "OBSERVED duration_compare = SIM\n"
+        "EXPECTED duration_compare = GT"
+    )
+
+    def findings(
+        self,
+        log: ExecutionLog,
+        query: PXQLQuery,
+        schema: FeatureSchema,
+        first: ExecutionRecord,
+        second: ExecutionRecord,
+        pair_values: Mapping[str, FeatureValue],
+    ) -> list[Finding]:
+        if query.entity is not EntityKind.JOB:
+            return []
+        direction = duration_direction(pair_values)
+        if direction is None:
+            return []
+        if direction == SIMILAR:
+            return self._underuse_findings(schema, first, second, pair_values)
+        return self._growth_findings(schema, first, second, pair_values, direction)
+
+    def _underuse_findings(
+        self,
+        schema: FeatureSchema,
+        first: ExecutionRecord,
+        second: ExecutionRecord,
+        pair_values: Mapping[str, FeatureValue],
+    ) -> list[Finding]:
+        waves_first = numeric_feature(first, "map_waves")
+        waves_second = numeric_feature(second, "map_waves")
+        if waves_first is None or waves_second is None:
+            return []
+        if waves_first != waves_second or waves_first > 1:
+            return []
+        if pair_values.get("inputsize" + COMPARE_SUFFIX) == SIMILAR:
+            return []  # similar inputs taking similar time needs no explaining
+        evidence = [
+            ("map_waves", waves_first),
+        ]
+        for name in ("num_map_tasks", "cluster_map_slots"):
+            value = numeric_feature(first, name)
+            if value is not None:
+                evidence.append((name, value))
+        gate = tuple(evidence)
+        lead = Finding(
+            atom=Comparison("map_waves" + IS_SAME_SUFFIX, Operator.EQ, SAME),
+            score=2.0,
+            evidence=gate,
+        )
+        findings = [lead]
+        for feature, score in (("blocksize", 1.5), ("cluster_map_slots", 1.4)):
+            if feature not in schema:
+                continue
+            if pair_values.get(feature + IS_SAME_SUFFIX) == SAME:
+                findings.append(
+                    Finding(
+                        atom=Comparison(feature + IS_SAME_SUFFIX, Operator.EQ, SAME),
+                        score=score,
+                        evidence=gate,
+                    )
+                )
+        # The input change did land somewhere: more tasks, same wave count.
+        task_cmp = pair_values.get("num_map_tasks" + COMPARE_SUFFIX)
+        if task_cmp not in (None, SIMILAR):
+            findings.append(
+                Finding(
+                    atom=Comparison(
+                        "num_map_tasks" + COMPARE_SUFFIX, Operator.EQ, task_cmp
+                    ),
+                    score=1.0,
+                    evidence=gate,
+                )
+            )
+        return findings
+
+    def _growth_findings(
+        self,
+        schema: FeatureSchema,
+        first: ExecutionRecord,
+        second: ExecutionRecord,
+        pair_values: Mapping[str, FeatureValue],
+        direction: str,
+    ) -> list[Finding]:
+        if pair_values.get("inputsize" + COMPARE_SUFFIX) != direction:
+            return []  # the input did not move with the duration
+        slower, faster = slower_faster(first, second, direction)
+        evidence = [
+            ("inputsize_faster", numeric_feature(faster, "inputsize") or 0.0),
+            ("inputsize_slower", numeric_feature(slower, "inputsize") or 0.0),
+        ]
+        for name in ("map_waves", "num_map_tasks"):
+            value = numeric_feature(slower, name)
+            if value is not None:
+                evidence.append((name + "_slower", value))
+        gate = tuple(evidence)
+        findings: list[Finding] = []
+        for feature in GROWTH_FEATURES:
+            if feature not in schema:
+                continue
+            if pair_values.get(feature + COMPARE_SUFFIX) != direction:
+                continue
+            score = relative_difference(
+                numeric_feature(first, feature), numeric_feature(second, feature)
+            )
+            if score > 0.0:
+                findings.append(
+                    Finding(
+                        atom=Comparison(
+                            feature + COMPARE_SUFFIX, Operator.EQ, direction
+                        ),
+                        score=score,
+                        evidence=gate,
+                    )
+                )
+        return findings

@@ -28,6 +28,32 @@ class LogFormatError(ReproError):
     """An execution-log file could not be parsed."""
 
 
+class ParserError(LogFormatError):
+    """A real-world log file (Hadoop/Spark) could not be ingested.
+
+    Like :class:`ServiceError`, every parser error carries a stable
+    machine-readable ``code`` (one of the ``PARSE_*`` constants below) so
+    callers — and the service layer, which folds any
+    :class:`LogFormatError` into a ``log_load_failed`` wire response — can
+    branch on the precise failure without string matching.
+    """
+
+    default_code = "malformed_line"
+
+    def __init__(self, message: str, code: str | None = None):
+        self.code = code if code is not None else self.default_code
+        super().__init__(message)
+
+
+#: Stable :class:`ParserError` codes.
+PARSE_UNKNOWN_FORMAT = "unknown_format"
+PARSE_MALFORMED_LINE = "malformed_line"
+PARSE_MISSING_FIELD = "missing_field"
+PARSE_TRUNCATED_FILE = "truncated_file"
+PARSE_UNKNOWN_EVENT = "unknown_event"
+PARSE_EMPTY_LOG = "empty_log"
+
+
 class UnknownFeatureError(ReproError):
     """A feature name was referenced that is not part of the schema."""
 

@@ -1,0 +1,61 @@
+"""Real-world log ingestion: Hadoop and Spark logs as execution logs.
+
+Every log this reproduction explained before this package came from its
+own simulator.  :mod:`repro.ingest` opens the real-data path the paper is
+actually about: format-sniffing adapters parse **Hadoop JobHistory**
+(.jhist, Avro-JSON event lines) and **Spark event logs** (one
+``SparkListener*`` JSON object per line) into the same
+:class:`~repro.logs.store.ExecutionLog` job/task records the simulator
+emits, so every downstream layer — PXQL, the explainers, the detectors,
+the service — works on production logs unchanged.
+
+The pieces:
+
+* :mod:`repro.ingest.mapping` — the declarative field-mapping layer:
+  dotted source paths to canonical feature names, unit conversion,
+  derived features, and canonical names for unmapped counters.
+* :mod:`repro.ingest.hadoop` / :mod:`repro.ingest.spark` — the two
+  streaming adapters (line-at-a-time; raw JSON is never materialised as
+  a whole file).
+* :mod:`repro.ingest.loader` — format sniffing (:func:`sniff_format`),
+  the adapter dispatcher (:func:`ingest_path`) and the universal opener
+  (:func:`load_execution_log`) that also accepts the repository's native
+  formats, used by the CLI and :class:`~repro.service.LogCatalog`.
+
+Ingested records carry ``source_format``/``source_path`` provenance
+stamps; like the simulator's ``scenario`` stamps they are excluded from
+schema inference (:data:`~repro.core.features.DEFAULT_EXCLUDED_FEATURES`),
+so an explanation can never cite the file a record came from.
+"""
+
+from repro.ingest.hadoop import HADOOP_JHIST, parse_hadoop_jhist
+from repro.ingest.loader import (
+    IngestResult,
+    IngestStats,
+    ingest_path,
+    load_execution_log,
+    sniff_format,
+)
+from repro.ingest.mapping import (
+    FieldMap,
+    canonical_counter_name,
+    lookup_path,
+    millis_to_seconds,
+)
+from repro.ingest.spark import SPARK_EVENTLOG, parse_spark_eventlog
+
+__all__ = [
+    "FieldMap",
+    "HADOOP_JHIST",
+    "IngestResult",
+    "IngestStats",
+    "SPARK_EVENTLOG",
+    "canonical_counter_name",
+    "ingest_path",
+    "load_execution_log",
+    "lookup_path",
+    "millis_to_seconds",
+    "parse_hadoop_jhist",
+    "parse_spark_eventlog",
+    "sniff_format",
+]

@@ -1,0 +1,417 @@
+"""Hadoop JobHistory (.jhist) adapter.
+
+MRv2 job-history files are Avro-JSON: an ``Avro-Json`` banner line, one
+Avro schema line, then one JSON event object per line —
+``{"type": "JOB_SUBMITTED", "event": {"...jobhistory.JobSubmitted":
+{...}}}``.  The adapter streams those lines, folds the per-job and
+per-task lifecycle events (submitted → inited → finished) into canonical
+feature dictionaries via the mapping tables, translates counter groups
+into the simulator's counter vocabulary (``REDUCE_SHUFFLE_BYTES`` →
+``shuffle_bytes``; unmapped counters keep their snake_cased names so
+schema inference still sees them), and emits one
+:class:`~repro.logs.records.JobRecord` per finished job and one
+:class:`~repro.logs.records.TaskRecord` per finished task.
+
+Durations follow the history file's own clock: a job runs from
+``submitTime`` to ``finishTime``, a task from ``startTime`` to
+``finishTime``, both converted from epoch milliseconds to seconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping
+
+from repro.exceptions import (
+    PARSE_EMPTY_LOG,
+    PARSE_MALFORMED_LINE,
+    PARSE_MISSING_FIELD,
+    PARSE_TRUNCATED_FILE,
+    PARSE_UNKNOWN_EVENT,
+    ParserError,
+)
+from repro.ingest.mapping import (
+    FieldMap,
+    apply_field_maps,
+    canonical_counter_name,
+    derive_throughput,
+    millis_to_seconds,
+    to_int,
+    to_str,
+)
+from repro.ingest.result import IngestStats
+from repro.logs.records import FeatureValue, JobRecord, TaskRecord
+
+#: Format identifier (sniffed and stamped as ``source_format``).
+HADOOP_JHIST = "hadoop-jhist"
+
+#: The banner line MRv2 writes as the first line of every .jhist file.
+JHIST_BANNER = "Avro-Json"
+
+#: Counters whose canonical name differs from their snake_cased Hadoop
+#: name; everything else goes through :func:`canonical_counter_name`.
+_COUNTER_ALIASES = {
+    "REDUCE_SHUFFLE_BYTES": "shuffle_bytes",
+}
+
+_JOB_SUBMITTED_MAPS = (
+    FieldMap("jobName", "pig_script", to_str),
+    FieldMap("userName", "user_name", to_str),
+    FieldMap("submitTime", "submit_time", millis_to_seconds),
+)
+
+_JOB_INITED_MAPS = (
+    FieldMap("launchTime", "start_time", millis_to_seconds),
+    FieldMap("totalMaps", "num_map_tasks", to_int),
+    FieldMap("totalReduces", "num_reduce_tasks", to_int),
+)
+
+_TASK_STARTED_MAPS = (
+    FieldMap("taskType", "task_type", to_str),
+    FieldMap("startTime", "start_time", millis_to_seconds),
+)
+
+_TASK_FINISHED_MAPS = (
+    FieldMap("taskType", "task_type", to_str),
+    FieldMap("finishTime", "taskfinishtime", millis_to_seconds),
+)
+
+_ATTEMPT_FINISHED_MAPS = (
+    FieldMap("hostname", "hostname", to_str),
+    FieldMap("rackname", "rack_name", to_str),
+)
+
+#: Event types that are part of the lifecycle but carry nothing we map.
+_IGNORED_EVENTS = frozenset(
+    {
+        "JOB_QUEUE_CHANGED",
+        "JOB_INFO_CHANGED",
+        "JOB_PRIORITY_CHANGED",
+        "JOB_STATUS_CHANGED",
+        "TASK_UPDATED",
+        "AM_STARTED",
+        "NORMALIZED_RESOURCE",
+        "MAP_ATTEMPT_STARTED",
+        "REDUCE_ATTEMPT_STARTED",
+        "SETUP_ATTEMPT_STARTED",
+        "SETUP_ATTEMPT_FINISHED",
+        "CLEANUP_ATTEMPT_STARTED",
+        "CLEANUP_ATTEMPT_FINISHED",
+    }
+)
+
+
+def _event_payload(event: Any) -> Mapping[str, Any] | None:
+    """Unwrap the Avro union wrapper ``{"...JobSubmitted": {...}}``."""
+    if not isinstance(event, Mapping):
+        return None
+    if len(event) == 1:
+        (inner,) = event.values()
+        if isinstance(inner, Mapping):
+            return inner
+    return event
+
+
+def _counter_features(counters: Any) -> dict[str, int]:
+    """Flatten a Hadoop counters block into canonical feature values."""
+    features: dict[str, int] = {}
+    if not isinstance(counters, Mapping):
+        return features
+    for group in counters.get("groups", ()):
+        if not isinstance(group, Mapping):
+            continue
+        group_name = str(group.get("name", ""))
+        for count in group.get("counts", ()):
+            if not isinstance(count, Mapping):
+                continue
+            name, value = count.get("name"), to_int(count.get("value"))
+            if not isinstance(name, str) or value is None:
+                continue
+            feature = _COUNTER_ALIASES.get(
+                name, canonical_counter_name(group_name, name)
+            )
+            features[feature] = features.get(feature, 0) + value
+    return features
+
+
+def _job_id_of_task(task_id: str) -> str:
+    """``task_1387495749539_0001_m_000000`` -> ``job_1387495749539_0001``."""
+    parts = task_id.split("_")
+    if len(parts) >= 3 and parts[0] == "task":
+        return "_".join(["job", parts[1], parts[2]])
+    return task_id
+
+
+class _JobState:
+    """Accumulated lifecycle of one job across its events."""
+
+    __slots__ = ("job_id", "features", "submit_time_ms", "finish_time_ms")
+
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+        self.features: dict[str, FeatureValue] = {}
+        self.submit_time_ms: float | None = None
+        self.finish_time_ms: float | None = None
+
+
+class _TaskState:
+    """Accumulated lifecycle of one task across its events."""
+
+    __slots__ = ("task_id", "features", "start_time_ms", "finish_time_ms")
+
+    def __init__(self, task_id: str) -> None:
+        self.task_id = task_id
+        self.features: dict[str, FeatureValue] = {}
+        self.start_time_ms: float | None = None
+        self.finish_time_ms: float | None = None
+
+
+def _require(payload: Mapping[str, Any], field: str, event_type: str) -> Any:
+    value = payload.get(field)
+    if value is None:
+        raise ParserError(
+            f"{event_type} event is missing required field {field!r}",
+            code=PARSE_MISSING_FIELD,
+        )
+    return value
+
+
+def parse_hadoop_jhist(
+    lines: Iterable[str],
+    strict: bool = False,
+    stats: IngestStats | None = None,
+) -> tuple[list[JobRecord], list[TaskRecord], IngestStats]:
+    """Stream .jhist lines into job and task records.
+
+    :param lines: the file's text lines (headers included).
+    :param strict: raise :class:`~repro.exceptions.ParserError` on the
+        first malformed line, unknown event type or truncated entity
+        instead of skipping it with a counter.
+    :param stats: counters to fill (a fresh object by default).
+    :raises ParserError: in strict mode on any irregularity; in either
+        mode (code ``empty_log``) when no finished job or task survives —
+        a silently empty log would hide total parse failure.
+    """
+    stats = stats if stats is not None else IngestStats()
+    jobs: dict[str, _JobState] = {}
+    tasks: dict[str, _TaskState] = {}
+
+    for raw_line in lines:
+        stats.lines += 1
+        line = raw_line.strip()
+        if not line or line == JHIST_BANNER:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if strict:
+                raise ParserError(
+                    f"line {stats.lines}: not valid JSON: {exc}",
+                    code=PARSE_MALFORMED_LINE,
+                ) from exc
+            stats.skipped_lines += 1
+            continue
+        if not isinstance(obj, Mapping) or "type" not in obj:
+            if strict:
+                raise ParserError(
+                    f"line {stats.lines}: not a JobHistory event object",
+                    code=PARSE_MALFORMED_LINE,
+                )
+            stats.skipped_lines += 1
+            continue
+        event_type = obj["type"]
+        if event_type == "record":
+            # The Avro schema line shares the {"type": ...} shape.
+            continue
+        payload = _event_payload(obj.get("event"))
+        if payload is None:
+            if strict:
+                raise ParserError(
+                    f"line {stats.lines}: event {event_type!r} has no payload",
+                    code=PARSE_MALFORMED_LINE,
+                )
+            stats.skipped_lines += 1
+            continue
+        try:
+            handled = _apply_event(str(event_type), payload, jobs, tasks)
+        except ParserError:
+            if strict:
+                raise
+            stats.skipped_lines += 1
+            continue
+        if handled:
+            stats.events += 1
+        elif str(event_type) in _IGNORED_EVENTS:
+            stats.events += 1
+        else:
+            if strict:
+                raise ParserError(
+                    f"line {stats.lines}: unknown event type {event_type!r}",
+                    code=PARSE_UNKNOWN_EVENT,
+                )
+            stats.unknown_events += 1
+
+    return _finalize(jobs, tasks, strict, stats)
+
+
+def _apply_event(
+    event_type: str,
+    payload: Mapping[str, Any],
+    jobs: dict[str, _JobState],
+    tasks: dict[str, _TaskState],
+) -> bool:
+    """Fold one event into the lifecycle state; False if unhandled."""
+    if event_type == "JOB_SUBMITTED":
+        job = _job_state(jobs, str(_require(payload, "jobid", event_type)))
+        apply_field_maps(payload, _JOB_SUBMITTED_MAPS, job.features)
+        submit = payload.get("submitTime")
+        if isinstance(submit, (int, float)):
+            job.submit_time_ms = float(submit)
+        return True
+    if event_type == "JOB_INITED":
+        job = _job_state(jobs, str(_require(payload, "jobid", event_type)))
+        apply_field_maps(payload, _JOB_INITED_MAPS, job.features)
+        return True
+    if event_type == "JOB_FINISHED":
+        job = _job_state(jobs, str(_require(payload, "jobid", event_type)))
+        finish = _require(payload, "finishTime", event_type)
+        if isinstance(finish, (int, float)):
+            job.finish_time_ms = float(finish)
+        counters = _counter_features(payload.get("totalCounters"))
+        job.features.update(counters)
+        if not counters:
+            job.features.setdefault("_no_counters", True)
+        return True
+    if event_type == "TASK_STARTED":
+        task = _task_state(tasks, str(_require(payload, "taskid", event_type)))
+        apply_field_maps(payload, _TASK_STARTED_MAPS, task.features)
+        start = _require(payload, "startTime", event_type)
+        if isinstance(start, (int, float)):
+            task.start_time_ms = float(start)
+        return True
+    if event_type == "TASK_FINISHED":
+        task = _task_state(tasks, str(_require(payload, "taskid", event_type)))
+        apply_field_maps(payload, _TASK_FINISHED_MAPS, task.features)
+        finish = _require(payload, "finishTime", event_type)
+        if isinstance(finish, (int, float)):
+            task.finish_time_ms = float(finish)
+        counters = _counter_features(payload.get("counters"))
+        task.features.update(counters)
+        if not counters:
+            task.features.setdefault("_no_counters", True)
+        return True
+    if event_type in ("MAP_ATTEMPT_FINISHED", "REDUCE_ATTEMPT_FINISHED"):
+        task = _task_state(tasks, str(_require(payload, "taskid", event_type)))
+        apply_field_maps(payload, _ATTEMPT_FINISHED_MAPS, task.features)
+        return True
+    return False
+
+
+def _job_state(jobs: dict[str, _JobState], job_id: str) -> _JobState:
+    if job_id not in jobs:
+        jobs[job_id] = _JobState(job_id)
+    return jobs[job_id]
+
+
+def _task_state(tasks: dict[str, _TaskState], task_id: str) -> _TaskState:
+    if task_id not in tasks:
+        tasks[task_id] = _TaskState(task_id)
+    return tasks[task_id]
+
+
+def _finalize(
+    jobs: dict[str, _JobState],
+    tasks: dict[str, _TaskState],
+    strict: bool,
+    stats: IngestStats,
+) -> tuple[list[JobRecord], list[TaskRecord], IngestStats]:
+    """Turn completed lifecycle states into records, dropping truncated ones."""
+    finished_jobs: dict[str, JobRecord] = {}
+    for job_id, state in jobs.items():
+        if state.finish_time_ms is None or state.submit_time_ms is None:
+            if strict:
+                raise ParserError(
+                    f"job {job_id!r} has no JOB_FINISHED event (truncated file?)",
+                    code=PARSE_TRUNCATED_FILE,
+                )
+            stats.truncated_entities += 1
+            continue
+        features = dict(state.features)
+        if features.pop("_no_counters", None):
+            stats.missing_counters += 1
+        _derive_job_features(features)
+        duration = max(0.0, (state.finish_time_ms - state.submit_time_ms) / 1000.0)
+        finished_jobs[job_id] = JobRecord(
+            job_id=job_id, features=features, duration=duration
+        )
+
+    task_records: list[TaskRecord] = []
+    for task_id, state in tasks.items():
+        job_id = _job_id_of_task(task_id)
+        if state.finish_time_ms is None or state.start_time_ms is None:
+            if strict:
+                raise ParserError(
+                    f"task {task_id!r} has no TASK_FINISHED event (truncated file?)",
+                    code=PARSE_TRUNCATED_FILE,
+                )
+            stats.truncated_entities += 1
+            continue
+        if jobs and job_id not in finished_jobs:
+            # Its job was dropped as truncated; orphan tasks go with it.
+            stats.truncated_entities += 1
+            continue
+        features = dict(state.features)
+        if features.pop("_no_counters", None):
+            stats.missing_counters += 1
+        features["job_id"] = job_id
+        duration = max(0.0, (state.finish_time_ms - state.start_time_ms) / 1000.0)
+        _derive_task_features(features, duration)
+        task_records.append(
+            TaskRecord(
+                task_id=task_id, job_id=job_id, features=features, duration=duration
+            )
+        )
+
+    job_records = list(finished_jobs.values())
+    stats.jobs += len(job_records)
+    stats.tasks += len(task_records)
+    if not job_records and not task_records:
+        raise ParserError(
+            "no finished job or task survived parsing (empty or fully "
+            "truncated JobHistory file)",
+            code=PARSE_EMPTY_LOG,
+        )
+    return job_records, task_records, stats
+
+
+def _derive_job_features(features: dict[str, FeatureValue]) -> None:
+    """Canonical aliases the simulator's vocabulary expects on jobs."""
+    if "inputsize" not in features and "hdfs_bytes_read" in features:
+        features["inputsize"] = features["hdfs_bytes_read"]
+    if "input_records" not in features and "map_input_records" in features:
+        features["input_records"] = features["map_input_records"]
+
+
+def _derive_task_features(features: dict[str, FeatureValue], duration: float) -> None:
+    """Per-task canonical aliases plus the derived throughput feature."""
+    task_type = features.get("task_type")
+    if task_type == "MAP":
+        aliases = (
+            ("inputsize", "hdfs_bytes_read"),
+            ("input_records", "map_input_records"),
+            ("output_bytes", "map_output_bytes"),
+            ("output_records", "map_output_records"),
+        )
+    else:
+        aliases = (
+            ("inputsize", "shuffle_bytes"),
+            ("input_records", "reduce_input_records"),
+            ("output_bytes", "hdfs_bytes_written"),
+            ("output_records", "reduce_output_records"),
+        )
+    for target, source in aliases:
+        if target not in features and source in features:
+            features[target] = features[source]
+    throughput = derive_throughput(features, duration)
+    if throughput is not None:
+        features["throughput"] = throughput

@@ -1,0 +1,167 @@
+"""Format sniffing and the universal execution-log opener.
+
+:func:`sniff_format` looks at the head of a file — never more than its
+first few lines — and names the format: ``hadoop-jhist``,
+``spark-eventlog``, or one of the repository's native formats
+(``native-jsonl``, ``native-json``).  :func:`ingest_path` streams a real
+log through its adapter into an :class:`~repro.logs.store.ExecutionLog`
+(routing every record batch through :meth:`ExecutionLog.extend` and
+stamping ``source_format``/``source_path`` provenance), and
+:func:`load_execution_log` is what the CLI and the service catalog call:
+any supported format in, ``(log, format)`` out.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.exceptions import PARSE_UNKNOWN_FORMAT, ParserError
+from repro.ingest.hadoop import HADOOP_JHIST, JHIST_BANNER, parse_hadoop_jhist
+from repro.ingest.result import IngestResult, IngestStats
+from repro.ingest.spark import SPARK_EVENTLOG, parse_spark_eventlog
+from repro.logs.records import JobRecord, TaskRecord
+from repro.logs.store import ExecutionLog
+from repro.logs.writer import open_log_text
+
+#: The repository's own formats (handled by :meth:`ExecutionLog.load`).
+NATIVE_JSONL = "native-jsonl"
+NATIVE_JSON = "native-json"
+
+#: Every format :func:`load_execution_log` accepts.
+KNOWN_FORMATS = (HADOOP_JHIST, SPARK_EVENTLOG, NATIVE_JSONL, NATIVE_JSON)
+
+#: Real-log formats that go through an ingestion adapter.
+ADAPTER_FORMATS: dict[str, Callable] = {
+    HADOOP_JHIST: parse_hadoop_jhist,
+    SPARK_EVENTLOG: parse_spark_eventlog,
+}
+
+#: How many head lines sniffing may inspect before giving up.
+_SNIFF_LINES = 5
+
+
+def sniff_format(path: str | Path) -> str:
+    """Name a log file's format from its first few lines.
+
+    :raises ParserError: (code ``unknown_format``) when the head matches
+        no known format — including unreadable or empty files.
+    """
+    target = Path(path)
+    try:
+        with open_log_text(target, "r") as handle:
+            head = [line for _, line in zip(range(_SNIFF_LINES), handle)]
+    except (OSError, EOFError) as exc:
+        raise ParserError(
+            f"cannot read {target}: {exc}", code=PARSE_UNKNOWN_FORMAT
+        ) from exc
+    return _sniff_lines(head, target)
+
+
+def _sniff_lines(head: list[str], target: Path) -> str:
+    stripped = [line.strip() for line in head if line.strip()]
+    if not stripped:
+        raise ParserError(
+            f"{target} is empty; cannot determine its format",
+            code=PARSE_UNKNOWN_FORMAT,
+        )
+    first = stripped[0]
+    if first == JHIST_BANNER:
+        return HADOOP_JHIST
+    try:
+        obj = json.loads(first)
+    except json.JSONDecodeError:
+        obj = None
+    if isinstance(obj, dict):
+        if "type" in obj and "event" in obj:
+            return HADOOP_JHIST
+        if obj.get("type") == "record" and "name" in obj:
+            return HADOOP_JHIST  # a banner-less .jhist starting at its schema
+        if str(obj.get("Event", "")).startswith("SparkListener"):
+            return SPARK_EVENTLOG
+        if obj.get("kind") == "meta":
+            return NATIVE_JSONL
+    if first.startswith("{"):
+        # A pretty-printed native document opens with a lone brace (or a
+        # brace plus the "jobs"/"tasks" keys further down the head).
+        return NATIVE_JSON
+    raise ParserError(
+        f"{target} matches no known log format "
+        f"(known: {', '.join(KNOWN_FORMATS)})",
+        code=PARSE_UNKNOWN_FORMAT,
+    )
+
+
+def _stamp(
+    records: Iterable[JobRecord] | Iterable[TaskRecord],
+    source_format: str,
+    source_path: str,
+) -> None:
+    """Write provenance stamps into every record's feature vector."""
+    for record in records:
+        record.features["source_format"] = source_format
+        record.features["source_path"] = source_path
+
+
+def ingest_path(
+    path: str | Path,
+    format: str = "auto",
+    strict: bool = False,
+) -> IngestResult:
+    """Ingest a real-world log file through its format adapter.
+
+    The file streams through the adapter line-at-a-time; the resulting
+    record batches are stamped with ``source_format``/``source_path``
+    provenance and appended through :meth:`ExecutionLog.extend`.
+
+    :param path: the log file (transparently gunzipped for ``.gz`` paths).
+    :param format: ``"auto"`` (sniff), ``"hadoop-jhist"`` or
+        ``"spark-eventlog"``.
+    :param strict: fail on the first irregular line instead of skipping
+        it with a counter (see :class:`~repro.ingest.result.IngestStats`).
+    :raises ParserError: on an unknown/undetectable format, in strict
+        mode on any irregularity, and always when nothing survives.
+    """
+    target = Path(path)
+    resolved = sniff_format(target) if format == "auto" else format
+    adapter = ADAPTER_FORMATS.get(resolved)
+    if adapter is None:
+        known = ", ".join(sorted(ADAPTER_FORMATS))
+        raise ParserError(
+            f"format {resolved!r} has no ingestion adapter (adapters: {known}; "
+            "native formats load via ExecutionLog.load)",
+            code=PARSE_UNKNOWN_FORMAT,
+        )
+    stats = IngestStats()
+    with open_log_text(target, "r") as handle:
+        jobs, tasks, stats = adapter(handle, strict=strict, stats=stats)
+    source_path = str(target)
+    _stamp(jobs, resolved, source_path)
+    _stamp(tasks, resolved, source_path)
+    log = ExecutionLog()
+    log.extend(jobs=jobs, tasks=tasks)
+    return IngestResult(
+        log=log, stats=stats, source_format=resolved, source_path=source_path
+    )
+
+
+def load_execution_log(
+    path: str | Path, format: str = "auto", strict: bool = False
+) -> tuple[ExecutionLog, str]:
+    """Open any supported log file; returns ``(log, source_format)``.
+
+    Native formats load through :meth:`ExecutionLog.load` unchanged (no
+    provenance stamps — those logs already carry the simulator's); real
+    formats go through :func:`ingest_path`.
+    """
+    target = Path(path)
+    resolved = sniff_format(target) if format == "auto" else format
+    if resolved in ADAPTER_FORMATS:
+        return ingest_path(target, format=resolved, strict=strict).log, resolved
+    if resolved in (NATIVE_JSONL, NATIVE_JSON):
+        return ExecutionLog.load(target), resolved
+    raise ParserError(
+        f"unknown log format {resolved!r} (known: {', '.join(KNOWN_FORMATS)})",
+        code=PARSE_UNKNOWN_FORMAT,
+    )

@@ -1,0 +1,171 @@
+"""The declarative field-mapping layer of the ingestion adapters.
+
+An adapter's knowledge of its source format is expressed as data, not
+control flow: a table of :class:`FieldMap` entries, each naming a dotted
+path into the source event (``"Task Info.Host"``), the canonical feature
+it lands in (``"hostname"``) and an optional unit-converting callable
+(``millis_to_seconds``).  The adapters walk their tables instead of
+hand-writing one extraction per field, so adding a mapped field is a
+one-line change and the tables double as documentation of the format
+subset each adapter understands.
+
+Counters the tables do *not* map still survive: :func:`canonical_counter_name`
+lowercases them into schema-friendly snake_case feature names, so schema
+inference picks them up and PXQL can reference them — the paper's point
+that PerfXplain needs no feature curation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.logs.records import FeatureValue
+
+#: Milliseconds per second — real Hadoop/Spark logs stamp epoch millis.
+_MILLIS = 1000.0
+
+
+def lookup_path(payload: Mapping[str, Any], dotted: str) -> Any:
+    """Resolve a dotted path into nested JSON; ``None`` when any hop is absent.
+
+    A literal key containing dots wins over path traversal: Spark
+    configuration dictionaries are flat with dotted key *names*
+    (``"spark.executor.instances"``), while event payloads nest
+    (``"Task Info.Host"``).
+    """
+    if isinstance(payload, Mapping) and dotted in payload:
+        return payload[dotted]
+    value: Any = payload
+    for part in dotted.split("."):
+        if not isinstance(value, Mapping):
+            return None
+        value = value.get(part)
+        if value is None:
+            return None
+    return value
+
+
+def millis_to_seconds(value: Any) -> float | None:
+    """Epoch/duration milliseconds as float seconds."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return None
+    return float(value) / _MILLIS
+
+
+def to_int(value: Any) -> int | None:
+    """Coerce to ``int`` (accepting numeric strings); ``None`` on failure."""
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return int(value)
+    if isinstance(value, str):
+        try:
+            return int(value.strip())
+        except ValueError:
+            return None
+    return None
+
+
+def to_float(value: Any) -> float | None:
+    """Coerce to ``float`` (accepting numeric strings); ``None`` on failure."""
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            return None
+    return None
+
+
+def to_str(value: Any) -> str | None:
+    """Coerce to ``str``; ``None`` for non-scalar values."""
+    if value is None or isinstance(value, (dict, list)):
+        return None
+    return str(value)
+
+
+@dataclass(frozen=True)
+class FieldMap:
+    """One source field: where it lives, what it becomes, how it converts.
+
+    :param source: dotted path into the source event JSON.
+    :param feature: canonical feature name the value lands in.
+    :param convert: optional unit/type conversion; a conversion returning
+        ``None`` drops the field (treated as missing, never as zero).
+    """
+
+    source: str
+    feature: str
+    convert: Callable[[Any], FeatureValue] | None = None
+
+    def extract(self, payload: Mapping[str, Any]) -> FeatureValue:
+        """The canonical value of this field in one event (or ``None``)."""
+        value = lookup_path(payload, self.source)
+        if value is None:
+            return None
+        if self.convert is not None:
+            return self.convert(value)
+        if isinstance(value, (dict, list)):
+            return None
+        return value
+
+
+def apply_field_maps(
+    payload: Mapping[str, Any],
+    field_maps: tuple[FieldMap, ...],
+    into: dict[str, FeatureValue],
+) -> None:
+    """Walk a mapping table over one event, writing hits into ``into``.
+
+    Missing sources (and conversions that return ``None``) leave the
+    target feature untouched, so an earlier event's value is never
+    clobbered by a later event that lacks the field.
+    """
+    for field_map in field_maps:
+        value = field_map.extract(payload)
+        if value is not None:
+            into[field_map.feature] = value
+
+
+def canonical_counter_name(group: str, name: str) -> str:
+    """A schema-friendly feature name for an unmapped counter.
+
+    Hadoop counters arrive as ``GROUP``/``NAME`` pairs in SHOUTING_SNAKE
+    (``FileSystemCounter`` / ``FILE_BYTES_READ``); Spark metric keys are
+    Capitalised Words (``Memory Bytes Spilled``).  Both collapse to
+    lowercase snake_case on the counter name alone — matching the
+    simulator's canonical names (``file_bytes_read``) wherever the same
+    quantity exists, so real and simulated logs share feature vocabulary.
+
+    >>> canonical_counter_name("FileSystemCounter", "FILE_BYTES_READ")
+    'file_bytes_read'
+    >>> canonical_counter_name("", "Memory Bytes Spilled")
+    'memory_bytes_spilled'
+    """
+    del group  # groups only disambiguate within Hadoop; names suffice here
+    cleaned = name.strip().replace(".", "_").replace("-", "_").replace(" ", "_")
+    return cleaned.lower()
+
+
+def derive_throughput(
+    features: Mapping[str, FeatureValue], duration: float
+) -> float | None:
+    """Per-task input throughput (bytes/second), the derived feature.
+
+    Uses the canonical input-volume feature (``inputsize``, falling back
+    to ``hdfs_bytes_read``); ``None`` when neither is present or the task
+    was instantaneous.
+    """
+    if duration <= 0:
+        return None
+    for name in ("inputsize", "hdfs_bytes_read"):
+        volume = features.get(name)
+        if isinstance(volume, (int, float)) and not isinstance(volume, bool):
+            return float(volume) / duration
+    return None

@@ -1,0 +1,76 @@
+"""Ingestion outcome types shared by the adapters and the loader."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.logs.store import ExecutionLog
+
+
+@dataclass
+class IngestStats:
+    """Running counters of one ingestion pass.
+
+    Nothing is dropped silently: every line an adapter skips (malformed
+    JSON, unknown event type, truncated entity) lands in one of these
+    counters, so callers can distinguish a clean parse from a lossy one
+    and the CLI can report exactly what was ignored.
+    """
+
+    #: Total source lines read (including headers and blanks).
+    lines: int = 0
+    #: Event lines understood and applied.
+    events: int = 0
+    #: Lines skipped because they were not parseable as events.
+    skipped_lines: int = 0
+    #: Well-formed events of a type the adapter does not handle.
+    unknown_events: int = 0
+    #: Entities (jobs/tasks) dropped for missing a finish event.
+    truncated_entities: int = 0
+    #: Finished entities that carried no counters block.
+    missing_counters: int = 0
+    #: Job records emitted.
+    jobs: int = 0
+    #: Task records emitted.
+    tasks: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """Whether nothing at all was skipped or dropped."""
+        return (
+            self.skipped_lines == 0
+            and self.unknown_events == 0
+            and self.truncated_entities == 0
+        )
+
+    def to_dict(self) -> dict[str, int]:
+        """A JSON-compatible snapshot of the counters."""
+        return {
+            "lines": self.lines,
+            "events": self.events,
+            "skipped_lines": self.skipped_lines,
+            "unknown_events": self.unknown_events,
+            "truncated_entities": self.truncated_entities,
+            "missing_counters": self.missing_counters,
+            "jobs": self.jobs,
+            "tasks": self.tasks,
+        }
+
+
+@dataclass
+class IngestResult:
+    """One ingested log plus everything known about how it got there."""
+
+    log: ExecutionLog
+    stats: IngestStats = field(default_factory=IngestStats)
+    source_format: str = ""
+    source_path: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible summary (without the log's records)."""
+        return {
+            "source_format": self.source_format,
+            "source_path": self.source_path,
+            "stats": self.stats.to_dict(),
+        }

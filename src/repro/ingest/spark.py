@@ -1,0 +1,362 @@
+"""Spark event-log adapter.
+
+Spark writes one ``SparkListener*`` JSON object per line.  The adapter
+folds an application's lifecycle into one
+:class:`~repro.logs.records.JobRecord` (``SparkListenerApplicationStart``
+→ ``SparkListenerApplicationEnd``, configuration from
+``SparkListenerEnvironmentUpdate``) and every successful
+``SparkListenerTaskEnd`` into a :class:`~repro.logs.records.TaskRecord`,
+mapping Spark's metric names onto the simulator's canonical vocabulary
+(``Task Info.Host`` → ``hostname``, input metrics → ``inputsize``/
+``input_records``, shuffle read → ``shuffle_bytes``) and keeping unmapped
+metrics under snake_cased names so schema inference still sees them.
+
+Task types translate structurally: a ``ShuffleMapTask`` plays the map
+role, a ``ResultTask`` the reduce role, so task-level PXQL queries (and
+the detectors' MAP/REDUCE rules) apply unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping
+
+from repro.exceptions import (
+    PARSE_EMPTY_LOG,
+    PARSE_MALFORMED_LINE,
+    PARSE_MISSING_FIELD,
+    PARSE_TRUNCATED_FILE,
+    PARSE_UNKNOWN_EVENT,
+    ParserError,
+)
+from repro.ingest.mapping import (
+    FieldMap,
+    apply_field_maps,
+    canonical_counter_name,
+    derive_throughput,
+    millis_to_seconds,
+    to_int,
+    to_str,
+)
+from repro.ingest.result import IngestStats
+from repro.logs.records import FeatureValue, JobRecord, TaskRecord
+
+#: Format identifier (sniffed and stamped as ``source_format``).
+SPARK_EVENTLOG = "spark-eventlog"
+
+_APP_START_MAPS = (
+    FieldMap("App Name", "pig_script", to_str),
+    FieldMap("User", "user_name", to_str),
+    FieldMap("Timestamp", "submit_time", millis_to_seconds),
+)
+
+#: Spark properties worth surfacing as canonical job features.
+_SPARK_PROPERTY_MAPS = (
+    FieldMap("spark.executor.instances", "numinstances", to_int),
+    FieldMap("spark.executor.cores", "executor_cores", to_int),
+    FieldMap("spark.sql.shuffle.partitions", "num_reduce_tasks", to_int),
+)
+
+_TASK_INFO_MAPS = (
+    FieldMap("Host", "hostname", to_str),
+    FieldMap("Launch Time", "start_time", millis_to_seconds),
+    FieldMap("Finish Time", "taskfinishtime", millis_to_seconds),
+    FieldMap("Attempt", "attempts", to_int),
+)
+
+_TASK_METRIC_MAPS = (
+    FieldMap("Input Metrics.Bytes Read", "inputsize", to_int),
+    FieldMap("Input Metrics.Records Read", "input_records", to_int),
+    FieldMap("Output Metrics.Bytes Written", "output_bytes", to_int),
+    FieldMap("Output Metrics.Records Written", "output_records", to_int),
+    FieldMap(
+        "Shuffle Write Metrics.Shuffle Bytes Written", "shuffle_bytes_written", to_int
+    ),
+    FieldMap(
+        "Shuffle Write Metrics.Shuffle Records Written",
+        "shuffle_records_written",
+        to_int,
+    ),
+    FieldMap("Executor Run Time", "executor_run_time", millis_to_seconds),
+    FieldMap(
+        "Executor Deserialize Time", "executor_deserialize_time", millis_to_seconds
+    ),
+    FieldMap("JVM GC Time", "jvm_gc_time", millis_to_seconds),
+)
+
+#: Scalar task metrics not in the table above land under these names.
+_EXTRA_TASK_METRICS = ("Memory Bytes Spilled", "Disk Bytes Spilled", "Result Size")
+
+#: Event types that are lifecycle noise for our record model.
+_IGNORED_EVENTS = frozenset(
+    {
+        "SparkListenerLogStart",
+        "SparkListenerBlockManagerAdded",
+        "SparkListenerBlockManagerRemoved",
+        "SparkListenerExecutorAdded",
+        "SparkListenerExecutorRemoved",
+        "SparkListenerJobStart",
+        "SparkListenerJobEnd",
+        "SparkListenerStageSubmitted",
+        "SparkListenerStageCompleted",
+        "SparkListenerTaskStart",
+        "SparkListenerTaskGettingResult",
+        "SparkListenerUnpersistRDD",
+        "SparkListenerResourceProfileAdded",
+    }
+)
+
+#: Spark task classes mapped onto MapReduce roles.
+_TASK_TYPE_ROLES = {"ShuffleMapTask": "MAP", "ResultTask": "REDUCE"}
+
+
+class _AppState:
+    """One Spark application's accumulated lifecycle."""
+
+    __slots__ = ("app_id", "features", "start_ms", "end_ms", "task_count")
+
+    def __init__(self, app_id: str) -> None:
+        self.app_id = app_id
+        self.features: dict[str, FeatureValue] = {}
+        self.start_ms: float | None = None
+        self.end_ms: float | None = None
+        self.task_count = 0
+
+
+def parse_spark_eventlog(
+    lines: Iterable[str],
+    strict: bool = False,
+    stats: IngestStats | None = None,
+) -> tuple[list[JobRecord], list[TaskRecord], IngestStats]:
+    """Stream Spark event-log lines into job and task records.
+
+    :param lines: the file's text lines.
+    :param strict: raise :class:`~repro.exceptions.ParserError` on the
+        first malformed line or unknown event instead of counting it.
+    :param stats: counters to fill (a fresh object by default).
+    :raises ParserError: in strict mode on any irregularity; in either
+        mode (code ``empty_log``) when nothing survives parsing.
+    """
+    stats = stats if stats is not None else IngestStats()
+    app: _AppState | None = None
+    pending_properties: dict[str, FeatureValue] = {}
+    task_records: list[TaskRecord] = []
+    aggregates: dict[str, float] = {}
+
+    for raw_line in lines:
+        stats.lines += 1
+        line = raw_line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if strict:
+                raise ParserError(
+                    f"line {stats.lines}: not valid JSON: {exc}",
+                    code=PARSE_MALFORMED_LINE,
+                ) from exc
+            stats.skipped_lines += 1
+            continue
+        if not isinstance(obj, Mapping) or "Event" not in obj:
+            if strict:
+                raise ParserError(
+                    f"line {stats.lines}: not a Spark listener event object",
+                    code=PARSE_MALFORMED_LINE,
+                )
+            stats.skipped_lines += 1
+            continue
+        event_type = str(obj["Event"])
+        try:
+            if event_type == "SparkListenerApplicationStart":
+                app = _start_app(obj, app, pending_properties)
+                stats.events += 1
+            elif event_type == "SparkListenerEnvironmentUpdate":
+                properties = obj.get("Spark Properties")
+                if isinstance(properties, Mapping):
+                    target = app.features if app is not None else pending_properties
+                    apply_field_maps(properties, _SPARK_PROPERTY_MAPS, target)
+                stats.events += 1
+            elif event_type == "SparkListenerTaskEnd":
+                record = _task_record(obj, app, stats)
+                if record is not None:
+                    task_records.append(record)
+                    _aggregate(aggregates, record)
+                stats.events += 1
+            elif event_type == "SparkListenerApplicationEnd":
+                if app is not None:
+                    timestamp = obj.get("Timestamp")
+                    if isinstance(timestamp, (int, float)):
+                        app.end_ms = float(timestamp)
+                stats.events += 1
+            elif event_type in _IGNORED_EVENTS:
+                stats.events += 1
+            else:
+                if strict:
+                    raise ParserError(
+                        f"line {stats.lines}: unknown event type {event_type!r}",
+                        code=PARSE_UNKNOWN_EVENT,
+                    )
+                stats.unknown_events += 1
+        except ParserError:
+            if strict:
+                raise
+            stats.skipped_lines += 1
+
+    return _finalize(app, task_records, aggregates, strict, stats)
+
+
+def _start_app(
+    obj: Mapping[str, Any],
+    app: _AppState | None,
+    pending_properties: dict[str, FeatureValue],
+) -> _AppState:
+    app_id = obj.get("App ID")
+    if not isinstance(app_id, str) or not app_id:
+        raise ParserError(
+            "SparkListenerApplicationStart event is missing 'App ID'",
+            code=PARSE_MISSING_FIELD,
+        )
+    state = _AppState(app_id)
+    state.features.update(pending_properties)
+    apply_field_maps(obj, _APP_START_MAPS, state.features)
+    timestamp = obj.get("Timestamp")
+    if isinstance(timestamp, (int, float)):
+        state.start_ms = float(timestamp)
+    return state
+
+
+def _task_record(
+    obj: Mapping[str, Any], app: _AppState | None, stats: IngestStats
+) -> TaskRecord | None:
+    info = obj.get("Task Info")
+    if not isinstance(info, Mapping):
+        raise ParserError(
+            "SparkListenerTaskEnd event is missing 'Task Info'",
+            code=PARSE_MISSING_FIELD,
+        )
+    if info.get("Failed") is True or info.get("Killed") is True:
+        return None  # only successful executions belong in the log
+    task_number = to_int(info.get("Task ID"))
+    launch = info.get("Launch Time")
+    finish = info.get("Finish Time")
+    if (
+        task_number is None
+        or not isinstance(launch, (int, float))
+        or not isinstance(finish, (int, float))
+    ):
+        raise ParserError(
+            "SparkListenerTaskEnd event is missing task id or timing fields",
+            code=PARSE_MISSING_FIELD,
+        )
+    app_id = app.app_id if app is not None else "application_unknown"
+    features: dict[str, FeatureValue] = {"job_id": app_id}
+    apply_field_maps(info, _TASK_INFO_MAPS, features)
+    role = _TASK_TYPE_ROLES.get(str(obj.get("Task Type", "")))
+    features["task_type"] = role if role is not None else "MAP"
+    stage = to_int(obj.get("Stage ID"))
+    if stage is not None:
+        features["wave"] = stage
+
+    metrics = obj.get("Task Metrics")
+    if isinstance(metrics, Mapping):
+        apply_field_maps(metrics, _TASK_METRIC_MAPS, features)
+        read = metrics.get("Shuffle Read Metrics")
+        if isinstance(read, Mapping):
+            remote = to_int(read.get("Remote Bytes Read")) or 0
+            local = to_int(read.get("Local Bytes Read")) or 0
+            if remote or local:
+                features["shuffle_bytes"] = remote + local
+        for key in _EXTRA_TASK_METRICS:
+            value = to_int(metrics.get(key))
+            if value is not None:
+                features[canonical_counter_name("", key)] = value
+    else:
+        stats.missing_counters += 1
+
+    duration = max(0.0, (float(finish) - float(launch)) / 1000.0)
+    if (
+        features.get("task_type") == "REDUCE"
+        and "inputsize" not in features
+        and "shuffle_bytes" in features
+    ):
+        features["inputsize"] = features["shuffle_bytes"]
+    throughput = derive_throughput(features, duration)
+    if throughput is not None:
+        features["throughput"] = throughput
+    if app is not None:
+        app.task_count += 1
+    return TaskRecord(
+        task_id=f"{app_id}_task_{task_number:06d}",
+        job_id=app_id,
+        features=features,
+        duration=duration,
+    )
+
+
+def _aggregate(aggregates: dict[str, float], record: TaskRecord) -> None:
+    """Sum per-task volumes into what becomes the job's counters.
+
+    ``inputsize`` on a reduce-role task is the shuffle-read alias, not
+    external input, so only map-role tasks contribute to the job's input
+    volume.
+    """
+    pairs = [
+        ("shuffle_bytes", "shuffle_bytes"),
+        ("output_bytes", "hdfs_bytes_written"),
+        ("memory_bytes_spilled", "memory_bytes_spilled"),
+    ]
+    if record.features.get("task_type") == "MAP":
+        pairs.append(("inputsize", "inputsize"))
+        pairs.append(("input_records", "input_records"))
+    for source, target in pairs:
+        value = record.features.get(source)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            aggregates[target] = aggregates.get(target, 0.0) + float(value)
+
+
+def _finalize(
+    app: _AppState | None,
+    task_records: list[TaskRecord],
+    aggregates: dict[str, float],
+    strict: bool,
+    stats: IngestStats,
+) -> tuple[list[JobRecord], list[TaskRecord], IngestStats]:
+    job_records: list[JobRecord] = []
+    if app is not None:
+        if app.end_ms is None or app.start_ms is None:
+            if strict:
+                raise ParserError(
+                    f"application {app.app_id!r} has no "
+                    "SparkListenerApplicationEnd event (truncated file?)",
+                    code=PARSE_TRUNCATED_FILE,
+                )
+            stats.truncated_entities += 1
+            # The tasks still describe complete executions; keep them but
+            # detach the job record that would misstate its duration.
+        else:
+            features = dict(app.features)
+            for name, value in aggregates.items():
+                features.setdefault(name, int(value))
+            features.setdefault("num_map_tasks", app.task_count)
+            hosts = {
+                task.features.get("hostname")
+                for task in task_records
+                if task.features.get("hostname") is not None
+            }
+            if hosts:
+                features.setdefault("numinstances", len(hosts))
+            duration = max(0.0, (app.end_ms - app.start_ms) / 1000.0)
+            job_records.append(
+                JobRecord(job_id=app.app_id, features=features, duration=duration)
+            )
+
+    stats.jobs += len(job_records)
+    stats.tasks += len(task_records)
+    if not job_records and not task_records:
+        raise ParserError(
+            "no application or task survived parsing (empty or fully "
+            "truncated Spark event log)",
+            code=PARSE_EMPTY_LOG,
+        )
+    return job_records, task_records, stats

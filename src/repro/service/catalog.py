@@ -5,8 +5,9 @@ fronting a corpus of past executions that users query interactively.  The
 :class:`LogCatalog` is that corpus: execution logs are registered under
 names — either as in-memory :class:`~repro.logs.store.ExecutionLog`
 objects or as file paths loaded lazily on first query (any format
-:meth:`~repro.logs.store.ExecutionLog.load` accepts, including ``.jsonl``
-and ``.jsonl.gz``) — and every log gets exactly one long-lived
+:func:`~repro.ingest.load_execution_log` accepts — native ``.jsonl`` /
+``.jsonl.gz`` logs plus real Hadoop JobHistory and Spark event-log files,
+sniffed automatically) — and every log gets exactly one long-lived
 :class:`~repro.core.api.PerfXplainSession`, so the expensive intermediates
 (record blocks, training matrices, whole explanations) are shared across
 all traffic to that log.
@@ -27,6 +28,7 @@ from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.core.api import DEFAULT_CACHE_CAPACITY, PerfXplainSession
 from repro.exceptions import CatalogError, ReproError
+from repro.ingest import load_execution_log
 from repro.logs.store import ExecutionLog
 from repro.service.protocol import ErrorCode
 
@@ -42,6 +44,7 @@ class _CatalogEntry:
     path: Path | None = None
     log: ExecutionLog | None = None
     session: PerfXplainSession | None = None
+    source_format: str | None = None
     lock: threading.Lock = field(default_factory=threading.Lock)
 
 
@@ -79,9 +82,12 @@ class LogCatalog:
     def register_path(self, name: str, path: str | Path) -> None:
         """Register a log file to be loaded lazily on first query.
 
-        The file need not exist yet at registration time; a missing or
-        malformed file surfaces as a :class:`~repro.exceptions.CatalogError`
-        (code ``log_load_failed``) when the log is first needed.
+        The file's format (native JSONL, Hadoop JobHistory, Spark event
+        log) is sniffed when the log is first loaded; the detected format
+        shows up in :meth:`describe` as ``source_format``.  The file need
+        not exist yet at registration time; a missing or malformed file
+        surfaces as a :class:`~repro.exceptions.CatalogError` (code
+        ``log_load_failed``) when the log is first needed.
         """
         entry = _CatalogEntry(name=self._check_name(name), path=Path(path))
         self._add(entry)
@@ -174,7 +180,8 @@ class LogCatalog:
     def _load(self, entry: _CatalogEntry) -> ExecutionLog:
         assert entry.path is not None
         try:
-            return ExecutionLog.load(entry.path)
+            log, entry.source_format = load_execution_log(entry.path)
+            return log
         except ReproError as exc:
             raise CatalogError(
                 f"cannot load log {entry.name!r} from {entry.path}: {exc}",
@@ -207,6 +214,7 @@ class LogCatalog:
             snapshot[name] = {
                 "path": str(entry.path) if entry.path is not None else None,
                 "loaded": log is not None,
+                "source_format": entry.source_format,
                 "num_jobs": log.num_jobs if log is not None else None,
                 "num_tasks": log.num_tasks if log is not None else None,
                 "cache_stats": (

@@ -85,7 +85,15 @@ class TestPerfXplainFacade:
         assert explanation.technique == "PerfXplain"
 
     def test_all_techniques_available(self, perfxplain, job_query):
-        assert set(perfxplain.techniques()) == {"perfxplain", "ruleofthumb", "simbutdiff"}
+        available = set(perfxplain.techniques())
+        assert {"perfxplain", "ruleofthumb", "simbutdiff"} <= available
+        # The deterministic detectors register as first-class techniques.
+        assert {
+            "detect-skew",
+            "detect-straggler",
+            "detect-misconfig",
+            "detect-underuse",
+        } <= available
         for technique in ("perfxplain", "ruleofthumb", "simbutdiff"):
             explanation = perfxplain.explain(job_query, width=2, technique=technique)
             assert explanation.because is not None

@@ -1,0 +1,102 @@
+"""Detector/PerfXplain agreement across the scenario catalog.
+
+Every catalog scenario with a matching detector must (a) make that
+detector fire deterministically, (b) yield a detector explanation citing
+the scenario's declared ground truth, and (c) produce an agreement report
+against the learned explainer through :func:`score_agreement`.
+"""
+
+import json
+
+import pytest
+
+from repro.core.api import PerfXplain
+from repro.detectors import SCENARIO_DETECTORS, cited_features, score_agreement
+from repro.service import LogCatalog, PerfXplainService, QueryRequest, QueryResponse
+from repro.workloads.scenarios import build_scenario_log, get_scenario
+
+#: The seed the scenario end-to-end suite standardises on.
+SEED = 5
+
+PAIRS = sorted(
+    (scenario, detector)
+    for scenario, detectors in SCENARIO_DETECTORS.items()
+    for detector in detectors
+)
+
+
+@pytest.fixture(scope="module")
+def scenario_logs():
+    """Each mapped scenario's log, built once for the module."""
+    return {
+        name: build_scenario_log(get_scenario(name), seed=SEED)
+        for name in SCENARIO_DETECTORS
+    }
+
+
+class TestScenarioAgreement:
+    @pytest.mark.parametrize("scenario_name, detector", PAIRS)
+    def test_detector_cites_ground_truth(self, scenario_logs, scenario_name, detector):
+        scenario = get_scenario(scenario_name)
+        log = scenario_logs[scenario_name]
+        facade = PerfXplain(log, seed=1)
+        explanation = facade.explain(scenario.query(), technique=detector)
+        assert scenario.is_consistent(explanation), (
+            f"{detector} on {scenario_name} cited "
+            f"{sorted(cited_features(explanation))}, ground truth is "
+            f"{sorted(scenario.consistent_features)}"
+        )
+
+    @pytest.mark.parametrize("scenario_name, detector", PAIRS)
+    def test_detector_output_is_bit_identical(self, scenario_logs, scenario_name,
+                                              detector):
+        scenario = get_scenario(scenario_name)
+        log = scenario_logs[scenario_name]
+        first = PerfXplain(log, seed=1).explain(scenario.query(), technique=detector)
+        second = PerfXplain(log, seed=1).explain(scenario.query(), technique=detector)
+        assert first.to_json() == second.to_json()
+
+    @pytest.mark.parametrize("scenario_name, detector", PAIRS)
+    def test_detector_attaches_threshold_evidence(self, scenario_logs,
+                                                  scenario_name, detector):
+        scenario = get_scenario(scenario_name)
+        log = scenario_logs[scenario_name]
+        explanation = PerfXplain(log, seed=1).explain(
+            scenario.query(), technique=detector
+        )
+        assert explanation.metrics is not None
+        assert explanation.metrics.evidence, "detectors must show their thresholds"
+
+    @pytest.mark.parametrize("scenario_name, detector", PAIRS)
+    def test_agreement_report(self, scenario_logs, scenario_name, detector):
+        scenario = get_scenario(scenario_name)
+        report = score_agreement(
+            scenario_logs[scenario_name], scenario.query(), detector, seed=1
+        )
+        assert report.detector == detector
+        assert report.learned == "perfxplain"
+        assert report.detector_features
+        assert 0.0 <= report.jaccard <= 1.0
+        assert report.shared_features <= report.detector_features
+        json.dumps(report.to_dict())  # wire-compatible
+        # Both sides answered the SAME resolved pair.
+        assert report.query == str(PerfXplain(
+            scenario_logs[scenario_name], seed=1
+        ).resolve(scenario.query()))
+
+
+class TestServiceIntegration:
+    def test_detectors_answer_valid_protocol_responses(self, scenario_logs):
+        log = scenario_logs["data-skew"]
+        catalog = LogCatalog(seed=1)
+        catalog.register("skew", log)
+        with PerfXplainService(catalog) as service:
+            scenario = get_scenario("data-skew")
+            response = service.execute(QueryRequest(
+                log="skew", query=str(scenario.query()), technique="detect-skew",
+            ))
+        assert isinstance(response, QueryResponse)
+        payload = json.loads(json.dumps(response.to_dict()))
+        metrics = payload["entry"]["explanation"]["metrics"]
+        assert metrics["evidence"]["skew_threshold"] == 2.0
+        assert payload["entry"]["explanation"]["technique"] == "detect-skew"

@@ -1,0 +1,22 @@
+"""Shared paths for the ingestion tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).resolve().parent.parent / "logs" / "fixtures"
+
+JHIST_FIXTURE = FIXTURES / "job_201207121733_0001.jhist"
+SPARK_FIXTURE = FIXTURES / "app-20260807101530-0001.eventlog"
+
+
+@pytest.fixture(scope="session")
+def jhist_path() -> Path:
+    return JHIST_FIXTURE
+
+
+@pytest.fixture(scope="session")
+def spark_path() -> Path:
+    return SPARK_FIXTURE

@@ -1,0 +1,203 @@
+"""Golden round-trip and hardening tests for the Hadoop JobHistory adapter."""
+
+import json
+
+import pytest
+
+from repro.exceptions import (
+    PARSE_EMPTY_LOG,
+    PARSE_MALFORMED_LINE,
+    PARSE_TRUNCATED_FILE,
+    PARSE_UNKNOWN_EVENT,
+    ParserError,
+)
+from pathlib import Path
+
+from repro.ingest import parse_hadoop_jhist
+
+JHIST_FIXTURE = (
+    Path(__file__).resolve().parent.parent / "logs" / "fixtures"
+    / "job_201207121733_0001.jhist"
+)
+
+JOB_ID = "job_201207121733_0001"
+
+
+def _fixture_lines():
+    return JHIST_FIXTURE.read_text(encoding="utf-8").splitlines()
+
+
+@pytest.fixture(scope="module")
+def parsed():
+    return parse_hadoop_jhist(_fixture_lines())
+
+
+class TestGoldenRoundTrip:
+    def test_stats_are_clean(self, parsed):
+        _, _, stats = parsed
+        assert stats.clean
+        assert stats.to_dict() == {
+            "lines": 23, "events": 21, "skipped_lines": 0,
+            "unknown_events": 0, "truncated_entities": 0,
+            "missing_counters": 0, "jobs": 1, "tasks": 6,
+        }
+
+    def test_job_record_is_exactly_canonical(self, parsed):
+        jobs, _, _ = parsed
+        (job,) = jobs
+        assert job.job_id == JOB_ID
+        assert job.duration == 50.0  # finishTime - submitTime, ms -> s
+        assert job.features == {
+            "pig_script": "grep.pig",
+            "user_name": "alice",
+            "submit_time": 1342000000.0,
+            "start_time": 1342000002.0,
+            "num_map_tasks": 4,
+            "num_reduce_tasks": 2,
+            "hdfs_bytes_read": 939524096,
+            "hdfs_bytes_written": 167772160,
+            "map_input_records": 7000000,
+            "shuffle_bytes": 377487360,  # REDUCE_SHUFFLE_BYTES alias
+            "spilled_records": 5750000,
+            "inputsize": 939524096,  # derived from hdfs_bytes_read
+            "input_records": 7000000,  # derived from map_input_records
+        }
+
+    def test_every_task_has_id_duration_and_job_link(self, parsed):
+        _, tasks, _ = parsed
+        by_id = {task.task_id: task for task in tasks}
+        assert sorted(by_id) == [
+            f"task_201207121733_0001_m_{i:06d}" for i in range(4)
+        ] + [f"task_201207121733_0001_r_{i:06d}" for i in range(2)]
+        durations = {t.task_id.rsplit("_", 2)[-2:][0] + t.task_id[-1]: t.duration
+                     for t in tasks}
+        assert durations == {"m0": 10.0, "m1": 11.0, "m2": 12.0, "m3": 30.0,
+                             "r0": 12.0, "r1": 30.0}
+        assert all(task.job_id == JOB_ID for task in tasks)
+
+    def test_map_task_record_is_exactly_canonical(self, parsed):
+        _, tasks, _ = parsed
+        task = next(t for t in tasks if t.task_id.endswith("m_000000"))
+        assert task.duration == 10.0
+        assert task.features == {
+            "job_id": JOB_ID,
+            "task_type": "MAP",
+            "start_time": 1342000003.0,
+            "taskfinishtime": 1342000013.0,
+            "hostname": "host-01",
+            "rack_name": "/rack-1",
+            "hdfs_bytes_read": 134217728,
+            "map_input_records": 1000000,
+            "map_output_bytes": 52428800,
+            "map_output_records": 500000,
+            "spilled_records": 500000,
+            "inputsize": 134217728,
+            "input_records": 1000000,
+            "output_bytes": 52428800,
+            "output_records": 500000,
+            "throughput": 134217728 / 10.0,
+        }
+
+    def test_reduce_task_uses_shuffle_alias(self, parsed):
+        _, tasks, _ = parsed
+        task = next(t for t in tasks if t.task_id.endswith("r_000001"))
+        assert task.duration == 30.0
+        assert task.features == {
+            "job_id": JOB_ID,
+            "task_type": "REDUCE",
+            "start_time": 1342000015.0,
+            "taskfinishtime": 1342000045.0,
+            "hostname": "host-02",
+            "rack_name": "/rack-1",
+            "shuffle_bytes": 283115520,  # REDUCE_SHUFFLE_BYTES alias
+            "reduce_input_records": 2250000,
+            "reduce_output_records": 1200000,
+            "hdfs_bytes_written": 125829120,
+            "spilled_records": 2250000,
+            "inputsize": 283115520,  # reduce input = shuffled bytes
+            "input_records": 2250000,
+            "output_bytes": 125829120,
+            "output_records": 1200000,
+            "throughput": 283115520 / 30.0,
+        }
+
+
+class TestMalformedInput:
+    def test_bad_json_line_is_counted_not_silently_dropped(self):
+        lines = _fixture_lines() + ["{not json"]
+        _, _, stats = parse_hadoop_jhist(lines)
+        assert stats.skipped_lines == 1
+        assert not stats.clean
+
+    def test_bad_json_line_raises_in_strict_mode(self):
+        lines = _fixture_lines() + ["{not json"]
+        with pytest.raises(ParserError) as error:
+            parse_hadoop_jhist(lines, strict=True)
+        assert error.value.code == PARSE_MALFORMED_LINE
+
+    def test_non_event_object_is_malformed(self):
+        lines = _fixture_lines() + [json.dumps({"no_type": 1})]
+        _, _, stats = parse_hadoop_jhist(lines)
+        assert stats.skipped_lines == 1
+        with pytest.raises(ParserError) as error:
+            parse_hadoop_jhist(lines, strict=True)
+        assert error.value.code == PARSE_MALFORMED_LINE
+
+    def test_unknown_event_type_is_counted(self):
+        lines = _fixture_lines() + [
+            json.dumps({"type": "JOB_TELEPORTED", "event": {"x": {"jobid": JOB_ID}}})
+        ]
+        jobs, tasks, stats = parse_hadoop_jhist(lines)
+        assert stats.unknown_events == 1
+        assert len(jobs) == 1 and len(tasks) == 6  # parsing continued
+
+    def test_unknown_event_type_raises_in_strict_mode(self):
+        lines = _fixture_lines() + [
+            json.dumps({"type": "JOB_TELEPORTED", "event": {"x": {"jobid": JOB_ID}}})
+        ]
+        with pytest.raises(ParserError) as error:
+            parse_hadoop_jhist(lines, strict=True)
+        assert error.value.code == PARSE_UNKNOWN_EVENT
+
+    def test_truncated_file_drops_job_and_its_tasks(self):
+        lines = [line for line in _fixture_lines()
+                 if '"type":"JOB_FINISHED"' not in line]
+        with pytest.raises(ParserError) as error:
+            # Without a finished job, the orphaned tasks are dropped too and
+            # nothing survives: that is an empty log, never a silent success.
+            parse_hadoop_jhist(lines)
+        assert error.value.code == PARSE_EMPTY_LOG
+
+    def test_truncated_file_raises_in_strict_mode(self):
+        lines = [line for line in _fixture_lines()
+                 if '"type":"JOB_FINISHED"' not in line]
+        with pytest.raises(ParserError) as error:
+            parse_hadoop_jhist(lines, strict=True)
+        assert error.value.code == PARSE_TRUNCATED_FILE
+
+    def test_truncated_task_is_dropped_with_count(self):
+        lines = _fixture_lines() + [json.dumps({
+            "type": "TASK_STARTED",
+            "event": {"w": {"taskid": "task_201207121733_0001_m_000009",
+                            "taskType": "MAP", "startTime": 1342000003000}},
+        })]
+        jobs, tasks, stats = parse_hadoop_jhist(lines)
+        assert len(jobs) == 1 and len(tasks) == 6
+        assert stats.truncated_entities == 1
+
+    def test_empty_input_is_an_error_not_an_empty_log(self):
+        with pytest.raises(ParserError) as error:
+            parse_hadoop_jhist(["Avro-Json", ""])
+        assert error.value.code == PARSE_EMPTY_LOG
+
+    def test_missing_counters_are_counted(self):
+        lines = [
+            json.dumps({"type": "JOB_SUBMITTED", "event": {"w": {
+                "jobid": JOB_ID, "jobName": "x", "submitTime": 1000}}}),
+            json.dumps({"type": "JOB_FINISHED", "event": {"w": {
+                "jobid": JOB_ID, "finishTime": 2000}}}),
+        ]
+        jobs, _, stats = parse_hadoop_jhist(lines)
+        assert len(jobs) == 1
+        assert stats.missing_counters == 1
+        assert "_no_counters" not in jobs[0].features

@@ -1,0 +1,158 @@
+"""Format sniffing, ingest_path provenance, and end-to-end ingestion tests."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.core.api import PerfXplain
+from repro.exceptions import PARSE_UNKNOWN_FORMAT, ParserError
+from repro.ingest import (
+    HADOOP_JHIST,
+    SPARK_EVENTLOG,
+    ingest_path,
+    load_execution_log,
+    sniff_format,
+)
+from repro.ingest.loader import NATIVE_JSON, NATIVE_JSONL
+from repro.logs.store import ExecutionLog
+from repro.service import LogCatalog, PerfXplainHTTPServer, PerfXplainService
+
+TASK_QUERY = """
+    FOR TASKS ?, ?
+    DESPITE job_id_isSame = T AND task_type_isSame = T
+    OBSERVED duration_compare = GT
+    EXPECTED duration_compare = SIM
+"""
+
+
+class TestSniffing:
+    def test_sniffs_hadoop_jhist(self, jhist_path):
+        assert sniff_format(jhist_path) == HADOOP_JHIST
+
+    def test_sniffs_spark_eventlog(self, spark_path):
+        assert sniff_format(spark_path) == SPARK_EVENTLOG
+
+    def test_sniffs_native_formats(self, tmp_path, tiny_log):
+        jsonl = tmp_path / "log.jsonl"
+        tiny_log.save(jsonl)
+        assert sniff_format(jsonl) == NATIVE_JSONL
+        document = tmp_path / "log.json"
+        tiny_log.save(document)
+        assert sniff_format(document) == NATIVE_JSON
+
+    def test_sniffs_through_gzip(self, tmp_path, jhist_path):
+        import gzip
+
+        packed = tmp_path / "job.jhist.gz"
+        packed.write_bytes(gzip.compress(jhist_path.read_bytes()))
+        assert sniff_format(packed) == HADOOP_JHIST
+
+    def test_unknown_format_is_a_parser_error(self, tmp_path):
+        mystery = tmp_path / "mystery.log"
+        mystery.write_text("once upon a time\n", encoding="utf-8")
+        with pytest.raises(ParserError) as error:
+            sniff_format(mystery)
+        assert error.value.code == PARSE_UNKNOWN_FORMAT
+
+
+class TestIngestPath:
+    def test_stamps_provenance_on_every_record(self, jhist_path):
+        result = ingest_path(jhist_path)
+        assert result.source_format == HADOOP_JHIST
+        for record in list(result.log.jobs) + list(result.log.tasks):
+            assert record.features["source_format"] == HADOOP_JHIST
+            assert record.features["source_path"] == str(jhist_path)
+
+    def test_result_serializes(self, spark_path):
+        result = ingest_path(spark_path)
+        data = json.loads(json.dumps(result.to_dict()))
+        assert data["source_format"] == SPARK_EVENTLOG
+        assert data["stats"]["tasks"] == 8
+
+    def test_explicit_format_overrides_sniffing(self, spark_path):
+        result = ingest_path(spark_path, format=SPARK_EVENTLOG)
+        assert result.stats.jobs == 1
+
+    def test_load_execution_log_keeps_native_logs_unstamped(self, tmp_path, tiny_log):
+        path = tmp_path / "log.jsonl"
+        tiny_log.save(path)
+        log, source_format = load_execution_log(path)
+        assert source_format == NATIVE_JSONL
+        assert log.num_jobs == tiny_log.num_jobs
+        assert "source_format" not in log.jobs[0].features
+
+
+class TestEndToEndQueries:
+    def test_both_fixtures_answer_a_task_query(self, jhist_path, spark_path):
+        for path in (jhist_path, spark_path):
+            log = ingest_path(path).log
+            facade = PerfXplain(log, seed=0)
+            explanation = facade.explain(TASK_QUERY)
+            assert explanation.because.atoms  # a real, non-empty explanation
+
+    def test_cli_ingest_then_explain(self, tmp_path, jhist_path, capsys):
+        native = tmp_path / "ingested.jsonl"
+        assert main(["ingest", "--input", str(jhist_path),
+                     "--output", str(native)]) == 0
+        assert ExecutionLog.load(native).num_tasks == 6
+        query = tmp_path / "query.pxql"
+        query.write_text(TASK_QUERY, encoding="utf-8")
+        assert main(["explain", "--log", str(native),
+                     "--query", str(query)]) == 0
+        assert "BECAUSE" in capsys.readouterr().out
+
+    def test_cli_explain_reads_real_logs_directly(self, spark_path, tmp_path, capsys):
+        query = tmp_path / "query.pxql"
+        query.write_text(TASK_QUERY, encoding="utf-8")
+        assert main(["explain", "--log", str(spark_path),
+                     "--query", str(query)]) == 0
+        assert "BECAUSE" in capsys.readouterr().out
+
+    def test_cli_ingest_strict_flag_fails_on_dirty_input(self, tmp_path, jhist_path):
+        dirty = tmp_path / "dirty.jhist"
+        dirty.write_text(jhist_path.read_text(encoding="utf-8") + "{oops\n",
+                         encoding="utf-8")
+        assert main(["ingest", "--input", str(dirty),
+                     "--output", str(tmp_path / "out.jsonl")]) == 0
+        assert main(["ingest", "--input", str(dirty), "--strict",
+                     "--output", str(tmp_path / "out2.jsonl")]) == 1
+
+
+class TestCatalogIntegration:
+    def test_register_path_sniffs_and_reports_source_format(self, jhist_path):
+        catalog = LogCatalog()
+        catalog.register_path("prod", jhist_path)
+        assert catalog.describe()["prod"]["source_format"] is None  # not loaded yet
+        assert catalog.log("prod").num_tasks == 6
+        described = catalog.describe()["prod"]
+        assert described["loaded"] is True
+        assert described["source_format"] == HADOOP_JHIST
+
+    def test_service_logs_endpoint_reports_source_format(self, spark_path):
+        catalog = LogCatalog()
+        catalog.register_path("spark", spark_path)
+        with PerfXplainService(catalog) as service:
+            catalog.log("spark")
+            with PerfXplainHTTPServer(service, port=0) as server:
+                with urllib.request.urlopen(server.url + "/v1/logs",
+                                            timeout=30) as reply:
+                    payload = json.loads(reply.read().decode("utf-8"))
+        assert payload["logs"]["spark"]["source_format"] == SPARK_EVENTLOG
+
+    def test_detector_technique_through_the_service(self, jhist_path):
+        from repro.service import QueryRequest, QueryResponse
+
+        catalog = LogCatalog()
+        catalog.register_path("real", jhist_path)
+        with PerfXplainService(catalog) as service:
+            response = service.execute(QueryRequest(
+                log="real", query=TASK_QUERY, technique="detect-skew",
+            ))
+        assert isinstance(response, QueryResponse)
+        explanation = response.entry.explanation
+        assert explanation.technique == "detect-skew"
+        evidence = dict(explanation.metrics.evidence)
+        assert evidence["skew_threshold"] == 2.0
+        assert evidence["skew_ratio"] >= 2.0

@@ -1,0 +1,111 @@
+"""Unit tests for the declarative field-mapping layer."""
+
+import pytest
+
+from repro.ingest import (
+    FieldMap,
+    canonical_counter_name,
+    lookup_path,
+    millis_to_seconds,
+)
+from repro.ingest.mapping import (
+    apply_field_maps,
+    derive_throughput,
+    to_float,
+    to_int,
+    to_str,
+)
+
+
+class TestLookupPath:
+    def test_plain_key(self):
+        assert lookup_path({"a": 1}, "a") == 1
+
+    def test_nested_path(self):
+        assert lookup_path({"Task Info": {"Host": "exec-a"}}, "Task Info.Host") == "exec-a"
+
+    def test_literal_dotted_key_wins_over_traversal(self):
+        # Spark property dictionaries are flat with dotted key names.
+        payload = {"spark.executor.instances": "4", "spark": {"executor": {"instances": "9"}}}
+        assert lookup_path(payload, "spark.executor.instances") == "4"
+
+    def test_missing_hop_is_none(self):
+        assert lookup_path({"a": {"b": 1}}, "a.c") is None
+        assert lookup_path({"a": 1}, "a.b") is None
+        assert lookup_path({}, "a") is None
+
+
+class TestConverters:
+    def test_millis_to_seconds(self):
+        assert millis_to_seconds(1342000000000) == 1342000000.0
+        assert millis_to_seconds(1500) == 1.5
+        assert millis_to_seconds("1500") is None
+        assert millis_to_seconds(True) is None
+
+    def test_to_int_accepts_numeric_strings(self):
+        assert to_int("4") == 4
+        assert to_int(" 4 ") == 4
+        assert to_int(4.9) == 4
+        assert to_int("four") is None
+        assert to_int(True) is None
+
+    def test_to_float(self):
+        assert to_float("1.5") == 1.5
+        assert to_float(2) == 2.0
+        assert to_float("x") is None
+        assert to_float(False) is None
+
+    def test_to_str_rejects_containers(self):
+        assert to_str(12) == "12"
+        assert to_str({"a": 1}) is None
+        assert to_str([1]) is None
+        assert to_str(None) is None
+
+
+class TestFieldMap:
+    def test_extract_applies_conversion(self):
+        fm = FieldMap("submitTime", "submit_time", millis_to_seconds)
+        assert fm.extract({"submitTime": 2000}) == 2.0
+
+    def test_extract_missing_source_is_none(self):
+        fm = FieldMap("submitTime", "submit_time", millis_to_seconds)
+        assert fm.extract({}) is None
+
+    def test_extract_without_conversion_drops_containers(self):
+        fm = FieldMap("counters", "counters")
+        assert fm.extract({"counters": {"a": 1}}) is None
+
+    def test_apply_field_maps_never_clobbers_with_none(self):
+        maps = (FieldMap("host", "hostname", to_str),)
+        into = {"hostname": "host-01"}
+        apply_field_maps({}, maps, into)
+        assert into == {"hostname": "host-01"}
+        apply_field_maps({"host": "host-02"}, maps, into)
+        assert into == {"hostname": "host-02"}
+
+
+class TestCounterNames:
+    @pytest.mark.parametrize(
+        "group, name, expected",
+        [
+            ("FileSystemCounter", "FILE_BYTES_READ", "file_bytes_read"),
+            ("TaskCounter", "SPILLED_RECORDS", "spilled_records"),
+            ("", "Memory Bytes Spilled", "memory_bytes_spilled"),
+            ("", "Disk Bytes Spilled", "disk_bytes_spilled"),
+            ("x", "a.b-c d", "a_b_c_d"),
+        ],
+    )
+    def test_canonical_counter_name(self, group, name, expected):
+        assert canonical_counter_name(group, name) == expected
+
+
+class TestDerivedThroughput:
+    def test_uses_inputsize(self):
+        assert derive_throughput({"inputsize": 100}, 4.0) == 25.0
+
+    def test_falls_back_to_hdfs_bytes_read(self):
+        assert derive_throughput({"hdfs_bytes_read": 100}, 4.0) == 25.0
+
+    def test_none_without_volume_or_duration(self):
+        assert derive_throughput({}, 4.0) is None
+        assert derive_throughput({"inputsize": 100}, 0.0) is None

@@ -1,0 +1,87 @@
+"""Provenance stamps must never leak into schemas or explanations.
+
+Ingested records carry ``source_format`` and ``source_path`` so operators
+can trace every record to its file — but an explanation citing
+``source_format_isSame = F`` would be useless.  These tests build a log
+where the provenance stamp correlates *perfectly* with the duration
+difference and prove the explainer still cannot cite it.
+"""
+
+import random
+
+from repro.core.api import PerfXplain
+from repro.core.features import DEFAULT_EXCLUDED_FEATURES, infer_schema
+from repro.core.pairs import raw_feature_of
+from repro.logs.records import JobRecord
+from repro.logs.store import ExecutionLog
+
+PROVENANCE = ("source_format", "source_path")
+
+QUERY = """
+    FOR JOBS ?, ?
+    DESPITE pig_script_isSame = T
+    OBSERVED duration_compare = GT
+    EXPECTED duration_compare = SIM
+"""
+
+
+def _adversarial_log() -> ExecutionLog:
+    """Slow jobs are all 'hadoop-jhist', fast jobs all 'spark-eventlog'.
+
+    The stamp is a perfect predictor of slowness; only the exclusion
+    mechanism keeps it out of the explanation.
+    """
+    rng = random.Random(3)
+    jobs = []
+    for index in range(24):
+        slow = index % 2 == 0
+        jobs.append(JobRecord(
+            job_id=f"job_{index:04d}",
+            duration=(100.0 if slow else 10.0) + rng.uniform(0.0, 2.0),
+            features={
+                "pig_script": "grep.pig",
+                "numinstances": 10 if slow else 50,
+                "inputsize": 1 << 30,
+                "source_format": "hadoop-jhist" if slow else "spark-eventlog",
+                "source_path": f"/logs/{'slow' if slow else 'fast'}/{index}.log",
+            },
+        ))
+    log = ExecutionLog()
+    log.extend(jobs=jobs)
+    return log
+
+
+class TestProvenanceExclusion:
+    def test_default_excluded_features_cover_provenance(self):
+        assert set(PROVENANCE) <= set(DEFAULT_EXCLUDED_FEATURES)
+
+    def test_inferred_schema_never_contains_provenance(self):
+        schema = infer_schema(_adversarial_log().jobs)
+        for name in PROVENANCE:
+            assert name not in schema
+
+    def test_explanations_can_never_cite_provenance(self):
+        facade = PerfXplain(_adversarial_log(), seed=0)
+        for technique in ("perfxplain", "ruleofthumb", "simbutdiff"):
+            explanation = facade.explain(QUERY, technique=technique)
+            cited = {raw_feature_of(atom.feature)
+                     for atom in explanation.because.atoms}
+            cited |= {raw_feature_of(atom.feature)
+                      for atom in explanation.despite.atoms}
+            assert not cited & set(PROVENANCE), (
+                f"{technique} cited a provenance stamp: {cited}"
+            )
+
+    def test_ingested_fixture_explanations_never_cite_provenance(self, jhist_path):
+        from repro.ingest import ingest_path
+
+        facade = PerfXplain(ingest_path(jhist_path).log, seed=0)
+        explanation = facade.explain(
+            "FOR TASKS ?, ?\n"
+            "DESPITE job_id_isSame = T\n"
+            "OBSERVED duration_compare = GT\n"
+            "EXPECTED duration_compare = SIM"
+        )
+        cited = {raw_feature_of(atom.feature)
+                 for atom in explanation.because.atoms}
+        assert not cited & set(PROVENANCE)

@@ -1,0 +1,189 @@
+"""Golden round-trip and hardening tests for the Spark event-log adapter."""
+
+import json
+
+import pytest
+
+from repro.exceptions import (
+    PARSE_EMPTY_LOG,
+    PARSE_MALFORMED_LINE,
+    PARSE_MISSING_FIELD,
+    PARSE_TRUNCATED_FILE,
+    PARSE_UNKNOWN_EVENT,
+    ParserError,
+)
+from pathlib import Path
+
+from repro.ingest import parse_spark_eventlog
+
+SPARK_FIXTURE = (
+    Path(__file__).resolve().parent.parent / "logs" / "fixtures"
+    / "app-20260807101530-0001.eventlog"
+)
+
+APP_ID = "app-20260807101530-0001"
+
+
+def _fixture_lines():
+    return SPARK_FIXTURE.read_text(encoding="utf-8").splitlines()
+
+
+@pytest.fixture(scope="module")
+def parsed():
+    return parse_spark_eventlog(_fixture_lines())
+
+
+class TestGoldenRoundTrip:
+    def test_stats_are_clean(self, parsed):
+        _, _, stats = parsed
+        assert stats.clean
+        assert stats.to_dict() == {
+            "lines": 16, "events": 16, "skipped_lines": 0,
+            "unknown_events": 0, "truncated_entities": 0,
+            "missing_counters": 0, "jobs": 1, "tasks": 8,
+        }
+
+    def test_job_record_is_exactly_canonical(self, parsed):
+        jobs, _, _ = parsed
+        (job,) = jobs
+        assert job.job_id == APP_ID
+        assert job.duration == 60.0  # ApplicationStart -> ApplicationEnd
+        assert job.features == {
+            "pig_script": "wordcount",
+            "user_name": "bob",
+            "submit_time": 1754550000.0,
+            # Spark properties, seen before ApplicationStart.
+            "numinstances": 4,
+            "executor_cores": 2,
+            "num_reduce_tasks": 3,
+            # Aggregated from the map-role tasks only.
+            "inputsize": 4 * 67108864 + 268435456,
+            "input_records": 4 * 600000 + 2400000,
+            # Aggregated from every successful task.
+            "shuffle_bytes": 2 * 67108864 + 234881024,
+            "hdfs_bytes_written": 2 * 33554432 + 134217728,
+            "memory_bytes_spilled": 268435456,
+            "num_map_tasks": 8,
+        }
+
+    def test_map_task_record_is_exactly_canonical(self, parsed):
+        _, tasks, _ = parsed
+        task = next(t for t in tasks if t.task_id.endswith("000000"))
+        assert task.job_id == APP_ID
+        assert task.duration == 8.0
+        assert task.features == {
+            "job_id": APP_ID,
+            "task_type": "MAP",  # ShuffleMapTask plays the map role
+            "hostname": "exec-a",
+            "attempts": 0,
+            "start_time": 1754550005.0,
+            "taskfinishtime": 1754550013.0,
+            "wave": 0,  # Stage ID
+            "inputsize": 67108864,
+            "input_records": 600000,
+            "shuffle_bytes_written": 33554432,
+            "shuffle_records_written": 300000,
+            "executor_run_time": 7.5,
+            "executor_deserialize_time": 0.2,
+            "jvm_gc_time": 0.2,
+            "throughput": 67108864 / 8.0,
+        }
+
+    def test_reduce_task_record_is_exactly_canonical(self, parsed):
+        _, tasks, _ = parsed
+        task = next(t for t in tasks if t.task_id.endswith("000007"))
+        assert task.duration == 22.0
+        assert task.features == {
+            "job_id": APP_ID,
+            "task_type": "REDUCE",  # ResultTask plays the reduce role
+            "hostname": "exec-d",
+            "attempts": 0,
+            "start_time": 1754550030.0,
+            "taskfinishtime": 1754550052.0,
+            "wave": 1,
+            "shuffle_bytes": 201326592 + 33554432,  # remote + local read
+            "inputsize": 201326592 + 33554432,  # reduce input = shuffle read
+            "output_bytes": 134217728,
+            "output_records": 1200000,
+            "executor_run_time": 21.5,
+            "jvm_gc_time": 3.2,
+            "memory_bytes_spilled": 268435456,
+            "disk_bytes_spilled": 134217728,
+            "result_size": 4096,
+            "throughput": (201326592 + 33554432) / 22.0,
+        }
+
+    def test_failed_and_killed_tasks_are_excluded(self):
+        failed = json.dumps({
+            "Event": "SparkListenerTaskEnd", "Stage ID": 0,
+            "Task Type": "ShuffleMapTask",
+            "Task Info": {"Task ID": 99, "Host": "exec-x", "Failed": True,
+                          "Killed": False, "Launch Time": 1, "Finish Time": 2},
+        })
+        _, tasks, _ = parse_spark_eventlog(_fixture_lines() + [failed])
+        assert len(tasks) == 8
+        assert not any(t.task_id.endswith("000099") for t in tasks)
+
+
+class TestMalformedInput:
+    def test_bad_json_line_is_counted(self):
+        _, _, stats = parse_spark_eventlog(_fixture_lines() + ["{oops"])
+        assert stats.skipped_lines == 1
+        assert not stats.clean
+
+    def test_bad_json_line_raises_in_strict_mode(self):
+        with pytest.raises(ParserError) as error:
+            parse_spark_eventlog(_fixture_lines() + ["{oops"], strict=True)
+        assert error.value.code == PARSE_MALFORMED_LINE
+
+    def test_unknown_event_is_counted_and_strict_raises(self):
+        extra = json.dumps({"Event": "SparkListenerWormhole"})
+        _, _, stats = parse_spark_eventlog(_fixture_lines() + [extra])
+        assert stats.unknown_events == 1
+        with pytest.raises(ParserError) as error:
+            parse_spark_eventlog(_fixture_lines() + [extra], strict=True)
+        assert error.value.code == PARSE_UNKNOWN_EVENT
+
+    def test_task_end_missing_timing_is_skipped_or_strict_error(self):
+        broken = json.dumps({
+            "Event": "SparkListenerTaskEnd", "Stage ID": 0,
+            "Task Type": "ShuffleMapTask",
+            "Task Info": {"Task ID": 50, "Host": "exec-x"},
+        })
+        _, tasks, stats = parse_spark_eventlog(_fixture_lines() + [broken])
+        assert len(tasks) == 8
+        assert stats.skipped_lines == 1
+        with pytest.raises(ParserError) as error:
+            parse_spark_eventlog(_fixture_lines() + [broken], strict=True)
+        assert error.value.code == PARSE_MISSING_FIELD
+
+    def test_truncated_log_keeps_tasks_but_drops_the_job(self):
+        lines = [line for line in _fixture_lines()
+                 if "SparkListenerApplicationEnd" not in line]
+        jobs, tasks, stats = parse_spark_eventlog(lines)
+        assert jobs == []  # its duration would be a lie
+        assert len(tasks) == 8  # the finished tasks are still real
+        assert stats.truncated_entities == 1
+
+    def test_truncated_log_raises_in_strict_mode(self):
+        lines = [line for line in _fixture_lines()
+                 if "SparkListenerApplicationEnd" not in line]
+        with pytest.raises(ParserError) as error:
+            parse_spark_eventlog(lines, strict=True)
+        assert error.value.code == PARSE_TRUNCATED_FILE
+
+    def test_empty_input_is_an_error(self):
+        with pytest.raises(ParserError) as error:
+            parse_spark_eventlog([])
+        assert error.value.code == PARSE_EMPTY_LOG
+
+    def test_task_without_metrics_counts_missing_counters(self):
+        lines = _fixture_lines() + [json.dumps({
+            "Event": "SparkListenerTaskEnd", "Stage ID": 0,
+            "Task Type": "ShuffleMapTask",
+            "Task Info": {"Task ID": 60, "Host": "exec-x", "Launch Time": 1754550005000,
+                          "Finish Time": 1754550006000},
+        })]
+        _, tasks, stats = parse_spark_eventlog(lines)
+        assert len(tasks) == 9
+        assert stats.missing_counters == 1
