@@ -1,0 +1,261 @@
+"""Large-log throughput and memory: sharded kernels and the spill path.
+
+End-to-end ``construct_training_matrix`` on a synthetic 100k-task log —
+the scale real MapReduce clusters emit, an order of magnitude past the
+pair-pipeline benchmark.  Tasks arrive in blocking groups of ~25 replicas
+(same script/operator/similar input size), so the candidate space is ~2.4M
+ordered pairs and the CRC32 cap does real work.
+
+Two floors are asserted:
+
+* **speedup** — fanning pair-kernel batches across a
+  ``ProcessPoolExecutor`` (``workers=N``) against the single-process
+  kernel path, outputs asserted identical first.  The floor only applies
+  where the hardware can deliver it: 2x locally with >= 4 cores, 1.3x on
+  CI runners with >= 2 cores, and on fewer cores the identity checks still
+  run but the wall-clock floor is skipped (a one-core container cannot
+  speed anything up by forking).
+* **memory ceiling** — the spill path (chunked blocks, 6-chunk resident
+  working set) explains the same log end-to-end under an asserted
+  tracemalloc peak.  The in-memory layout peaks at ~59 MB on this
+  workload (fully-resident encoded columns); the spill path measures
+  ~39 MB, and the ceiling is asserted at 48 MB so a regression that quietly
+  re-materialises whole columns fails the job.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+import tracemalloc
+
+import pytest
+
+from repro.core.examples import construct_training_matrix
+from repro.core.features import FeatureKind, FeatureSchema
+from repro.core.pxql.ast import Comparison, Operator, Predicate
+from repro.core.pxql.query import EntityKind, PXQLQuery
+from repro.logs.records import TaskRecord
+from repro.logs.store import ExecutionLog
+
+TASKS = 100_000
+GROUP_SIZE = 25
+
+#: Candidate cap for the speedup runs: large enough that batch evaluation
+#: (the sharded part) dominates candidate enumeration (the serial part).
+SPEEDUP_CAP = 150_000
+
+#: Candidate cap for the (tracemalloc-instrumented, hence slower) memory
+#: runs: the ceiling is about resident columns, not evaluated pairs.
+MEMORY_CAP = 10_000
+
+#: Asserted tracemalloc peak for the spill path, in MB.  The in-memory
+#: layout peaks at ~59 MB on this log; the spill path measures ~39 MB.
+MEMORY_CEILING_MB = 48.0
+
+CHUNK_ROWS = 16_384
+RESIDENT_CHUNKS = 6
+
+
+def _speedup_floor() -> float | None:
+    """The asserted sharding speedup, or ``None`` if hardware can't."""
+    cores = os.cpu_count() or 1
+    if os.environ.get("CI"):
+        return 1.3 if cores >= 2 else None
+    return 2.0 if cores >= 4 else None
+
+
+@pytest.fixture(scope="module")
+def large_log():
+    """100k tasks in ~4000 blocking groups of ~25 noisy replicas each."""
+    rng = random.Random(0)
+    log = ExecutionLog()
+    hosts = [f"host-{index}" for index in range(40)]
+    operators = ("MAP", "REDUCE", "FILTER", "JOIN")
+    for index in range(TASKS):
+        group = index // GROUP_SIZE
+        features = {
+            "pig_script": f"script-{group % 97}.pig",
+            "operator": operators[group % 4],
+            "host": hosts[rng.randrange(40)],
+            "inputsize": 1000.0 * (1 + group % 13) * (1.0 + rng.gauss(0.0, 0.01)),
+            "memory": float(rng.choice([512, 1024, 2048])),
+        }
+        # Wide task rows: per-task counters, low-cardinality like real
+        # MapReduce counter dumps, so encoded columns dominate memory.
+        for counter in range(8):
+            features[f"counter_{counter}"] = float(rng.randrange(32))
+        log.add_task(
+            TaskRecord(
+                task_id=f"t{index}",
+                job_id=f"j{group}",
+                features=features,
+                duration=10.0 * (1 + group % 7) * (1.0 + rng.gauss(0.0, 0.08)),
+            )
+        )
+    return log
+
+
+@pytest.fixture(scope="module")
+def task_schema():
+    schema = FeatureSchema()
+    for name in ("pig_script", "operator", "host"):
+        schema.add(name, FeatureKind.NOMINAL)
+    for name in ("inputsize", "memory", "duration"):
+        schema.add(name, FeatureKind.NUMERIC)
+    for counter in range(8):
+        schema.add(f"counter_{counter}", FeatureKind.NUMERIC)
+    return schema
+
+
+@pytest.fixture(scope="module")
+def task_query():
+    return PXQLQuery(
+        entity=EntityKind.TASK,
+        despite=Predicate.conjunction(
+            [
+                Comparison("pig_script_isSame", Operator.EQ, "T"),
+                Comparison("operator_isSame", Operator.EQ, "T"),
+                Comparison("inputsize_isSame", Operator.EQ, "T"),
+            ]
+        ),
+        observed=Predicate.of(Comparison("duration_compare", Operator.EQ, "GT")),
+        expected=Predicate.of(Comparison("duration_compare", Operator.EQ, "SIM")),
+    )
+
+
+def _matrices_identical(left, right) -> bool:
+    if bytes(left.observed) != bytes(right.observed):
+        return False
+    if left.matrix.features != right.matrix.features:
+        return False
+    for feature in left.matrix.features:
+        left_raw = left.matrix.column(feature).raw
+        right_raw = right.matrix.column(feature).raw
+        for left_value, right_value in zip(left_raw, right_raw):
+            if left_value != right_value and not (
+                left_value != left_value and right_value != right_value
+            ):
+                return False
+    return True
+
+
+def test_sharded_kernels_beat_single_process(
+    benchmark, large_log, task_schema, task_query
+):
+    cores = os.cpu_count() or 1
+    workers = max(2, min(4, cores))
+
+    start = time.perf_counter()
+    serial_matrix = construct_training_matrix(
+        large_log,
+        task_query,
+        task_schema,
+        sample_size=2000,
+        rng=random.Random(7),
+        max_candidate_pairs=SPEEDUP_CAP,
+    )
+    serial_seconds = time.perf_counter() - start
+
+    def construct_sharded():
+        return construct_training_matrix(
+            large_log,
+            task_query,
+            task_schema,
+            sample_size=2000,
+            rng=random.Random(7),
+            max_candidate_pairs=SPEEDUP_CAP,
+            workers=workers,
+        )
+
+    sharded_matrix = benchmark.pedantic(construct_sharded, rounds=1, iterations=1)
+    sharded_seconds = benchmark.stats.stats.mean
+
+    # The speedup must not come from computing something else: encodings,
+    # labels and every raw column have to match the serial path exactly.
+    assert _matrices_identical(serial_matrix, sharded_matrix)
+
+    speedup = serial_seconds / sharded_seconds
+    floor = _speedup_floor()
+    benchmark.extra_info["tasks"] = TASKS
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
+    benchmark.extra_info["sharded_seconds"] = round(sharded_seconds, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+
+    print(f"\nLarge-log sharded kernels — {TASKS} tasks, {workers} workers:")
+    print(f"  single-process : {serial_seconds:.2f} s")
+    print(f"  sharded        : {sharded_seconds:.2f} s")
+    print(f"  speedup        : {speedup:.2f}x")
+    if floor is None:
+        print(f"  floor skipped  : only {cores} core(s) available")
+        return
+    assert speedup >= floor, (
+        f"sharded pair kernels should be at least {floor}x faster than the "
+        f"single-process path on {cores} cores (got {speedup:.2f}x)"
+    )
+
+
+def test_spill_path_explains_under_memory_ceiling(
+    benchmark, large_log, task_schema, task_query
+):
+    plain_matrix = construct_training_matrix(
+        large_log,
+        task_query,
+        task_schema,
+        sample_size=500,
+        rng=random.Random(7),
+        max_candidate_pairs=MEMORY_CAP,
+    )
+
+    # Same records, chunked spilling layout (fresh log so the plain block
+    # cache above keeps serving the other benchmark).
+    spill_log = ExecutionLog(tasks=list(large_log.tasks))
+    spill_log.configure_blocks(
+        chunk_rows=CHUNK_ROWS, max_resident_chunks=RESIDENT_CHUNKS
+    )
+
+    def construct_spilling():
+        tracemalloc.start()
+        matrix = construct_training_matrix(
+            spill_log,
+            task_query,
+            task_schema,
+            sample_size=500,
+            rng=random.Random(7),
+            max_candidate_pairs=MEMORY_CAP,
+        )
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return matrix, peak
+
+    spill_matrix, peak = benchmark.pedantic(
+        construct_spilling, rounds=1, iterations=1
+    )
+    peak_mb = peak / 1e6
+
+    assert _matrices_identical(plain_matrix, spill_matrix)
+
+    stats = spill_log.record_block(task_schema, kind="task").store.stats()
+    benchmark.extra_info["tasks"] = TASKS
+    benchmark.extra_info["peak_mb"] = round(peak_mb, 1)
+    benchmark.extra_info["spill_stats"] = stats
+
+    print(
+        f"\nSpill-path memory — {TASKS} tasks, {CHUNK_ROWS}-row chunks, "
+        f"{RESIDENT_CHUNKS} resident:"
+    )
+    print(f"  tracemalloc peak : {peak_mb:.1f} MB (ceiling {MEMORY_CEILING_MB} MB)")
+    print(f"  spill stats      : {stats}")
+
+    # The working set actually cycled through disk...
+    assert stats["evictions"] > 0
+    assert stats["spills"] > 0
+    assert stats["loads"] > 0
+    assert stats["resident"] <= RESIDENT_CHUNKS
+    # ... and bounded the peak: fully-resident columns would blow this.
+    assert peak_mb <= MEMORY_CEILING_MB, (
+        f"spill-path explain should stay under {MEMORY_CEILING_MB} MB "
+        f"(got {peak_mb:.1f} MB)"
+    )

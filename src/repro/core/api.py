@@ -376,6 +376,7 @@ class PerfXplainSession(PerfXplain):
                 sample_size=self.config.sample_size,
                 rng=random.Random(self._seed),
                 feature_level=self.config.feature_level,
+                workers=self.config.pair_workers,
             )
             self._matrix_cache.put(key, matrix)
         return matrix
@@ -401,12 +402,19 @@ class PerfXplainSession(PerfXplain):
         return features
 
     def cache_stats(self) -> dict[str, CacheStats]:
-        """Hit/miss/eviction counters for every session cache, by name."""
+        """Hit/miss/eviction counters for every session cache, by name.
+
+        ``record_blocks`` reports the log's own bounded per-``(kind,
+        schema)`` block cache (:meth:`~repro.logs.store.ExecutionLog.block_cache_stats`),
+        surfaced here so catalog introspection sees every cache a query
+        touches through one interface.
+        """
         return {
             "explanations": self._explanation_cache.stats(),
             "matrices": self._matrix_cache.stats(),
             "pairs": self._pair_cache.stats(),
             "pair_features": self._pair_feature_cache.stats(),
+            "record_blocks": CacheStats(**self.log.block_cache_stats()),
         }
 
     def _examples_for(self, query: BoundQuery) -> "list[TrainingExample] | TrainingMatrix | None":

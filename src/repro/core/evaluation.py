@@ -79,6 +79,7 @@ def measure_on_log(
     config: PairFeatureConfig | None = None,
     max_candidate_pairs: int | None = 500_000,
     rng: random.Random | None = None,
+    workers: int = 1,
 ) -> ExplanationMetrics:
     """Relevance, precision and generality of an explanation over a log.
 
@@ -106,7 +107,7 @@ def measure_on_log(
     kernel = pair_kernel_for(log, query, schema, config)
     observed_label = Label.OBSERVED
     for firsts, seconds, labels in related_index_batches(
-        kernel, query, max_candidate_pairs, rng
+        kernel, query, max_candidate_pairs, rng, workers=workers
     ):
         ctx = PairContext(firsts, seconds)
         despite = kernel.predicate_mask(explanation.despite, ctx)

@@ -34,8 +34,6 @@ import enum
 import random
 from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass
-from itertools import compress
-from operator import or_
 from typing import Iterator, Sequence
 
 from repro.ml.matrix import FeatureMatrix
@@ -45,7 +43,6 @@ from repro.core.pairkernel import (
     PairContext,
     PairKernel,
     blocking_group_indices,
-    iter_candidate_batches,
     keep_limit,
     sampling_salt,
 )
@@ -137,8 +134,9 @@ def _group_records(
     groups: dict[tuple, list[ExecutionRecord]] = {}
     for record in records:
         key = tuple(record.features.get(feature) for feature in blocking)
-        if any(value is None for value in key):
-            # A missing blocked value can never satisfy `isSame = T`.
+        if any(value is None or value != value for value in key):
+            # A missing or NaN blocked value can never satisfy
+            # ``isSame = T`` (NaN equals nothing, itself included).
             continue
         groups.setdefault(key, []).append(record)
     return list(groups.values())
@@ -173,17 +171,27 @@ def related_index_batches(
     query: PXQLQuery,
     max_candidate_pairs: int | None,
     rng: random.Random,
+    workers: int = 1,
 ) -> Iterator[tuple[list[int], list[int], list[Label]]]:
     """Related pairs as labeled index batches, in candidate order.
 
     Each batch holds the surviving ``(first, second)`` record indices and
-    their labels.  Candidates are enumerated lazily within blocking groups,
-    the despite clause prunes each batch first, then the observed and
+    their labels.  Candidates are enumerated lazily within blocking groups;
+    per batch, the despite clause prunes first, then the observed and
     expected clauses run over the survivors (sharing one gather cache) and
     the labels fall out of the two masks at C level: a pair is related when
     either holds, and OBSERVED wins — identical to the reference's
-    despite-then-observed-elif-expected sequence per pair.
+    despite-then-observed-elif-expected sequence per pair
+    (:func:`~repro.core.pairshard.evaluate_candidate_batch`).
+
+    :param workers: with ``>= 2``, batches are fanned out across a forked
+        process pool and merged deterministically
+        (:func:`~repro.core.pairshard.iter_evaluated_batches`) — the yielded
+        stream is byte-identical for every worker count, because candidate
+        order and the CRC32 sampling rule are both order-independent.
     """
+    from repro.core.pairshard import iter_evaluated_batches
+
     block = kernel.block
     schema = kernel.schema
     blocking = _blocking_features(query, schema)
@@ -196,25 +204,20 @@ def related_index_batches(
         salt = sampling_salt(rng)
         limit = keep_limit(max_candidate_pairs, total_candidates)
 
+    if workers >= 2:
+        # Build every column the clauses read *before* forking: workers
+        # inherit the encoded chunks (or their spill files) instead of
+        # each re-encoding the columns from the raw records.
+        for feature in sorted(query.referenced_features()):
+            raw = raw_feature_of(feature)
+            if raw in schema:
+                block.column(raw)
+
     label_by_observed = (Label.EXPECTED, Label.OBSERVED)
-    for first, second in iter_candidate_batches(block, groups, salt, limit):
-        ctx = PairContext(first, second)
-        despite = kernel.predicate_mask(query.despite, ctx)
-        first_kept = list(compress(first, despite))
-        if not first_kept:
-            continue
-        second_kept = list(compress(second, despite))
-        ctx = PairContext(first_kept, second_kept)
-        observed = kernel.predicate_mask(query.observed, ctx)
-        expected = kernel.predicate_mask(query.expected, ctx)
-        related = bytearray(map(or_, observed, expected))
-        firsts = list(compress(first_kept, related))
-        if not firsts:
-            continue
-        seconds = list(compress(second_kept, related))
-        labels = list(
-            map(label_by_observed.__getitem__, compress(observed, related))
-        )
+    for firsts, seconds, observed in iter_evaluated_batches(
+        kernel, query, groups, salt, limit, workers=workers
+    ):
+        labels = list(map(label_by_observed.__getitem__, observed))
         yield firsts, seconds, labels
 
 
@@ -225,6 +228,7 @@ def iter_related_pairs(
     config: PairFeatureConfig | None = None,
     max_candidate_pairs: int | None = 2_000_000,
     rng: random.Random | None = None,
+    workers: int = 1,
 ) -> Iterator[tuple[ExecutionRecord, ExecutionRecord, Label]]:
     """Yield every related ordered pair of executions with its label.
 
@@ -246,7 +250,7 @@ def iter_related_pairs(
     kernel = pair_kernel_for(log, query, schema, config)
     records = kernel.block.records
     for firsts, seconds, labels in related_index_batches(
-        kernel, query, max_candidate_pairs, rng
+        kernel, query, max_candidate_pairs, rng, workers=workers
     ):
         yield from zip(
             map(records.__getitem__, firsts),
@@ -261,6 +265,7 @@ def _sampled_index_pairs(
     sample_size: int | None,
     max_candidate_pairs: int | None,
     rng: random.Random,
+    workers: int = 1,
 ) -> tuple[list[int], list[int], list[Label]]:
     """Collect the related index pairs and balanced-sample them."""
     from repro.core.sampling import stratified_keep_indices  # local: avoids a cycle
@@ -269,7 +274,7 @@ def _sampled_index_pairs(
     seconds: list[int] = []
     labels: list[Label] = []
     for batch_firsts, batch_seconds, batch_labels in related_index_batches(
-        kernel, query, max_candidate_pairs, rng
+        kernel, query, max_candidate_pairs, rng, workers=workers
     ):
         firsts.extend(batch_firsts)
         seconds.extend(batch_seconds)
@@ -336,6 +341,7 @@ def construct_training_examples(
     sample_size: int | None = 2000,
     rng: random.Random | None = None,
     max_candidate_pairs: int | None = 2_000_000,
+    workers: int = 1,
 ) -> list[TrainingExample]:
     """Construct (and balanced-sample) the training examples for a query.
 
@@ -344,6 +350,8 @@ def construct_training_examples(
     pair-feature vectors are only computed for the sampled pairs — and
     column-at-a-time through the pair kernels, never per pair.
 
+    :param workers: process-shard the candidate filtering across this many
+        forked workers (results are bit-identical for every count).
     :returns: the sampled training examples (possibly empty if no pair in
         the log is related to the query).
     """
@@ -352,7 +360,7 @@ def construct_training_examples(
     validate_query_features(query, schema)
     kernel = pair_kernel_for(log, query, schema, config)
     firsts, seconds, labels = _sampled_index_pairs(
-        kernel, query, sample_size, max_candidate_pairs, rng
+        kernel, query, sample_size, max_candidate_pairs, rng, workers=workers
     )
     columns = _full_vector_columns(kernel, firsts, seconds)
     return _build_examples(kernel.block, columns, firsts, seconds, labels)
@@ -417,6 +425,7 @@ def construct_training_matrix(
     rng: random.Random | None = None,
     max_candidate_pairs: int | None = 2_000_000,
     feature_level: FeatureLevel = FeatureLevel.FULL,
+    workers: int = 1,
 ) -> TrainingMatrix:
     """Construct a query's encoded :class:`TrainingMatrix` in one pass.
 
@@ -434,7 +443,7 @@ def construct_training_matrix(
     validate_query_features(query, schema)
     kernel = pair_kernel_for(log, query, schema, config)
     firsts, seconds, labels = _sampled_index_pairs(
-        kernel, query, sample_size, max_candidate_pairs, rng
+        kernel, query, sample_size, max_candidate_pairs, rng, workers=workers
     )
     columns = _full_vector_columns(kernel, firsts, seconds)
     examples = _build_examples(kernel.block, columns, firsts, seconds, labels)

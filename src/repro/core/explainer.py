@@ -69,6 +69,10 @@ class PerfXplainConfig:
     :param pair_config: pair-feature encoding parameters.
     :param min_examples: stop growing a clause when fewer related examples
         than this remain.
+    :param pair_workers: processes the candidate-pair filtering is sharded
+        across (``1`` = serial in-process).  Results are bit-identical for
+        every worker count; this is purely a throughput knob for large
+        (task-level) logs.
     """
 
     width: int = 3
@@ -77,6 +81,7 @@ class PerfXplainConfig:
     feature_level: FeatureLevel = FeatureLevel.FULL
     pair_config: PairFeatureConfig = field(default_factory=PairFeatureConfig)
     min_examples: int = 4
+    pair_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.width < 0:
@@ -87,6 +92,8 @@ class PerfXplainConfig:
             raise ConfigurationError("sample_size must be >= 1")
         if self.min_examples < 2:
             raise ConfigurationError("min_examples must be >= 2")
+        if self.pair_workers < 1:
+            raise ConfigurationError("pair_workers must be >= 1")
 
 
 @register_explainer("perfxplain", override=True)
@@ -163,6 +170,7 @@ class PerfXplainExplainer:
                 sample_size=self.config.sample_size,
                 rng=self._rng,
                 feature_level=self.config.feature_level,
+                workers=self.config.pair_workers,
             )
         encoded = self._encode(examples, schema)
         if precomputed and not despite_extension.is_true:
@@ -220,6 +228,7 @@ class PerfXplainExplainer:
                 sample_size=self.config.sample_size,
                 rng=self._rng,
                 feature_level=self.config.feature_level,
+                workers=self.config.pair_workers,
             )
         if not examples:
             raise ExplanationError(

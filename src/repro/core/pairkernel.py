@@ -76,6 +76,16 @@ _IS_SAME_VALUES = (None, NOT_SAME, SAME)
 #: and are mutually exclusive).
 _COMPARE_VALUES = (None, GREATER_THAN, None, SIMILAR, None, LESS_THAN)
 
+#: Gather-tag first letter -> encoded column array name (see
+#: :meth:`~repro.logs.store.BlockColumn.gather`).
+_TAG_SOURCES = {
+    "c": "codes",
+    "x": "floats",
+    "s": "selfeq",
+    "o": "num_ok",
+    "r": "raw",
+}
+
 
 def derived_parts(pair_feature: str) -> tuple[str, str]:
     """Split a pair-feature name into (raw feature, derived kind).
@@ -148,18 +158,7 @@ class PairKernel:
             return cached  # type: ignore[return-value]
         column = self.block.column(raw)
         side = ctx.first if tag.endswith("a") else ctx.second
-        source: Sequence
-        if tag.startswith("c"):
-            source = column.codes
-        elif tag.startswith("x"):
-            source = column.floats
-        elif tag.startswith("s"):
-            source = column.selfeq
-        elif tag.startswith("o"):
-            source = column.num_ok
-        else:
-            source = column.raw
-        gathered = list(map(source.__getitem__, side))
+        gathered = column.gather(_TAG_SOURCES[tag[0]], side)
         ctx.cache[key] = gathered
         return gathered
 
@@ -448,22 +447,30 @@ def blocking_group_indices(
 ) -> list[list[int]]:
     """Record indices grouped by their blocked raw values.
 
-    Mirrors the reference's record grouping: records missing any blocked
-    value are dropped (they can never satisfy ``isSame = T``), and groups
-    appear in first-occurrence order.  Grouping by value *codes* is exact
-    because codes are assigned under dict equality — the same relation the
-    reference's value-tuple dict keys use.
+    Mirrors the reference's record grouping: records whose blocked key
+    contains a missing *or NaN* value are dropped (neither can ever satisfy
+    ``isSame = T``), and groups appear in first-occurrence order.  Grouping
+    by value *codes* is exact because codes are assigned under dict
+    equality with a canonical NaN slot — the same relation the reference's
+    value-tuple dict keys use once NaN rows are excluded.
+
+    Partition-aware: rows are consumed through the block's
+    :meth:`~repro.logs.store.RecordBlock.key_chunks` iterator — one slice
+    for a monolithic block, one per chunk for a
+    :class:`~repro.logs.chunkstore.ChunkedRecordBlock` — so a spilled
+    column's chunks are each touched exactly once and never all resident.
     """
     n = len(block)
     if not blocking:
         return [list(range(n))]
-    key_columns = [block.column(feature).codes for feature in blocking]
     groups: dict[tuple[int, ...], list[int]] = {}
-    for index in range(n):
-        key = tuple(column[index] for column in key_columns)
-        if -1 in key:
-            continue
-        groups.setdefault(key, []).append(index)
+    for start, code_slices, selfeq_slices in block.key_chunks(blocking):
+        for offset, key in enumerate(zip(*code_slices)):
+            if -1 in key:
+                continue
+            if not all(selfeq[offset] for selfeq in selfeq_slices):
+                continue
+            groups.setdefault(key, []).append(start + offset)
     return list(groups.values())
 
 

@@ -18,7 +18,14 @@ measurement noise; the tolerance restores the "same machine state" meaning
 the paper's ``isSame`` features have (documented in DESIGN.md).
 
 Missing raw values propagate: if either side is missing, every derived
-feature of ``f`` is missing.
+feature of ``f`` is missing.  NaN raw values behave like any non-equal
+value under ``==`` (``NaN != NaN``), so a NaN side can never produce
+``isSame = "T"`` — which is why despite-clause blocking
+(:func:`repro.core.pairkernel.blocking_group_indices` and the reference's
+``_group_records``) drops records whose blocked raw value is missing *or*
+NaN: neither can ever join an ``isSame = T`` group, and dropping them
+keeps grouping independent of NaN object identity (a requirement for
+chunked blocks, whose spilled chunks are pickle round-tripped).
 
 The functions here define the *scalar* semantics and serve the reference
 path (:mod:`repro.core.pairref`) plus single-pair probes like

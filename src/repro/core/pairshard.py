@@ -1,0 +1,154 @@
+"""Process-sharded pair-kernel batch evaluation with a deterministic merge.
+
+One candidate batch is an independent unit of work: the despite /
+observed / expected masks of a batch depend only on the kernel (block +
+config), the query and the batch's index pairs.  This module fans those
+batches out across a ``ProcessPoolExecutor`` and merges results **in
+submission order**, reusing the bit-identical-parallel pattern the
+simulation sweep executor proved (:mod:`repro.workloads.grid`): because the
+candidate enumeration order and the order-independent CRC32 sampling rule
+(:func:`~repro.core.pairkernel.pair_is_kept`) are both worker-count
+invariant, the concatenated output is byte-for-byte identical to the serial
+path for every worker count — the differential suite asserts it.
+
+Workers are forked (zero-copy: the kernel's record block, including a
+chunked block's resident working set, is inherited through fork), and the
+batch stream is submitted through a bounded window so a million-task
+candidate space never materialises more than ``window`` batches at once.
+Platforms without the ``fork`` start method (Windows) fall back to the
+serial path — same results, one process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from collections import deque
+from itertools import compress
+from operator import or_
+from typing import Iterator, Sequence
+
+from repro.core.pairkernel import (
+    CANDIDATE_BATCH,
+    PairContext,
+    PairKernel,
+    iter_candidate_batches,
+)
+from repro.core.pxql.query import PXQLQuery
+
+#: Batches in flight per worker: enough to keep the pool busy, small
+#: enough to bound the memory of undelivered results.
+_WINDOW_PER_WORKER = 4
+
+#: (kernel, query) inherited by forked workers; guarded by ``_SHARD_LOCK``
+#: so concurrent sharded generations (e.g. service threads) cannot fork
+#: each other's state.
+_WORKER_STATE: tuple[PairKernel, PXQLQuery] | None = None
+_SHARD_LOCK = threading.Lock()
+
+
+def evaluate_candidate_batch(
+    kernel: PairKernel,
+    query: PXQLQuery,
+    firsts: Sequence[int],
+    seconds: Sequence[int],
+) -> tuple[list[int], list[int], bytearray]:
+    """Filter one candidate batch to its related pairs.
+
+    Returns the surviving ``(first, second)`` index lists and the per-pair
+    observed flags (``1`` = the pair satisfied the observed clause, ``0`` =
+    only the expected clause).  The despite clause prunes first, then the
+    observed and expected clauses run over the survivors sharing one gather
+    cache — the exact sequence of the serial path, extracted here so the
+    serial generator and the forked workers cannot drift apart.
+    """
+    ctx = PairContext(firsts, seconds)
+    despite = kernel.predicate_mask(query.despite, ctx)
+    first_kept = list(compress(firsts, despite))
+    if not first_kept:
+        return [], [], bytearray()
+    second_kept = list(compress(seconds, despite))
+    ctx = PairContext(first_kept, second_kept)
+    observed = kernel.predicate_mask(query.observed, ctx)
+    expected = kernel.predicate_mask(query.expected, ctx)
+    related = bytearray(map(or_, observed, expected))
+    related_firsts = list(compress(first_kept, related))
+    if not related_firsts:
+        return [], [], bytearray()
+    related_seconds = list(compress(second_kept, related))
+    observed_flags = bytearray(compress(observed, related))
+    return related_firsts, related_seconds, observed_flags
+
+
+def _shard_worker(
+    payload: tuple[list[int], list[int]],
+) -> tuple[list[int], list[int], bytes]:
+    """Evaluate one batch against the fork-inherited kernel state."""
+    kernel, query = _WORKER_STATE  # type: ignore[misc]
+    firsts, seconds, observed = evaluate_candidate_batch(
+        kernel, query, payload[0], payload[1]
+    )
+    return firsts, seconds, bytes(observed)
+
+
+def _fork_context() -> multiprocessing.context.BaseContext | None:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def iter_evaluated_batches(
+    kernel: PairKernel,
+    query: PXQLQuery,
+    groups: Sequence[Sequence[int]],
+    salt: int | None,
+    limit: int,
+    workers: int = 1,
+    batch_size: int = CANDIDATE_BATCH,
+) -> Iterator[tuple[list[int], list[int], bytearray]]:
+    """Related-pair batches, serial or process-sharded — same bytes either way.
+
+    With ``workers >= 2`` (and ``fork`` available) candidate batches are
+    shipped to a worker pool through a bounded submission window and the
+    results are yielded strictly in submission order; otherwise each batch
+    is evaluated inline.  Empty batches are filtered here, after the merge,
+    so the yielded stream is identical across paths.
+    """
+    batches = iter_candidate_batches(kernel.block, groups, salt, limit, batch_size)
+    if workers < 2:
+        for firsts, seconds in batches:
+            result = evaluate_candidate_batch(kernel, query, firsts, seconds)
+            if result[0]:
+                yield result
+        return
+    context = _fork_context()
+    if context is None:  # pragma: no cover - non-POSIX platforms
+        for firsts, seconds in batches:
+            result = evaluate_candidate_batch(kernel, query, firsts, seconds)
+            if result[0]:
+                yield result
+        return
+    from concurrent.futures import ProcessPoolExecutor
+
+    global _WORKER_STATE
+    window = workers * _WINDOW_PER_WORKER
+    with _SHARD_LOCK:
+        _WORKER_STATE = (kernel, query)
+        try:
+            # Workers fork lazily at first submit, after the state is set;
+            # the pool dies inside the lock, so no two generations overlap.
+            with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+                pending: deque = deque()
+                for payload in batches:
+                    pending.append(pool.submit(_shard_worker, payload))
+                    if len(pending) >= window:
+                        firsts, seconds, observed = pending.popleft().result()
+                        if firsts:
+                            yield firsts, seconds, bytearray(observed)
+                while pending:
+                    firsts, seconds, observed = pending.popleft().result()
+                    if firsts:
+                        yield firsts, seconds, bytearray(observed)
+        finally:
+            _WORKER_STATE = None

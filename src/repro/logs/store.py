@@ -117,6 +117,15 @@ class BlockColumn:
         with one ``set`` pass and codes are assigned by dict lookup mapped
         over the column.  Code *numbering* is therefore arbitrary — kernels
         only ever compare codes for equality, never for order.
+
+        NaN gets one **canonical** code: ``set`` dedups NaN by object
+        identity (``hash(nan)`` is id-based), so distinct NaN float objects
+        would otherwise get distinct codes and code equality would silently
+        depend on object identity.  ``selfeq`` masks NaN out of every
+        kernel equality today, but canonical codes are what lets
+        chunk-local code tables merge safely
+        (:mod:`repro.logs.chunkstore`) and survive serialisation, which
+        destroys object identity.
         """
         column = cls(name, numeric)
         n = len(values)
@@ -124,9 +133,19 @@ class BlockColumn:
         column.raw = raw
         distinct = set(raw)
         distinct.discard(None)
-        code_of: dict[FeatureValue, int] = {
-            value: code for code, value in enumerate(distinct)
-        }
+        code_of: dict[FeatureValue, int] = {}
+        nan_objects = []
+        for value in distinct:
+            if value != value:
+                nan_objects.append(value)
+            else:
+                code_of[value] = len(code_of)
+        if nan_objects:
+            # Every NaN object shares the canonical NaN code (the id-based
+            # hashes still make each object an O(1) dict hit).
+            nan_code = len(code_of)
+            for value in nan_objects:
+                code_of[value] = nan_code
         code_of[None] = -1
         codes = list(map(code_of.__getitem__, raw))
         del code_of[None]
@@ -172,6 +191,15 @@ class BlockColumn:
     def __len__(self) -> int:
         return len(self.raw)
 
+    def gather(self, source: str, indices: Sequence[int]) -> list:
+        """One encoded array (``codes``/``floats``/...) at ``indices``.
+
+        The kernels' only read path into a column: routing gathers through
+        the column lets :class:`~repro.logs.chunkstore.ChunkedColumn`
+        substitute per-chunk arrays behind the same call.
+        """
+        return list(map(getattr(self, source).__getitem__, indices))
+
 
 class RecordBlock:
     """A record list encoded column-by-column for the pair kernels.
@@ -208,10 +236,62 @@ class RecordBlock:
             self.columns[name] = column
         return column
 
+    def key_chunks(
+        self, features: Sequence[str]
+    ) -> Iterable[tuple[int, list[Sequence[int]], list[Sequence[int]]]]:
+        """``(start row, code slices, selfeq slices)`` per partition.
+
+        The partition-agnostic read path for blocking-group construction
+        (:func:`repro.core.pairkernel.blocking_group_indices`): an
+        in-memory block is one partition covering every row; a
+        :class:`~repro.logs.chunkstore.ChunkedRecordBlock` yields one entry
+        per chunk with global value codes.
+        """
+        columns = [self.column(feature) for feature in features]
+        yield (
+            0,
+            [column.codes for column in columns],
+            [column.selfeq for column in columns],
+        )
+
 
 def _schema_signature(schema: "FeatureSchema") -> tuple:
     """A hashable fingerprint of a schema (name/kind pairs, sorted)."""
     return tuple(sorted((name, spec.kind.value) for name, spec in schema.specs.items()))
+
+
+#: Newest record blocks kept per entity kind.  A long-lived catalog log
+#: queried under evolving schemas would otherwise retain one block per
+#: distinct ``(kind, schema fingerprint)`` forever.
+MAX_BLOCKS_PER_KIND = 4
+
+#: Record count at which :meth:`ExecutionLog.record_block` switches to a
+#: chunked block automatically (overridable per log via
+#: :meth:`ExecutionLog.configure_blocks`).
+AUTO_CHUNK_THRESHOLD = 200_000
+
+#: Rows per chunk when chunking is enabled without an explicit size.
+DEFAULT_CHUNK_ROWS = 16_384
+
+
+@dataclass(frozen=True)
+class BlockOptions:
+    """Per-log :class:`RecordBlock` construction policy.
+
+    :param chunk_rows: fixed chunk size; ``None`` = chunk only past
+        ``auto_chunk_threshold`` (at :data:`DEFAULT_CHUNK_ROWS` rows).
+    :param max_resident_chunks: LRU-pinned working set of encoded column
+        chunks; beyond it, chunks spill to disk.  ``None`` = never spill.
+    :param spill_directory: parent directory for the spill files
+        (``None`` = the system temp directory).
+    :param auto_chunk_threshold: record count that triggers automatic
+        chunking when ``chunk_rows`` is unset.
+    """
+
+    chunk_rows: int | None = None
+    max_resident_chunks: int | None = None
+    spill_directory: "str | Path | None" = None
+    auto_chunk_threshold: int = AUTO_CHUNK_THRESHOLD
 
 
 @dataclass
@@ -236,9 +316,17 @@ class ExecutionLog:
         default_factory=dict, init=False, repr=False, compare=False
     )
     _job_tasks_key: tuple = field(default=(-1, -1), init=False, repr=False, compare=False)
-    #: (kind, schema fingerprint) -> (mutation key, RecordBlock).
+    #: (kind, schema fingerprint) -> (mutation key, RecordBlock), in
+    #: recency order; bounded to :data:`MAX_BLOCKS_PER_KIND` per kind.
     _blocks: dict[tuple, tuple[tuple, RecordBlock]] = field(
         default_factory=dict, init=False, repr=False, compare=False
+    )
+    #: Running [hits, misses, evictions] of the block cache.
+    _block_counters: list[int] = field(
+        default_factory=lambda: [0, 0, 0], init=False, repr=False, compare=False
+    )
+    _block_options: BlockOptions | None = field(
+        default=None, init=False, repr=False, compare=False
     )
 
     def _jobs_key(self) -> tuple:
@@ -459,6 +547,49 @@ class ExecutionLog:
     # columnar encoding
     # ------------------------------------------------------------------ #
 
+    def configure_blocks(
+        self,
+        chunk_rows: int | None = None,
+        max_resident_chunks: int | None = None,
+        spill_directory: "str | Path | None" = None,
+        auto_chunk_threshold: int = AUTO_CHUNK_THRESHOLD,
+    ) -> None:
+        """Set this log's :class:`RecordBlock` construction policy.
+
+        See :class:`BlockOptions` for the parameters.  Cached blocks are
+        dropped so the new layout takes effect on the next
+        :meth:`record_block` call; chunked and in-memory blocks are
+        bit-identical to the kernels, so reconfiguring never changes
+        results — only memory behaviour.
+        """
+        if chunk_rows is not None and chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        if max_resident_chunks is not None and max_resident_chunks < 1:
+            raise ValueError("max_resident_chunks must be >= 1")
+        self._block_options = BlockOptions(
+            chunk_rows=chunk_rows,
+            max_resident_chunks=max_resident_chunks,
+            spill_directory=spill_directory,
+            auto_chunk_threshold=auto_chunk_threshold,
+        )
+        self._blocks.clear()
+
+    def block_cache_stats(self) -> dict[str, int]:
+        """Accounting counters of the per-log record-block cache.
+
+        Plain integers (not :class:`~repro.core.cache.CacheStats` — the
+        logs layer does not import the core layer); the session adapter
+        (:meth:`repro.core.api.PerfXplainSession.cache_stats`) wraps them.
+        """
+        hits, misses, evictions = self._block_counters
+        return {
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "size": len(self._blocks),
+            "capacity": 2 * MAX_BLOCKS_PER_KIND,
+        }
+
     def record_block(self, schema: "FeatureSchema", kind: str = "job") -> RecordBlock:
         """The (cached) columnar :class:`RecordBlock` of one entity kind.
 
@@ -468,6 +599,15 @@ class ExecutionLog:
         and session touching the log, and any mutation — append, bulk
         extend or in-place :meth:`replace_job` / :meth:`replace_task` —
         replaces the stale block on the next request.
+
+        The cache is bounded: stale-schema entries of a kind are evicted
+        when their mutation key no longer matches the log, and only the
+        :data:`MAX_BLOCKS_PER_KIND` most recently used schemas per kind are
+        retained (:meth:`block_cache_stats` reports the counters).  Logs at
+        or past the auto-chunk threshold — or explicitly configured via
+        :meth:`configure_blocks` — get a
+        :class:`~repro.logs.chunkstore.ChunkedRecordBlock` instead of a
+        monolithic block; both present the same surface to the kernels.
 
         :param schema: the raw-feature schema to encode under.
         :param kind: ``"job"`` or ``"task"``.
@@ -484,13 +624,60 @@ class ExecutionLog:
         key = (kind, _schema_signature(schema))
         cached = self._blocks.get(key)
         if cached is not None and cached[0] == mutation_key:
+            self._block_counters[0] += 1
+            # Refresh recency so per-kind eviction keeps the live schemas.
+            del self._blocks[key]
+            self._blocks[key] = cached
             return cached[1]
-        # Only the newest block per (kind, schema) is kept: a mutation-key
-        # mismatch means the log changed, and the stale snapshot is dropped
-        # rather than stranded.
-        block = RecordBlock(records, schema)
+        self._block_counters[1] += 1
+        block = self._build_block(records, schema)
+        if cached is not None:
+            del self._blocks[key]
         self._blocks[key] = (mutation_key, block)
+        self._evict_blocks(kind, mutation_key)
         return block
+
+    def _build_block(
+        self, records: "Sequence[ExecutionRecord]", schema: "FeatureSchema"
+    ) -> RecordBlock:
+        options = self._block_options
+        chunk_rows = options.chunk_rows if options is not None else None
+        threshold = (
+            options.auto_chunk_threshold if options is not None else AUTO_CHUNK_THRESHOLD
+        )
+        if chunk_rows is None and len(records) >= threshold:
+            chunk_rows = DEFAULT_CHUNK_ROWS
+        if chunk_rows is None:
+            return RecordBlock(records, schema)
+        from repro.logs.chunkstore import ChunkedRecordBlock
+
+        return ChunkedRecordBlock(
+            records,
+            schema,
+            chunk_rows=chunk_rows,
+            max_resident_chunks=(
+                options.max_resident_chunks if options is not None else None
+            ),
+            spill_directory=(
+                options.spill_directory if options is not None else None
+            ),
+        )
+
+    def _evict_blocks(self, kind: str, mutation_key: tuple) -> None:
+        """Drop stale-schema blocks of a kind, keep the newest N others."""
+        stale = [
+            key
+            for key, (cached_key, _) in self._blocks.items()
+            if key[0] == kind and cached_key != mutation_key
+        ]
+        same_kind = [key for key in self._blocks if key[0] == kind and key not in stale]
+        # dicts iterate oldest-first: surplus beyond the cap is the LRU end.
+        surplus = len(same_kind) - MAX_BLOCKS_PER_KIND
+        if surplus > 0:
+            stale.extend(same_kind[:surplus])
+        for key in stale:
+            del self._blocks[key]
+            self._block_counters[2] += 1
 
     # ------------------------------------------------------------------ #
     # splitting
@@ -609,7 +796,15 @@ class ExecutionLog:
         if cls._is_jsonl(source):
             jobs, tasks = read_records_jsonl(source)
             log = cls()
-            log.extend(jobs=jobs, tasks=tasks)
+            try:
+                log.extend(jobs=jobs, tasks=tasks)
+            except ValueError as exc:
+                # ``extend`` reports duplicate record ids as a bare
+                # ValueError; a malformed *file* must surface as a
+                # LogFormatError naming the path and the offending id.
+                raise LogFormatError(
+                    f"invalid execution log {source}: {exc}"
+                ) from exc
             return log
         try:
             with open_log_text(source, "r") as handle:

@@ -27,13 +27,15 @@ from repro.logs.records import JobRecord
 from repro.logs.store import ExecutionLog
 
 #: Candidate raw features (name, kind, value pool).  Pools are tiny to
-#: force collisions, and every pool includes missing values.
+#: force collisions, and every pool includes missing values; ``epsilon``
+#: includes NaN (a nominal-typed float), which blocking must drop exactly
+#: like a missing value — NaN can never satisfy ``isSame = T``.
 FEATURE_POOLS = {
     "alpha": (FeatureKind.NOMINAL, ["a", "b", "c", None]),
     "beta": (FeatureKind.NOMINAL, [True, False, 1, 0, None]),
     "gamma": (FeatureKind.NUMERIC, [1, 2, 2.0, None]),
     "delta": (FeatureKind.NUMERIC, [0.5, 3.5, None]),
-    "epsilon": (FeatureKind.NOMINAL, ["x", None]),
+    "epsilon": (FeatureKind.NOMINAL, ["x", None, float("nan")]),
 }
 
 
@@ -111,7 +113,10 @@ def test_groups_drop_missing_and_agree_on_blocked_values(data):
     grouped = [record for group in groups for record in group]
     if blocking:
         for record in records:
-            missing = any(record.features.get(name) is None for name in blocking)
+            missing = any(
+                value is None or value != value
+                for value in (record.features.get(name) for name in blocking)
+            )
             assert (record in grouped) == (not missing)
         for group in groups:
             anchor = group[0]
@@ -128,6 +133,21 @@ def test_kernel_groups_match_reference_groups(data):
     schema, records, query = data
     blocking = _blocking_features(query, schema)
     log = ExecutionLog(jobs=list(records))
+    block = log.record_block(schema, kind="job")
+    kernel_groups = blocking_group_indices(block, blocking)
+    reference_groups = _group_records(records, blocking)
+    as_records = [[records[index] for index in group] for group in kernel_groups]
+    assert as_records == reference_groups
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=schema_records_and_query())
+def test_chunked_kernel_groups_match_reference_groups(data):
+    """Chunked blocks group identically — global codes span chunk edges."""
+    schema, records, query = data
+    blocking = _blocking_features(query, schema)
+    log = ExecutionLog(jobs=list(records))
+    log.configure_blocks(chunk_rows=5, max_resident_chunks=2)
     block = log.record_block(schema, kind="job")
     kernel_groups = blocking_group_indices(block, blocking)
     reference_groups = _group_records(records, blocking)

@@ -291,7 +291,13 @@ class TestSessionCacheBounds:
     def test_cache_stats_names_every_cache(self, tiny_log):
         session = PerfXplainSession(tiny_log)
         stats = session.cache_stats()
-        assert set(stats) == {"explanations", "matrices", "pairs", "pair_features"}
+        assert set(stats) == {
+            "explanations",
+            "matrices",
+            "pairs",
+            "pair_features",
+            "record_blocks",
+        }
         assert all(s.size == 0 for s in stats.values())
 
     def test_repeated_explain_hits_the_explanation_cache(self, tiny_log):

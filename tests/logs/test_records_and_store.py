@@ -409,3 +409,162 @@ class TestMutationVersioning:
         log.jobs.append(make_job("job_2"))  # legacy direct append
         assert len(log.record_block(schema, kind="job")) == 2
         assert log.find_job("job_2") is log.jobs[1]
+
+
+class TestLoadDuplicateIds:
+    """Regression: duplicate record ids in a ``.jsonl(.gz)`` file must
+    surface as a :class:`LogFormatError` naming the path and the id, not
+    leak the bare ``ValueError`` from :meth:`ExecutionLog.extend`."""
+
+    def _write_duplicate_tasks(self, path):
+        from repro.logs.writer import write_records_jsonl
+
+        task = make_task(task_id="task_dup")
+        clone = make_task(task_id="task_dup", duration=99.0)
+        write_records_jsonl(path, [make_job()], [task, clone])
+
+    def test_duplicate_task_id_raises_log_format_error(self, tmp_path):
+        target = tmp_path / "dupes.jsonl"
+        self._write_duplicate_tasks(target)
+        with pytest.raises(LogFormatError) as excinfo:
+            ExecutionLog.load(target)
+        message = str(excinfo.value)
+        assert str(target) in message
+        assert "task_dup" in message
+
+    def test_duplicate_task_id_raises_for_gzip(self, tmp_path):
+        target = tmp_path / "dupes.jsonl.gz"
+        self._write_duplicate_tasks(target)
+        with pytest.raises(LogFormatError) as excinfo:
+            ExecutionLog.load(target)
+        assert "task_dup" in str(excinfo.value)
+
+    def test_duplicate_job_id_raises_log_format_error(self, tmp_path):
+        from repro.logs.writer import write_records_jsonl
+
+        target = tmp_path / "dupes.jsonl"
+        write_records_jsonl(
+            target, [make_job("job_dup"), make_job("job_dup", duration=2.0)], []
+        )
+        with pytest.raises(LogFormatError) as excinfo:
+            ExecutionLog.load(target)
+        message = str(excinfo.value)
+        assert str(target) in message and "job_dup" in message
+
+    def test_clean_jsonl_still_loads(self, tmp_path):
+        from repro.logs.writer import write_records_jsonl
+
+        target = tmp_path / "clean.jsonl"
+        write_records_jsonl(target, [make_job()], [make_task()])
+        log = ExecutionLog.load(target)
+        assert log.num_jobs == 1 and log.num_tasks == 1
+
+
+class TestBlockCacheBounds:
+    """Regression: the per-``(kind, schema)`` block cache must not grow
+    without bound under evolving schemas, and must report its counters."""
+
+    @staticmethod
+    def _schema_with_extras(log, count):
+        from repro.core.features import FeatureKind, infer_schema
+
+        schema = infer_schema(log.jobs)
+        for index in range(count):
+            schema.add(f"synthetic_{index}", FeatureKind.NOMINAL)
+        return schema
+
+    def test_stale_schema_entries_are_evicted(self):
+        from repro.logs.store import MAX_BLOCKS_PER_KIND
+
+        log = ExecutionLog(jobs=[make_job()])
+        for count in range(3 * MAX_BLOCKS_PER_KIND):
+            log.record_block(self._schema_with_extras(log, count), kind="job")
+        stats = log.block_cache_stats()
+        assert stats["size"] <= MAX_BLOCKS_PER_KIND
+        assert stats["evictions"] >= 2 * MAX_BLOCKS_PER_KIND
+        assert stats["misses"] == 3 * MAX_BLOCKS_PER_KIND
+
+    def test_newest_schemas_survive_eviction(self):
+        from repro.logs.store import MAX_BLOCKS_PER_KIND
+
+        log = ExecutionLog(jobs=[make_job()])
+        schemas = [
+            self._schema_with_extras(log, count)
+            for count in range(MAX_BLOCKS_PER_KIND + 2)
+        ]
+        blocks = [log.record_block(schema, kind="job") for schema in schemas]
+        # The most recent MAX_BLOCKS_PER_KIND schemas are still cache hits.
+        hits_before = log.block_cache_stats()["hits"]
+        for schema, block in zip(schemas[2:], blocks[2:]):
+            assert log.record_block(schema, kind="job") is block
+        assert log.block_cache_stats()["hits"] == hits_before + MAX_BLOCKS_PER_KIND
+
+    def test_mutation_drops_stale_blocks_of_kind(self):
+        from repro.core.features import infer_schema
+
+        log = ExecutionLog(jobs=[make_job("job_1")])
+        schema = infer_schema(log.jobs)
+        log.record_block(schema, kind="job")
+        log.add_job(make_job("job_2"))
+        block = log.record_block(schema, kind="job")
+        # The pre-mutation snapshot was replaced in place, not stranded.
+        assert log.block_cache_stats()["size"] == 1
+        assert log.record_block(schema, kind="job") is block
+
+    def test_kinds_are_bounded_independently(self):
+        from repro.logs.store import MAX_BLOCKS_PER_KIND
+
+        log = ExecutionLog(jobs=[make_job()], tasks=[make_task()])
+        for count in range(MAX_BLOCKS_PER_KIND + 3):
+            schema = self._schema_with_extras(log, count)
+            log.record_block(schema, kind="job")
+            log.record_block(schema, kind="task")
+        stats = log.block_cache_stats()
+        assert stats["size"] <= 2 * MAX_BLOCKS_PER_KIND
+        assert stats["capacity"] == 2 * MAX_BLOCKS_PER_KIND
+
+    def test_session_cache_stats_reports_record_blocks(self):
+        from repro.core.api import PerfXplainSession
+
+        log = ExecutionLog(jobs=[make_job()])
+        session = PerfXplainSession(log)
+        stats = session.cache_stats()
+        assert "record_blocks" in stats
+        assert stats["record_blocks"].size == 0
+        assert stats["record_blocks"].to_dict()["capacity"] == 8
+
+
+class TestCanonicalNanCode:
+    """Regression: ``BlockColumn.from_values`` must give every NaN object
+    one canonical code — ``set`` dedups NaN by identity, so distinct NaN
+    objects used to get distinct codes."""
+
+    def test_distinct_nan_objects_share_one_code(self):
+        from repro.logs.store import BlockColumn
+
+        column = BlockColumn.from_values(
+            "mem", [float("nan"), 1.0, float("nan"), None], numeric=True
+        )
+        assert column.codes[0] == column.codes[2]
+        assert column.codes[0] not in (-1, column.codes[1])
+        assert column.codes[3] == -1
+        # selfeq still masks NaN out of every kernel equality.
+        assert list(column.selfeq) == [0, 1, 0, 0]
+
+    def test_nan_code_is_canonical_in_nominal_columns_too(self):
+        from repro.logs.store import BlockColumn
+
+        nan = float("nan")
+        column = BlockColumn.from_values(
+            "tag", ["a", nan, float("nan"), "a"], numeric=False
+        )
+        assert column.codes[1] == column.codes[2]
+        assert column.codes[0] == column.codes[3] != column.codes[1]
+
+    def test_non_nan_codes_still_follow_dict_equality(self):
+        from repro.logs.store import BlockColumn
+
+        column = BlockColumn.from_values("size", [1, 1.0, True, 2], numeric=True)
+        # 1 == 1.0 under dict equality; True == 1 as well.
+        assert column.codes[0] == column.codes[1] == column.codes[2]
+        assert column.codes[3] != column.codes[0]

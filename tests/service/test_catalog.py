@@ -140,6 +140,9 @@ class TestCatalogIsolation:
         cold.register("shared", tiny_log)
         hot.session("shared").explain(WHY_SLOWER_LOOSE, width=2)
         cold_stats = cold.session("shared").cache_stats()
+        # ``record_blocks`` is the log's own cache — both catalogs register
+        # the same log object, so sharing it is the design, not a leak.
+        cold_stats.pop("record_blocks")
         assert all(s.size == 0 for s in cold_stats.values())
         assert all(s.lookups == 0 for s in cold_stats.values())
 
