@@ -32,9 +32,17 @@ The subcommands cover the typical workflow:
     Run the long-lived query service: every ``--log name=path`` registers
     an execution log in the catalog (lazily loaded on first query), and
     PXQL queries are answered as JSON over HTTP (``POST /v1/query``,
-    ``POST /v1/batch``, ``POST /v1/evaluate``; ``GET /v1/logs`` for
-    catalog and cache statistics).  See
-    :class:`repro.service.ServiceClient` for the matching client.
+    ``POST /v1/batch``, ``POST /v1/evaluate``,
+    ``POST /v1/logs/{name}/append``; ``GET /v1/logs`` for catalog and
+    cache statistics).  See :class:`repro.service.ServiceClient` for the
+    matching client.
+
+``repro-perfxplain append --url http://127.0.0.1:8000 --log prod --input live.jsonl``
+    Tail a growing ``.jsonl`` record file into a served log: records
+    already present are batched into ``POST /v1/logs/{name}/append``
+    calls, and with ``--follow`` the command keeps watching the file and
+    ships new lines as they appear — live, O(delta) growth of the
+    server's log, no restart.
 
 ``explain`` and ``evaluate`` are thin shells over the same service layer
 ``serve`` exposes: they build the versioned request objects of
@@ -57,6 +65,7 @@ import importlib
 import importlib.util
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.core.queries import PAPER_QUERIES
@@ -66,9 +75,12 @@ from repro.core.reporting import summary_table
 from repro.detectors import DETECTOR_TECHNIQUES
 from repro.exceptions import ReproError
 from repro.ingest import HADOOP_JHIST, SPARK_EVENTLOG, ingest_path, load_execution_log
+from repro.logs.parser import parse_jsonl_line
+from repro.logs.records import JobRecord
 from repro.logs.writer import LOG_SUFFIXES
 from repro.service import (
     DEFAULT_MAX_WORKERS,
+    AppendResponse,
     ErrorCode,
     ErrorResponse,
     EvaluateRequest,
@@ -76,6 +88,7 @@ from repro.service import (
     PerfXplainHTTPServer,
     PerfXplainService,
     QueryRequest,
+    ServiceClient,
 )
 from repro.workloads.grid import build_experiment_log, paper_grid, small_grid, tiny_grid
 from repro.workloads.runner import ENGINES
@@ -231,6 +244,35 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--plugin", action="append", default=[],
                        help="module (dotted name or .py path) to import "
                             "before serving; may register explainers")
+
+    append = subparsers.add_parser(
+        "append",
+        help="tail a growing .jsonl record file into a served log",
+        description="Ship job/task records from a .jsonl file into a "
+                    "running service via POST /v1/logs/{name}/append.  "
+                    "Records already in the file are sent in batches; "
+                    "--follow keeps watching the file and appends new "
+                    "complete lines as they are written.  Duplicate ids "
+                    "reject a batch atomically (HTTP 409), so re-running "
+                    "against a log that already holds the records fails "
+                    "loudly instead of double-counting.",
+    )
+    append.add_argument("--url", required=True,
+                        help="base URL of the running service "
+                             "(e.g. http://127.0.0.1:8000)")
+    append.add_argument("--log", required=True,
+                        help="catalog name of the served log to grow")
+    append.add_argument("--input", type=Path, required=True,
+                        help="record-per-line .jsonl file to tail "
+                             "(the optional meta header line is skipped)")
+    append.add_argument("--batch-size", type=int, default=1000,
+                        help="records per append request (default: 1000)")
+    append.add_argument("--follow", action="store_true",
+                        help="keep watching the file for new lines "
+                             "(stop with Ctrl-C)")
+    append.add_argument("--poll", type=float, default=1.0,
+                        help="seconds between file checks with --follow "
+                             "(default: 1.0)")
     return parser
 
 
@@ -478,6 +520,73 @@ def _parse_log_specs(specs: list[str]) -> list[tuple[str, Path]]:
     return entries
 
 
+def _cmd_append(args: argparse.Namespace) -> int:
+    if args.batch_size < 1:
+        raise ReproError("--batch-size must be >= 1")
+    if not args.input.exists():
+        raise ReproError(f"input file {args.input} does not exist")
+    client = ServiceClient(args.url)
+    jobs: list = []
+    tasks: list = []
+    sent_jobs = sent_tasks = 0
+    line_number = 0
+
+    def flush() -> None:
+        nonlocal sent_jobs, sent_tasks
+        if not jobs and not tasks:
+            return
+        response = client.append(args.log, jobs=tuple(jobs), tasks=tuple(tasks))
+        if isinstance(response, ErrorResponse):
+            raise ReproError(f"append rejected ({response.code}): {response.message}")
+        assert isinstance(response, AppendResponse)
+        sent_jobs += len(jobs)
+        sent_tasks += len(tasks)
+        print(f"appended {len(jobs)} job(s), {len(tasks)} task(s); "
+              f"log {args.log!r} now holds {response.num_jobs} jobs, "
+              f"{response.num_tasks} tasks", file=sys.stderr)
+        jobs.clear()
+        tasks.clear()
+
+    def take(line: str) -> None:
+        nonlocal line_number
+        line_number += 1
+        record = parse_jsonl_line(line, line_number)
+        if record is None:
+            return
+        (jobs if isinstance(record, JobRecord) else tasks).append(record)
+        if len(jobs) + len(tasks) >= args.batch_size:
+            flush()
+
+    try:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            # Manual buffering so --follow never parses a half-written
+            # line: only text up to the last newline is consumed; the
+            # remainder waits for the writer to finish it.
+            pending = ""
+            while True:
+                chunk = handle.read()
+                if chunk:
+                    *complete, pending = (pending + chunk).split("\n")
+                    for line in complete:
+                        take(line)
+                    continue
+                if not args.follow:
+                    break
+                flush()
+                time.sleep(args.poll)
+            if pending.strip():
+                # No trailing newline and no writer to wait for: the
+                # final line is complete by definition.
+                take(pending)
+            flush()
+    except KeyboardInterrupt:
+        flush()
+        print("stopped", file=sys.stderr)
+    print(f"done: {sent_jobs} job(s) and {sent_tasks} task(s) appended "
+          f"from {args.input}", file=sys.stderr)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     _load_plugins(args.plugin)
     catalog = LogCatalog(seed=args.seed)
@@ -489,8 +598,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     names = ", ".join(catalog.names())
     print(f"Serving {len(catalog)} log(s) [{names}] on {server.url}", file=sys.stderr)
-    print("Endpoints: POST /v1/query /v1/batch /v1/evaluate; "
-          "GET /v1/logs /v1/health", file=sys.stderr)
+    print("Endpoints: POST /v1/query /v1/batch /v1/evaluate "
+          "/v1/logs/{name}/append; GET /v1/logs /v1/health", file=sys.stderr)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -513,6 +622,7 @@ def main(argv: list[str] | None = None) -> int:
         "explain": _cmd_explain,
         "evaluate": _cmd_evaluate,
         "serve": _cmd_serve,
+        "append": _cmd_append,
     }
     try:
         return handlers[args.command](args)

@@ -241,6 +241,17 @@ class PerfXplainSession(PerfXplain):
     ``None`` = unlimited); eviction only ever costs recomputation, never
     correctness, and :meth:`cache_stats` reports the running
     hit/miss/eviction counters per cache.
+
+    The session tracks the log's per-kind mutation state
+    (:meth:`~repro.logs.store.ExecutionLog.mutation_snapshot`) as a
+    high-water mark.  When records are *appended* (live, growing logs),
+    only the cache entries whose clause signature touches the grown
+    record kind are discarded — a task append leaves every job-level
+    explanation, matrix, pair and schema untouched.  In-place
+    replacement or an explicit
+    :meth:`~repro.logs.store.ExecutionLog.invalidate_caches` moves the
+    epoch instead, which drops everything: history changed, so nothing
+    derived from it can be trusted.
     """
 
     def __init__(
@@ -255,6 +266,9 @@ class PerfXplainSession(PerfXplain):
         self._pair_cache = LRUCache(cache_capacity)
         self._pair_feature_cache = LRUCache(cache_capacity)
         self._explanation_cache = LRUCache(cache_capacity)
+        self._log_snapshot = log.mutation_snapshot()
+        self._append_invalidations = 0
+        self._full_invalidations = 0
 
     # ------------------------------------------------------------------ #
     # batch answering
@@ -360,9 +374,8 @@ class PerfXplainSession(PerfXplain):
         (entity, despite, observed, expected) quadruple the examples
         actually depend on — so N queries sharing clauses pay for one
         construction and one global sort per numeric pair-feature column.
-        The cache is invalidated together with the example cache — never,
-        within a session: both are append-only per clause signature,
-        because the log a session wraps is immutable.
+        Entries for a record kind are discarded when the log grows (or
+        changes) that kind; see the class docstring.
         """
         resolved = self.resolve(query)
         key = self._clause_signature(resolved)
@@ -381,8 +394,14 @@ class PerfXplainSession(PerfXplain):
             self._matrix_cache.put(key, matrix)
         return matrix
 
+    def resolve(self, query: str | PXQLQuery) -> BoundQuery:
+        """Parse and bind a query, syncing caches with the log first."""
+        self._sync_with_log()
+        return super().resolve(query)
+
     def find_pair(self, query: str | PXQLQuery) -> tuple[str, str]:
         """Pick a pair of executions for a query (cached per clause signature)."""
+        self._sync_with_log()
         query = query if isinstance(query, PXQLQuery) else self.parse(query)
         key = self._clause_signature(query)
         pair = self._pair_cache.get(key)
@@ -419,6 +438,58 @@ class PerfXplainSession(PerfXplain):
 
     def _examples_for(self, query: BoundQuery) -> "list[TrainingExample] | TrainingMatrix | None":
         return self.training_matrix(query)
+
+    # ------------------------------------------------------------------ #
+    # log-growth tracking
+    # ------------------------------------------------------------------ #
+
+    def _sync_with_log(self) -> None:
+        """Reconcile the caches with the log's current mutation state.
+
+        Called on every query entry point.  Append-only growth of a kind
+        (same epoch, higher version/count) discards only that kind's
+        entries; an epoch move means history was rewritten and drops
+        everything.  O(1) when nothing changed — the common case.
+        """
+        snapshot = self.log.mutation_snapshot()
+        if snapshot == self._log_snapshot:
+            return
+        for kind in ("job", "task"):
+            new = snapshot[kind]
+            old = self._log_snapshot[kind]
+            if new == old:
+                continue
+            if new[0] != old[0]:
+                self._invalidate_all()
+                self._log_snapshot = snapshot
+                return
+            self._invalidate_kind(kind)
+        self._log_snapshot = snapshot
+
+    def _invalidate_kind(self, kind: str) -> None:
+        """Discard everything derived from one record kind's contents."""
+        self._schemas.pop(kind, None)
+        self._matrix_cache.discard_if(lambda key: key[0] == kind)
+        self._pair_cache.discard_if(lambda key: key[0] == kind)
+        self._pair_feature_cache.discard_if(lambda key: key[0] == kind)
+        self._explanation_cache.discard_if(lambda key: key[0][0] == kind)
+        self._append_invalidations += 1
+
+    def _invalidate_all(self) -> None:
+        """Discard every cached derivation (the log's history changed)."""
+        self._schemas.clear()
+        self._matrix_cache.clear()
+        self._pair_cache.clear()
+        self._pair_feature_cache.clear()
+        self._explanation_cache.clear()
+        self._full_invalidations += 1
+
+    def invalidation_stats(self) -> dict[str, int]:
+        """Running counters for cache-sync events against a mutating log."""
+        return {
+            "append_invalidations": self._append_invalidations,
+            "full_invalidations": self._full_invalidations,
+        }
 
     @staticmethod
     def _clause_signature(query: PXQLQuery) -> tuple:

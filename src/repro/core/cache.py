@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterator
+from typing import Any, Callable, Hashable, Iterator
 
 __all__ = ["CacheStats", "LRUCache"]
 
@@ -123,6 +123,20 @@ class LRUCache:
             size=len(self._entries),
             capacity=self._capacity,
         )
+
+    def discard_if(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``.
+
+        Selective invalidation for append-only log growth: the session
+        keeps entries whose clause signature never touches the grown
+        record kind and discards only the rest.  Returns the number of
+        entries dropped; discards are not counted as evictions (the
+        cache was not at capacity — the entries went stale).
+        """
+        stale = [key for key in self._entries if predicate(key)]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
 
     def clear(self) -> None:
         """Drop every entry (counters keep accumulating)."""

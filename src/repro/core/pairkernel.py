@@ -459,10 +459,18 @@ def blocking_group_indices(
     for a monolithic block, one per chunk for a
     :class:`~repro.logs.chunkstore.ChunkedRecordBlock` — so a spilled
     column's chunks are each touched exactly once and never all resident.
+
+    Blocks that memoise their groups
+    (:meth:`~repro.logs.store.RecordBlock.blocking_groups`, maintained in
+    O(delta) under appends) are delegated to; the scan below remains the
+    reference path for bare block-alikes.
     """
     n = len(block)
     if not blocking:
         return [list(range(n))]
+    memoised = getattr(block, "blocking_groups", None)
+    if memoised is not None:
+        return memoised(blocking)
     groups: dict[tuple[int, ...], list[int]] = {}
     for start, code_slices, selfeq_slices in block.key_chunks(blocking):
         for offset, key in enumerate(zip(*code_slices)):

@@ -28,6 +28,24 @@ class LogFormatError(ReproError):
     """An execution-log file could not be parsed."""
 
 
+class DuplicateRecordError(LogFormatError):
+    """A job or task id was added to an execution log twice.
+
+    Raised by the log mutation APIs (:meth:`~repro.logs.store.ExecutionLog.add_job`,
+    :meth:`~repro.logs.store.ExecutionLog.add_task`,
+    :meth:`~repro.logs.store.ExecutionLog.extend`) and by
+    :meth:`~repro.logs.store.ExecutionLog.load` for duplicate-id files.
+    Subclasses :class:`LogFormatError` so existing handlers of malformed
+    logs keep working; ``kind`` and ``record_id`` let callers act on the
+    precise duplicate without string matching.
+    """
+
+    def __init__(self, message: str, kind: str = "record", record_id: str = ""):
+        self.kind = kind
+        self.record_id = record_id
+        super().__init__(message)
+
+
 class ParserError(LogFormatError):
     """A real-world log file (Hadoop/Spark) could not be ingested.
 

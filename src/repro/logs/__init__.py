@@ -20,7 +20,7 @@ from repro.logs.records import JobRecord, TaskRecord, FeatureValue
 from repro.logs.store import BlockColumn, BlockOptions, ExecutionLog, RecordBlock
 from repro.logs.chunkstore import ChunkedColumn, ChunkedRecordBlock, ChunkStore
 from repro.logs.writer import write_job_history, job_history_text
-from repro.logs.parser import parse_job_history, parse_job_history_text
+from repro.logs.parser import parse_job_history, parse_job_history_text, parse_jsonl_line
 
 __all__ = [
     "JobRecord",
@@ -37,4 +37,5 @@ __all__ = [
     "job_history_text",
     "parse_job_history",
     "parse_job_history_text",
+    "parse_jsonl_line",
 ]

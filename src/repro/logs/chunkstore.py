@@ -39,7 +39,13 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.logs.records import ExecutionRecord, FeatureValue
-from repro.logs.store import _PERFORMANCE_METRIC, BlockColumn
+from repro.logs.store import (
+    BlockColumn,
+    _append_codes,
+    _blocking_groups_of,
+    _column_values,
+    _extend_group_cache,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.core.features import FeatureSchema
@@ -61,9 +67,11 @@ class ChunkStore:
     Chunks enter via :meth:`put` and are read back via :meth:`get`; both
     refresh recency.  When more than ``max_resident`` chunks are held, the
     least recently used ones are evicted — pickled to a private temp
-    directory on first eviction (chunks are immutable, so one spill file
-    serves every later reload).  ``max_resident=None`` disables eviction
-    and the store never touches disk.
+    directory on first eviction, and one spill file serves every later
+    reload until the chunk is re-:meth:`put` (the append path extends tail
+    chunks in place, which invalidates their spilled copy).
+    ``max_resident=None`` disables eviction and the store never touches
+    disk.
 
     Spill files are pid-tagged: forked kernel workers inherit the store and
     may spill chunks of columns they build locally, and distinct processes
@@ -90,7 +98,18 @@ class ChunkStore:
         self.peak_resident = 0
 
     def put(self, key: tuple, chunk: BlockColumn) -> None:
-        """Insert (or refresh) one chunk, evicting beyond the capacity."""
+        """Insert (or refresh) one chunk, evicting beyond the capacity.
+
+        Re-putting a key invalidates its spill file: the append path
+        mutates tail chunks in place, so a stale on-disk copy must never be
+        reloaded over the extended one.
+        """
+        stale_path = self._paths.pop(key, None)
+        if stale_path is not None:
+            try:
+                stale_path.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
         self._resident[key] = chunk
         self._resident.move_to_end(key)
         if len(self._resident) > self.peak_resident:
@@ -181,7 +200,16 @@ class ChunkedColumn:
     spill files stay small).
     """
 
-    __slots__ = ("name", "numeric", "all_numeric", "code_of", "_store", "_chunk_rows")
+    __slots__ = (
+        "name",
+        "numeric",
+        "all_numeric",
+        "code_of",
+        "nan_code",
+        "next_code",
+        "_store",
+        "_chunk_rows",
+    )
 
     def __init__(
         self,
@@ -226,10 +254,47 @@ class ChunkedColumn:
             all_numeric = all_numeric and chunk.all_numeric
             store.put((name, chunk_index // chunk_rows), chunk)
         self.all_numeric = all_numeric
+        #: Global code-table state, carried so appended values extend the
+        #: table instead of re-encoding (:meth:`extend_values`).
+        self.nan_code = nan_code
+        self.next_code = next_code
 
     def chunk(self, index: int) -> BlockColumn:
         """The chunk covering rows ``[index * chunk_rows, ...)``."""
         return self._store.get((self.name, index))
+
+    def extend_values(self, values: Sequence[FeatureValue], start: int) -> None:
+        """Append raw values at global row ``start``, O(delta).
+
+        New codes are assigned against the existing **global** table
+        (first-occurrence order, canonical NaN slot); rows land in the tail
+        chunk until it fills, then fresh chunks open.  Each touched chunk
+        is re-:meth:`~ChunkStore.put`, which invalidates any stale spill
+        file.
+        """
+        chunk_rows = self._chunk_rows
+        codes, self.nan_code, self.next_code = _append_codes(
+            self.code_of, values, self.nan_code, self.next_code
+        )
+        position = 0
+        total = len(values)
+        while position < total:
+            chunk_index, offset = divmod(start + position, chunk_rows)
+            take = min(chunk_rows - offset, total - position)
+            if offset:
+                chunk = self._store.get((self.name, chunk_index))
+            else:
+                chunk = BlockColumn(self.name, self.numeric)
+                # from_values semantics on an empty column: vacuously true
+                # for numeric columns, never set for nominal ones.
+                chunk.all_numeric = self.numeric
+            chunk.extend_encoded(
+                values[position : position + take],
+                codes[position : position + take],
+            )
+            self._store.put((self.name, chunk_index), chunk)
+            self.all_numeric = self.all_numeric and chunk.all_numeric
+            position += take
 
     def gather(self, source: str, indices: Sequence[int]) -> list:
         """One encoded array (``codes``/``floats``/...) at global indices.
@@ -274,6 +339,7 @@ class ChunkedRecordBlock:
         "columns",
         "chunk_rows",
         "store",
+        "group_cache",
     )
 
     def __init__(
@@ -297,6 +363,9 @@ class ChunkedRecordBlock:
             max_resident=max_resident_chunks, directory=spill_directory
         )
         self.columns: dict[str, ChunkedColumn] = {}
+        #: Memoised blocking groups (same contract as
+        #: :attr:`~repro.logs.store.RecordBlock.group_cache`).
+        self.group_cache: dict[tuple[str, ...], dict[tuple, list[int]]] = {}
 
     def __len__(self) -> int:
         return len(self.records)
@@ -310,12 +379,7 @@ class ChunkedRecordBlock:
         """The (lazily built) chunked encoded column of one raw feature."""
         column = self.columns.get(name)
         if column is None:
-            if name == _PERFORMANCE_METRIC:
-                values: list[FeatureValue] = [
-                    record.duration for record in self.records
-                ]
-            else:
-                values = [record.features.get(name) for record in self.records]
+            values = _column_values(self.records, name)
             column = ChunkedColumn(
                 name,
                 self.schema.is_numeric(name),
@@ -343,3 +407,25 @@ class ChunkedRecordBlock:
                 [chunk.codes for chunk in chunks],
                 [chunk.selfeq for chunk in chunks],
             )
+
+    def blocking_groups(self, features: Sequence[str]) -> list[list[int]]:
+        """Memoised blocking groups (same contract as
+        :meth:`~repro.logs.store.RecordBlock.blocking_groups`)."""
+        return _blocking_groups_of(self, features)
+
+    def extend_from(self, records: Sequence[ExecutionRecord]) -> None:
+        """Append records in O(delta): rows land in the tail chunk (or open
+        a new one), global code tables extend in place, and cached blocking
+        groups gain only the new rows' memberships (same contract as
+        :meth:`~repro.logs.store.RecordBlock.extend_from`)."""
+        records = list(records)
+        if not records:
+            return
+        start = len(self.records)
+        self.records.extend(records)
+        new_ids = [record.entity_id for record in records]
+        self.ids.extend(new_ids)
+        self.id_bytes.extend(entity_id.encode("utf-8") for entity_id in new_ids)
+        for name, column in self.columns.items():
+            column.extend_values(_column_values(records, name), start)
+        _extend_group_cache(self, start)

@@ -181,6 +181,25 @@ def _jsonl_record(payload: object, line_number: int) -> JobRecord | TaskRecord |
         raise LogFormatError(f"line {line_number}: invalid record: {exc}") from exc
 
 
+def parse_jsonl_line(line: str, line_number: int = 0) -> JobRecord | TaskRecord | None:
+    """Parse one line of a JSONL execution log into a record.
+
+    Returns ``None`` for blank lines and the optional ``meta`` header, so
+    a tailer can feed every line of a growing file through unchanged.
+
+    :raises LogFormatError: for invalid JSON or a malformed record;
+        ``line_number`` (when given) is named in the message.
+    """
+    stripped = line.strip()
+    if not stripped:
+        return None
+    try:
+        payload = json.loads(stripped)
+    except json.JSONDecodeError as exc:
+        raise LogFormatError(f"line {line_number}: invalid JSON: {exc}") from exc
+    return _jsonl_record(payload, line_number)
+
+
 def read_records_jsonl(path: str | Path) -> tuple[list[JobRecord], list[TaskRecord]]:
     """Read a JSONL execution log (plain or ``.gz``) into record lists.
 

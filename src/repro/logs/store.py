@@ -40,7 +40,7 @@ from operator import and_, eq
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
-from repro.exceptions import LogFormatError
+from repro.exceptions import DuplicateRecordError, LogFormatError
 from repro.logs.records import (
     ExecutionRecord,
     FeatureValue,
@@ -92,6 +92,8 @@ class BlockColumn:
         "num_ok",
         "all_numeric",
         "code_of",
+        "nan_code",
+        "next_code",
     )
 
     def __init__(self, name: str, numeric: bool) -> None:
@@ -106,6 +108,10 @@ class BlockColumn:
         #: mixed-type equality fallback).
         self.all_numeric: bool = False
         self.code_of: dict[FeatureValue, int] = {}
+        #: The canonical NaN code (``-1`` = no NaN seen yet) and the next
+        #: unassigned code — the state incremental appends extend from.
+        self.nan_code: int = -1
+        self.next_code: int = 0
 
     @classmethod
     def from_values(
@@ -140,12 +146,15 @@ class BlockColumn:
                 nan_objects.append(value)
             else:
                 code_of[value] = len(code_of)
+        column.next_code = len(code_of)
         if nan_objects:
             # Every NaN object shares the canonical NaN code (the id-based
             # hashes still make each object an O(1) dict hit).
             nan_code = len(code_of)
             for value in nan_objects:
                 code_of[value] = nan_code
+            column.nan_code = nan_code
+            column.next_code = nan_code + 1
         code_of[None] = -1
         codes = list(map(code_of.__getitem__, raw))
         del code_of[None]
@@ -200,6 +209,87 @@ class BlockColumn:
         """
         return list(map(getattr(self, source).__getitem__, indices))
 
+    def extend_encoded(self, values: Sequence[FeatureValue], codes: Sequence[int]) -> None:
+        """Append pre-coded values, maintaining every derived array.
+
+        ``codes`` must have been assigned against this column's code table
+        (:func:`_append_codes`); the per-value ``selfeq`` / ``floats`` /
+        ``num_ok`` updates follow exactly the rules of :meth:`from_values`,
+        so an extended column is indistinguishable from a fresh build over
+        the concatenated values (the differential suite pins this).
+        """
+        self.raw.extend(values)
+        self.codes.extend(codes)
+        selfeq = self.selfeq
+        for value, code in zip(values, codes):
+            selfeq.append(1 if code >= 0 and value == value else 0)
+        if self.numeric:
+            floats = self.floats
+            num_ok = self.num_ok
+            present = 0
+            numeric_count = 0
+            for value, code in zip(values, codes):
+                if code >= 0:
+                    present += 1
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    floats.append(float(value))
+                    num_ok.append(1)
+                    numeric_count += 1
+                else:
+                    floats.append(0.0)
+                    num_ok.append(0)
+            self.all_numeric = self.all_numeric and numeric_count == present
+
+    def extend_values(self, values: Sequence[FeatureValue]) -> None:
+        """Append raw values, extending the existing code table in place.
+
+        The O(delta) append path: only the new values are scanned; codes of
+        already-seen values come from the existing ``code_of`` table and
+        unseen values get fresh sequential codes (NaN keeps one canonical
+        slot).  Code *numbering* may therefore differ from a fresh
+        :meth:`from_values` over the concatenation — unobservable, since
+        kernels only ever compare codes for equality.
+        """
+        codes, self.nan_code, self.next_code = _append_codes(
+            self.code_of, values, self.nan_code, self.next_code
+        )
+        self.extend_encoded(values, codes)
+
+
+def _append_codes(
+    code_of: dict[FeatureValue, int],
+    values: Sequence[FeatureValue],
+    nan_code: int,
+    next_code: int,
+) -> tuple[list[int], int, int]:
+    """Assign codes for appended values against an existing code table.
+
+    Returns ``(codes, nan_code, next_code)``: the per-value codes (``-1``
+    for ``None``), the possibly newly-allocated canonical NaN code, and the
+    next free code.  ``code_of`` is extended in place, in first-occurrence
+    order over the new values.
+    """
+    codes: list[int] = []
+    append = codes.append
+    for value in values:
+        if value is None:
+            append(-1)
+            continue
+        code = code_of.get(value)
+        if code is None:
+            if value != value:
+                # Every NaN object maps onto the one canonical slot.
+                if nan_code < 0:
+                    nan_code = next_code
+                    next_code += 1
+                code = nan_code
+            else:
+                code = next_code
+                next_code += 1
+            code_of[value] = code
+        append(code)
+    return codes, nan_code, next_code
+
 
 class RecordBlock:
     """A record list encoded column-by-column for the pair kernels.
@@ -211,7 +301,7 @@ class RecordBlock:
     metric, mirroring :func:`repro.core.pairs.compute_pair_feature`.
     """
 
-    __slots__ = ("records", "schema", "ids", "id_bytes", "columns")
+    __slots__ = ("records", "schema", "ids", "id_bytes", "columns", "group_cache")
 
     def __init__(self, records: Sequence[ExecutionRecord], schema: "FeatureSchema") -> None:
         self.records: list[ExecutionRecord] = list(records)
@@ -220,6 +310,10 @@ class RecordBlock:
         self.ids: list[str] = [record.entity_id for record in self.records]
         self.id_bytes: list[bytes] = [entity_id.encode("utf-8") for entity_id in self.ids]
         self.columns: dict[str, BlockColumn] = {}
+        #: Memoised blocking groups per feature tuple (see
+        #: :func:`_blocking_groups_of`); appends refresh only the groups
+        #: whose keys gained members.
+        self.group_cache: dict[tuple[str, ...], dict[tuple, list[int]]] = {}
 
     def __len__(self) -> int:
         return len(self.records)
@@ -228,11 +322,9 @@ class RecordBlock:
         """The (lazily built) encoded column of one raw feature."""
         column = self.columns.get(name)
         if column is None:
-            if name == _PERFORMANCE_METRIC:
-                values: list[FeatureValue] = [record.duration for record in self.records]
-            else:
-                values = [record.features.get(name) for record in self.records]
-            column = BlockColumn.from_values(name, values, self.schema.is_numeric(name))
+            column = BlockColumn.from_values(
+                name, _column_values(self.records, name), self.schema.is_numeric(name)
+            )
             self.columns[name] = column
         return column
 
@@ -253,6 +345,103 @@ class RecordBlock:
             [column.codes for column in columns],
             [column.selfeq for column in columns],
         )
+
+    def blocking_groups(self, features: Sequence[str]) -> list[list[int]]:
+        """Record indices grouped by blocked value codes (memoised).
+
+        Same contract as
+        :func:`repro.core.pairkernel.blocking_group_indices`, which
+        delegates here: groups in first-occurrence order, rows with a
+        missing or NaN blocked value dropped.  The group dict is cached per
+        feature tuple and maintained in place by :meth:`extend_from`, so a
+        growing log pays O(delta) per append instead of a full regroup.
+        """
+        return _blocking_groups_of(self, features)
+
+    def extend_from(self, records: Sequence[ExecutionRecord]) -> None:
+        """Append records in O(delta), maintaining every built structure.
+
+        New rows extend ``records``/``ids``/``id_bytes``, every
+        already-encoded column grows through
+        :meth:`BlockColumn.extend_values` (existing code tables extended,
+        never rebuilt), and cached blocking groups gain only the new rows'
+        memberships.
+        """
+        records = list(records)
+        if not records:
+            return
+        start = len(self.records)
+        self.records.extend(records)
+        new_ids = [record.entity_id for record in records]
+        self.ids.extend(new_ids)
+        self.id_bytes.extend(entity_id.encode("utf-8") for entity_id in new_ids)
+        for name, column in self.columns.items():
+            column.extend_values(_column_values(records, name))
+        _extend_group_cache(self, start)
+
+
+def _column_values(
+    records: "Sequence[ExecutionRecord]", name: str
+) -> list[FeatureValue]:
+    """One raw column of a record list (the block encoding input)."""
+    if name == _PERFORMANCE_METRIC:
+        return [record.duration for record in records]
+    return [record.features.get(name) for record in records]
+
+
+#: Blocking-feature tuples memoised per block.  A realistic query mix uses
+#: a handful of despite clauses per log; the cap only bounds adversarial
+#: churn (each cached tuple holds O(rows) index lists).
+MAX_GROUP_CACHE = 8
+
+
+def _blocking_groups_of(block, features: Sequence[str]) -> list[list[int]]:
+    """The memoised blocking groups of a block, as fresh index-list copies.
+
+    Shared by :class:`RecordBlock` and
+    :class:`~repro.logs.chunkstore.ChunkedRecordBlock` (both expose the
+    ``key_chunks`` / ``group_cache`` surface this reads).  Returns copies so
+    kernels that consume the lists destructively cannot corrupt the cache.
+    """
+    key = tuple(features)
+    cache = block.group_cache
+    groups = cache.get(key)
+    if groups is None:
+        if len(cache) >= MAX_GROUP_CACHE:
+            cache.pop(next(iter(cache)))
+        groups = {}
+        for start, code_slices, selfeq_slices in block.key_chunks(features):
+            for offset, codes in enumerate(zip(*code_slices)):
+                if -1 in codes:
+                    continue
+                if not all(selfeq[offset] for selfeq in selfeq_slices):
+                    continue
+                groups.setdefault(codes, []).append(start + offset)
+        cache[key] = groups
+    return [list(group) for group in groups.values()]
+
+
+def _extend_group_cache(block, start: int) -> None:
+    """Add rows ``[start, len(block))`` to every cached blocking group.
+
+    Only groups whose keys gained members are touched; first-occurrence
+    order is preserved because new keys land at the end of the group dict,
+    exactly where a fresh regroup would place them.
+    """
+    n = len(block.records)
+    if start >= n or not block.group_cache:
+        return
+    rows = range(start, n)
+    for features, groups in block.group_cache.items():
+        columns = [block.column(feature) for feature in features]
+        code_rows = zip(*(column.gather("codes", rows) for column in columns))
+        selfeq_rows = zip(*(column.gather("selfeq", rows) for column in columns))
+        for offset, (codes, selfeq) in enumerate(zip(code_rows, selfeq_rows)):
+            if -1 in codes:
+                continue
+            if not all(selfeq):
+                continue
+            groups.setdefault(codes, []).append(start + offset)
 
 
 def _schema_signature(schema: "FeatureSchema") -> tuple:
@@ -304,6 +493,13 @@ class ExecutionLog:
     #: for the (version, record count) it was built against.
     _jobs_version: int = field(default=0, init=False, repr=False, compare=False)
     _tasks_version: int = field(default=0, init=False, repr=False, compare=False)
+    #: Per-kind *epoch* counters: bumped only by mutations that can change
+    #: already-stored records (:meth:`replace_job`, :meth:`replace_task`,
+    #: :meth:`invalidate_caches`).  Appends grow a kind without moving its
+    #: epoch, which is what lets blocks, groups and session caches extend
+    #: incrementally instead of rebuilding.
+    _jobs_epoch: int = field(default=0, init=False, repr=False, compare=False)
+    _tasks_epoch: int = field(default=0, init=False, repr=False, compare=False)
     _job_index: dict[str, JobRecord] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
@@ -325,6 +521,9 @@ class ExecutionLog:
     _block_counters: list[int] = field(
         default_factory=lambda: [0, 0, 0], init=False, repr=False, compare=False
     )
+    #: Cached blocks refreshed in place by the O(delta) append path
+    #: (:meth:`record_block` / :meth:`flush_appends`).
+    _block_extends: int = field(default=0, init=False, repr=False, compare=False)
     _block_options: BlockOptions | None = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -343,7 +542,9 @@ class ExecutionLog:
         """Add a job record and (optionally) its task records."""
         index = self._job_lookup()
         if job.job_id in index:
-            raise ValueError(f"duplicate job id: {job.job_id}")
+            raise DuplicateRecordError(
+                f"duplicate job id: {job.job_id}", kind="job", record_id=job.job_id
+            )
         self.jobs.append(job)
         self._jobs_version += 1
         index[job.job_id] = job
@@ -355,7 +556,9 @@ class ExecutionLog:
         """Add a single task record."""
         index = self._task_lookup()
         if task.task_id in index:
-            raise ValueError(f"duplicate task id: {task.task_id}")
+            raise DuplicateRecordError(
+                f"duplicate task id: {task.task_id}", kind="task", record_id=task.task_id
+            )
         self.tasks.append(task)
         self._tasks_version += 1
         index[task.task_id] = task
@@ -372,7 +575,9 @@ class ExecutionLog:
         land in the log with a single version bump per kind instead of one
         :meth:`add_task` round-trip per record.  Atomic: both batches are
         validated against the log (and against themselves) before any
-        mutation, so a duplicate id leaves the log untouched.
+        mutation, so a duplicate id
+        (:class:`~repro.exceptions.DuplicateRecordError`) leaves the log
+        untouched.
         """
         jobs = list(jobs)
         tasks = list(tasks)
@@ -380,13 +585,19 @@ class ExecutionLog:
         batch_job_ids: set[str] = set()
         for job in jobs:
             if job.job_id in job_index or job.job_id in batch_job_ids:
-                raise ValueError(f"duplicate job id: {job.job_id}")
+                raise DuplicateRecordError(
+                    f"duplicate job id: {job.job_id}", kind="job", record_id=job.job_id
+                )
             batch_job_ids.add(job.job_id)
         task_index = self._task_lookup() if tasks else self._task_index
         batch_task_ids: set[str] = set()
         for task in tasks:
             if task.task_id in task_index or task.task_id in batch_task_ids:
-                raise ValueError(f"duplicate task id: {task.task_id}")
+                raise DuplicateRecordError(
+                    f"duplicate task id: {task.task_id}",
+                    kind="task",
+                    record_id=task.task_id,
+                )
             batch_task_ids.add(task.task_id)
         if jobs:
             for job in jobs:
@@ -412,6 +623,7 @@ class ExecutionLog:
             if existing.job_id == job.job_id:
                 self.jobs[position] = job
                 self._jobs_version += 1
+                self._jobs_epoch += 1
                 return
         raise ValueError(f"no job with id {job.job_id} to replace")
 
@@ -424,6 +636,7 @@ class ExecutionLog:
             if existing.task_id == task.task_id:
                 self.tasks[position] = task
                 self._tasks_version += 1
+                self._tasks_epoch += 1
                 return
         raise ValueError(f"no task with id {task.task_id} to replace")
 
@@ -436,6 +649,39 @@ class ExecutionLog:
         """
         self._jobs_version += 1
         self._tasks_version += 1
+        self._jobs_epoch += 1
+        self._tasks_epoch += 1
+
+    def mutation_snapshot(self) -> dict[str, tuple[int, int, int]]:
+        """Per-kind ``(epoch, version, count)`` triples, for cache owners.
+
+        The session layer (:class:`~repro.core.api.PerfXplainSession`)
+        compares snapshots across calls: an unchanged triple means a kind's
+        caches are valid as-is; a moved count under the same epoch means
+        append-only growth (caches touching that kind recompute, the other
+        kind's survive); a moved epoch means in-place mutation (everything
+        derived from that kind must be dropped).
+        """
+        return {
+            "job": (self._jobs_epoch, self._jobs_version, len(self.jobs)),
+            "task": (self._tasks_epoch, self._tasks_version, len(self.tasks)),
+        }
+
+    def append_stats(self) -> dict[str, int]:
+        """Append/version accounting for catalog introspection.
+
+        ``jobs_version`` / ``tasks_version`` move on every mutation of
+        their kind; ``jobs_epoch`` / ``tasks_epoch`` only on in-place
+        mutation; ``block_extends`` counts cached blocks refreshed through
+        the O(delta) append path instead of a rebuild.
+        """
+        return {
+            "jobs_version": self._jobs_version,
+            "tasks_version": self._tasks_version,
+            "jobs_epoch": self._jobs_epoch,
+            "tasks_epoch": self._tasks_epoch,
+            "block_extends": self._block_extends,
+        }
 
     def merge(self, other: "ExecutionLog") -> "ExecutionLog":
         """Return a new log containing the records of both logs."""
@@ -512,13 +758,26 @@ class ExecutionLog:
         return self._task_lookup().get(task_id)
 
     def tasks_of_job(self, job_id: str) -> list[TaskRecord]:
-        """All task records belonging to a job (indexed, O(tasks of job))."""
-        if self._job_tasks_key != self._tasks_key():
-            groups: dict[str, list[TaskRecord]] = {}
-            for task in self.tasks:
-                groups.setdefault(task.job_id, []).append(task)
-            self._job_tasks = groups
-            self._job_tasks_key = self._tasks_key()
+        """All task records belonging to a job (indexed, O(tasks of job)).
+
+        The index is keyed on the task epoch plus record count: appends
+        (API-level or direct list appends) fold only the new tasks into the
+        existing groups in place, O(delta); in-place mutation (epoch moved)
+        or shrinkage rebuilds from scratch.
+        """
+        key = (self._tasks_epoch, len(self.tasks))
+        if self._job_tasks_key != key:
+            cached_epoch, cached_count = self._job_tasks_key
+            if cached_epoch == key[0] and 0 <= cached_count < len(self.tasks):
+                groups = self._job_tasks
+                for task in self.tasks[cached_count:]:
+                    groups.setdefault(task.job_id, []).append(task)
+            else:
+                groups = {}
+                for task in self.tasks:
+                    groups.setdefault(task.job_id, []).append(task)
+                self._job_tasks = groups
+            self._job_tasks_key = key
         return list(self._job_tasks.get(job_id, ()))
 
     def filter_jobs(
@@ -556,22 +815,29 @@ class ExecutionLog:
     ) -> None:
         """Set this log's :class:`RecordBlock` construction policy.
 
-        See :class:`BlockOptions` for the parameters.  Cached blocks are
-        dropped so the new layout takes effect on the next
-        :meth:`record_block` call; chunked and in-memory blocks are
-        bit-identical to the kernels, so reconfiguring never changes
-        results — only memory behaviour.
+        See :class:`BlockOptions` for the parameters.  When the policy
+        actually changes, cached blocks are dropped so the new layout takes
+        effect on the next :meth:`record_block` call; chunked and in-memory
+        blocks are bit-identical to the kernels, so reconfiguring never
+        changes results — only memory behaviour.  Re-applying the current
+        policy keeps the cached blocks but flushes any pending un-encoded
+        appends into them first (:meth:`flush_appends`): a kept block must
+        never serve a stale tail.
         """
         if chunk_rows is not None and chunk_rows < 1:
             raise ValueError("chunk_rows must be >= 1")
         if max_resident_chunks is not None and max_resident_chunks < 1:
             raise ValueError("max_resident_chunks must be >= 1")
-        self._block_options = BlockOptions(
+        options = BlockOptions(
             chunk_rows=chunk_rows,
             max_resident_chunks=max_resident_chunks,
             spill_directory=spill_directory,
             auto_chunk_threshold=auto_chunk_threshold,
         )
+        if options == self._block_options:
+            self.flush_appends()
+            return
+        self._block_options = options
         self._blocks.clear()
 
     def block_cache_stats(self) -> dict[str, int]:
@@ -600,8 +866,17 @@ class ExecutionLog:
         extend or in-place :meth:`replace_job` / :meth:`replace_task` —
         replaces the stale block on the next request.
 
-        The cache is bounded: stale-schema entries of a kind are evicted
-        when their mutation key no longer matches the log, and only the
+        Appends are O(delta): when a kind has only grown since a block was
+        cached (same epoch, larger count) and the chunking layout is
+        unchanged, the cached block is extended in place through
+        :meth:`RecordBlock.extend_from` instead of rebuilt — per-column
+        code tables, masks and cached blocking groups gain just the new
+        rows.  In-place mutation (:meth:`replace_job` /
+        :meth:`replace_task` / :meth:`invalidate_caches`) moves the kind's
+        epoch and forces a full rebuild.
+
+        The cache is bounded: stale entries of a kind are evicted when
+        their epoch no longer matches the log, and only the
         :data:`MAX_BLOCKS_PER_KIND` most recently used schemas per kind are
         retained (:meth:`block_cache_stats` reports the counters).  Logs at
         or past the auto-chunk threshold — or explicitly configured via
@@ -617,36 +892,117 @@ class ExecutionLog:
         records: Sequence[ExecutionRecord]
         if kind == "job":
             records = self.jobs
-            mutation_key = self._jobs_key()
+            mutation_key = (self._jobs_epoch, len(records))
         else:
             records = self.tasks
-            mutation_key = self._tasks_key()
+            mutation_key = (self._tasks_epoch, len(records))
         key = (kind, _schema_signature(schema))
         cached = self._blocks.get(key)
-        if cached is not None and cached[0] == mutation_key:
+        if cached is not None:
+            block = self._refresh_block(key, cached, records, mutation_key)
+            if block is not None:
+                return block
+        self._block_counters[1] += 1
+        block = self._build_block(records, schema)
+        if key in self._blocks:
+            del self._blocks[key]
+        self._blocks[key] = (mutation_key, block)
+        self._evict_blocks(kind, mutation_key[0])
+        return block
+
+    def _refresh_block(
+        self,
+        key: tuple,
+        cached: tuple[tuple, RecordBlock],
+        records: "Sequence[ExecutionRecord]",
+        mutation_key: tuple,
+    ) -> RecordBlock | None:
+        """Serve a cached block as-is or extended in place, else ``None``.
+
+        A hit (unchanged mutation key) and an O(delta) extension (same
+        epoch, grown count, unchanged chunk layout) both refresh recency;
+        anything else — moved epoch, shrunk count, or a layout change such
+        as crossing the auto-chunk threshold — returns ``None`` so the
+        caller rebuilds.
+        """
+        if cached[0] == mutation_key:
             self._block_counters[0] += 1
-            # Refresh recency so per-kind eviction keeps the live schemas.
             del self._blocks[key]
             self._blocks[key] = cached
             return cached[1]
-        self._block_counters[1] += 1
-        block = self._build_block(records, schema)
-        if cached is not None:
+        block = self._try_extend(cached, records, mutation_key)
+        if block is not None:
             del self._blocks[key]
-        self._blocks[key] = (mutation_key, block)
-        self._evict_blocks(kind, mutation_key)
+            self._blocks[key] = (mutation_key, block)
         return block
 
-    def _build_block(
-        self, records: "Sequence[ExecutionRecord]", schema: "FeatureSchema"
-    ) -> RecordBlock:
+    def _try_extend(
+        self,
+        cached: tuple[tuple, RecordBlock],
+        records: "Sequence[ExecutionRecord]",
+        mutation_key: tuple,
+    ) -> RecordBlock | None:
+        """Extend a cached block in place when appends are all that changed."""
+        cached_key, block = cached
+        if (
+            cached_key[0] != mutation_key[0]
+            or cached_key[1] >= mutation_key[1]
+            or self._chunk_layout_for(mutation_key[1])
+            != getattr(block, "chunk_rows", None)
+        ):
+            return None
+        block.extend_from(records[cached_key[1] :])
+        self._block_extends += 1
+        return block
+
+    def _chunk_layout_for(self, count: int) -> int | None:
+        """The chunk size a block over ``count`` records would get now."""
         options = self._block_options
         chunk_rows = options.chunk_rows if options is not None else None
         threshold = (
             options.auto_chunk_threshold if options is not None else AUTO_CHUNK_THRESHOLD
         )
-        if chunk_rows is None and len(records) >= threshold:
+        if chunk_rows is None and count >= threshold:
             chunk_rows = DEFAULT_CHUNK_ROWS
+        return chunk_rows
+
+    def flush_appends(self) -> int:
+        """Fold pending appended records into every cached block, eagerly.
+
+        :meth:`record_block` extends lazily on next access; this is the
+        eager sync point — used by :meth:`configure_blocks` (a kept block
+        must never serve a stale tail) and by the service's append path so
+        encoding cost is paid at append time, off the query path.  Blocks
+        that cannot be extended in place (moved epoch, shrunk count,
+        changed chunk layout) are dropped for rebuild on next access.
+        Returns the number of blocks extended.
+        """
+        refreshed = 0
+        for key in list(self._blocks):
+            kind = key[0]
+            if kind == "job":
+                records: Sequence[ExecutionRecord] = self.jobs
+                mutation_key = (self._jobs_epoch, len(records))
+            else:
+                records = self.tasks
+                mutation_key = (self._tasks_epoch, len(records))
+            cached = self._blocks[key]
+            if cached[0] == mutation_key:
+                continue
+            block = self._try_extend(cached, records, mutation_key)
+            if block is not None:
+                self._blocks[key] = (mutation_key, block)
+                refreshed += 1
+            else:
+                del self._blocks[key]
+                self._block_counters[2] += 1
+        return refreshed
+
+    def _build_block(
+        self, records: "Sequence[ExecutionRecord]", schema: "FeatureSchema"
+    ) -> RecordBlock:
+        options = self._block_options
+        chunk_rows = self._chunk_layout_for(len(records))
         if chunk_rows is None:
             return RecordBlock(records, schema)
         from repro.logs.chunkstore import ChunkedRecordBlock
@@ -663,12 +1019,18 @@ class ExecutionLog:
             ),
         )
 
-    def _evict_blocks(self, kind: str, mutation_key: tuple) -> None:
-        """Drop stale-schema blocks of a kind, keep the newest N others."""
+    def _evict_blocks(self, kind: str, epoch: int) -> None:
+        """Drop unrecoverable blocks of a kind, keep the newest N others.
+
+        A block merely behind on record count is *not* stale — the append
+        path extends it in place on next access — but a moved epoch or a
+        shrunk record list can never be reconciled incrementally.
+        """
+        count = len(self.jobs) if kind == "job" else len(self.tasks)
         stale = [
             key
             for key, (cached_key, _) in self._blocks.items()
-            if key[0] == kind and cached_key != mutation_key
+            if key[0] == kind and (cached_key[0] != epoch or cached_key[1] > count)
         ]
         same_kind = [key for key in self._blocks if key[0] == kind and key not in stale]
         # dicts iterate oldest-first: surplus beyond the cap is the LRU end.
@@ -798,12 +1160,14 @@ class ExecutionLog:
             log = cls()
             try:
                 log.extend(jobs=jobs, tasks=tasks)
-            except ValueError as exc:
-                # ``extend`` reports duplicate record ids as a bare
-                # ValueError; a malformed *file* must surface as a
-                # LogFormatError naming the path and the offending id.
-                raise LogFormatError(
-                    f"invalid execution log {source}: {exc}"
+            except DuplicateRecordError as exc:
+                # A duplicate id inside a *file* must name the path too;
+                # re-raise the same type so callers keep the stable
+                # kind/record_id fields.
+                raise DuplicateRecordError(
+                    f"invalid execution log {source}: {exc}",
+                    kind=exc.kind,
+                    record_id=exc.record_id,
                 ) from exc
             return log
         try:

@@ -38,6 +38,8 @@ from repro.service.http import PerfXplainHTTPServer, ServiceClient
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     SUPPORTED_PROTOCOL_VERSIONS,
+    AppendRequest,
+    AppendResponse,
     BatchRequest,
     BatchResponse,
     ErrorCode,
@@ -67,6 +69,8 @@ __all__ = [
     "ServiceClient",
     "QueryRequest",
     "QueryResponse",
+    "AppendRequest",
+    "AppendResponse",
     "BatchRequest",
     "BatchResponse",
     "EvaluateRequest",

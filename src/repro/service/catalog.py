@@ -24,11 +24,12 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from repro.core.api import DEFAULT_CACHE_CAPACITY, PerfXplainSession
 from repro.exceptions import CatalogError, ReproError
 from repro.ingest import load_execution_log
+from repro.logs.records import JobRecord, TaskRecord
 from repro.logs.store import ExecutionLog
 from repro.service.protocol import ErrorCode
 
@@ -45,6 +46,7 @@ class _CatalogEntry:
     log: ExecutionLog | None = None
     session: PerfXplainSession | None = None
     source_format: str | None = None
+    appends: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock)
 
 
@@ -177,6 +179,41 @@ class LogCatalog:
                     )
         return entry.session
 
+    # ------------------------------------------------------------------ #
+    # live growth
+    # ------------------------------------------------------------------ #
+
+    def append(
+        self,
+        name: str,
+        jobs: Sequence[JobRecord] = (),
+        tasks: Sequence[TaskRecord] = (),
+    ) -> dict[str, Any]:
+        """Append records to a served log under its per-log lock.
+
+        The append is atomic against the log's other traffic: it holds
+        the same mutex the service holds while a session answers a
+        query, extends the log (duplicate ids reject the whole batch
+        with nothing applied), and eagerly refreshes the cached record
+        blocks (:meth:`~repro.logs.store.ExecutionLog.flush_appends`) so
+        the O(delta) encoding work happens here, on the write path, not
+        on the next query.
+
+        :returns: a post-append snapshot — ``num_jobs``, ``num_tasks``
+            and the log's ``versions`` counters.
+        """
+        entry = self._entry(name)
+        log = self.log(name)
+        with entry.lock:
+            log.extend(jobs=jobs, tasks=tasks)
+            log.flush_appends()
+            entry.appends += 1
+            return {
+                "num_jobs": log.num_jobs,
+                "num_tasks": log.num_tasks,
+                "versions": log.append_stats(),
+            }
+
     def _load(self, entry: _CatalogEntry) -> ExecutionLog:
         assert entry.path is not None
         try:
@@ -217,6 +254,8 @@ class LogCatalog:
                 "source_format": entry.source_format,
                 "num_jobs": log.num_jobs if log is not None else None,
                 "num_tasks": log.num_tasks if log is not None else None,
+                "appends": entry.appends,
+                "versions": log.append_stats() if log is not None else None,
                 "cache_stats": (
                     {
                         key: stats.to_dict()

@@ -15,8 +15,11 @@ Routes:
   (per-item failures come back embedded in the batch, status 200);
 * ``POST /v1/evaluate`` — an
   :class:`~repro.service.protocol.EvaluateRequest`;
+* ``POST /v1/logs/{name}/append`` — an
+  :class:`~repro.service.protocol.AppendRequest` growing the named log in
+  place (duplicate ids answer 409);
 * ``GET /v1/logs`` — service stats: catalog snapshot with per-log session
-  cache counters, executed/deduplicated totals;
+  cache counters, append/version counters, executed/deduplicated totals;
 * ``GET /v1/health`` — liveness probe.
 
 The ``type`` tag may be omitted from POST bodies — the route implies it —
@@ -29,14 +32,17 @@ from __future__ import annotations
 import json
 import threading
 import urllib.error
+import urllib.parse
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Iterable, Mapping
 
 from repro.core.report import ReportEntry
 from repro.exceptions import ProtocolError, ServiceError
+from repro.logs.records import JobRecord, TaskRecord
 from repro.service.protocol import (
     PROTOCOL_VERSION,
+    AppendRequest,
     BatchRequest,
     ErrorCode,
     ErrorResponse,
@@ -56,6 +62,7 @@ _STATUS_FOR_CODE = {
     ErrorCode.INVALID_QUERY: 400,
     ErrorCode.UNKNOWN_TECHNIQUE: 400,
     ErrorCode.UNKNOWN_LOG: 404,
+    ErrorCode.DUPLICATE_RECORD: 409,
     ErrorCode.EXPLANATION_FAILED: 422,
     ErrorCode.EVALUATION_FAILED: 422,
     ErrorCode.LOG_LOAD_FAILED: 500,
@@ -67,6 +74,22 @@ _POST_ROUTES = {
     "/v1/batch": "batch",
     "/v1/evaluate": "evaluate",
 }
+
+
+def _append_route(path: str) -> str | None:
+    """The log name of a ``/v1/logs/{name}/append`` path, else ``None``.
+
+    The name segment is percent-decoded; names that decode to something
+    containing ``/`` are rejected (they cannot round-trip as one path
+    segment).
+    """
+    parts = path.split("/")
+    if len(parts) != 5 or parts[:2] != ["", "v1"] or parts[2] != "logs":
+        return None
+    if parts[4] != "append" or not parts[3]:
+        return None
+    name = urllib.parse.unquote(parts[3])
+    return None if "/" in name else name
 
 
 def _status_of(response: ServiceResponse) -> int:
@@ -113,6 +136,9 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         expected = _POST_ROUTES.get(self.path)
+        append_log = _append_route(self.path) if expected is None else None
+        if append_log is not None:
+            expected = "append"
         if expected is None:
             self._send_error_response(
                 404, ErrorCode.INVALID_REQUEST, f"unknown path {self.path!r}"
@@ -128,6 +154,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 raise ProtocolError(
                     f"endpoint {self.path} expects a {expected!r} request"
                 )
+            if append_log is not None and isinstance(data, dict):
+                # The path names the log; a body 'log' field must agree.
+                body_log = data.get("log", append_log)
+                if body_log != append_log:
+                    raise ProtocolError(
+                        f"path names log {append_log!r} but the body says {body_log!r}"
+                    )
+                data = {**data, "log": append_log}
             request = parse_request(data)
         except ProtocolError as error:
             response = ErrorResponse.for_error(error)
@@ -293,6 +327,23 @@ class ServiceClient:
             techniques=tuple(techniques) if techniques is not None else None,
         )
         return self._post("/v1/evaluate", request.to_json())
+
+    def append(
+        self,
+        log: str,
+        jobs: Iterable[JobRecord] = (),
+        tasks: Iterable[TaskRecord] = (),
+    ) -> ServiceResponse:
+        """POST new records to a served log; returns the parsed response.
+
+        A duplicate id rejects the whole batch (the server answers 409,
+        parsed here as an :class:`ErrorResponse` with code
+        ``duplicate_record``) — appends are not idempotent, so do not
+        blindly retry a batch whose response was lost.
+        """
+        request = AppendRequest(log=log, jobs=tuple(jobs), tasks=tuple(tasks))
+        path = f"/v1/logs/{urllib.parse.quote(log, safe='')}/append"
+        return self._post(path, request.to_json())
 
     # ------------------------------------------------------------------ #
     # convenience wrappers

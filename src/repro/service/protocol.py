@@ -25,6 +25,7 @@ from typing import Any, Mapping, Union
 from repro.core.report import ReportEntry
 from repro.exceptions import (
     CatalogError,
+    DuplicateRecordError,
     EvaluationError,
     ExplanationError,
     LogFormatError,
@@ -35,12 +36,21 @@ from repro.exceptions import (
     ServiceError,
     UnknownFeatureError,
 )
+from repro.logs.records import (
+    ExecutionRecord,
+    JobRecord,
+    TaskRecord,
+    record_from_dict,
+    record_to_dict,
+)
 
-#: The protocol version this build speaks.
-PROTOCOL_VERSION = 1
+#: The protocol version this build speaks.  Version 2 added the append
+#: request/response pair and the ``duplicate_record`` error code.
+PROTOCOL_VERSION = 2
 
-#: Versions the service accepts (today: just the current one).
-SUPPORTED_PROTOCOL_VERSIONS = (1,)
+#: Versions the service accepts.  Version-1 clients never send append
+#: messages, so every version-1 request is also a valid version-2 one.
+SUPPORTED_PROTOCOL_VERSIONS = (1, 2)
 
 
 class ErrorCode:
@@ -55,6 +65,7 @@ class ErrorCode:
     UNSUPPORTED_PROTOCOL = "unsupported_protocol"
     UNKNOWN_LOG = "unknown_log"
     LOG_LOAD_FAILED = "log_load_failed"
+    DUPLICATE_RECORD = "duplicate_record"
     INVALID_QUERY = "invalid_query"
     UNKNOWN_TECHNIQUE = "unknown_technique"
     EXPLANATION_FAILED = "explanation_failed"
@@ -68,6 +79,7 @@ class ErrorCode:
             UNSUPPORTED_PROTOCOL,
             UNKNOWN_LOG,
             LOG_LOAD_FAILED,
+            DUPLICATE_RECORD,
             INVALID_QUERY,
             UNKNOWN_TECHNIQUE,
             EXPLANATION_FAILED,
@@ -111,6 +123,10 @@ def error_code_for(error: Exception) -> str:
         return ErrorCode.EXPLANATION_FAILED
     if isinstance(error, EvaluationError):
         return ErrorCode.EVALUATION_FAILED
+    if isinstance(error, DuplicateRecordError):
+        # Before the LogFormatError branch: a duplicate id on append is a
+        # conflict with the log's current contents, not a malformed log.
+        return ErrorCode.DUPLICATE_RECORD
     if isinstance(error, LogFormatError):
         return ErrorCode.LOG_LOAD_FAILED
     if isinstance(error, ReproError):
@@ -366,6 +382,88 @@ class EvaluateRequest:
         return cls.from_dict(_loads(text, "an evaluate request"))
 
 
+def _parse_records(
+    data: Mapping[str, Any], key: str, expected_kind: str
+) -> tuple[ExecutionRecord, ...]:
+    """Parse one record array of a wire-form append request.
+
+    Entries may omit the redundant ``kind`` tag (the array they sit in
+    already says it); an explicit tag must match the array.
+    """
+    raw = data.get(key, [])
+    if not isinstance(raw, (list, tuple)):
+        raise ProtocolError(f"an append request's {key!r} must be an array")
+    records = []
+    for index, item in enumerate(raw):
+        item = _require_mapping(item, f"{key}[{index}]")
+        kind = item.get("kind", expected_kind)
+        if kind != expected_kind:
+            raise ProtocolError(
+                f"{key}[{index}] carries kind {kind!r}, expected {expected_kind!r}"
+            )
+        try:
+            records.append(record_from_dict({**item, "kind": expected_kind}))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"{key}[{index}] is not a valid record: {exc}") from exc
+    return tuple(records)
+
+
+@dataclass(frozen=True)
+class AppendRequest:
+    """Append new job/task records to a served log (protocol 2+).
+
+    Appends are *not* idempotent — retrying a successful append fails
+    with :data:`ErrorCode.DUPLICATE_RECORD` — so unlike queries they are
+    never deduplicated in flight.
+
+    :param log: catalog name of the execution log to grow.
+    :param jobs: job records to append, in log order.
+    :param tasks: task records to append, in log order.
+    """
+
+    log: str
+    jobs: tuple[JobRecord, ...] = ()
+    tasks: tuple[TaskRecord, ...] = ()
+    protocol_version: int = PROTOCOL_VERSION
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible form that round-trips via :meth:`from_dict`."""
+        return {
+            "type": "append",
+            "protocol_version": self.protocol_version,
+            "log": self.log,
+            "jobs": [record_to_dict(job) for job in self.jobs],
+            "tasks": [record_to_dict(task) for task in self.tasks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AppendRequest":
+        """Parse and validate a wire-form append request."""
+        data = _require_mapping(data, "an append request")
+        _check_type_tag(data, "append")
+        version = _version_of(data, None)
+        if version < 2:
+            raise ProtocolError(
+                "append requests require protocol version 2 or newer",
+                code=ErrorCode.UNSUPPORTED_PROTOCOL,
+            )
+        return cls(
+            log=_require_str(data, "log", "an append request"),
+            jobs=_parse_records(data, "jobs", "job"),
+            tasks=_parse_records(data, "tasks", "task"),
+            protocol_version=version,
+        )
+
+    def to_json(self) -> str:
+        """The :meth:`to_dict` form rendered as JSON."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AppendRequest":
+        """Rebuild a request from its :meth:`to_json` form."""
+        return cls.from_dict(_loads(text, "an append request"))
+
+
 # --------------------------------------------------------------------- #
 # responses
 # --------------------------------------------------------------------- #
@@ -579,22 +677,96 @@ class EvaluateResponse:
         return cls.from_dict(_loads(text, "an evaluate response"))
 
 
+@dataclass(frozen=True)
+class AppendResponse:
+    """The outcome of a successful append: the log's new size and versions.
+
+    :param log: catalog name the append ran on.
+    :param appended_jobs: job records added by this request.
+    :param appended_tasks: task records added by this request.
+    :param num_jobs: total jobs in the log after the append.
+    :param num_tasks: total tasks in the log after the append.
+    :param versions: the log's post-append counters
+        (:meth:`~repro.logs.store.ExecutionLog.append_stats`).
+    """
+
+    log: str
+    appended_jobs: int
+    appended_tasks: int
+    num_jobs: int
+    num_tasks: int
+    versions: dict[str, int] = field(default_factory=dict)
+    protocol_version: int = PROTOCOL_VERSION
+
+    @property
+    def ok(self) -> bool:
+        """Always ``True`` (failures arrive as :class:`ErrorResponse`)."""
+        return True
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible form that round-trips via :meth:`from_dict`."""
+        return {
+            "type": "append_result",
+            "protocol_version": self.protocol_version,
+            "log": self.log,
+            "appended_jobs": self.appended_jobs,
+            "appended_tasks": self.appended_tasks,
+            "num_jobs": self.num_jobs,
+            "num_tasks": self.num_tasks,
+            "versions": dict(self.versions),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AppendResponse":
+        """Rebuild a response from its :meth:`to_dict` form."""
+        data = _require_mapping(data, "an append response")
+        _check_type_tag(data, "append_result")
+        counts = {}
+        for name in ("appended_jobs", "appended_tasks", "num_jobs", "num_tasks"):
+            value = data.get(name)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ProtocolError(f"an append response requires an integer {name!r}")
+            counts[name] = value
+        versions = data.get("versions", {})
+        if not isinstance(versions, Mapping):
+            raise ProtocolError("an append response's 'versions' must be an object")
+        return cls(
+            log=_require_str(data, "log", "an append response"),
+            versions=dict(versions),
+            protocol_version=_version_of(data, None),
+            **counts,
+        )
+
+    def to_json(self) -> str:
+        """The :meth:`to_dict` form rendered as JSON."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AppendResponse":
+        """Rebuild a response from its :meth:`to_json` form."""
+        return cls.from_dict(_loads(text, "an append response"))
+
+
 #: Any parsed request.
-ServiceRequest = Union[QueryRequest, BatchRequest, EvaluateRequest]
+ServiceRequest = Union[QueryRequest, BatchRequest, EvaluateRequest, AppendRequest]
 
 #: Any parsed response.
-ServiceResponse = Union[QueryResponse, BatchResponse, EvaluateResponse, ErrorResponse]
+ServiceResponse = Union[
+    QueryResponse, BatchResponse, EvaluateResponse, AppendResponse, ErrorResponse
+]
 
 _REQUEST_TYPES: dict[str, Any] = {
     "query": QueryRequest,
     "batch": BatchRequest,
     "evaluate": EvaluateRequest,
+    "append": AppendRequest,
 }
 
 _RESPONSE_TYPES: dict[str, Any] = {
     "query_result": QueryResponse,
     "batch_result": BatchResponse,
     "evaluate_result": EvaluateResponse,
+    "append_result": AppendResponse,
     "error": ErrorResponse,
 }
 

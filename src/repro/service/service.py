@@ -37,6 +37,8 @@ from repro.core.reporting import sweep_to_dict
 from repro.exceptions import ReproError
 from repro.service.catalog import LogCatalog
 from repro.service.protocol import (
+    AppendRequest,
+    AppendResponse,
     BatchRequest,
     BatchResponse,
     ErrorCode,
@@ -94,6 +96,8 @@ class PerfXplainService:
             return self.execute_batch(request)
         if isinstance(request, EvaluateRequest):
             return self._execute_evaluate(request)
+        if isinstance(request, AppendRequest):
+            return self._execute_append(request)
         return ErrorResponse(
             code=ErrorCode.INVALID_REQUEST,
             message=f"unsupported request type {type(request).__name__}",
@@ -210,6 +214,39 @@ class PerfXplainService:
                 first_id=query.first_id,
                 second_id=query.second_id,
                 results=sweep_to_dict(sweep),
+            )
+        except ReproError as error:
+            return ErrorResponse.for_error(error)
+        except Exception as error:  # defensive: plugins may raise anything
+            return ErrorResponse(
+                code=ErrorCode.INTERNAL_ERROR,
+                message=f"{type(error).__name__}: {error}",
+            )
+
+    def _execute_append(self, request: AppendRequest) -> ServiceResponse:
+        """Grow a served log in place.
+
+        Appends are mutations, not queries: they are never deduplicated
+        (retrying a successful append is a ``duplicate_record`` error by
+        design) and run synchronously under the log's mutex via
+        :meth:`LogCatalog.append`, interleaving atomically with query
+        traffic.
+        """
+        try:
+            self._check_open()
+            check_protocol_version(request.protocol_version)
+            snapshot = self.catalog.append(
+                request.log, jobs=request.jobs, tasks=request.tasks
+            )
+            with self._inflight_lock:
+                self._executed += 1
+            return AppendResponse(
+                log=request.log,
+                appended_jobs=len(request.jobs),
+                appended_tasks=len(request.tasks),
+                num_jobs=snapshot["num_jobs"],
+                num_tasks=snapshot["num_tasks"],
+                versions=snapshot["versions"],
             )
         except ReproError as error:
             return ErrorResponse.for_error(error)

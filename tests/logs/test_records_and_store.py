@@ -5,7 +5,7 @@ import random
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.exceptions import LogFormatError, UnknownFeatureError
+from repro.exceptions import DuplicateRecordError, LogFormatError, UnknownFeatureError
 from repro.logs.records import JobRecord, TaskRecord, record_from_dict, record_to_dict
 from repro.logs.store import ExecutionLog
 
@@ -81,13 +81,17 @@ class TestExecutionLog:
 
     def test_duplicate_job_rejected(self):
         log = self._log()
-        with pytest.raises(ValueError):
+        with pytest.raises(DuplicateRecordError) as excinfo:
             log.add_job(make_job("job_0"))
+        assert excinfo.value.kind == "job"
+        assert excinfo.value.record_id == "job_0"
 
     def test_duplicate_task_rejected(self):
         log = self._log()
-        with pytest.raises(ValueError):
+        with pytest.raises(DuplicateRecordError) as excinfo:
             log.add_task(make_task("task_0_0", "job_0"))
+        assert excinfo.value.kind == "task"
+        assert excinfo.value.record_id == "task_0_0"
 
     def test_find_job_and_task(self):
         log = self._log()
@@ -213,7 +217,7 @@ class TestIdIndexes:
         assert log.find_job("job_5") is not None  # builds the index
         log.add_job(make_job(job_id="job_new"))
         assert log.find_job("job_new") is not None
-        with pytest.raises(ValueError):
+        with pytest.raises(DuplicateRecordError):
             log.add_job(make_job(job_id="job_new"))
 
     def test_tasks_of_job_grouping_matches_linear_scan(self):
@@ -247,9 +251,14 @@ class TestRecordBlock:
         assert log.record_block(schema, kind="job") is block
         # Same contents, different schema object: still one build.
         assert log.record_block(infer_schema(log.jobs), kind="job") is block
-        # Appending a record keys a fresh block.
-        log.add_job(make_job(job_id="job_extra"))
-        assert log.record_block(schema, kind="job") is not block
+        # Appending a record extends the cached block in place: same
+        # object, grown to cover the new row.
+        log.add_job(make_job(job_id="job_extra", inputsize=999))
+        extended = log.record_block(schema, kind="job")
+        assert extended is block
+        assert len(extended) == 6
+        assert extended.ids[-1] == "job_extra"
+        assert extended.column("inputsize").raw[-1] == 999
 
     def test_block_rejects_unknown_kind(self):
         from repro.core.features import infer_schema
@@ -357,18 +366,18 @@ class TestMutationVersioning:
                    tasks=[make_task("task_1")])
         assert log.num_jobs == 2 and log.num_tasks == 1
         assert log.find_job("job_2") is log.jobs[1]
-        with pytest.raises(ValueError):
+        with pytest.raises(DuplicateRecordError):
             log.extend(jobs=[make_job("job_1")])
-        with pytest.raises(ValueError):
+        with pytest.raises(DuplicateRecordError):
             log.extend(tasks=[make_task("task_1")])
-        with pytest.raises(ValueError):
+        with pytest.raises(DuplicateRecordError):
             log.extend(jobs=[make_job("job_3"), make_job("job_3")])
 
     def test_extend_is_atomic_on_duplicates(self):
         log = ExecutionLog()
         log.add_job(make_job("job_1"))
         log.add_task(make_task("task_1"))
-        with pytest.raises(ValueError):
+        with pytest.raises(DuplicateRecordError):
             log.extend(jobs=[make_job("job_2")], tasks=[make_task("task_1")])
         # The failing batch left no partial state behind...
         assert log.num_jobs == 1 and log.num_tasks == 1

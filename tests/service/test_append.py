@@ -1,0 +1,280 @@
+"""The live-append path: protocol, catalog, service, HTTP, concurrency.
+
+Appends are mutations: they run under the same per-log lock queries
+hold, reject whole batches on duplicate ids with nothing applied, and
+are never deduplicated in flight.  The concurrency hammer pins the
+acceptance bar — queries racing appends from many threads end with the
+exact answer a sequential cold session computes over the final log.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.api import PerfXplainSession
+from repro.exceptions import DuplicateRecordError, ProtocolError
+from repro.logs.records import JobRecord, TaskRecord
+from repro.logs.store import ExecutionLog
+from repro.service import (
+    AppendRequest,
+    AppendResponse,
+    ErrorCode,
+    ErrorResponse,
+    LogCatalog,
+    PerfXplainHTTPServer,
+    PerfXplainService,
+    QueryRequest,
+    QueryResponse,
+    ServiceClient,
+    parse_request,
+)
+from repro.workloads.grid import build_experiment_log, tiny_grid
+
+WHY_SLOWER_LOOSE = """
+    FOR JOBS ?, ?
+    DESPITE pig_script_isSame = T
+    OBSERVED duration_compare = GT
+    EXPECTED duration_compare = SIM
+"""
+
+
+@pytest.fixture(scope="module")
+def full_log():
+    return build_experiment_log(tiny_grid(), seed=11)
+
+
+def split_catalog(full, num_jobs, name="grow"):
+    """A catalog serving the first ``num_jobs`` jobs, plus the tail."""
+    head_ids = {job.job_id for job in full.jobs[:num_jobs]}
+    log = ExecutionLog(
+        jobs=full.jobs[:num_jobs],
+        tasks=[task for task in full.tasks if task.job_id in head_ids],
+    )
+    catalog = LogCatalog()
+    catalog.register(name, log)
+    tail_jobs = list(full.jobs[num_jobs:])
+    tail_tasks = [task for task in full.tasks if task.job_id not in head_ids]
+    return catalog, tail_jobs, tail_tasks
+
+
+def make_job(index):
+    return JobRecord(
+        job_id=f"appended_{index}",
+        features={"pig_script": "extra.pig", "numinstances": 2},
+        duration=10.0 + index,
+    )
+
+
+class TestProtocol:
+    def test_request_round_trip(self):
+        request = AppendRequest(
+            log="grow",
+            jobs=(make_job(0),),
+            tasks=(
+                TaskRecord(
+                    task_id="t0", job_id="appended_0", features={}, duration=1.0
+                ),
+            ),
+        )
+        parsed = AppendRequest.from_json(request.to_json())
+        assert parsed == request
+        assert parse_request(request.to_dict()) == request
+
+    def test_request_requires_protocol_2(self):
+        data = AppendRequest(log="grow").to_dict()
+        data["protocol_version"] = 1
+        with pytest.raises(ProtocolError) as excinfo:
+            AppendRequest.from_dict(data)
+        assert excinfo.value.code is ErrorCode.UNSUPPORTED_PROTOCOL
+
+    def test_request_rejects_kind_mismatch(self):
+        data = AppendRequest(log="grow", jobs=(make_job(0),)).to_dict()
+        data["jobs"][0]["kind"] = "task"
+        with pytest.raises(ProtocolError):
+            AppendRequest.from_dict(data)
+
+    def test_request_rejects_non_array_records(self):
+        data = AppendRequest(log="grow").to_dict()
+        data["jobs"] = {"not": "an array"}
+        with pytest.raises(ProtocolError):
+            AppendRequest.from_dict(data)
+
+    def test_response_round_trip(self):
+        response = AppendResponse(
+            log="grow",
+            appended_jobs=2,
+            appended_tasks=3,
+            num_jobs=18,
+            num_tasks=40,
+            versions={"jobs_version": 18, "tasks_version": 40},
+        )
+        assert AppendResponse.from_json(response.to_json()) == response
+
+    def test_response_rejects_non_integer_counts(self):
+        data = AppendResponse(
+            log="grow", appended_jobs=1, appended_tasks=0, num_jobs=1, num_tasks=0
+        ).to_dict()
+        data["num_jobs"] = "many"
+        with pytest.raises(ProtocolError):
+            AppendResponse.from_dict(data)
+
+
+class TestCatalogAppend:
+    def test_append_grows_log_and_counts(self, full_log):
+        catalog, tail_jobs, tail_tasks = split_catalog(full_log, 12)
+        result = catalog.append("grow", jobs=tail_jobs, tasks=tail_tasks)
+        assert result["num_jobs"] == 16
+        # One bulk extend = one version bump per kind.
+        assert result["versions"]["jobs_version"] == 1
+        assert result["versions"]["tasks_version"] == 1
+        snapshot = catalog.describe()["grow"]
+        assert snapshot["appends"] == 1
+        assert snapshot["versions"] == result["versions"]
+
+    def test_duplicate_batch_is_atomic(self, full_log):
+        catalog, tail_jobs, _ = split_catalog(full_log, 12)
+        log = catalog.log("grow")
+        batch = [make_job(0), make_job(1), log.jobs[0]]
+        with pytest.raises(DuplicateRecordError):
+            catalog.append("grow", jobs=batch)
+        assert log.num_jobs == 12  # nothing applied
+        assert catalog.describe()["grow"]["appends"] == 0
+
+    def test_append_flushes_cached_blocks_eagerly(self, full_log):
+        catalog, tail_jobs, _ = split_catalog(full_log, 12)
+        session = catalog.session("grow")
+        session.explain(WHY_SLOWER_LOOSE)  # builds a job block
+        catalog.append("grow", jobs=tail_jobs)
+        # flush_appends on the write path extended the cached block.
+        assert catalog.log("grow").append_stats()["block_extends"] >= 1
+
+
+class TestServiceAppend:
+    def test_execute_append_then_query_sees_growth(self, full_log):
+        catalog, tail_jobs, tail_tasks = split_catalog(full_log, 12)
+        with PerfXplainService(catalog, max_workers=2) as service:
+            response = service.execute(
+                AppendRequest(
+                    log="grow", jobs=tuple(tail_jobs), tasks=tuple(tail_tasks)
+                )
+            )
+            assert isinstance(response, AppendResponse)
+            assert response.appended_jobs == len(tail_jobs)
+            assert response.num_jobs == 16
+            answer = service.execute(QueryRequest(log="grow", query=WHY_SLOWER_LOOSE))
+            assert isinstance(answer, QueryResponse)
+
+    def test_unknown_log_and_duplicate_map_to_error_codes(self, full_log):
+        catalog, _, _ = split_catalog(full_log, 12)
+        with PerfXplainService(catalog, max_workers=2) as service:
+            missing = service.execute(AppendRequest(log="absent", jobs=(make_job(0),)))
+            assert isinstance(missing, ErrorResponse)
+            assert missing.code is ErrorCode.UNKNOWN_LOG
+            duplicate = service.execute(
+                AppendRequest(log="grow", jobs=(catalog.log("grow").jobs[0],))
+            )
+            assert isinstance(duplicate, ErrorResponse)
+            assert duplicate.code is ErrorCode.DUPLICATE_RECORD
+
+
+class TestHTTPAppend:
+    @pytest.fixture()
+    def grow_server(self, full_log):
+        catalog, tail_jobs, tail_tasks = split_catalog(full_log, 12)
+        with PerfXplainService(catalog, max_workers=4) as service:
+            with PerfXplainHTTPServer(service, port=0) as server:
+                yield server, catalog, tail_jobs, tail_tasks
+
+    def test_append_endpoint(self, grow_server):
+        server, catalog, tail_jobs, tail_tasks = grow_server
+        client = ServiceClient(server.url)
+        response = client.append("grow", jobs=tail_jobs, tasks=tail_tasks)
+        assert isinstance(response, AppendResponse)
+        assert response.num_jobs == 16
+        assert catalog.log("grow").num_jobs == 16
+
+    def test_duplicate_append_is_a_conflict(self, grow_server):
+        server, catalog, _, _ = grow_server
+        client = ServiceClient(server.url)
+        response = client.append("grow", jobs=[catalog.log("grow").jobs[0]])
+        assert isinstance(response, ErrorResponse)
+        assert response.code == ErrorCode.DUPLICATE_RECORD
+
+    def test_unknown_log_404(self, grow_server):
+        server, _, _, _ = grow_server
+        client = ServiceClient(server.url)
+        response = client.append("absent", jobs=[make_job(0)])
+        assert isinstance(response, ErrorResponse)
+        assert response.code == ErrorCode.UNKNOWN_LOG
+
+    def test_body_log_must_agree_with_path(self, grow_server):
+        server, _, _, _ = grow_server
+        request = AppendRequest(log="other", jobs=(make_job(0),))
+        client = ServiceClient(server.url)
+        response = client._post("/v1/logs/grow/append", request.to_json())
+        assert isinstance(response, ErrorResponse)
+
+    def test_append_survives_percent_encoded_names(self, full_log):
+        catalog, _, _ = split_catalog(full_log, 12, name="prod 2024")
+        with PerfXplainService(catalog, max_workers=2) as service:
+            with PerfXplainHTTPServer(service, port=0) as server:
+                client = ServiceClient(server.url)
+                response = client.append("prod 2024", jobs=[make_job(0)])
+                assert isinstance(response, AppendResponse)
+                assert response.num_jobs == 13
+
+
+class TestConcurrentAppendHammer:
+    def test_racing_appends_and_queries_end_deterministic(self, full_log):
+        catalog, tail_jobs, tail_tasks = split_catalog(full_log, 8)
+        tasks_of = {}
+        for task in tail_tasks:
+            tasks_of.setdefault(task.job_id, []).append(task)
+        batches = [
+            (job, tasks_of.get(job.job_id, [])) for job in tail_jobs
+        ]
+        errors = []
+        with PerfXplainService(catalog, max_workers=6) as service:
+
+            def appender(batch):
+                job, tasks = batch
+                response = service.execute(
+                    AppendRequest(log="grow", jobs=(job,), tasks=tuple(tasks))
+                )
+                if not isinstance(response, AppendResponse):
+                    errors.append(response)
+
+            def querier():
+                for _ in range(4):
+                    response = service.execute(
+                        QueryRequest(log="grow", query=WHY_SLOWER_LOOSE)
+                    )
+                    if not isinstance(response, QueryResponse):
+                        errors.append(response)
+
+            threads = [
+                threading.Thread(target=appender, args=(batch,)) for batch in batches
+            ] + [threading.Thread(target=querier) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            log = catalog.log("grow")
+            assert log.num_jobs == 16
+            assert log.num_tasks == len(full_log.tasks)
+            final = service.execute(QueryRequest(log="grow", query=WHY_SLOWER_LOOSE))
+
+        # Sequential oracle: a cold session over the final record lists
+        # (same seed the catalog gives its sessions).
+        oracle_log = ExecutionLog(jobs=list(log.jobs), tasks=list(log.tasks))
+        oracle = PerfXplainSession(oracle_log, seed=0)
+        resolved = oracle.resolve(WHY_SLOWER_LOOSE)
+        assert isinstance(final, QueryResponse)
+        assert (final.entry.first_id, final.entry.second_id) == (
+            resolved.first_id,
+            resolved.second_id,
+        )
+        assert final.entry.explanation.to_dict() == oracle.explain(
+            WHY_SLOWER_LOOSE
+        ).to_dict()

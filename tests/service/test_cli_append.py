@@ -1,0 +1,136 @@
+"""Tests for the ``append`` CLI subcommand: tailing a JSONL file into a
+served log over HTTP."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.logs.records import JobRecord, record_to_dict
+from repro.logs.store import ExecutionLog
+from repro.service import LogCatalog, PerfXplainService
+from repro.service.http import PerfXplainHTTPServer
+from repro.workloads.grid import build_experiment_log, tiny_grid
+
+
+@pytest.fixture(scope="module")
+def full_log():
+    return build_experiment_log(tiny_grid(), seed=11)
+
+
+@pytest.fixture()
+def served(full_log):
+    """A server over the first 12 jobs; yields (url, log, tail records)."""
+    head_ids = {job.job_id for job in full_log.jobs[:12]}
+    log = ExecutionLog(
+        jobs=full_log.jobs[:12],
+        tasks=[task for task in full_log.tasks if task.job_id in head_ids],
+    )
+    catalog = LogCatalog()
+    catalog.register("grow", log)
+    tail = [job for job in full_log.jobs[12:]] + [
+        task for task in full_log.tasks if task.job_id not in head_ids
+    ]
+    with PerfXplainService(catalog, max_workers=2) as service:
+        with PerfXplainHTTPServer(service, port=0) as server:
+            yield server.url, log, tail
+
+
+def write_jsonl(path, records, meta=True):
+    with open(path, "w", encoding="utf-8") as handle:
+        if meta:
+            handle.write('{"kind": "meta", "format": "perfxplain-log", "version": 1}\n')
+        for record in records:
+            handle.write(json.dumps(record_to_dict(record)) + "\n")
+
+
+class TestAppendCommand:
+    def test_appends_file_in_batches(self, served, tmp_path, capsys):
+        url, log, tail = served
+        path = tmp_path / "tail.jsonl"
+        write_jsonl(path, tail)
+        exit_code = main([
+            "append", "--url", url, "--log", "grow",
+            "--input", str(path), "--batch-size", "3",
+        ])
+        assert exit_code == 0
+        assert log.num_jobs == 16
+        err = capsys.readouterr().err
+        assert "done: 4 job(s)" in err
+
+    def test_final_line_without_newline_is_sent(self, served, tmp_path):
+        url, log, tail = served
+        initial_tasks = log.num_tasks
+        path = tmp_path / "tail.jsonl"
+        write_jsonl(path, tail, meta=False)
+        # Strip the trailing newline: the last record must still land.
+        text = path.read_text(encoding="utf-8").rstrip("\n")
+        path.write_text(text, encoding="utf-8")
+        exit_code = main([
+            "append", "--url", url, "--log", "grow", "--input", str(path),
+        ])
+        assert exit_code == 0
+        assert log.num_jobs == 16
+        assert log.num_tasks == initial_tasks + len(tail) - 4
+
+    def test_duplicate_record_fails_with_code(self, served, tmp_path, capsys):
+        url, log, _ = served
+        path = tmp_path / "dup.jsonl"
+        write_jsonl(path, [log.jobs[0]], meta=False)
+        exit_code = main([
+            "append", "--url", url, "--log", "grow", "--input", str(path),
+        ])
+        assert exit_code == 1
+        assert "duplicate_record" in capsys.readouterr().err
+
+    def test_missing_input_fails_cleanly(self, served, capsys):
+        url, _, _ = served
+        exit_code = main([
+            "append", "--url", url, "--log", "grow", "--input", "/no/such.jsonl",
+        ])
+        assert exit_code == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_follow_tails_a_growing_file(self, served, tmp_path):
+        url, log, tail = served
+        path = tmp_path / "live.jsonl"
+        path.write_text("", encoding="utf-8")
+        expected_tasks = log.num_tasks + sum(
+            1 for record in tail if not isinstance(record, JobRecord)
+        )
+
+        def writer():
+            # Append records one at a time, splitting one line across two
+            # writes to prove the reader never parses a half-written line.
+            with open(path, "a", encoding="utf-8") as handle:
+                for record in tail:
+                    line = json.dumps(record_to_dict(record)) + "\n"
+                    handle.write(line[: len(line) // 2])
+                    handle.flush()
+                    time.sleep(0.01)
+                    handle.write(line[len(line) // 2 :])
+                    handle.flush()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+
+        def tailer():
+            main([
+                "append", "--url", url, "--log", "grow", "--input", str(path),
+                "--follow", "--poll", "0.02", "--batch-size", "2",
+            ])
+
+        # The tailer loops until interrupted; a daemon thread stands in for
+        # the operator's Ctrl-C once the log has caught up.
+        tail_thread = threading.Thread(target=tailer, daemon=True)
+        tail_thread.start()
+        thread.join()
+        deadline = time.time() + 10
+        while time.time() < deadline and (
+            log.num_jobs < 16 or log.num_tasks < expected_tasks
+        ):
+            time.sleep(0.05)
+        assert log.num_jobs == 16
+        assert log.num_tasks == expected_tasks
