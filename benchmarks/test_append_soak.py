@@ -156,6 +156,14 @@ def test_append_soak_under_query_load(benchmark, all_tasks):
 
         final = service.execute(QueryRequest(log="live", query=QUERY))
         assert isinstance(final, QueryResponse)
+        # Read latency while the log grew: every query raced appends on
+        # the per-log reader-writer lock and paid append invalidation,
+        # so the p99 here is the worst-case read experience under growth.
+        # (identical in-flight queries dedup onto one execution, so the
+        # sample count tracks executions, not answers)
+        read_latency = service.metrics()["latency_ms"]["query"]
+        assert read_latency["count"] >= 1
+        assert read_latency["p99_ms"] > 0.0
 
     # Bit-identity: a cold session over a freshly-built log with the same
     # records gives the exact same answer (elapsed_ms excluded).
@@ -174,10 +182,14 @@ def test_append_soak_under_query_load(benchmark, all_tasks):
     benchmark.extra_info["batches"] = TASKS // BATCH - 1
     benchmark.extra_info["queries_answered"] = queries_answered[0]
     benchmark.extra_info["block_extends"] = stats["block_extends"]
+    benchmark.extra_info["read_p50_ms"] = round(read_latency["p50_ms"], 1)
+    benchmark.extra_info["read_p99_ms"] = round(read_latency["p99_ms"], 1)
     print(f"\nAppend soak — {TASKS} tasks in {BATCH}-record batches:")
     print(f"  growth under load : {soak_seconds:.2f} s")
     print(f"  queries answered  : {queries_answered[0]} (concurrent)")
     print(f"  block extends     : {stats['block_extends']}")
+    print(f"  read p50 / p99    : {read_latency['p50_ms']:.0f} ms / "
+          f"{read_latency['p99_ms']:.0f} ms (while growing)")
 
 
 def test_incremental_extend_beats_rebuild(benchmark, all_tasks, task_schema):

@@ -225,7 +225,7 @@ def _build_parser() -> argparse.ArgumentParser:
                     "reuses record blocks, training matrices and whole "
                     "explanations.  Endpoints: POST /v1/query, /v1/batch, "
                     "/v1/evaluate; GET /v1/logs (catalog + cache stats), "
-                    "/v1/health.",
+                    "/v1/metrics (latency percentiles), /v1/health.",
     )
     serve.add_argument("--log", action="append", required=True, metavar="NAME=PATH",
                        help="register an execution log under NAME (repeatable; "
@@ -236,7 +236,8 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8000,
                        help="TCP port; 0 picks a free one (default: 8000)")
     serve.add_argument("--workers", type=int, default=DEFAULT_MAX_WORKERS,
-                       help=f"query-executor threads (default: {DEFAULT_MAX_WORKERS})")
+                       help="query-executor threads (default: derived from the "
+                            f"CPU count, here {DEFAULT_MAX_WORKERS})")
     serve.add_argument("--seed", type=int, default=0,
                        help="seed for every per-log session (default: 0)")
     serve.add_argument("--verbose", action="store_true",

@@ -31,9 +31,11 @@ training-example construction across calls, and offers
 from __future__ import annotations
 
 import random
+import threading
 import time
 
 from repro.core.cache import CacheStats, LRUCache
+from repro.core.locks import SingleFlight
 from repro.core.examples import (
     TrainingExample,
     TrainingMatrix,
@@ -51,6 +53,7 @@ from repro.core.registry import (
     Explainer,
     call_explainer,
     create_explainer,
+    explainer_accepts_examples,
     explainer_seed_offset,
     registered_explainers,
 )
@@ -86,6 +89,13 @@ class PerfXplain:
         self._seed = seed
         self._schemas: dict[str, FeatureSchema] = {}
         self._technique_instances: dict[str, Explainer] = {}
+        #: Guards lazy creation of schemas, technique instances and the
+        #: per-technique call locks under concurrent readers.
+        self._facade_lock = threading.Lock()
+        #: One lock per technique instance: stateful techniques (e.g.
+        #: RuleOfThumb's importance cache and its rng) must see calls one
+        #: at a time to stay deterministic; see :meth:`explain`.
+        self._technique_locks: dict[str, threading.Lock] = {}
 
     # ------------------------------------------------------------------ #
     # queries and explanations
@@ -118,16 +128,27 @@ class PerfXplain:
         """
         resolved = self.resolve(query)
         schema = self.schema_for(resolved)
-        return call_explainer(
-            self.technique(technique),
-            self.log,
-            resolved,
-            schema=schema,
-            width=width,
-            auto_despite=auto_despite,
-            # Deferred: only constructed if the technique accepts examples.
-            examples=lambda: self._examples_for(resolved),
+        explainer = self.technique(technique)
+        # Build the shared training examples *before* taking the technique
+        # lock: matrix construction is the expensive, parallel-friendly
+        # work (single-flighted per clause signature in the session), while
+        # the dispatch below is serialised per technique instance so
+        # stateful explainers see calls one at a time.
+        examples = (
+            self._examples_for(resolved)
+            if explainer_accepts_examples(explainer)
+            else None
         )
+        with self._technique_lock(technique):
+            return call_explainer(
+                explainer,
+                self.log,
+                resolved,
+                schema=schema,
+                width=width,
+                auto_despite=auto_despite,
+                examples=examples,
+            )
 
     def suggest_despite(self, query: str | PXQLQuery, width: int | None = None) -> Predicate:
         """Generate a ``des'`` clause for an under-specified query."""
@@ -138,10 +159,12 @@ class PerfXplain:
             raise ExplanationError(
                 "despite-clause suggestion requires the PerfXplain technique"
             )
-        return explainer.generate_despite(
-            self.log, resolved, schema=schema, width=width,
-            examples=self._examples_for(resolved),
-        )
+        examples = self._examples_for(resolved)
+        with self._technique_lock("perfxplain"):
+            return explainer.generate_despite(
+                self.log, resolved, schema=schema, width=width,
+                examples=examples,
+            )
 
     def pair_features(self, query: str | PXQLQuery) -> dict[str, FeatureValue]:
         """The full pair-feature vector of a query's pair of interest."""
@@ -179,16 +202,27 @@ class PerfXplain:
     # ------------------------------------------------------------------ #
 
     def schema_for(self, query: PXQLQuery) -> FeatureSchema:
-        """The raw-feature schema for the query's entity kind (cached)."""
+        """The raw-feature schema for the query's entity kind (cached).
+
+        Double-checked under the facade lock: concurrent readers racing a
+        cold kind infer the schema once.
+        """
         key = query.entity.value
-        if key not in self._schemas:
+        schema = self._schemas.get(key)
+        if schema is not None:
+            return schema
+        with self._facade_lock:
+            schema = self._schemas.get(key)
+            if schema is not None:
+                return schema
             records = records_for_query(self.log, query)
             if not records:
                 raise ExplanationError(
                     f"the log contains no {key} records; cannot answer {key}-level queries"
                 )
-            self._schemas[key] = infer_schema(records)
-        return self._schemas[key]
+            schema = infer_schema(records)
+            self._schemas[key] = schema
+            return schema
 
     def technique(self, name: str) -> Explainer:
         """The (lazily instantiated) explainer behind a technique name.
@@ -196,15 +230,29 @@ class PerfXplain:
         Instances are cached per facade; each technique's random generator
         is derived deterministically from the facade seed and the technique
         name, so adding or removing registrations never perturbs another
-        technique's output.
+        technique's output.  Creation is double-checked under the facade
+        lock, so racing readers share one instance (and one rng).
         """
         key = name.lower()
-        if key not in self._technique_instances:
-            rng = random.Random(self._seed + explainer_seed_offset(key))
-            self._technique_instances[key] = create_explainer(
-                key, config=self.config, rng=rng
-            )
-        return self._technique_instances[key]
+        instance = self._technique_instances.get(key)
+        if instance is not None:
+            return instance
+        with self._facade_lock:
+            instance = self._technique_instances.get(key)
+            if instance is None:
+                rng = random.Random(self._seed + explainer_seed_offset(key))
+                instance = create_explainer(key, config=self.config, rng=rng)
+                self._technique_instances[key] = instance
+            return instance
+
+    def _technique_lock(self, name: str) -> threading.Lock:
+        """The per-technique dispatch lock (created on first use)."""
+        key = name.lower()
+        lock = self._technique_locks.get(key)
+        if lock is None:
+            with self._facade_lock:
+                lock = self._technique_locks.setdefault(key, threading.Lock())
+        return lock
 
     def techniques(self) -> dict[str, Explainer]:
         """Every registered technique, instantiated, keyed by public name."""
@@ -252,6 +300,17 @@ class PerfXplainSession(PerfXplain):
     :meth:`~repro.logs.store.ExecutionLog.invalidate_caches` moves the
     epoch instead, which drops everything: history changed, so nothing
     derived from it can be trusted.
+
+    The session is safe under **concurrent readers**: the caches are
+    individually locked (:class:`~repro.core.cache.LRUCache`), cold-key
+    computations are collapsed per key
+    (:class:`~repro.core.locks.SingleFlight` — two threads racing the
+    same cold clause signature produce one encode), technique dispatch is
+    serialised per instance so stateful explainers stay deterministic,
+    and cache/mutation reconciliation runs under a sync lock.  Mutating
+    the *log* concurrently with readers is not safe at this layer — the
+    service catalog's per-log reader-writer lock excludes appends from
+    reads (see ``docs/concurrency.md``).
     """
 
     def __init__(
@@ -269,6 +328,14 @@ class PerfXplainSession(PerfXplain):
         self._log_snapshot = log.mutation_snapshot()
         self._append_invalidations = 0
         self._full_invalidations = 0
+        #: Compute-once-per-key across every session cache: two readers
+        #: racing the same cold clause signature produce one encode — the
+        #: loser blocks and shares the leader's result.  Keys are
+        #: namespaced per cache kind.
+        self._flight = SingleFlight()
+        #: Serialises cache reconciliation against log mutation state, so
+        #: an append is folded into the caches by exactly one reader.
+        self._sync_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # batch answering
@@ -305,11 +372,17 @@ class PerfXplainSession(PerfXplain):
         )
         explanation = self._explanation_cache.get(key)
         if explanation is None:
-            explanation = super().explain(
-                resolved, width=width, technique=technique,
-                auto_despite=auto_despite,
-            )
-            self._explanation_cache.put(key, explanation)
+            parent = super()
+
+            def build() -> Explanation:
+                built = parent.explain(
+                    resolved, width=width, technique=technique,
+                    auto_despite=auto_despite,
+                )
+                self._explanation_cache.put(key, built)
+                return built
+
+            explanation = self._flight.do(("explanation", key), build)
         return explanation
 
     def explain_batch(
@@ -381,17 +454,22 @@ class PerfXplainSession(PerfXplain):
         key = self._clause_signature(resolved)
         matrix = self._matrix_cache.get(key)
         if matrix is None:
-            matrix = construct_training_matrix(
-                self.log,
-                resolved,
-                self.schema_for(resolved),
-                config=self.config.pair_config,
-                sample_size=self.config.sample_size,
-                rng=random.Random(self._seed),
-                feature_level=self.config.feature_level,
-                workers=self.config.pair_workers,
-            )
-            self._matrix_cache.put(key, matrix)
+
+            def build() -> TrainingMatrix:
+                built = construct_training_matrix(
+                    self.log,
+                    resolved,
+                    self.schema_for(resolved),
+                    config=self.config.pair_config,
+                    sample_size=self.config.sample_size,
+                    rng=random.Random(self._seed),
+                    feature_level=self.config.feature_level,
+                    workers=self.config.pair_workers,
+                )
+                self._matrix_cache.put(key, built)
+                return built
+
+            matrix = self._flight.do(("matrix", key), build)
         return matrix
 
     def resolve(self, query: str | PXQLQuery) -> BoundQuery:
@@ -406,8 +484,15 @@ class PerfXplainSession(PerfXplain):
         key = self._clause_signature(query)
         pair = self._pair_cache.get(key)
         if pair is None:
-            pair = super().find_pair(query)
-            self._pair_cache.put(key, pair)
+            parent = super()
+            resolved_query = query
+
+            def build() -> tuple[str, str]:
+                built = parent.find_pair(resolved_query)
+                self._pair_cache.put(key, built)
+                return built
+
+            pair = self._flight.do(("pair", key), build)
         return pair
 
     def pair_features(self, query: str | PXQLQuery) -> dict[str, FeatureValue]:
@@ -416,8 +501,14 @@ class PerfXplainSession(PerfXplain):
         key = (resolved.entity.value, resolved.first_id, resolved.second_id)
         features = self._pair_feature_cache.get(key)
         if features is None:
-            features = super().pair_features(resolved)
-            self._pair_feature_cache.put(key, features)
+            parent = super()
+
+            def build() -> dict[str, FeatureValue]:
+                built = parent.pair_features(resolved)
+                self._pair_feature_cache.put(key, built)
+                return built
+
+            features = self._flight.do(("pair_features", key), build)
         return features
 
     def cache_stats(self) -> dict[str, CacheStats]:
@@ -449,22 +540,30 @@ class PerfXplainSession(PerfXplain):
         Called on every query entry point.  Append-only growth of a kind
         (same epoch, higher version/count) discards only that kind's
         entries; an epoch move means history was rewritten and drops
-        everything.  O(1) when nothing changed — the common case.
+        everything.  O(1) when nothing changed — the common case; the
+        lock-free fast path makes the hot read path pay one dict compare.
+        When the snapshot did move, reconciliation runs under the sync
+        lock: exactly one reader folds the mutation in, and late racers
+        re-check and return.
         """
         snapshot = self.log.mutation_snapshot()
         if snapshot == self._log_snapshot:
             return
-        for kind in ("job", "task"):
-            new = snapshot[kind]
-            old = self._log_snapshot[kind]
-            if new == old:
-                continue
-            if new[0] != old[0]:
-                self._invalidate_all()
-                self._log_snapshot = snapshot
+        with self._sync_lock:
+            snapshot = self.log.mutation_snapshot()
+            if snapshot == self._log_snapshot:
                 return
-            self._invalidate_kind(kind)
-        self._log_snapshot = snapshot
+            for kind in ("job", "task"):
+                new = snapshot[kind]
+                old = self._log_snapshot[kind]
+                if new == old:
+                    continue
+                if new[0] != old[0]:
+                    self._invalidate_all()
+                    self._log_snapshot = snapshot
+                    return
+                self._invalidate_kind(kind)
+            self._log_snapshot = snapshot
 
     def _invalidate_kind(self, kind: str) -> None:
         """Discard everything derived from one record kind's contents."""
@@ -490,6 +589,17 @@ class PerfXplainSession(PerfXplain):
             "append_invalidations": self._append_invalidations,
             "full_invalidations": self._full_invalidations,
         }
+
+    def concurrency_stats(self) -> dict[str, int]:
+        """Single-flight dedup counters for the session's shared caches.
+
+        ``leads`` counts computations actually run, ``waits`` counts
+        concurrent callers that piggybacked on a leader's in-flight
+        computation instead of redoing it (the session-level analogue of
+        the service's request dedup), ``in_flight`` is the current number
+        of cold keys being computed.
+        """
+        return self._flight.stats()
 
     @staticmethod
     def _clause_signature(query: PXQLQuery) -> tuple:

@@ -11,10 +11,19 @@ Every cache keeps running :class:`CacheStats` counters so operators can see
 how much work the session layer is actually saving
 (:meth:`repro.core.api.PerfXplainSession.cache_stats`, surfaced per log by
 :meth:`repro.service.PerfXplainService.stats`).
+
+The cache is thread-safe: every operation — lookup, insertion, eviction,
+selective invalidation, stats — runs under one internal mutex, so
+concurrent readers (the service's reader-writer sessions) can probe and
+fill a shared cache without torn recency state or lost counters.  The
+critical sections are dictionary probes, never computations; pair the
+cache with :class:`repro.core.locks.SingleFlight` to make cold-key
+computations run once instead of racing.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterator
@@ -77,7 +86,7 @@ class LRUCache:
     recency order.
     """
 
-    __slots__ = ("_capacity", "_entries", "_hits", "_misses", "_evictions")
+    __slots__ = ("_capacity", "_entries", "_hits", "_misses", "_evictions", "_lock")
 
     def __init__(self, capacity: int | None = None) -> None:
         if capacity is not None and capacity < 0:
@@ -87,6 +96,7 @@ class LRUCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._lock = threading.Lock()
 
     @property
     def capacity(self) -> int | None:
@@ -95,34 +105,37 @@ class LRUCache:
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """The cached value for ``key`` (counted, recency-refreshed)."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            self._misses += 1
-            return default
-        self._hits += 1
-        self._entries.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert (or refresh) an entry, evicting the LRU one if needed."""
         if self._capacity == 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        if self._capacity is not None and len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            if self._capacity is not None and len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
 
     def stats(self) -> CacheStats:
         """A snapshot of the accounting counters."""
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._entries),
-            capacity=self._capacity,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                capacity=self._capacity,
+            )
 
     def discard_if(self, predicate: Callable[[Hashable], bool]) -> int:
         """Drop every entry whose key satisfies ``predicate``.
@@ -133,14 +146,16 @@ class LRUCache:
         entries dropped; discards are not counted as evictions (the
         cache was not at capacity — the entries went stale).
         """
-        stale = [key for key in self._entries if predicate(key)]
-        for key in stale:
-            del self._entries[key]
-        return len(stale)
+        with self._lock:
+            stale = [key for key in self._entries if predicate(key)]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
 
     def clear(self) -> None:
         """Drop every entry (counters keep accumulating)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

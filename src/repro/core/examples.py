@@ -205,9 +205,11 @@ def related_index_batches(
         limit = keep_limit(max_candidate_pairs, total_candidates)
 
     if workers >= 2:
-        # Build every column the clauses read *before* forking: workers
-        # inherit the encoded chunks (or their spill files) instead of
-        # each re-encoding the columns from the raw records.
+        # Build every column the clauses read *before* submitting: workers
+        # forked for this kernel inherit the encoded chunks (or their
+        # spill files).  A pool forked before these columns existed stays
+        # valid — each worker lazily re-encodes a missing column once,
+        # deterministically — but a fresh fork gets them for free.
         for feature in sorted(query.referenced_features()):
             raw = raw_feature_of(feature)
             if raw in schema:

@@ -1,0 +1,198 @@
+"""Concurrency primitives for the reader-concurrent service stack.
+
+Two small, dependency-free building blocks:
+
+* :class:`RWLock` — a writer-preferring reader-writer lock.  The service
+  layer holds the read side while a session answers a query (many readers
+  run in parallel) and the write side around appends and first-load, so
+  the epoch/version cache-invalidation machinery stays strictly
+  single-writer.  Writer preference means a steady stream of read traffic
+  cannot starve an append: once a writer is waiting, new readers queue
+  behind it.
+* :class:`SingleFlight` — per-key compute-once semantics.  Two threads
+  racing on the same cold cache key produce exactly one computation; the
+  loser blocks until the leader's result (or exception) is available.
+  This is the service's request-level dedup idea pushed down into the
+  session layer, where it also covers *derived* work (training matrices,
+  pair selection) that distinct requests share.
+
+Both are deliberately non-reentrant: a thread holding the read side must
+not re-acquire either side, and a single-flight factory must not recurse
+into the same key.  The call graphs that use them (catalog -> session ->
+caches) are acyclic, and keeping them simple keeps them auditable.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Hashable, Iterator
+
+__all__ = ["RWLock", "SingleFlight"]
+
+
+class RWLock:
+    """A writer-preferring reader-writer lock.
+
+    Any number of readers may hold the lock together; writers are
+    exclusive against both readers and other writers.  A waiting writer
+    blocks *new* readers (writer preference), so read-heavy traffic cannot
+    starve appends.
+
+    ``with lock:`` acquires the **write** side — the lock is a drop-in
+    replacement for the exclusive :class:`threading.Lock` it supersedes in
+    the catalog; concurrent readers opt in explicitly via
+    :meth:`read_locked`.
+    """
+
+    __slots__ = ("_cond", "_readers", "_writer", "_writers_waiting")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------ #
+    # read side
+    # ------------------------------------------------------------------ #
+
+    def acquire_read(self) -> None:
+        """Block until no writer holds or awaits the lock, then share it."""
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Release one shared hold; wakes writers when the last reader leaves."""
+        with self._cond:
+            self._readers -= 1
+            if self._readers < 0:
+                self._readers = 0
+                raise RuntimeError("release_read without a matching acquire_read")
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """Context manager for the shared (reader) side."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # ------------------------------------------------------------------ #
+    # write side
+    # ------------------------------------------------------------------ #
+
+    def acquire_write(self) -> None:
+        """Block until the lock is free, then hold it exclusively."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        """Release the exclusive hold."""
+        with self._cond:
+            if not self._writer:
+                raise RuntimeError("release_write without a matching acquire_write")
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """Context manager for the exclusive (writer) side."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # Exclusive acquisition doubles as the context-manager protocol so the
+    # lock can replace a plain mutex without touching ``with`` call sites.
+    def __enter__(self) -> "RWLock":
+        self.acquire_write()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release_write()
+
+
+class _Flight:
+    """One in-progress computation: a latch plus its outcome."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Collapse concurrent computations of the same key into one.
+
+    The first caller of :meth:`do` for a key becomes the *leader* and runs
+    the factory; every concurrent caller for the same key blocks until the
+    leader finishes and then shares the leader's result.  A failing
+    factory propagates its exception to the leader *and* every waiter, and
+    the key is cleared either way, so a later call retries fresh.
+
+    Results are not cached here — pair :class:`SingleFlight` with an
+    actual cache (probe the cache first, single-flight the recompute).
+    """
+
+    __slots__ = ("_lock", "_flights", "_leads", "_waits")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[Hashable, _Flight] = {}
+        self._leads = 0
+        self._waits = 0
+
+    def do(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Run ``factory`` once per concurrent burst of callers for ``key``."""
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                self._leads += 1
+                leader = True
+            else:
+                self._waits += 1
+                leader = False
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.result
+        try:
+            flight.result = factory()
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            # Clear before releasing the waiters: a caller arriving after
+            # the latch opens must start a fresh flight, never observe a
+            # completed one.
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.done.set()
+        return flight.result
+
+    def stats(self) -> dict[str, int]:
+        """Running counters: computations led vs. piggybacked waits."""
+        with self._lock:
+            return {
+                "leads": self._leads,
+                "waits": self._waits,
+                "in_flight": len(self._flights),
+            }

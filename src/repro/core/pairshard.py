@@ -3,8 +3,8 @@
 One candidate batch is an independent unit of work: the despite /
 observed / expected masks of a batch depend only on the kernel (block +
 config), the query and the batch's index pairs.  This module fans those
-batches out across a ``ProcessPoolExecutor`` and merges results **in
-submission order**, reusing the bit-identical-parallel pattern the
+batches out across a persistent forked worker pool and merges results
+**in submission order**, reusing the bit-identical-parallel pattern the
 simulation sweep executor proved (:mod:`repro.workloads.grid`): because the
 candidate enumeration order and the order-independent CRC32 sampling rule
 (:func:`~repro.core.pairkernel.pair_is_kept`) are both worker-count
@@ -12,18 +12,28 @@ invariant, the concatenated output is byte-for-byte identical to the serial
 path for every worker count — the differential suite asserts it.
 
 Workers are forked (zero-copy: the kernel's record block, including a
-chunked block's resident working set, is inherited through fork), and the
-batch stream is submitted through a bounded window so a million-task
-candidate space never materialises more than ``window`` batches at once.
-Platforms without the ``fork`` start method (Windows) fall back to the
-serial path — same results, one process.
+chunked block's resident working set, is inherited through fork) **once**
+and then shared by every thread and every query: a :class:`ShardPool`
+keeps a registry of fork-shipped kernels keyed by :func:`shard_token`, so
+a repeat query against an unchanged log reuses the live workers instead of
+paying a pool spin-up, and two service threads can shard concurrently —
+each generation gets its own submission window onto the shared pool.  The
+pool re-forks only when a generation needs state its workers never
+inherited (a new log, a replaced block after an epoch move, or a block
+grown in place by the append path); the previous pool finishes its
+in-flight generations and is then torn down.  The batch stream is
+submitted through a bounded window so a million-task candidate space never
+materialises more than ``window`` batches at once.  Platforms without the
+``fork`` start method (Windows) fall back to the serial path — same
+results, one process.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import threading
-from collections import deque
+from collections import OrderedDict, deque
 from itertools import compress
 from operator import or_
 from typing import Iterator, Sequence
@@ -40,11 +50,37 @@ from repro.core.pxql.query import PXQLQuery
 #: enough to bound the memory of undelivered results.
 _WINDOW_PER_WORKER = 4
 
-#: (kernel, query) inherited by forked workers; guarded by ``_SHARD_LOCK``
-#: so concurrent sharded generations (e.g. service threads) cannot fork
-#: each other's state.
-_WORKER_STATE: tuple[PairKernel, PXQLQuery] | None = None
-_SHARD_LOCK = threading.Lock()
+#: Kernels (hence record blocks) a pool keeps strongly referenced for
+#: reuse.  Beyond this, the least recently sharded kernels are dropped
+#: from the registry and their next query re-forks.
+MAX_POOL_TOKENS = 8
+
+#: The kernel registry the *next* fork ships to its workers.  Assigned —
+#: never mutated — under :data:`_FORK_LOCK` immediately before the fork,
+#: so every worker of one pool inherits the same consistent snapshot;
+#: forked workers read their inherited copy without any lock.
+_POOL_STATE: dict[tuple, PairKernel] = {}
+
+#: Serialises the (assign :data:`_POOL_STATE`, fork) critical section
+#: across :class:`ShardPool` instances, which share the module global.
+_FORK_LOCK = threading.Lock()
+
+
+def shard_token(kernel: PairKernel) -> tuple:
+    """The identity of one kernel's fork-shipped state.
+
+    ``id(block)`` names the block object — valid only while the block is
+    strongly referenced, which the pool registry guarantees for every live
+    token, so an id can never be recycled into a stale entry.
+    ``len(block)`` captures in-place growth: the O(delta) append path
+    extends a cached block *without* replacing the object, and a grown
+    block must re-fork so workers see the new rows.  The (frozen,
+    hashable) pair config covers every derivation tunable; epoch moves
+    need no extra component because they evict the log's cached block and
+    the replacement is a new object with a new id.
+    """
+    block = kernel.block
+    return (id(block), len(block), kernel.config)
 
 
 def evaluate_candidate_batch(
@@ -80,15 +116,23 @@ def evaluate_candidate_batch(
     return related_firsts, related_seconds, observed_flags
 
 
-def _shard_worker(
-    payload: tuple[list[int], list[int]],
+def _pool_worker(
+    payload: tuple[tuple, PXQLQuery, list[int], list[int]],
 ) -> tuple[list[int], list[int], bytes]:
-    """Evaluate one batch against the fork-inherited kernel state."""
-    kernel, query = _WORKER_STATE  # type: ignore[misc]
-    firsts, seconds, observed = evaluate_candidate_batch(
-        kernel, query, payload[0], payload[1]
+    """Evaluate one batch against a fork-inherited kernel.
+
+    The token routes to the kernel snapshot this worker inherited at fork
+    time; the query rides along per task (it is small and picklable, so
+    shipping it costs microseconds and lets one pool serve every query).
+    """
+    token, query, firsts, seconds = payload
+    kernel = _POOL_STATE.get(token)
+    if kernel is None:  # pragma: no cover - guarded by ShardPool re-forks
+        raise KeyError(f"worker forked without shard state for token {token!r}")
+    out_firsts, out_seconds, observed = evaluate_candidate_batch(
+        kernel, query, firsts, seconds
     )
-    return firsts, seconds, bytes(observed)
+    return out_firsts, out_seconds, bytes(observed)
 
 
 def _fork_context() -> multiprocessing.context.BaseContext | None:
@@ -96,6 +140,249 @@ def _fork_context() -> multiprocessing.context.BaseContext | None:
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return None
+
+
+class _PoolHandle:
+    """One forked worker pool plus the kernels its workers inherited.
+
+    ``kernels`` holds strong references for the pool's whole lifetime:
+    while a token is live here, its block cannot be garbage-collected, so
+    ``id(block)`` inside the token cannot be recycled into a collision.
+    """
+
+    __slots__ = ("pool", "kernels", "workers", "active", "retired")
+
+    def __init__(
+        self,
+        pool: "multiprocessing.pool.Pool",
+        kernels: dict[tuple, PairKernel],
+        workers: int,
+    ) -> None:
+        self.pool = pool
+        self.kernels = kernels
+        self.workers = workers
+        #: Generations currently submitting to / draining from this pool.
+        self.active = 0
+        #: A retired pool accepts no new generations and is terminated
+        #: when the last active one drains.
+        self.retired = False
+
+
+class ShardPool:
+    """A persistent, thread-shared pool of forked pair-kernel workers.
+
+    Generations (:meth:`run`) from any number of threads share one set of
+    forked workers; each generation merges its own results in submission
+    order, so interleaving generations cannot perturb anyone's bytes.  A
+    generation whose kernel the current workers never inherited triggers a
+    re-fork: the new pool inherits the (bounded, LRU) kernel registry, the
+    old pool finishes its in-flight generations and is then torn down —
+    submissions never block behind a re-fork and never land on workers
+    missing their state.
+
+    Accounting (:meth:`stats`): ``forks`` counts pool spin-ups, ``reuses``
+    counts generations served by an already-live pool, and
+    ``max_concurrent_generations`` proves genuine overlap — the old
+    module-global design serialised every sharded generation process-wide.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._handle: _PoolHandle | None = None
+        self._retired: list[_PoolHandle] = []
+        #: Recently sharded kernels, most recent last (the re-fork ships
+        #: this registry, bounded to :data:`MAX_POOL_TOKENS`).
+        self._kernels: OrderedDict[tuple, PairKernel] = OrderedDict()
+        self._forks = 0
+        self._reuses = 0
+        self._active_generations = 0
+        self._max_concurrent_generations = 0
+
+    # ------------------------------------------------------------------ #
+    # generations
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        kernel: PairKernel,
+        query: PXQLQuery,
+        batches: "Iterator[tuple[list[int], list[int]]]",
+        workers: int,
+        window: int | None = None,
+    ) -> Iterator[tuple[list[int], list[int], bytearray]]:
+        """One generation: evaluate ``batches``, yield merged results.
+
+        Results come strictly in submission order (the determinism
+        contract); the generator releases its pool hold when exhausted,
+        closed, or unwound by an error.
+        """
+        context = _fork_context()
+        if context is None:  # pragma: no cover - non-POSIX platforms
+            raise RuntimeError("process sharding requires the fork start method")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        token = shard_token(kernel)
+        handle = self._acquire(context, token, kernel, workers)
+        if window is None:
+            window = workers * _WINDOW_PER_WORKER
+        pending: deque = deque()
+        try:
+            apply_async = handle.pool.apply_async
+            for firsts, seconds in batches:
+                pending.append(
+                    apply_async(_pool_worker, ((token, query, firsts, seconds),))
+                )
+                if len(pending) >= window:
+                    out_firsts, out_seconds, observed = pending.popleft().get()
+                    if out_firsts:
+                        yield out_firsts, out_seconds, bytearray(observed)
+            while pending:
+                out_firsts, out_seconds, observed = pending.popleft().get()
+                if out_firsts:
+                    yield out_firsts, out_seconds, bytearray(observed)
+        finally:
+            self._release(handle)
+
+    def _acquire(
+        self,
+        context: "multiprocessing.context.BaseContext",
+        token: tuple,
+        kernel: PairKernel,
+        workers: int,
+    ) -> _PoolHandle:
+        """Join the live pool, or re-fork one that has this kernel."""
+        terminate: _PoolHandle | None = None
+        with self._lock:
+            handle = self._handle
+            if (
+                handle is not None
+                and not handle.retired
+                and token in handle.kernels
+                and handle.workers >= workers
+            ):
+                self._reuses += 1
+                self._kernels[token] = kernel
+                self._kernels.move_to_end(token)
+            else:
+                handle, terminate = self._refork(context, token, kernel, workers)
+            handle.active += 1
+            self._active_generations += 1
+            if self._active_generations > self._max_concurrent_generations:
+                self._max_concurrent_generations = self._active_generations
+        if terminate is not None:
+            terminate.pool.terminate()
+            terminate.pool.join()
+        return handle
+
+    def _refork(
+        self,
+        context: "multiprocessing.context.BaseContext",
+        token: tuple,
+        kernel: PairKernel,
+        workers: int,
+    ) -> tuple[_PoolHandle, _PoolHandle | None]:
+        """Fork a fresh pool over the updated registry (lock held).
+
+        Returns the new handle plus the previous one if it can be
+        terminated immediately (no active generations); a busy previous
+        pool is retired instead and torn down when its last drains.
+        """
+        global _POOL_STATE
+        self._kernels[token] = kernel
+        self._kernels.move_to_end(token)
+        while len(self._kernels) > MAX_POOL_TOKENS:
+            self._kernels.popitem(last=False)
+        shipped = dict(self._kernels)
+        with _FORK_LOCK:
+            # Assign (never mutate) the snapshot, then fork eagerly:
+            # multiprocessing.Pool starts every worker in its constructor,
+            # so all of them inherit exactly this state — unlike the lazy
+            # spawning of ProcessPoolExecutor, which could fork stragglers
+            # after the global moved on.
+            _POOL_STATE = shipped
+            pool = context.Pool(processes=workers)
+        self._forks += 1
+        handle = _PoolHandle(pool, shipped, workers)
+        previous = self._handle
+        self._handle = handle
+        terminate: _PoolHandle | None = None
+        if previous is not None:
+            previous.retired = True
+            if previous.active == 0:
+                terminate = previous
+            else:
+                self._retired.append(previous)
+        return handle, terminate
+
+    def _release(self, handle: _PoolHandle) -> None:
+        """Drop one generation's hold; tear down a drained retired pool."""
+        finished: _PoolHandle | None = None
+        with self._lock:
+            handle.active -= 1
+            self._active_generations -= 1
+            if handle.retired and handle.active == 0:
+                if handle in self._retired:
+                    self._retired.remove(handle)
+                finished = handle
+        if finished is not None:
+            finished.pool.terminate()
+            finished.pool.join()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle and accounting
+    # ------------------------------------------------------------------ #
+
+    def shutdown(self) -> None:
+        """Release every kernel reference and tear down idle pools.
+
+        Pools with generations still draining are retired (their last
+        :meth:`_release` terminates them) rather than killed under a
+        consumer, so shutdown never hangs or breaks an in-flight query.
+        The pool object remains usable: the next :meth:`run` re-forks.
+        """
+        finished: list[_PoolHandle] = []
+        with self._lock:
+            self._kernels.clear()
+            handles = list(self._retired)
+            if self._handle is not None:
+                handles.append(self._handle)
+                self._handle = None
+            self._retired = []
+            for handle in handles:
+                handle.retired = True
+                if handle.active == 0:
+                    finished.append(handle)
+                else:
+                    self._retired.append(handle)
+        for handle in finished:
+            handle.pool.terminate()
+            handle.pool.join()
+
+    def stats(self) -> dict[str, int]:
+        """Running counters (see class docs) plus the live pool's shape."""
+        with self._lock:
+            live = self._handle is not None and not self._handle.retired
+            return {
+                "forks": self._forks,
+                "reuses": self._reuses,
+                "active_generations": self._active_generations,
+                "max_concurrent_generations": self._max_concurrent_generations,
+                "workers": self._handle.workers if live else 0,
+                "tokens": len(self._kernels),
+                "retired_pools": len(self._retired),
+            }
+
+
+#: The process-wide pool every sharded generation shares by default.
+#: Construction is cheap (no fork happens until the first generation);
+#: the atexit hook tears down whatever workers are still alive.
+_DEFAULT_POOL = ShardPool()
+atexit.register(_DEFAULT_POOL.shutdown)
+
+
+def default_shard_pool() -> ShardPool:
+    """The shared process-wide :class:`ShardPool`."""
+    return _DEFAULT_POOL
 
 
 def iter_evaluated_batches(
@@ -106,49 +393,24 @@ def iter_evaluated_batches(
     limit: int,
     workers: int = 1,
     batch_size: int = CANDIDATE_BATCH,
+    pool: ShardPool | None = None,
 ) -> Iterator[tuple[list[int], list[int], bytearray]]:
     """Related-pair batches, serial or process-sharded — same bytes either way.
 
     With ``workers >= 2`` (and ``fork`` available) candidate batches are
-    shipped to a worker pool through a bounded submission window and the
-    results are yielded strictly in submission order; otherwise each batch
-    is evaluated inline.  Empty batches are filtered here, after the merge,
-    so the yielded stream is identical across paths.
+    shipped through the shared :class:`ShardPool` (or ``pool``) under a
+    bounded submission window and the results are yielded strictly in
+    submission order; otherwise each batch is evaluated inline.  Empty
+    batches are filtered here, after the merge, so the yielded stream is
+    identical across paths.
     """
     batches = iter_candidate_batches(kernel.block, groups, salt, limit, batch_size)
-    if workers < 2:
+    if workers < 2 or _fork_context() is None:
         for firsts, seconds in batches:
             result = evaluate_candidate_batch(kernel, query, firsts, seconds)
             if result[0]:
                 yield result
         return
-    context = _fork_context()
-    if context is None:  # pragma: no cover - non-POSIX platforms
-        for firsts, seconds in batches:
-            result = evaluate_candidate_batch(kernel, query, firsts, seconds)
-            if result[0]:
-                yield result
-        return
-    from concurrent.futures import ProcessPoolExecutor
-
-    global _WORKER_STATE
-    window = workers * _WINDOW_PER_WORKER
-    with _SHARD_LOCK:
-        _WORKER_STATE = (kernel, query)
-        try:
-            # Workers fork lazily at first submit, after the state is set;
-            # the pool dies inside the lock, so no two generations overlap.
-            with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-                pending: deque = deque()
-                for payload in batches:
-                    pending.append(pool.submit(_shard_worker, payload))
-                    if len(pending) >= window:
-                        firsts, seconds, observed = pending.popleft().result()
-                        if firsts:
-                            yield firsts, seconds, bytearray(observed)
-                while pending:
-                    firsts, seconds, observed = pending.popleft().result()
-                    if firsts:
-                        yield firsts, seconds, bytearray(observed)
-        finally:
-            _WORKER_STATE = None
+    if pool is None:
+        pool = default_shard_pool()
+    yield from pool.run(kernel, query, batches, workers)

@@ -183,6 +183,17 @@ def create_explainer(
     return factory(**{kw: available[kw] for kw in _INJECTABLE if kw in accepted})
 
 
+def explainer_accepts_examples(explainer: Explainer) -> bool:
+    """Whether a technique's ``explain`` declares the ``examples`` keyword.
+
+    The session layer uses this to decide *before* dispatching whether to
+    build the shared training matrix for a query — the expensive,
+    parallel-friendly work — so it can run outside the per-technique
+    serialisation that keeps stateful explainers deterministic.
+    """
+    return "examples" in _accepted_keywords(explainer.explain, ("examples",))
+
+
 def call_explainer(
     explainer: Explainer,
     log: "ExecutionLog",

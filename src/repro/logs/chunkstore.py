@@ -33,6 +33,7 @@ import os
 import pickle
 import shutil
 import tempfile
+import threading
 import weakref
 from collections import OrderedDict
 from pathlib import Path
@@ -77,6 +78,13 @@ class ChunkStore:
     may spill chunks of columns they build locally, and distinct processes
     must never race on one file name.  The directory is removed when the
     creating process drops the store (or exits).
+
+    The store is thread-safe: even a pure read (:meth:`get`) refreshes LRU
+    recency and may reload-and-evict, so every entry point runs under one
+    internal mutex.  The mutex is pid-checked — a forked worker that
+    inherited the store (possibly with the parent's lock held by another
+    parent thread at fork time) transparently re-creates it on first use
+    in the child instead of deadlocking on a stale hold.
     """
 
     def __init__(
@@ -91,11 +99,20 @@ class ChunkStore:
         self._resident: OrderedDict[tuple, BlockColumn] = OrderedDict()
         self._paths: dict[tuple, Path] = {}
         self._spill_sequence = 0
+        self._lock = threading.Lock()
+        self._lock_pid = os.getpid()
         #: Accounting: disk round-trips and working-set pressure.
         self.spills = 0
         self.loads = 0
         self.evictions = 0
         self.peak_resident = 0
+
+    def _guard(self) -> threading.Lock:
+        """The internal mutex, re-created after a fork (see class docs)."""
+        if self._lock_pid != os.getpid():
+            self._lock = threading.Lock()
+            self._lock_pid = os.getpid()
+        return self._lock
 
     def put(self, key: tuple, chunk: BlockColumn) -> None:
         """Insert (or refresh) one chunk, evicting beyond the capacity.
@@ -104,49 +121,52 @@ class ChunkStore:
         mutates tail chunks in place, so a stale on-disk copy must never be
         reloaded over the extended one.
         """
-        stale_path = self._paths.pop(key, None)
-        if stale_path is not None:
-            try:
-                stale_path.unlink()
-            except OSError:  # pragma: no cover - best-effort cleanup
-                pass
-        self._resident[key] = chunk
-        self._resident.move_to_end(key)
-        if len(self._resident) > self.peak_resident:
-            self.peak_resident = len(self._resident)
-        self._evict()
+        with self._guard():
+            stale_path = self._paths.pop(key, None)
+            if stale_path is not None:
+                try:
+                    stale_path.unlink()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+            self._resident[key] = chunk
+            self._resident.move_to_end(key)
+            if len(self._resident) > self.peak_resident:
+                self.peak_resident = len(self._resident)
+            self._evict()
 
     def get(self, key: tuple) -> BlockColumn:
         """One chunk, reloaded from its spill file when not resident."""
-        chunk = self._resident.get(key)
-        if chunk is not None:
-            self._resident.move_to_end(key)
+        with self._guard():
+            chunk = self._resident.get(key)
+            if chunk is not None:
+                self._resident.move_to_end(key)
+                return chunk
+            path = self._paths.get(key)
+            if path is None:
+                raise KeyError(f"unknown chunk {key!r}")
+            with open(path, "rb") as handle:
+                chunk = pickle.load(handle)
+            self.loads += 1
+            self._resident[key] = chunk
+            if len(self._resident) > self.peak_resident:
+                self.peak_resident = len(self._resident)
+            self._evict()
             return chunk
-        path = self._paths.get(key)
-        if path is None:
-            raise KeyError(f"unknown chunk {key!r}")
-        with open(path, "rb") as handle:
-            chunk = pickle.load(handle)
-        self.loads += 1
-        self._resident[key] = chunk
-        if len(self._resident) > self.peak_resident:
-            self.peak_resident = len(self._resident)
-        self._evict()
-        return chunk
 
     def __len__(self) -> int:
         return len(self._resident)
 
     def stats(self) -> dict[str, int]:
         """Accounting counters (spills/loads/evictions, set sizes)."""
-        return {
-            "resident": len(self._resident),
-            "peak_resident": self.peak_resident,
-            "spilled": len(self._paths),
-            "spills": self.spills,
-            "loads": self.loads,
-            "evictions": self.evictions,
-        }
+        with self._guard():
+            return {
+                "resident": len(self._resident),
+                "peak_resident": self.peak_resident,
+                "spilled": len(self._paths),
+                "spills": self.spills,
+                "loads": self.loads,
+                "evictions": self.evictions,
+            }
 
     def _evict(self) -> None:
         if self.max_resident is None:
@@ -376,7 +396,14 @@ class ChunkedRecordBlock:
         return -(-len(self.records) // self.chunk_rows)
 
     def column(self, name: str) -> ChunkedColumn:
-        """The (lazily built) chunked encoded column of one raw feature."""
+        """The (lazily built) chunked encoded column of one raw feature.
+
+        Lock-free publish-after-build, like
+        :func:`~repro.logs.store._blocking_groups_of`: racing readers may
+        encode the same column twice (deterministically identical — the
+        loser's publish is a no-op overwrite) but never observe a
+        partially-built one.
+        """
         column = self.columns.get(name)
         if column is None:
             values = _column_values(self.records, name)

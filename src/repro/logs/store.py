@@ -29,12 +29,23 @@ value codes for exact-equality tests) so that the pair kernels in
 of candidate pairs in bulk instead of record-dict probing per pair.  Blocks
 are built once per (entity kind, schema) and cached on the log
 (:meth:`ExecutionLog.record_block`) under the same mutation-version key.
+
+Concurrency contract: any number of threads may *read* one log at the same
+time — every lazily-derived structure (id indexes, per-job task groups,
+cached record blocks) is either filled under the log's internal derive
+lock or published with a single atomic assignment, so concurrent readers
+never observe a torn index or a half-extended block.  Mutations (appends,
+replacement, :meth:`ExecutionLog.invalidate_caches`) are **not** made
+concurrent here: they require exclusion from readers, which the service
+layer provides with a per-log reader-writer lock
+(:mod:`repro.service.catalog`; see ``docs/concurrency.md``).
 """
 
 from __future__ import annotations
 
 import json
 import random
+import threading
 from dataclasses import dataclass, field
 from operator import and_, eq
 from pathlib import Path
@@ -402,13 +413,23 @@ def _blocking_groups_of(block, features: Sequence[str]) -> list[list[int]]:
     :class:`~repro.logs.chunkstore.ChunkedRecordBlock` (both expose the
     ``key_chunks`` / ``group_cache`` surface this reads).  Returns copies so
     kernels that consume the lists destructively cannot corrupt the cache.
+
+    Deliberately lock-free so forked kernel workers can call it without
+    touching a parent-held lock: a cold key is built into a local dict and
+    *published* with one atomic assignment.  Two racing readers may both
+    build (identical, deterministic) groups — the loser's write is a
+    harmless overwrite — and eviction tolerates a concurrent evictor
+    having emptied the cache first.
     """
     key = tuple(features)
     cache = block.group_cache
     groups = cache.get(key)
     if groups is None:
         if len(cache) >= MAX_GROUP_CACHE:
-            cache.pop(next(iter(cache)))
+            try:
+                cache.pop(next(iter(cache)))
+            except (StopIteration, KeyError, RuntimeError):
+                pass
         groups = {}
         for start, code_slices, selfeq_slices in block.key_chunks(features):
             for offset, codes in enumerate(zip(*code_slices)):
@@ -526,6 +547,17 @@ class ExecutionLog:
     _block_extends: int = field(default=0, init=False, repr=False, compare=False)
     _block_options: BlockOptions | None = field(
         default=None, init=False, repr=False, compare=False
+    )
+    #: Guards every lazily-derived structure above (id indexes, the
+    #: per-job task groups, the block cache and its counters) so any
+    #: number of *readers* can probe and fill them concurrently.
+    #: Mutations of the record lists themselves are NOT covered: the
+    #: concurrency contract is many readers / one exclusive writer,
+    #: enforced above this layer (the service catalog's reader-writer
+    #: lock) or by the embedding application.  Reentrant because
+    #: :meth:`configure_blocks` flushes appends under the same lock.
+    _derive_lock: threading.RLock = field(
+        default_factory=threading.RLock, init=False, repr=False, compare=False
     )
 
     def _jobs_key(self) -> tuple:
@@ -722,24 +754,41 @@ class ExecutionLog:
         linear scan if duplicate ids were ever injected by direct list
         mutation (the index then never reaches full length and is rebuilt
         per call, degrading to the old O(n) behaviour).
+
+        Rebuilds are publish-after-build under the derive lock: a stale
+        index is replaced by a freshly-built dict in one assignment, so a
+        concurrent reader either sees the complete old index or the
+        complete new one — never a half-filled ``clear()``-ed dict.
         """
         index = self._job_index
-        if self._job_index_key != self._jobs_key() or len(index) != len(self.jobs):
-            index.clear()
+        if self._job_index_key == self._jobs_key() and len(index) == len(self.jobs):
+            return index
+        with self._derive_lock:
+            index = self._job_index
+            if self._job_index_key == self._jobs_key() and len(index) == len(self.jobs):
+                return index
+            rebuilt: dict[str, JobRecord] = {}
             for job in self.jobs:
-                index.setdefault(job.job_id, job)
+                rebuilt.setdefault(job.job_id, job)
+            self._job_index = rebuilt
             self._job_index_key = self._jobs_key()
-        return index
+            return rebuilt
 
     def _task_lookup(self) -> dict[str, TaskRecord]:
         """The id -> task index (same contract as :meth:`_job_lookup`)."""
         index = self._task_index
-        if self._task_index_key != self._tasks_key() or len(index) != len(self.tasks):
-            index.clear()
+        if self._task_index_key == self._tasks_key() and len(index) == len(self.tasks):
+            return index
+        with self._derive_lock:
+            index = self._task_index
+            if self._task_index_key == self._tasks_key() and len(index) == len(self.tasks):
+                return index
+            rebuilt: dict[str, TaskRecord] = {}
             for task in self.tasks:
-                index.setdefault(task.task_id, task)
+                rebuilt.setdefault(task.task_id, task)
+            self._task_index = rebuilt
             self._task_index_key = self._tasks_key()
-        return index
+            return rebuilt
 
     def find_job(self, job_id: str) -> JobRecord | None:
         """The job with the given id, or ``None`` (O(1) amortised).
@@ -762,23 +811,36 @@ class ExecutionLog:
 
         The index is keyed on the task epoch plus record count: appends
         (API-level or direct list appends) fold only the new tasks into the
-        existing groups in place, O(delta); in-place mutation (epoch moved)
-        or shrinkage rebuilds from scratch.
+        existing groups, O(delta); in-place mutation (epoch moved) or
+        shrinkage rebuilds from scratch.  The incremental fold copies each
+        bucket it grows before publishing, so a concurrent reader holding
+        the old groups dict never observes a list mutating under it; both
+        fold and rebuild run under the derive lock (one builder per burst).
         """
         key = (self._tasks_epoch, len(self.tasks))
-        if self._job_tasks_key != key:
-            cached_epoch, cached_count = self._job_tasks_key
-            if cached_epoch == key[0] and 0 <= cached_count < len(self.tasks):
-                groups = self._job_tasks
-                for task in self.tasks[cached_count:]:
-                    groups.setdefault(task.job_id, []).append(task)
-            else:
-                groups = {}
-                for task in self.tasks:
-                    groups.setdefault(task.job_id, []).append(task)
+        if self._job_tasks_key == key:
+            return list(self._job_tasks.get(job_id, ()))
+        with self._derive_lock:
+            key = (self._tasks_epoch, len(self.tasks))
+            if self._job_tasks_key != key:
+                cached_epoch, cached_count = self._job_tasks_key
+                if cached_epoch == key[0] and 0 <= cached_count < len(self.tasks):
+                    groups = dict(self._job_tasks)
+                    touched: dict[str, list[TaskRecord]] = {}
+                    for task in self.tasks[cached_count:]:
+                        bucket = touched.get(task.job_id)
+                        if bucket is None:
+                            bucket = list(groups.get(task.job_id, ()))
+                            touched[task.job_id] = bucket
+                        bucket.append(task)
+                    groups.update(touched)
+                else:
+                    groups = {}
+                    for task in self.tasks:
+                        groups.setdefault(task.job_id, []).append(task)
                 self._job_tasks = groups
-            self._job_tasks_key = key
-        return list(self._job_tasks.get(job_id, ()))
+                self._job_tasks_key = key
+            return list(self._job_tasks.get(job_id, ()))
 
     def filter_jobs(
         self, predicate: Callable[[JobRecord], bool], keep_tasks: bool = True
@@ -834,11 +896,12 @@ class ExecutionLog:
             spill_directory=spill_directory,
             auto_chunk_threshold=auto_chunk_threshold,
         )
-        if options == self._block_options:
-            self.flush_appends()
-            return
-        self._block_options = options
-        self._blocks.clear()
+        with self._derive_lock:
+            if options == self._block_options:
+                self.flush_appends()
+                return
+            self._block_options = options
+            self._blocks.clear()
 
     def block_cache_stats(self) -> dict[str, int]:
         """Accounting counters of the per-log record-block cache.
@@ -847,14 +910,15 @@ class ExecutionLog:
         logs layer does not import the core layer); the session adapter
         (:meth:`repro.core.api.PerfXplainSession.cache_stats`) wraps them.
         """
-        hits, misses, evictions = self._block_counters
-        return {
-            "hits": hits,
-            "misses": misses,
-            "evictions": evictions,
-            "size": len(self._blocks),
-            "capacity": 2 * MAX_BLOCKS_PER_KIND,
-        }
+        with self._derive_lock:
+            hits, misses, evictions = self._block_counters
+            return {
+                "hits": hits,
+                "misses": misses,
+                "evictions": evictions,
+                "size": len(self._blocks),
+                "capacity": 2 * MAX_BLOCKS_PER_KIND,
+            }
 
     def record_block(self, schema: "FeatureSchema", kind: str = "job") -> RecordBlock:
         """The (cached) columnar :class:`RecordBlock` of one entity kind.
@@ -889,26 +953,27 @@ class ExecutionLog:
         """
         if kind not in ("job", "task"):
             raise ValueError(f"kind must be 'job' or 'task', got {kind!r}")
-        records: Sequence[ExecutionRecord]
-        if kind == "job":
-            records = self.jobs
-            mutation_key = (self._jobs_epoch, len(records))
-        else:
-            records = self.tasks
-            mutation_key = (self._tasks_epoch, len(records))
-        key = (kind, _schema_signature(schema))
-        cached = self._blocks.get(key)
-        if cached is not None:
-            block = self._refresh_block(key, cached, records, mutation_key)
-            if block is not None:
-                return block
-        self._block_counters[1] += 1
-        block = self._build_block(records, schema)
-        if key in self._blocks:
-            del self._blocks[key]
-        self._blocks[key] = (mutation_key, block)
-        self._evict_blocks(kind, mutation_key[0])
-        return block
+        with self._derive_lock:
+            records: Sequence[ExecutionRecord]
+            if kind == "job":
+                records = self.jobs
+                mutation_key = (self._jobs_epoch, len(records))
+            else:
+                records = self.tasks
+                mutation_key = (self._tasks_epoch, len(records))
+            key = (kind, _schema_signature(schema))
+            cached = self._blocks.get(key)
+            if cached is not None:
+                block = self._refresh_block(key, cached, records, mutation_key)
+                if block is not None:
+                    return block
+            self._block_counters[1] += 1
+            block = self._build_block(records, schema)
+            if key in self._blocks:
+                del self._blocks[key]
+            self._blocks[key] = (mutation_key, block)
+            self._evict_blocks(kind, mutation_key[0])
+            return block
 
     def _refresh_block(
         self,
@@ -978,24 +1043,25 @@ class ExecutionLog:
         Returns the number of blocks extended.
         """
         refreshed = 0
-        for key in list(self._blocks):
-            kind = key[0]
-            if kind == "job":
-                records: Sequence[ExecutionRecord] = self.jobs
-                mutation_key = (self._jobs_epoch, len(records))
-            else:
-                records = self.tasks
-                mutation_key = (self._tasks_epoch, len(records))
-            cached = self._blocks[key]
-            if cached[0] == mutation_key:
-                continue
-            block = self._try_extend(cached, records, mutation_key)
-            if block is not None:
-                self._blocks[key] = (mutation_key, block)
-                refreshed += 1
-            else:
-                del self._blocks[key]
-                self._block_counters[2] += 1
+        with self._derive_lock:
+            for key in list(self._blocks):
+                kind = key[0]
+                if kind == "job":
+                    records: Sequence[ExecutionRecord] = self.jobs
+                    mutation_key = (self._jobs_epoch, len(records))
+                else:
+                    records = self.tasks
+                    mutation_key = (self._tasks_epoch, len(records))
+                cached = self._blocks[key]
+                if cached[0] == mutation_key:
+                    continue
+                block = self._try_extend(cached, records, mutation_key)
+                if block is not None:
+                    self._blocks[key] = (mutation_key, block)
+                    refreshed += 1
+                else:
+                    del self._blocks[key]
+                    self._block_counters[2] += 1
         return refreshed
 
     def _build_block(

@@ -14,9 +14,11 @@ The layers, bottom to top:
   protocol (``to_dict``/``from_dict``/JSON round-trip, stable error
   codes, protocol-version validation on every request);
 * :mod:`repro.service.service` — :class:`PerfXplainService`: concurrent
-  execution on a thread pool with per-log locking (responses bit-identical
-  to direct synchronous session calls) and in-flight deduplication of
-  identical queries;
+  execution on a thread pool with per-log reader-writer locking — reads
+  to one log overlap, appends are exclusive, and responses stay
+  bit-identical to direct synchronous session calls — plus in-flight
+  deduplication of identical queries and per-request-type latency
+  metrics;
 * :mod:`repro.service.http` — a stdlib ``http.server`` JSON endpoint
   (:class:`PerfXplainHTTPServer`) and the matching
   :class:`ServiceClient`, also available from the command line as

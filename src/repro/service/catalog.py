@@ -14,9 +14,13 @@ all traffic to that log.
 
 The catalog is thread-safe: registration, lazy loading and session
 creation are serialised internally, and :meth:`LogCatalog.lock` hands out
-the per-log mutex the service holds while a session answers a query (the
-session caches themselves are not thread-safe by design — locking at the
-log level keeps them deterministic).
+the per-log **reader-writer lock** (:class:`~repro.core.locks.RWLock`).
+Read traffic — queries, batches, evaluations — holds the read side and
+runs concurrently against one log (the session and log layers are safe
+under concurrent readers); appends and first-load hold the write side, so
+the epoch/version cache-invalidation machinery stays strictly
+single-writer.  ``with catalog.lock(name)`` still acquires exclusively
+(the write side), so existing mutex-style callers keep their semantics.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from repro.core.api import DEFAULT_CACHE_CAPACITY, PerfXplainSession
+from repro.core.locks import RWLock
 from repro.exceptions import CatalogError, ReproError
 from repro.ingest import load_execution_log
 from repro.logs.records import JobRecord, TaskRecord
@@ -39,7 +44,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass
 class _CatalogEntry:
-    """One named log: its source, lazily-created state and its mutex."""
+    """One named log: its source, lazily-created state and its lock.
+
+    The lock is a reader-writer lock; ``with entry.lock`` (used by lazy
+    loading, session creation and :meth:`LogCatalog.append`) takes the
+    exclusive write side, while query traffic opts into the shared read
+    side via ``entry.lock.read_locked()``.
+    """
 
     name: str
     path: Path | None = None
@@ -47,7 +58,7 @@ class _CatalogEntry:
     session: PerfXplainSession | None = None
     source_format: str | None = None
     appends: int = 0
-    lock: threading.Lock = field(default_factory=threading.Lock)
+    lock: RWLock = field(default_factory=RWLock)
 
 
 class LogCatalog:
@@ -151,8 +162,13 @@ class LogCatalog:
         """Whether a registered log has been materialised in memory yet."""
         return self._entry(name).log is not None
 
-    def lock(self, name: str) -> threading.Lock:
-        """The per-log mutex serialising session access for one log."""
+    def lock(self, name: str) -> RWLock:
+        """The per-log reader-writer lock coordinating access to one log.
+
+        ``with catalog.lock(name)`` acquires the exclusive write side
+        (drop-in for the old mutex); concurrent readers use
+        ``catalog.lock(name).read_locked()``.
+        """
         return self._entry(name).lock
 
     def log(self, name: str) -> ExecutionLog:
@@ -237,8 +253,12 @@ class LogCatalog:
     def describe(self) -> dict[str, dict[str, Any]]:
         """A JSON-compatible snapshot of every log's state and cache stats.
 
-        Describing is passive: it never triggers a lazy load, so an
-        operator can inspect a catalog without paying for log parsing.
+        Describing is passive *and lock-free*: it never triggers a lazy
+        load and it takes no per-log lock, so ``GET /v1/logs`` answers
+        immediately even while a slow explanation or an append holds a
+        log's lock — every field it reads is either immutable after
+        registration or a counter snapshot that tolerates concurrent
+        updates.
         """
         snapshot: dict[str, dict[str, Any]] = {}
         for name in self.names():
@@ -263,6 +283,12 @@ class LogCatalog:
                     }
                     if session is not None
                     else None
+                ),
+                "invalidations": (
+                    session.invalidation_stats() if session is not None else None
+                ),
+                "concurrency": (
+                    session.concurrency_stats() if session is not None else None
                 ),
             }
         return snapshot

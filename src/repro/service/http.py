@@ -19,8 +19,12 @@ Routes:
   :class:`~repro.service.protocol.AppendRequest` growing the named log in
   place (duplicate ids answer 409);
 * ``GET /v1/logs`` — service stats: catalog snapshot with per-log session
-  cache counters, append/version counters, executed/deduplicated totals;
-* ``GET /v1/health`` — liveness probe.
+  cache counters, append/version counters, executed/deduplicated totals
+  (lock-free: answers even while explanations or appends are in flight);
+* ``GET /v1/metrics`` — operational metrics: p50/p95/p99 latency per
+  request type, shard-pool fork/reuse counters, per-log cache,
+  invalidation and compute-once counters;
+* ``GET /v1/health`` — liveness probe (reports the worker-pool size).
 
 The ``type`` tag may be omitted from POST bodies — the route implies it —
 but when present it must match the route.  :class:`ServiceClient` is the
@@ -122,11 +126,21 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path in ("/v1/health", "/health"):
             self._send_json(
-                200, {"status": "ok", "protocol_version": PROTOCOL_VERSION}
+                200,
+                {
+                    "status": "ok",
+                    "protocol_version": PROTOCOL_VERSION,
+                    "workers": self.service.max_workers,
+                },
             )
             return
         if self.path == "/v1/logs":
             payload = self.service.stats()
+            payload["protocol_version"] = PROTOCOL_VERSION
+            self._send_json(200, payload)
+            return
+        if self.path == "/v1/metrics":
+            payload = self.service.metrics()
             payload["protocol_version"] = PROTOCOL_VERSION
             self._send_json(200, payload)
             return
@@ -373,6 +387,10 @@ class ServiceClient:
     def logs(self) -> dict[str, Any]:
         """Service stats: the catalog snapshot plus request counters."""
         return self._get("/v1/logs")
+
+    def metrics(self) -> dict[str, Any]:
+        """Operational metrics: latency percentiles plus counter families."""
+        return self._get("/v1/metrics")
 
     def health(self) -> dict[str, Any]:
         """The liveness document (``{"status": "ok", ...}``)."""

@@ -1,0 +1,84 @@
+"""Per-request-type latency recording for the query service.
+
+The service records one wall-clock sample (monotonic clock) per executed
+request into a :class:`LatencyRecorder` — a small, thread-safe set of ring
+buffers, one per request type.  Recording is O(1) and allocation-free on
+the hot path (``deque(maxlen=...)`` drops the oldest sample for us);
+percentiles are computed only when a snapshot is asked for, so idle
+recorders cost nothing.
+
+Percentiles use the nearest-rank definition: for *n* sorted samples the
+p-th percentile is the sample at index ``ceil(p/100 * n) - 1``.  It is
+exact for the windows involved (no interpolation), which keeps the numbers
+stable across platforms and easy to assert in tests.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Any
+
+#: Samples retained per request type; old samples fall off the ring.
+DEFAULT_WINDOW = 1024
+
+#: Percentiles reported by :meth:`LatencyRecorder.snapshot`.
+PERCENTILES = (50, 95, 99)
+
+
+def nearest_rank(sorted_samples: list[float], percentile: float) -> float:
+    """The nearest-rank percentile of an already-sorted, non-empty list."""
+    if not sorted_samples:
+        raise ValueError("percentile of an empty sample set is undefined")
+    rank = math.ceil(percentile / 100.0 * len(sorted_samples))
+    return sorted_samples[max(rank, 1) - 1]
+
+
+class LatencyRecorder:
+    """Thread-safe per-kind latency ring buffers with percentile snapshots.
+
+    :param window: samples retained per request type; the percentile
+        snapshot describes the last ``window`` requests of each kind.
+    """
+
+    __slots__ = ("_window", "_lock", "_samples", "_counts")
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._window = window
+        self._lock = threading.Lock()
+        self._samples: dict[str, deque[float]] = {}
+        self._counts: dict[str, int] = {}
+
+    def record(self, kind: str, elapsed_ms: float) -> None:
+        """Record one sample (milliseconds) for a request type."""
+        with self._lock:
+            ring = self._samples.get(kind)
+            if ring is None:
+                ring = self._samples[kind] = deque(maxlen=self._window)
+                self._counts[kind] = 0
+            ring.append(float(elapsed_ms))
+            self._counts[kind] += 1
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Percentiles per request type over each kind's current window.
+
+        ``count`` is the all-time number of samples recorded for the kind;
+        ``window`` is how many of those back the percentiles below.
+        """
+        with self._lock:
+            frozen = {
+                kind: (self._counts[kind], list(ring))
+                for kind, ring in self._samples.items()
+            }
+        report: dict[str, dict[str, Any]] = {}
+        for kind, (count, samples) in sorted(frozen.items()):
+            samples.sort()
+            entry: dict[str, Any] = {"count": count, "window": len(samples)}
+            for percentile in PERCENTILES:
+                entry[f"p{percentile}_ms"] = nearest_rank(samples, percentile)
+            entry["max_ms"] = samples[-1]
+            report[kind] = entry
+        return report

@@ -5,13 +5,15 @@ into a long-running query-answering service.  Requests — the versioned
 dataclasses of :mod:`repro.service.protocol` — are executed on a thread
 pool, with two guarantees:
 
-* **Determinism.**  All traffic to one log is serialised on that log's
-  mutex, so its shared :class:`~repro.core.api.PerfXplainSession` sees a
-  strictly sequential access pattern and every response is bit-identical
-  to what a direct synchronous session call would return (the concurrency
-  tests and the service benchmark assert this).  Concurrency comes from
-  interleaving traffic *across* logs and from the protocol work around
-  the per-log critical sections.
+* **Determinism.**  Read traffic to one log — queries, batches,
+  evaluations — runs *concurrently* under the log's reader-writer lock,
+  and every response is still bit-identical to what a direct synchronous
+  session call would return (the concurrency tests and the service
+  benchmark assert this).  The session layer makes that possible: locked
+  caches, compute-once-per-key de-duplication and per-technique
+  serialisation for the one stateful step (see ``docs/concurrency.md``).
+  Appends and first-load take the write side, so mutations remain
+  strictly single-writer.
 * **Deduplication.**  Identical in-flight queries (same log, query text
   modulo whitespace, width, technique, flags) share one execution: the
   second submitter gets the first one's future.  Combined with the
@@ -25,12 +27,15 @@ code path serves programmatic callers, the CLI and the HTTP endpoint.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import AbstractContextManager
 from typing import Any
 
 from repro.core.api import PerfXplain
+from repro.core.pairshard import default_shard_pool
 from repro.core.evaluation import evaluate_precision_vs_width
 from repro.core.report import ReportEntry
 from repro.core.reporting import sweep_to_dict
@@ -52,24 +57,48 @@ from repro.service.protocol import (
     ServiceResponse,
     check_protocol_version,
 )
+from repro.service.metrics import LatencyRecorder
 
-#: Default worker-thread count for the request pool.
-DEFAULT_MAX_WORKERS = 4
+
+def _derive_max_workers() -> int:
+    """Thread-pool size matched to the machine: cpu_count clamped to 2..16.
+
+    The floor of 2 keeps read concurrency observable even on one-core
+    containers; the ceiling of 16 stops a large host from spawning more
+    request threads than the per-log work can usefully overlap.
+    """
+    return max(2, min(16, os.cpu_count() or 2))
+
+
+#: Default worker-thread count for the request pool (machine-derived).
+DEFAULT_MAX_WORKERS = _derive_max_workers()
 
 
 class PerfXplainService:
     """Execute protocol requests concurrently against a log catalog.
 
     :param catalog: the named logs (and their shared sessions) to serve.
-    :param max_workers: thread-pool size for query execution.
+    :param max_workers: thread-pool size for query execution; ``None``
+        uses :data:`DEFAULT_MAX_WORKERS` (derived from ``os.cpu_count()``).
+    :param serialize_reads: compatibility/baseline mode — take the
+        exclusive write side of the per-log lock for read requests too,
+        restoring the old one-query-at-a-time-per-log behaviour.  The
+        concurrent-read benchmark uses it as its sequential baseline.
     """
 
     def __init__(
-        self, catalog: LogCatalog, max_workers: int = DEFAULT_MAX_WORKERS
+        self,
+        catalog: LogCatalog,
+        max_workers: int | None = None,
+        serialize_reads: bool = False,
     ) -> None:
+        if max_workers is None:
+            max_workers = DEFAULT_MAX_WORKERS
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.catalog = catalog
+        self.max_workers = max_workers
+        self.serialize_reads = serialize_reads
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="perfxplain"
         )
@@ -78,6 +107,16 @@ class PerfXplainService:
         self._executed = 0
         self._deduplicated = 0
         self._closed = False
+        self._latency = LatencyRecorder()
+
+    def _read_side(self, name: str) -> AbstractContextManager[None]:
+        """The lock context a read request holds for one log.
+
+        The shared read side normally; the exclusive write side when the
+        service was built with ``serialize_reads=True``.
+        """
+        lock = self.catalog.lock(name)
+        return lock.write_locked() if self.serialize_reads else lock.read_locked()
 
     # ------------------------------------------------------------------ #
     # execution
@@ -138,8 +177,11 @@ class PerfXplainService:
             check_protocol_version(batch.protocol_version)
         except ProtocolError as error:
             return ErrorResponse.for_error(error)
+        start = time.perf_counter()
         futures = [self.submit(request) for request in batch.requests]
-        return BatchResponse(responses=tuple(future.result() for future in futures))
+        responses = tuple(future.result() for future in futures)
+        self._latency.record("batch", (time.perf_counter() - start) * 1000.0)
+        return BatchResponse(responses=responses)
 
     # ------------------------------------------------------------------ #
     # request handlers
@@ -153,13 +195,15 @@ class PerfXplainService:
                 self._inflight.pop(key, None)
 
     def _execute_query(self, request: QueryRequest) -> ServiceResponse:
+        overall = time.perf_counter()
         try:
             session = self.catalog.session(request.log)
             start = time.perf_counter()
-            # One query at a time per log: the shared session's caches are
-            # not thread-safe, and serialising here is exactly what makes
-            # concurrent responses bit-identical to sequential ones.
-            with self.catalog.lock(request.log):
+            # Read side of the per-log lock: queries to one log overlap
+            # with each other but never with an append or first load.  The
+            # session keeps concurrent readers bit-identical to sequential
+            # ones (locked caches + compute-once-per-key de-duplication).
+            with self._read_side(request.log):
                 resolved = session.resolve(request.query)
                 explanation = session.explain(
                     resolved,
@@ -179,16 +223,19 @@ class PerfXplainService:
             )
         with self._inflight_lock:
             self._executed += 1
+        self._latency.record("query", (time.perf_counter() - overall) * 1000.0)
         return response
 
     def _execute_evaluate(self, request: EvaluateRequest) -> ServiceResponse:
+        start = time.perf_counter()
         try:
             check_protocol_version(request.protocol_version)
             log = self.catalog.log(request.log)
-            with self.catalog.lock(request.log):
+            with self._read_side(request.log):
                 # Evaluation builds its own facade: the sweep re-splits the
                 # log per repetition, which must not pollute (or race with)
-                # the shared query session's caches.
+                # the shared query session's caches.  It only reads the
+                # served log, so it holds the read side like any query.
                 facade = PerfXplain(log, seed=request.seed)
                 query = facade.resolve(request.query)
                 if request.techniques:
@@ -207,6 +254,7 @@ class PerfXplainService:
                 )
             with self._inflight_lock:
                 self._executed += 1
+            self._latency.record("evaluate", (time.perf_counter() - start) * 1000.0)
             assert query.first_id is not None and query.second_id is not None
             return EvaluateResponse(
                 log=request.log,
@@ -228,10 +276,11 @@ class PerfXplainService:
 
         Appends are mutations, not queries: they are never deduplicated
         (retrying a successful append is a ``duplicate_record`` error by
-        design) and run synchronously under the log's mutex via
-        :meth:`LogCatalog.append`, interleaving atomically with query
-        traffic.
+        design) and run synchronously under the write side of the log's
+        reader-writer lock via :meth:`LogCatalog.append` — concurrent
+        readers drain first, and no reader observes a half-applied batch.
         """
+        start = time.perf_counter()
         try:
             self._check_open()
             check_protocol_version(request.protocol_version)
@@ -240,6 +289,7 @@ class PerfXplainService:
             )
             with self._inflight_lock:
                 self._executed += 1
+            self._latency.record("append", (time.perf_counter() - start) * 1000.0)
             return AppendResponse(
                 log=request.log,
                 appended_jobs=len(request.jobs),
@@ -277,6 +327,22 @@ class PerfXplainService:
             "in_flight": in_flight,
             "logs": self.catalog.describe(),
         }
+
+    def metrics(self) -> dict[str, Any]:
+        """Latency percentiles per request type plus every counter family.
+
+        ``latency_ms`` maps request type (``query``/``batch``/``evaluate``/
+        ``append``) to nearest-rank p50/p95/p99 over a ring of recent
+        samples; ``shard_pool`` exposes the persistent pair-shard pool's
+        fork/reuse counters; ``logs`` carries each session's cache,
+        invalidation and compute-once (de-duplication) counters.
+        """
+        report = self.stats()
+        report["max_workers"] = self.max_workers
+        report["serialize_reads"] = self.serialize_reads
+        report["latency_ms"] = self._latency.snapshot()
+        report["shard_pool"] = default_shard_pool().stats()
+        return report
 
     def _check_open(self) -> None:
         if self._closed:

@@ -1,0 +1,166 @@
+"""Tests for the concurrency primitives: RWLock and SingleFlight."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.locks import RWLock, SingleFlight
+
+
+class TestRWLockBasics:
+    def test_write_side_is_the_context_manager(self):
+        lock = RWLock()
+        with lock:
+            pass  # exclusive acquire/release round-trips
+
+    def test_read_locked_and_write_locked_round_trip(self):
+        lock = RWLock()
+        with lock.read_locked():
+            pass
+        with lock.write_locked():
+            pass
+
+    def test_readers_share(self):
+        lock = RWLock()
+        inside = threading.Barrier(3, timeout=5.0)
+
+        def reader():
+            with lock.read_locked():
+                inside.wait()  # all three must be inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert not any(thread.is_alive() for thread in threads)
+
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        order = []
+        writer_in = threading.Event()
+        release_writer = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                writer_in.set()
+                order.append("writer-in")
+                release_writer.wait(timeout=5.0)
+                order.append("writer-out")
+
+        def reader():
+            writer_in.wait(timeout=5.0)
+            with lock.read_locked():
+                order.append("reader")
+
+        writer_thread = threading.Thread(target=writer)
+        reader_thread = threading.Thread(target=reader)
+        writer_thread.start()
+        writer_in.wait(timeout=5.0)
+        reader_thread.start()
+        time.sleep(0.05)  # give the reader a chance to (wrongly) slip in
+        release_writer.set()
+        writer_thread.join(timeout=5.0)
+        reader_thread.join(timeout=5.0)
+        assert order == ["writer-in", "writer-out", "reader"]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        # Writer preference: once a writer queues up, later read attempts
+        # wait, so a steady reader stream cannot starve the writer.
+        lock = RWLock()
+        first_reader_in = threading.Event()
+        release_first_reader = threading.Event()
+        writer_done = threading.Event()
+        late_reader_result = []
+
+        def first_reader():
+            with lock.read_locked():
+                first_reader_in.set()
+                release_first_reader.wait(timeout=5.0)
+
+        def writer():
+            with lock.write_locked():
+                writer_done.set()
+
+        def late_reader():
+            with lock.read_locked():
+                late_reader_result.append(writer_done.is_set())
+
+        reader_thread = threading.Thread(target=first_reader)
+        reader_thread.start()
+        first_reader_in.wait(timeout=5.0)
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        time.sleep(0.05)  # let the writer register as waiting
+        late_thread = threading.Thread(target=late_reader)
+        late_thread.start()
+        time.sleep(0.05)
+        release_first_reader.set()
+        for thread in (reader_thread, writer_thread, late_thread):
+            thread.join(timeout=5.0)
+        assert late_reader_result == [True]
+
+
+class TestSingleFlight:
+    def test_computes_once_per_key_under_contention(self):
+        flight = SingleFlight()
+        calls = []
+        gate = threading.Barrier(4, timeout=5.0)
+        results = []
+
+        def factory():
+            calls.append(1)
+            time.sleep(0.02)
+            return "value"
+
+        def worker():
+            gate.wait()
+            results.append(flight.do("key", factory))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert results == ["value"] * 4
+        assert len(calls) == 1
+        stats = flight.stats()
+        assert stats["leads"] == 1
+        assert stats["waits"] == 3
+        assert stats["in_flight"] == 0
+
+    def test_sequential_calls_each_lead(self):
+        flight = SingleFlight()
+        assert flight.do("k", lambda: 1) == 1
+        assert flight.do("k", lambda: 2) == 2  # key retired after completion
+        assert flight.stats()["leads"] == 2
+
+    def test_waiters_see_the_leaders_error(self):
+        flight = SingleFlight()
+        gate = threading.Barrier(2, timeout=5.0)
+        errors = []
+
+        def boom():
+            time.sleep(0.02)
+            raise ValueError("leader failed")
+
+        def worker():
+            gate.wait()
+            with pytest.raises(ValueError, match="leader failed"):
+                flight.do("key", boom)
+            errors.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert len(errors) == 2
+        assert flight.stats()["in_flight"] == 0
+
+    def test_distinct_keys_do_not_share(self):
+        flight = SingleFlight()
+        assert flight.do(("a", 1), lambda: "a") == "a"
+        assert flight.do(("b", 1), lambda: "b") == "b"
+        assert flight.stats()["leads"] == 2

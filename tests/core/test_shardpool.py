@@ -1,0 +1,215 @@
+"""Tests for the persistent ShardPool: reuse, re-fork, overlap, teardown."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+# Randomized-log builder shared with the kernel differential suites.
+from test_pair_pipeline_equivalence import random_log
+
+from repro.core.examples import pair_kernel_for
+from repro.core.features import infer_schema
+from repro.core.pairkernel import blocking_group_indices
+from repro.core.pairs import PairFeatureConfig
+from repro.core.pairshard import (
+    ShardPool,
+    _fork_context,
+    default_shard_pool,
+    evaluate_candidate_batch,
+    iter_evaluated_batches,
+    shard_token,
+)
+from repro.core.pxql.parser import parse_query
+
+fork_only = pytest.mark.skipif(
+    _fork_context() is None, reason="requires the fork start method"
+)
+
+JOB_QUERY_TEXT = """
+    FOR JOBS ?, ?
+    DESPITE script_isSame = T
+    OBSERVED duration_compare = GT
+    EXPECTED duration_compare = SIM
+"""
+
+
+def _kernel_and_groups(seed: int):
+    log = random_log(seed)
+    query = parse_query(JOB_QUERY_TEXT)
+    schema = infer_schema(log.jobs)
+    kernel = pair_kernel_for(log, query, schema, PairFeatureConfig())
+    groups = blocking_group_indices(kernel.block, ["script"])
+    return kernel, query, groups
+
+
+def _serial_stream(kernel, query, groups):
+    return [
+        (firsts, seconds, bytes(observed))
+        for firsts, seconds, observed in iter_evaluated_batches(
+            kernel, query, groups, None, 0, workers=1, batch_size=8
+        )
+    ]
+
+
+def _pooled_stream(pool, kernel, query, groups, workers=2):
+    return [
+        (firsts, seconds, bytes(observed))
+        for firsts, seconds, observed in iter_evaluated_batches(
+            kernel, query, groups, None, 0,
+            workers=workers, batch_size=8, pool=pool,
+        )
+    ]
+
+
+class TestShardToken:
+    def test_same_kernel_same_token(self):
+        kernel, _, _ = _kernel_and_groups(0)
+        assert shard_token(kernel) == shard_token(kernel)
+
+    def test_distinct_blocks_distinct_tokens(self):
+        first, _, _ = _kernel_and_groups(0)
+        second, _, _ = _kernel_and_groups(1)
+        assert shard_token(first) != shard_token(second)
+
+    def test_config_is_part_of_the_token(self):
+        kernel, query, _ = _kernel_and_groups(0)
+        log = random_log(0)
+        schema = infer_schema(log.jobs)
+        other = pair_kernel_for(
+            log, query, schema, PairFeatureConfig(sim_threshold=0.42)
+        )
+        assert shard_token(kernel)[2] != shard_token(other)[2]
+
+
+@fork_only
+class TestShardPool:
+    def test_pooled_stream_bit_identical_to_serial(self):
+        kernel, query, groups = _kernel_and_groups(3)
+        serial = _serial_stream(kernel, query, groups)
+        assert serial, "the test log must produce related pairs"
+        pool = ShardPool()
+        try:
+            assert _pooled_stream(pool, kernel, query, groups) == serial
+        finally:
+            pool.shutdown()
+
+    def test_repeat_query_reuses_the_forked_workers(self):
+        kernel, query, groups = _kernel_and_groups(3)
+        pool = ShardPool()
+        try:
+            first = _pooled_stream(pool, kernel, query, groups)
+            second = _pooled_stream(pool, kernel, query, groups)
+            assert first == second
+            stats = pool.stats()
+            assert stats["forks"] == 1
+            assert stats["reuses"] == 1
+            assert stats["workers"] == 2
+        finally:
+            pool.shutdown()
+
+    def test_new_kernel_triggers_a_refork(self):
+        kernel_a, query, groups_a = _kernel_and_groups(3)
+        kernel_b, _, groups_b = _kernel_and_groups(4)
+        pool = ShardPool()
+        try:
+            _pooled_stream(pool, kernel_a, query, groups_a)
+            assert _pooled_stream(pool, kernel_b, query, groups_b) == _serial_stream(
+                kernel_b, query, groups_b
+            )
+            stats = pool.stats()
+            assert stats["forks"] == 2
+            assert stats["tokens"] == 2
+            # ...and the first kernel is now served without a third fork.
+            _pooled_stream(pool, kernel_a, query, groups_a)
+            assert pool.stats()["forks"] == 2
+        finally:
+            pool.shutdown()
+
+    def test_two_threads_shard_concurrently_on_one_pool(self):
+        # The old module-global design serialised every sharded query on a
+        # process-wide lock; the pool must let two generations overlap.
+        kernel, query, groups = _kernel_and_groups(3)
+        serial = _serial_stream(kernel, query, groups)
+        pool = ShardPool()
+        # Fork once up front so both threads reuse (no re-fork races the
+        # barrier timing below).
+        _pooled_stream(pool, kernel, query, groups)
+        both_inside = threading.Barrier(2, timeout=30.0)
+        results: dict[int, list] = {}
+        errors: list[BaseException] = []
+
+        def generation(slot: int) -> None:
+            try:
+                stream = iter_evaluated_batches(
+                    kernel, query, groups, None, 0,
+                    workers=2, batch_size=8, pool=pool,
+                )
+                collected = [next(stream)]  # prove the generation is live...
+                both_inside.wait()  # ...while the other one is live too
+                collected.extend(stream)
+                results[slot] = [
+                    (firsts, seconds, bytes(observed))
+                    for firsts, seconds, observed in collected
+                ]
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=generation, args=(slot,)) for slot in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors
+        assert results[0] == serial
+        assert results[1] == serial
+        stats = pool.stats()
+        assert stats["max_concurrent_generations"] >= 2
+        assert stats["forks"] == 1
+        pool.shutdown()
+
+    def test_shutdown_then_reuse_reforks(self):
+        kernel, query, groups = _kernel_and_groups(3)
+        serial = _serial_stream(kernel, query, groups)
+        pool = ShardPool()
+        _pooled_stream(pool, kernel, query, groups)
+        pool.shutdown()
+        assert pool.stats()["workers"] == 0
+        assert pool.stats()["tokens"] == 0
+        assert _pooled_stream(pool, kernel, query, groups) == serial
+        assert pool.stats()["forks"] == 2
+        pool.shutdown()
+
+    def test_default_pool_is_shared_and_alive(self):
+        assert default_shard_pool() is default_shard_pool()
+
+    def test_worker_rejects_invalid_counts(self):
+        kernel, query, groups = _kernel_and_groups(3)
+        pool = ShardPool()
+        with pytest.raises(ValueError, match="workers"):
+            list(pool.run(kernel, query, iter([]), workers=0))
+
+
+class TestSerialPathUnchanged:
+    def test_workers_one_never_touches_a_pool(self):
+        kernel, query, groups = _kernel_and_groups(5)
+        stream = list(
+            iter_evaluated_batches(kernel, query, groups, None, 0, workers=1)
+        )
+        rebuilt = []
+        for firsts, seconds in _candidates(kernel, groups):
+            result = evaluate_candidate_batch(kernel, query, firsts, seconds)
+            if result[0]:
+                rebuilt.append(result)
+        assert [
+            (f, s, bytes(o)) for f, s, o in stream
+        ] == [(f, s, bytes(o)) for f, s, o in rebuilt]
+
+
+def _candidates(kernel, groups):
+    from repro.core.pairkernel import iter_candidate_batches
+
+    return iter_candidate_batches(kernel.block, groups, None, 0)
