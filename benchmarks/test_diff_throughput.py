@@ -1,0 +1,135 @@
+"""Cross-log diff throughput: sharded cross-pair scan vs single-process.
+
+Two synthetic ~10k-task runs (2000 jobs x 5 tasks each, 40 blocking
+groups) are diffed end-to-end with ``pair_workers=1`` and
+``pair_workers=N``.  The reports must be **byte-identical** — the
+sharded candidate stream is the serial stream, just fanned out — and on
+hardware that can deliver it the sharded diff must beat the serial one
+(same floors as the large-log benchmark: 2x locally with >= 4 cores,
+1.3x on CI with >= 2 cores, skipped below that).
+
+Detectors are disabled for the timed runs: they are per-side, serial by
+design, and would dilute the sharded fraction this benchmark guards.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.core.explainer import PerfXplainConfig
+from repro.diff import DiffEngine
+from repro.logs.records import JobRecord, TaskRecord
+from repro.logs.store import ExecutionLog
+
+NUM_JOBS = 2_000
+TASKS_PER_JOB = 5
+GROUPS = 40
+
+
+def _speedup_floor() -> float | None:
+    """The asserted sharding speedup, or ``None`` if hardware can't."""
+    cores = os.cpu_count() or 1
+    if os.environ.get("CI"):
+        return 1.3 if cores >= 2 else None
+    return 2.0 if cores >= 4 else None
+
+
+def _make_run(scale: float, seed: int) -> ExecutionLog:
+    """One ~10k-task run: jobs in blocking groups of ~50 noisy replicas."""
+    rng = random.Random(seed)
+    jobs, tasks = [], []
+    for index in range(NUM_JOBS):
+        group = index % GROUPS
+        jobs.append(
+            JobRecord(
+                job_id=f"j{index}",
+                features={
+                    "pig_script": f"script-{group}.pig",
+                    "numinstances": float(rng.choice([2, 4, 8])),
+                    "blocksize": 64.0,
+                    "inputsize": 1e6
+                    * (1 + group % 13)
+                    * scale
+                    * (1.0 + rng.gauss(0.0, 0.01)),
+                },
+                duration=10.0 * (1 + group % 7) * scale * (1.0 + rng.gauss(0.0, 0.08)),
+            )
+        )
+        for slot in range(TASKS_PER_JOB):
+            tasks.append(
+                TaskRecord(
+                    task_id=f"t{index}_{slot}",
+                    job_id=f"j{index}",
+                    features={
+                        "pig_script": f"script-{group}.pig",
+                        "operator": "MAP",
+                        "hostname": f"host-{slot}",
+                        "inputsize": 2e5 * scale,
+                    },
+                    duration=2.0 * scale * (1.0 + rng.gauss(0.0, 0.05)),
+                )
+            )
+    return ExecutionLog(jobs=jobs, tasks=tasks)
+
+
+@pytest.fixture(scope="module")
+def run_pair():
+    return _make_run(scale=1.0, seed=0), _make_run(scale=1.6, seed=1)
+
+
+def test_sharded_diff_beats_single_process(benchmark, run_pair):
+    before, after = run_pair
+    cores = os.cpu_count() or 1
+    workers = max(2, min(4, cores))
+
+    start = time.perf_counter()
+    serial_report = DiffEngine(
+        before,
+        after,
+        config=PerfXplainConfig(pair_workers=1),
+        detectors=(),
+    ).report()
+    serial_seconds = time.perf_counter() - start
+
+    def diff_sharded():
+        return DiffEngine(
+            before,
+            after,
+            config=PerfXplainConfig(pair_workers=workers),
+            detectors=(),
+        ).report()
+
+    sharded_report = benchmark.pedantic(diff_sharded, rounds=1, iterations=1)
+    sharded_seconds = benchmark.stats.stats.mean
+
+    # The speedup must not come from computing something else: the whole
+    # report — pair of interest, explanation, deltas — must match the
+    # serial path byte for byte.
+    assert sharded_report.to_json() == serial_report.to_json()
+    assert serial_report.direction == "regression"
+    assert serial_report.explanation is not None
+
+    speedup = serial_seconds / sharded_seconds
+    floor = _speedup_floor()
+    benchmark.extra_info["jobs_per_side"] = NUM_JOBS
+    benchmark.extra_info["tasks_per_side"] = NUM_JOBS * TASKS_PER_JOB
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
+    benchmark.extra_info["sharded_seconds"] = round(sharded_seconds, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+
+    print(f"\nCross-log diff — {NUM_JOBS} jobs/side, {workers} workers:")
+    print(f"  single-process : {serial_seconds:.2f} s")
+    print(f"  sharded        : {sharded_seconds:.2f} s")
+    print(f"  speedup        : {speedup:.2f}x")
+    if floor is None:
+        print(f"  floor skipped  : only {cores} core(s) available")
+        return
+    assert speedup >= floor, (
+        f"sharded cross-log diff should be at least {floor}x faster than "
+        f"the single-process path on {cores} cores (got {speedup:.2f}x)"
+    )

@@ -28,11 +28,22 @@ The subcommands cover the typical workflow:
     Run the cross-validated precision-vs-width comparison of every
     registered technique for one of the paper's queries.
 
+``repro-perfxplain diff --before monday.jsonl --after tuesday.jsonl``
+    Explain a regression between two runs: merge the logs under a
+    cross-log view, auto-generate the job-level comparison, learn an
+    explanation for the highest-contrast cross-run pair, run every
+    deterministic detector on both sides, and print the "what changed
+    and why" report (``--format json`` for the machine-readable form).
+    Inputs are format-sniffed like ``ingest``, so native logs, Hadoop
+    ``.jhist`` and Spark event logs all work; with ``--url`` the names
+    address logs served by a running ``serve`` instance instead
+    (``POST /v1/diff``).
+
 ``repro-perfxplain serve --log prod=prod.jsonl.gz --log staging=st.json --port 8000``
     Run the long-lived query service: every ``--log name=path`` registers
     an execution log in the catalog (lazily loaded on first query), and
     PXQL queries are answered as JSON over HTTP (``POST /v1/query``,
-    ``POST /v1/batch``, ``POST /v1/evaluate``,
+    ``POST /v1/batch``, ``POST /v1/evaluate``, ``POST /v1/diff``,
     ``POST /v1/logs/{name}/append``; ``GET /v1/logs`` for catalog and
     cache statistics).  See :class:`repro.service.ServiceClient` for the
     matching client.
@@ -78,9 +89,12 @@ from repro.ingest import HADOOP_JHIST, SPARK_EVENTLOG, ingest_path, load_executi
 from repro.logs.parser import parse_jsonl_line
 from repro.logs.records import JobRecord
 from repro.logs.writer import LOG_SUFFIXES
+from repro.core.explainer import PerfXplainConfig
 from repro.service import (
     DEFAULT_MAX_WORKERS,
     AppendResponse,
+    DiffRequest,
+    DiffResponse,
     ErrorCode,
     ErrorResponse,
     EvaluateRequest,
@@ -216,6 +230,45 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="module (dotted name or .py path) to import "
                                "before dispatch; may register explainers")
 
+    diff = subparsers.add_parser(
+        "diff",
+        help="explain a performance regression between two runs",
+        description="Compare a before and an after execution log: the "
+                    "logs are merged under a cross-log view, a job-level "
+                    "PXQL comparison is generated automatically, the "
+                    "learned explainer runs on the highest-contrast "
+                    "cross-run pair, every deterministic detector runs "
+                    "on both sides, and config/metric deltas are "
+                    "reported.  Inputs are format-sniffed (native, "
+                    "Hadoop .jhist, Spark event logs); with --url they "
+                    "name logs served by a running service instead.",
+    )
+    diff.add_argument("--before", required=True,
+                      help="baseline execution log: a file path, or a "
+                           "served log name with --url")
+    diff.add_argument("--after", required=True,
+                      help="suspect execution log: a file path, or a "
+                           "served log name with --url")
+    diff.add_argument("--url", default=None,
+                      help="base URL of a running service; --before/--after "
+                           "then name logs in its catalog (POST /v1/diff)")
+    diff.add_argument("--width", type=int, default=None,
+                      help="explanation width (default: the configured width)")
+    diff.add_argument("--technique", default="perfxplain",
+                      help="learned technique for the cross-run pair "
+                           "(default: perfxplain)")
+    diff.add_argument("--workers", type=int, default=1,
+                      help="processes the cross-run pair filtering shards "
+                           "across; the report is bit-identical for every "
+                           "setting (default: 1)")
+    diff.add_argument("--seed", type=int, default=0,
+                      help="seed for the learned explainer (default: 0)")
+    diff.add_argument("--format", choices=["text", "json"], default="text",
+                      help="output format (default: text)")
+    diff.add_argument("--plugin", action="append", default=[],
+                      help="module (dotted name or .py path) to import "
+                           "before dispatch; may register explainers")
+
     serve = subparsers.add_parser(
         "serve",
         help="run the long-lived query service over HTTP",
@@ -224,8 +277,8 @@ def _build_parser() -> argparse.ArgumentParser:
                     "and each gets a shared session, so repeated traffic "
                     "reuses record blocks, training matrices and whole "
                     "explanations.  Endpoints: POST /v1/query, /v1/batch, "
-                    "/v1/evaluate; GET /v1/logs (catalog + cache stats), "
-                    "/v1/metrics (latency percentiles), /v1/health.",
+                    "/v1/evaluate, /v1/diff; GET /v1/logs (catalog + cache "
+                    "stats), /v1/metrics (latency percentiles), /v1/health.",
     )
     serve.add_argument("--log", action="append", required=True, metavar="NAME=PATH",
                        help="register an execution log under NAME (repeatable; "
@@ -588,6 +641,44 @@ def _cmd_append(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_diff(args: argparse.Namespace) -> int:
+    _load_plugins(args.plugin)
+    if args.url:
+        client = ServiceClient(args.url)
+        response = client.diff(
+            args.before, args.after, width=args.width, technique=args.technique
+        )
+    else:
+        # Local mode mirrors the served path exactly: load both logs,
+        # register them in a throwaway catalog, and execute the same
+        # DiffRequest the HTTP endpoint would — one code path, and the
+        # report is bit-identical to a served diff of the same logs.
+        before_log, _ = load_execution_log(Path(args.before))
+        after_log, _ = load_execution_log(Path(args.after))
+        catalog = LogCatalog(
+            config=PerfXplainConfig(pair_workers=args.workers), seed=args.seed
+        )
+        catalog.register("before", before_log)
+        catalog.register("after", after_log)
+        with PerfXplainService(catalog) as service:
+            response = service.execute(
+                DiffRequest(
+                    before="before",
+                    after="after",
+                    width=args.width,
+                    technique=args.technique,
+                )
+            )
+    if isinstance(response, ErrorResponse):
+        raise ReproError(response.message)
+    assert isinstance(response, DiffResponse)
+    if args.format == "json":
+        print(response.report.to_json(indent=2))
+    else:
+        print(response.report.format())
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     _load_plugins(args.plugin)
     catalog = LogCatalog(seed=args.seed)
@@ -599,8 +690,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     names = ", ".join(catalog.names())
     print(f"Serving {len(catalog)} log(s) [{names}] on {server.url}", file=sys.stderr)
-    print("Endpoints: POST /v1/query /v1/batch /v1/evaluate "
-          "/v1/logs/{name}/append; GET /v1/logs /v1/health", file=sys.stderr)
+    print("Endpoints: POST /v1/query /v1/batch /v1/evaluate /v1/diff "
+          "/v1/logs/{name}/append; GET /v1/logs /v1/metrics /v1/health",
+          file=sys.stderr)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -622,6 +714,7 @@ def main(argv: list[str] | None = None) -> int:
         "detect": _cmd_detect,
         "explain": _cmd_explain,
         "evaluate": _cmd_evaluate,
+        "diff": _cmd_diff,
         "serve": _cmd_serve,
         "append": _cmd_append,
     }

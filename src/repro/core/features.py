@@ -52,12 +52,14 @@ DEFAULT_NOMINAL_OVERRIDES: frozenset[str] = frozenset(
 #: Provenance stamps written into every record: the workload runner's
 #: replay/ground-truth labels (``engine_seed``/``scenario``/
 #: ``scenario_variant``) and the ingestion layer's source-file stamps
-#: (``source_format``/``source_path``, see :mod:`repro.ingest`).  They
-#: label the data rather than describe the execution, so schema inference
-#: drops them entirely — an explanation must never cite the scenario label
-#: that generated its own ground truth, nor the file a record came from.
+#: (``source_format``/``source_path``, see :mod:`repro.ingest`), plus the
+#: cross-log diff layer's ``run`` stamp (``before``/``after``, see
+#: :mod:`repro.diff`).  They label the data rather than describe the
+#: execution, so schema inference drops them entirely — an explanation must
+#: never cite the scenario label that generated its own ground truth, the
+#: file a record came from, nor which side of a diff a record sits on.
 DEFAULT_EXCLUDED_FEATURES: frozenset[str] = frozenset(
-    {"engine_seed", "scenario", "scenario_variant", "source_format", "source_path"}
+    {"engine_seed", "run", "scenario", "scenario_variant", "source_format", "source_path"}
 )
 
 

@@ -1,0 +1,46 @@
+"""Cross-log diff: explain a performance regression between two runs.
+
+The first subsystem where two execution logs flow through one query:
+
+* :class:`~repro.diff.view.CrossLogView` — two logs merged under namespaced
+  ids with a schema-excluded ``run`` provenance feature, ready for the
+  columnar pair kernels.
+* :class:`~repro.diff.engine.DiffEngine` — auto-generates the job-level
+  cross-run comparison, learns an explanation for the highest-contrast
+  cross-run pair, runs the deterministic detectors on both sides, and
+  computes config/metric deltas.
+* :class:`~repro.diff.report.DiffReport` — the structured, JSON-
+  round-trippable "what changed and why" result.
+
+Served as protocol v3 ``POST /v1/diff`` and the CLI ``diff`` subcommand.
+"""
+
+from repro.diff.engine import DiffEngine
+from repro.diff.report import (
+    DetectorOutcome,
+    DiffReport,
+    FeatureDelta,
+    RunSummary,
+)
+from repro.diff.view import (
+    AFTER_RUN,
+    BEFORE_RUN,
+    RUN_FEATURE,
+    CrossLogView,
+    namespace_id,
+    split_id,
+)
+
+__all__ = [
+    "AFTER_RUN",
+    "BEFORE_RUN",
+    "RUN_FEATURE",
+    "CrossLogView",
+    "DetectorOutcome",
+    "DiffEngine",
+    "DiffReport",
+    "FeatureDelta",
+    "RunSummary",
+    "namespace_id",
+    "split_id",
+]

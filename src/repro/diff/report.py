@@ -1,0 +1,295 @@
+"""The structured result of a cross-log diff: what changed, and why.
+
+A :class:`DiffReport` is the wire- and CLI-facing artifact of
+:class:`repro.diff.engine.DiffEngine`.  It is a plain frozen dataclass tree
+with exact ``to_dict``/``from_dict``/``to_json``/``from_json`` round-trips
+(the same discipline as :class:`repro.core.explanation.Explanation`), so a
+report produced by a direct engine call, the service executor, the HTTP
+endpoint and the CLI serializes to byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.explanation import Explanation
+from repro.core.pairs import raw_feature_of
+from repro.exceptions import ProtocolError
+
+#: Report directions (by the ratio of median job durations, after/before).
+REGRESSION = "regression"
+IMPROVEMENT = "improvement"
+SIMILAR = "similar"
+
+_DIRECTIONS = (REGRESSION, IMPROVEMENT, SIMILAR)
+
+
+def _require_mapping(data: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(data, Mapping):
+        raise ProtocolError(f"{what} must be a JSON object, got {type(data).__name__}")
+    return data
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Size and central tendency of one side of the diff."""
+
+    run: str
+    num_jobs: int
+    num_tasks: int
+    median_job_duration: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "run": self.run,
+            "num_jobs": self.num_jobs,
+            "num_tasks": self.num_tasks,
+            "median_job_duration": self.median_job_duration,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSummary":
+        data = _require_mapping(data, "run summary")
+        return cls(
+            run=str(data["run"]),
+            num_jobs=int(data["num_jobs"]),
+            num_tasks=int(data["num_tasks"]),
+            median_job_duration=float(data["median_job_duration"]),
+        )
+
+
+@dataclass(frozen=True)
+class FeatureDelta:
+    """One feature whose distribution moved between the runs.
+
+    For numeric features ``before``/``after`` are per-run medians over
+    non-missing values (``None`` when the feature is absent on that side)
+    and ``relative_change`` is the signed relative move.  For nominal
+    features they are the sorted per-run value sets and
+    ``relative_change`` is ``1.0`` (changed) by construction.
+    """
+
+    feature: str
+    kind: str  # "numeric" | "nominal"
+    before: Any
+    after: Any
+    relative_change: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "feature": self.feature,
+            "kind": self.kind,
+            "before": self.before,
+            "after": self.after,
+            "relative_change": self.relative_change,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FeatureDelta":
+        data = _require_mapping(data, "feature delta")
+        return cls(
+            feature=str(data["feature"]),
+            kind=str(data["kind"]),
+            before=data["before"],
+            after=data["after"],
+            relative_change=float(data["relative_change"]),
+        )
+
+    def format(self) -> str:
+        """One human-readable line."""
+        if self.kind == "numeric":
+            before = "absent" if self.before is None else f"{self.before:g}"
+            after = "absent" if self.after is None else f"{self.after:g}"
+            return (
+                f"{self.feature}: {before} -> {after} "
+                f"({self.relative_change:+.1%})"
+            )
+        return f"{self.feature}: {self.before!r} -> {self.after!r}"
+
+
+@dataclass(frozen=True)
+class DetectorOutcome:
+    """One deterministic detector's verdict on one side of the diff."""
+
+    technique: str
+    run: str
+    fired: bool
+    explanation: Explanation | None = None
+    reason: str | None = None
+    code: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "technique": self.technique,
+            "run": self.run,
+            "fired": self.fired,
+            "explanation": (
+                None if self.explanation is None else self.explanation.to_dict()
+            ),
+            "reason": self.reason,
+            "code": self.code,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DetectorOutcome":
+        data = _require_mapping(data, "detector outcome")
+        explanation = data.get("explanation")
+        return cls(
+            technique=str(data["technique"]),
+            run=str(data["run"]),
+            fired=bool(data["fired"]),
+            explanation=(
+                None if explanation is None else Explanation.from_dict(explanation)
+            ),
+            reason=None if data.get("reason") is None else str(data["reason"]),
+            code=None if data.get("code") is None else str(data["code"]),
+        )
+
+
+@dataclass(frozen=True)
+class DiffReport:
+    """What changed between two runs, and why.
+
+    :param before: summary of the baseline run.
+    :param after: summary of the run under suspicion.
+    :param direction: ``"regression"``, ``"improvement"`` or ``"similar"``.
+    :param duration_ratio: median job duration, after over before.
+    :param query: the auto-generated cross-run PXQL comparison (text).
+    :param first_id: namespaced id of the slower half of the pair of
+        interest (``None`` when no cross-run pair satisfied the query).
+    :param second_id: namespaced id of the faster half.
+    :param explanation: the learned explanation for the pair of interest.
+    :param explanation_error: why no learned explanation exists, when so.
+    :param detectors: every deterministic detector's verdict on each run.
+    :param deltas: config/metric features whose distributions moved.
+    """
+
+    before: RunSummary
+    after: RunSummary
+    direction: str
+    duration_ratio: float
+    query: str
+    first_id: str | None = None
+    second_id: str | None = None
+    explanation: Explanation | None = None
+    explanation_error: str | None = None
+    detectors: tuple[DetectorOutcome, ...] = ()
+    deltas: tuple[FeatureDelta, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(f"unknown diff direction {self.direction!r}")
+
+    def cited_features(self) -> frozenset[str]:
+        """Raw features the report blames, across all evidence kinds.
+
+        The union of the learned explanation's because-atoms, every fired
+        detector's because-atoms, and the delta table — the surface the
+        scenario-catalog tests check ground-truth features against.
+        """
+        cited: set[str] = set()
+        if self.explanation is not None:
+            cited.update(
+                raw_feature_of(atom.feature) for atom in self.explanation.because.atoms
+            )
+        for outcome in self.detectors:
+            if outcome.fired and outcome.explanation is not None:
+                cited.update(
+                    raw_feature_of(atom.feature)
+                    for atom in outcome.explanation.because.atoms
+                )
+        cited.update(delta.feature for delta in self.deltas)
+        return frozenset(cited)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "diff_report",
+            "before": self.before.to_dict(),
+            "after": self.after.to_dict(),
+            "direction": self.direction,
+            "duration_ratio": self.duration_ratio,
+            "query": self.query,
+            "first_id": self.first_id,
+            "second_id": self.second_id,
+            "explanation": (
+                None if self.explanation is None else self.explanation.to_dict()
+            ),
+            "explanation_error": self.explanation_error,
+            "detectors": [outcome.to_dict() for outcome in self.detectors],
+            "deltas": [delta.to_dict() for delta in self.deltas],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DiffReport":
+        data = _require_mapping(data, "diff report")
+        tag = data.get("type", "diff_report")
+        if tag != "diff_report":
+            raise ProtocolError(f"expected a diff_report payload, got {tag!r}")
+        explanation = data.get("explanation")
+        return cls(
+            before=RunSummary.from_dict(data["before"]),
+            after=RunSummary.from_dict(data["after"]),
+            direction=str(data["direction"]),
+            duration_ratio=float(data["duration_ratio"]),
+            query=str(data["query"]),
+            first_id=None if data.get("first_id") is None else str(data["first_id"]),
+            second_id=None if data.get("second_id") is None else str(data["second_id"]),
+            explanation=(
+                None if explanation is None else Explanation.from_dict(explanation)
+            ),
+            explanation_error=(
+                None
+                if data.get("explanation_error") is None
+                else str(data["explanation_error"])
+            ),
+            detectors=tuple(
+                DetectorOutcome.from_dict(entry) for entry in data.get("detectors", [])
+            ),
+            deltas=tuple(
+                FeatureDelta.from_dict(entry) for entry in data.get("deltas", [])
+            ),
+        )
+
+    def to_json(self, **kwargs: Any) -> str:
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DiffReport":
+        return cls.from_dict(json.loads(text))
+
+    def format(self) -> str:
+        """Human-readable multi-line rendering (the CLI's text format)."""
+        lines = [
+            f"cross-log diff: {self.direction.upper()} — median job duration "
+            f"{self.before.median_job_duration:g} s -> "
+            f"{self.after.median_job_duration:g} s "
+            f"({self.duration_ratio:.2f}x; {self.before.num_jobs} vs "
+            f"{self.after.num_jobs} jobs)",
+            f"query: {self.query}",
+        ]
+        if self.first_id is not None and self.second_id is not None:
+            lines.append(f"pair of interest: {self.first_id} vs {self.second_id}")
+        if self.explanation is not None:
+            lines.append("learned explanation:")
+            lines.extend(f"  {line}" for line in self.explanation.format().splitlines())
+        elif self.explanation_error is not None:
+            lines.append(f"learned explanation: none ({self.explanation_error})")
+        if self.deltas:
+            lines.append("what changed:")
+            lines.extend(f"  {delta.format()}" for delta in self.deltas)
+        fired = [outcome for outcome in self.detectors if outcome.fired]
+        if fired:
+            lines.append("detectors fired:")
+            for outcome in fired:
+                because = (
+                    f" — BECAUSE {outcome.explanation.because}"
+                    if outcome.explanation is not None
+                    else ""
+                )
+                lines.append(f"  {outcome.technique} on {outcome.run}{because}")
+        else:
+            lines.append("detectors fired: none")
+        return "\n".join(lines)

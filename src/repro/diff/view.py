@@ -1,0 +1,144 @@
+"""Cross-log view: two execution logs merged under namespaced record ids.
+
+PerfXplain's pair queries range over one :class:`~repro.logs.store.ExecutionLog`.
+A regression investigation has *two* — a before run and an after run — and the
+interesting pairs straddle the boundary.  :class:`CrossLogView` builds the
+bridge: it re-keys every record of both logs under a run-prefixed id
+(``before::job_3`` / ``after::job_3``), stamps each record with a ``run``
+provenance feature, and merges them into a single log that the existing
+columnar pair kernels consume unchanged.
+
+Three properties make the view safe and deterministic:
+
+* **No mispairing.**  Two runs of the same workload routinely reuse job and
+  task ids.  `ExecutionLog.merge` silently drops the second log's records on
+  an id collision — exactly the records a diff needs.  The view instead
+  namespaces every id with its run label *before* merging, so identical id
+  sets on both sides can neither collide (no spurious
+  :class:`~repro.exceptions.DuplicateRecordError`) nor alias each other
+  (no silent mispair).  Task → job edges are rewritten consistently, so
+  ``tasks_of_job`` still resolves within a run.
+* **Provenance is visible but never learnable.**  The ``run`` feature is in
+  :data:`~repro.core.features.DEFAULT_EXCLUDED_FEATURES`: schema inference
+  drops it, so explanations can never cite "it was slow because it was the
+  after run" — the same rule that hides ``scenario`` ground-truth stamps.
+  Run membership is instead recovered positionally: the merged log lists all
+  before-records first, so an index below :attr:`job_boundary` (or
+  :attr:`task_boundary`) belongs to the before run.
+* **Determinism.**  The merged record order is a pure function of the two
+  input logs (before's records in order, then after's), and run labels are
+  the fixed literals ``"before"``/``"after"`` — never user-supplied names —
+  so every downstream artifact (namespaced ids, candidate-pair order, the
+  bound query text, the report JSON) is byte-identical no matter how the
+  logs were addressed (paths, catalog names, HTTP).
+"""
+
+from __future__ import annotations
+
+from repro.logs.records import ExecutionRecord, JobRecord, TaskRecord
+from repro.logs.store import ExecutionLog
+
+#: Fixed run labels.  These are deliberately NOT the catalog names or file
+#: paths of the inputs: a diff of logs ``prod-monday`` vs ``prod-tuesday``
+#: and the same pair addressed by path must produce identical reports.
+BEFORE_RUN = "before"
+AFTER_RUN = "after"
+
+#: The provenance feature stamped onto every merged record.  Listed in
+#: :data:`repro.core.features.DEFAULT_EXCLUDED_FEATURES` so schema
+#: inference never offers it to the explainer.
+RUN_FEATURE = "run"
+
+#: Separator between the run label and the original record id.  ``::`` is
+#: safe because run labels never contain it, so the split below is
+#: unambiguous even if the original id itself contains ``::``.
+RUN_SEPARATOR = "::"
+
+
+def namespace_id(run: str, record_id: str) -> str:
+    """The merged-log id of ``record_id`` from run ``run``."""
+    return f"{run}{RUN_SEPARATOR}{record_id}"
+
+
+def split_id(namespaced_id: str) -> tuple[str, str]:
+    """Invert :func:`namespace_id`: ``(run, original_id)``.
+
+    Splits on the *first* separator only, so original ids containing
+    ``::`` round-trip unchanged.
+    """
+    run, separator, original = namespaced_id.partition(RUN_SEPARATOR)
+    if not separator or run not in (BEFORE_RUN, AFTER_RUN):
+        raise ValueError(f"{namespaced_id!r} is not a namespaced cross-log id")
+    return run, original
+
+
+def _namespace_job(run: str, job: JobRecord) -> JobRecord:
+    return JobRecord(
+        job_id=namespace_id(run, job.job_id),
+        features={**job.features, RUN_FEATURE: run},
+        duration=job.duration,
+    )
+
+
+def _namespace_task(run: str, task: TaskRecord) -> TaskRecord:
+    return TaskRecord(
+        task_id=namespace_id(run, task.task_id),
+        job_id=namespace_id(run, task.job_id),
+        features={**task.features, RUN_FEATURE: run},
+        duration=task.duration,
+    )
+
+
+class CrossLogView:
+    """Two execution logs merged for cross-run pair queries.
+
+    :param before: the baseline run.
+    :param after: the run under suspicion.
+
+    The inputs are never mutated; the merged log holds namespaced copies.
+    """
+
+    __slots__ = ("before", "after", "merged", "job_boundary", "task_boundary")
+
+    def __init__(self, before: ExecutionLog, after: ExecutionLog) -> None:
+        self.before = before
+        self.after = after
+        jobs: list[JobRecord] = []
+        tasks: list[TaskRecord] = []
+        for run, log in ((BEFORE_RUN, before), (AFTER_RUN, after)):
+            jobs.extend(_namespace_job(run, job) for job in log.jobs)
+            tasks.extend(_namespace_task(run, task) for task in log.tasks)
+        #: Merged-log indices below these belong to the before run.  Needed
+        #: because ``run`` is schema-excluded: a record block has no ``run``
+        #: column to read membership from.
+        self.job_boundary = before.num_jobs
+        self.task_boundary = before.num_tasks
+        merged = ExecutionLog()
+        # One atomic extend: its duplicate-id pre-validation is a free
+        # invariant check (run prefixes make collisions impossible unless a
+        # single input log was itself invalid).
+        merged.extend(jobs=jobs, tasks=tasks)
+        self.merged = merged
+
+    def boundary(self, kind: str) -> int:
+        """The first after-run index in the merged ``kind`` record list."""
+        if kind == "job":
+            return self.job_boundary
+        if kind == "task":
+            return self.task_boundary
+        raise ValueError(f"unknown record kind {kind!r}")
+
+    def run_of_index(self, kind: str, index: int) -> str:
+        """Which run the merged record at ``index`` came from."""
+        return BEFORE_RUN if index < self.boundary(kind) else AFTER_RUN
+
+    def original_record(self, namespaced_id: str) -> ExecutionRecord:
+        """The un-namespaced source record behind a merged-log id."""
+        run, original = split_id(namespaced_id)
+        source = self.before if run == BEFORE_RUN else self.after
+        record = source.find_job(original)
+        if record is None:
+            record = source.find_task(original)
+        if record is None:
+            raise KeyError(f"{namespaced_id!r} has no source record")
+        return record

@@ -134,3 +134,9 @@ class CatalogError(ServiceError):
     """A log-catalog operation failed (unknown name, load failure, ...)."""
 
     default_code = "unknown_log"
+
+
+class DiffError(ServiceError):
+    """A cross-log diff could not be computed (:mod:`repro.diff`)."""
+
+    default_code = "diff_failed"

@@ -44,6 +44,8 @@ from repro.service.protocol import (
     AppendResponse,
     BatchRequest,
     BatchResponse,
+    DiffRequest,
+    DiffResponse,
     ErrorCode,
     ErrorResponse,
     EvaluateRequest,
@@ -75,6 +77,8 @@ __all__ = [
     "AppendResponse",
     "BatchRequest",
     "BatchResponse",
+    "DiffRequest",
+    "DiffResponse",
     "EvaluateRequest",
     "EvaluateResponse",
     "ErrorResponse",

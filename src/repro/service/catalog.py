@@ -83,6 +83,16 @@ class LogCatalog:
         self._registry_lock = threading.Lock()
         self._entries: dict[str, _CatalogEntry] = {}
 
+    @property
+    def config(self) -> "PerfXplainConfig | None":
+        """The explanation configuration every session is created with."""
+        return self._config
+
+    @property
+    def seed(self) -> int:
+        """The seed every session is created with."""
+        return self._seed
+
     # ------------------------------------------------------------------ #
     # registration
     # ------------------------------------------------------------------ #

@@ -15,6 +15,9 @@ Routes:
   (per-item failures come back embedded in the batch, status 200);
 * ``POST /v1/evaluate`` — an
   :class:`~repro.service.protocol.EvaluateRequest`;
+* ``POST /v1/diff`` — a :class:`~repro.service.protocol.DiffRequest`
+  comparing two served logs (the cross-log regression report; a diff the
+  engine cannot compute answers 422 with code ``diff_failed``);
 * ``POST /v1/logs/{name}/append`` — an
   :class:`~repro.service.protocol.AppendRequest` growing the named log in
   place (duplicate ids answer 409);
@@ -48,6 +51,7 @@ from repro.service.protocol import (
     PROTOCOL_VERSION,
     AppendRequest,
     BatchRequest,
+    DiffRequest,
     ErrorCode,
     ErrorResponse,
     EvaluateRequest,
@@ -69,6 +73,7 @@ _STATUS_FOR_CODE = {
     ErrorCode.DUPLICATE_RECORD: 409,
     ErrorCode.EXPLANATION_FAILED: 422,
     ErrorCode.EVALUATION_FAILED: 422,
+    ErrorCode.DIFF_FAILED: 422,
     ErrorCode.LOG_LOAD_FAILED: 500,
     ErrorCode.INTERNAL_ERROR: 500,
 }
@@ -77,6 +82,7 @@ _POST_ROUTES = {
     "/v1/query": "query",
     "/v1/batch": "batch",
     "/v1/evaluate": "evaluate",
+    "/v1/diff": "diff",
 }
 
 
@@ -341,6 +347,24 @@ class ServiceClient:
             techniques=tuple(techniques) if techniques is not None else None,
         )
         return self._post("/v1/evaluate", request.to_json())
+
+    def diff(
+        self,
+        before: str,
+        after: str,
+        width: int | None = None,
+        technique: str = "perfxplain",
+    ) -> ServiceResponse:
+        """POST a cross-log diff of two served logs; returns the response.
+
+        A successful diff arrives as a
+        :class:`~repro.service.protocol.DiffResponse` whose ``report`` is
+        the structured :class:`~repro.diff.report.DiffReport`.
+        """
+        request = DiffRequest(
+            before=before, after=after, width=width, technique=technique
+        )
+        return self._post("/v1/diff", request.to_json())
 
     def append(
         self,

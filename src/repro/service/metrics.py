@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 import threading
 from collections import deque
-from typing import Any
+from typing import Any, Iterable
 
 #: Samples retained per request type; old samples fall off the ring.
 DEFAULT_WINDOW = 1024
@@ -40,17 +40,30 @@ class LatencyRecorder:
 
     :param window: samples retained per request type; the percentile
         snapshot describes the last ``window`` requests of each kind.
+    :param kinds: request types to pre-seed with empty rings, so they show
+        up in :meth:`snapshot` (with ``count: 0`` and null percentiles)
+        before their first sample arrives.  The default pre-seeds nothing —
+        an unused recorder snapshots to ``{}``.
+
+    Kinds are otherwise fully dynamic: :meth:`record` creates a ring for a
+    never-seen request type on the fly, so callers recording a new or
+    unknown kind never raise.
     """
 
     __slots__ = ("_window", "_lock", "_samples", "_counts")
 
-    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+    def __init__(
+        self, window: int = DEFAULT_WINDOW, kinds: Iterable[str] = ()
+    ) -> None:
         if window < 1:
             raise ValueError("window must be >= 1")
         self._window = window
         self._lock = threading.Lock()
         self._samples: dict[str, deque[float]] = {}
         self._counts: dict[str, int] = {}
+        for kind in kinds:
+            self._samples[str(kind)] = deque(maxlen=window)
+            self._counts[str(kind)] = 0
 
     def record(self, kind: str, elapsed_ms: float) -> None:
         """Record one sample (milliseconds) for a request type."""
@@ -66,7 +79,9 @@ class LatencyRecorder:
         """Percentiles per request type over each kind's current window.
 
         ``count`` is the all-time number of samples recorded for the kind;
-        ``window`` is how many of those back the percentiles below.
+        ``window`` is how many of those back the percentiles below.  A
+        pre-seeded kind that has not seen a sample yet reports ``count: 0``
+        with null percentiles.
         """
         with self._lock:
             frozen = {
@@ -78,7 +93,9 @@ class LatencyRecorder:
             samples.sort()
             entry: dict[str, Any] = {"count": count, "window": len(samples)}
             for percentile in PERCENTILES:
-                entry[f"p{percentile}_ms"] = nearest_rank(samples, percentile)
-            entry["max_ms"] = samples[-1]
+                entry[f"p{percentile}_ms"] = (
+                    nearest_rank(samples, percentile) if samples else None
+                )
+            entry["max_ms"] = samples[-1] if samples else None
             report[kind] = entry
         return report

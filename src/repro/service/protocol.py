@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Union
 
 from repro.core.report import ReportEntry
+from repro.diff.report import DiffReport
 from repro.exceptions import (
     CatalogError,
     DuplicateRecordError,
@@ -45,12 +46,13 @@ from repro.logs.records import (
 )
 
 #: The protocol version this build speaks.  Version 2 added the append
-#: request/response pair and the ``duplicate_record`` error code.
-PROTOCOL_VERSION = 2
+#: request/response pair and the ``duplicate_record`` error code; version 3
+#: added the cross-log diff pair and the ``diff_failed`` error code.
+PROTOCOL_VERSION = 3
 
-#: Versions the service accepts.  Version-1 clients never send append
-#: messages, so every version-1 request is also a valid version-2 one.
-SUPPORTED_PROTOCOL_VERSIONS = (1, 2)
+#: Versions the service accepts.  Older clients never send the message
+#: types added later, so every older request is also a valid newer one.
+SUPPORTED_PROTOCOL_VERSIONS = (1, 2, 3)
 
 
 class ErrorCode:
@@ -70,6 +72,7 @@ class ErrorCode:
     UNKNOWN_TECHNIQUE = "unknown_technique"
     EXPLANATION_FAILED = "explanation_failed"
     EVALUATION_FAILED = "evaluation_failed"
+    DIFF_FAILED = "diff_failed"
     INTERNAL_ERROR = "internal_error"
 
     #: Every code the current protocol version may emit.
@@ -84,6 +87,7 @@ class ErrorCode:
             UNKNOWN_TECHNIQUE,
             EXPLANATION_FAILED,
             EVALUATION_FAILED,
+            DIFF_FAILED,
             INTERNAL_ERROR,
         }
     )
@@ -747,12 +751,137 @@ class AppendResponse:
         return cls.from_dict(_loads(text, "an append response"))
 
 
+@dataclass(frozen=True)
+class DiffRequest:
+    """Compare two served logs and explain the difference (protocol 3+).
+
+    :param before: catalog name of the baseline log.
+    :param after: catalog name of the log under suspicion.
+    :param width: explanation width for the learned explainer.
+    :param technique: registered learned technique name.
+    """
+
+    before: str
+    after: str
+    width: int | None = None
+    technique: str = "perfxplain"
+    protocol_version: int = PROTOCOL_VERSION
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible form that round-trips via :meth:`from_dict`."""
+        return {
+            "type": "diff",
+            "protocol_version": self.protocol_version,
+            "before": self.before,
+            "after": self.after,
+            "width": self.width,
+            "technique": self.technique,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DiffRequest":
+        """Parse and validate a wire-form diff request."""
+        data = _require_mapping(data, "a diff request")
+        _check_type_tag(data, "diff")
+        version = _version_of(data, None)
+        if version < 3:
+            raise ProtocolError(
+                "diff requests require protocol version 3 or newer",
+                code=ErrorCode.UNSUPPORTED_PROTOCOL,
+            )
+        width = data.get("width")
+        if width is not None and (
+            isinstance(width, bool) or not isinstance(width, int)
+        ):
+            raise ProtocolError("width must be an integer or null")
+        technique = data.get("technique", "perfxplain")
+        if not isinstance(technique, str) or not technique:
+            raise ProtocolError("technique must be a non-empty string")
+        return cls(
+            before=_require_str(data, "before", "a diff request"),
+            after=_require_str(data, "after", "a diff request"),
+            width=width,
+            technique=technique,
+            protocol_version=version,
+        )
+
+    def to_json(self) -> str:
+        """The :meth:`to_dict` form rendered as JSON."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DiffRequest":
+        """Rebuild a request from its :meth:`to_json` form."""
+        return cls.from_dict(_loads(text, "a diff request"))
+
+
+@dataclass(frozen=True)
+class DiffResponse:
+    """A successfully computed cross-log diff.
+
+    :param before: catalog name of the baseline log.
+    :param after: catalog name of the log under suspicion.
+    :param report: the structured :class:`~repro.diff.report.DiffReport`.
+    """
+
+    before: str
+    after: str
+    report: DiffReport
+    protocol_version: int = PROTOCOL_VERSION
+
+    @property
+    def ok(self) -> bool:
+        """Always ``True`` (failures arrive as :class:`ErrorResponse`)."""
+        return True
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible form that round-trips via :meth:`from_dict`."""
+        return {
+            "type": "diff_result",
+            "protocol_version": self.protocol_version,
+            "before": self.before,
+            "after": self.after,
+            "report": self.report.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DiffResponse":
+        """Rebuild a response from its :meth:`to_dict` form."""
+        data = _require_mapping(data, "a diff response")
+        _check_type_tag(data, "diff_result")
+        report = data.get("report")
+        if not isinstance(report, Mapping):
+            raise ProtocolError("a diff response requires a 'report' object")
+        return cls(
+            before=_require_str(data, "before", "a diff response"),
+            after=_require_str(data, "after", "a diff response"),
+            report=DiffReport.from_dict(report),
+            protocol_version=_version_of(data, None),
+        )
+
+    def to_json(self) -> str:
+        """The :meth:`to_dict` form rendered as JSON."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DiffResponse":
+        """Rebuild a response from its :meth:`to_json` form."""
+        return cls.from_dict(_loads(text, "a diff response"))
+
+
 #: Any parsed request.
-ServiceRequest = Union[QueryRequest, BatchRequest, EvaluateRequest, AppendRequest]
+ServiceRequest = Union[
+    QueryRequest, BatchRequest, EvaluateRequest, AppendRequest, DiffRequest
+]
 
 #: Any parsed response.
 ServiceResponse = Union[
-    QueryResponse, BatchResponse, EvaluateResponse, AppendResponse, ErrorResponse
+    QueryResponse,
+    BatchResponse,
+    EvaluateResponse,
+    AppendResponse,
+    DiffResponse,
+    ErrorResponse,
 ]
 
 _REQUEST_TYPES: dict[str, Any] = {
@@ -760,6 +889,7 @@ _REQUEST_TYPES: dict[str, Any] = {
     "batch": BatchRequest,
     "evaluate": EvaluateRequest,
     "append": AppendRequest,
+    "diff": DiffRequest,
 }
 
 _RESPONSE_TYPES: dict[str, Any] = {
@@ -767,6 +897,7 @@ _RESPONSE_TYPES: dict[str, Any] = {
     "batch_result": BatchResponse,
     "evaluate_result": EvaluateResponse,
     "append_result": AppendResponse,
+    "diff_result": DiffResponse,
     "error": ErrorResponse,
 }
 

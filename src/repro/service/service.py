@@ -31,7 +31,7 @@ import os
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from contextlib import AbstractContextManager
+from contextlib import AbstractContextManager, ExitStack
 from typing import Any
 
 from repro.core.api import PerfXplain
@@ -39,6 +39,7 @@ from repro.core.pairshard import default_shard_pool
 from repro.core.evaluation import evaluate_precision_vs_width
 from repro.core.report import ReportEntry
 from repro.core.reporting import sweep_to_dict
+from repro.diff.engine import DiffEngine
 from repro.exceptions import ReproError
 from repro.service.catalog import LogCatalog
 from repro.service.protocol import (
@@ -46,6 +47,8 @@ from repro.service.protocol import (
     AppendResponse,
     BatchRequest,
     BatchResponse,
+    DiffRequest,
+    DiffResponse,
     ErrorCode,
     ErrorResponse,
     EvaluateRequest,
@@ -58,6 +61,10 @@ from repro.service.protocol import (
     check_protocol_version,
 )
 from repro.service.metrics import LatencyRecorder
+
+#: Request types the latency recorder pre-seeds, so ``/v1/metrics`` lists
+#: every kind the service can execute even before its first sample.
+REQUEST_KINDS = ("append", "batch", "diff", "evaluate", "query")
 
 
 def _derive_max_workers() -> int:
@@ -107,7 +114,7 @@ class PerfXplainService:
         self._executed = 0
         self._deduplicated = 0
         self._closed = False
-        self._latency = LatencyRecorder()
+        self._latency = LatencyRecorder(kinds=REQUEST_KINDS)
 
     def _read_side(self, name: str) -> AbstractContextManager[None]:
         """The lock context a read request holds for one log.
@@ -137,6 +144,8 @@ class PerfXplainService:
             return self._execute_evaluate(request)
         if isinstance(request, AppendRequest):
             return self._execute_append(request)
+        if isinstance(request, DiffRequest):
+            return self._execute_diff(request)
         return ErrorResponse(
             code=ErrorCode.INVALID_REQUEST,
             message=f"unsupported request type {type(request).__name__}",
@@ -306,6 +315,63 @@ class PerfXplainService:
                 message=f"{type(error).__name__}: {error}",
             )
 
+    def diff(
+        self,
+        before: str,
+        after: str,
+        width: int | None = None,
+        technique: str = "perfxplain",
+    ) -> ServiceResponse:
+        """Compare two served logs; convenience wrapper over :meth:`execute`."""
+        return self.execute(
+            DiffRequest(before=before, after=after, width=width, technique=technique)
+        )
+
+    def _execute_diff(self, request: DiffRequest) -> ServiceResponse:
+        """Run a cross-log diff over two served logs.
+
+        The diff reads *both* logs, so it holds both read sides at once.
+        Deadlock discipline: the two locks are acquired in sorted-name
+        order (two concurrent diffs can never hold each other's first lock
+        while waiting on the second), and a self-diff (``before == after``)
+        takes the log's lock exactly once — the per-log RWLock is
+        writer-preferring, so a queued append between two read acquisitions
+        of the same lock would deadlock a re-entrant reader.
+        """
+        start = time.perf_counter()
+        try:
+            self._check_open()
+            check_protocol_version(request.protocol_version)
+            # Resolve (and lazily load) both logs before taking the read
+            # sides: first load takes the entry's write side internally.
+            before_log = self.catalog.log(request.before)
+            after_log = self.catalog.log(request.after)
+            with ExitStack() as stack:
+                for name in sorted({request.before, request.after}):
+                    stack.enter_context(self._read_side(name))
+                engine = DiffEngine(
+                    before_log,
+                    after_log,
+                    config=self.catalog.config,
+                    seed=self.catalog.seed,
+                    technique=request.technique,
+                    width=request.width,
+                )
+                report = engine.report()
+            with self._inflight_lock:
+                self._executed += 1
+            self._latency.record("diff", (time.perf_counter() - start) * 1000.0)
+            return DiffResponse(
+                before=request.before, after=request.after, report=report
+            )
+        except ReproError as error:
+            return ErrorResponse.for_error(error)
+        except Exception as error:  # defensive: plugins may raise anything
+            return ErrorResponse(
+                code=ErrorCode.INTERNAL_ERROR,
+                message=f"{type(error).__name__}: {error}",
+            )
+
     # ------------------------------------------------------------------ #
     # introspection and lifecycle
     # ------------------------------------------------------------------ #
@@ -332,8 +398,10 @@ class PerfXplainService:
         """Latency percentiles per request type plus every counter family.
 
         ``latency_ms`` maps request type (``query``/``batch``/``evaluate``/
-        ``append``) to nearest-rank p50/p95/p99 over a ring of recent
-        samples; ``shard_pool`` exposes the persistent pair-shard pool's
+        ``append``/``diff``) to nearest-rank p50/p95/p99 over a ring of
+        recent samples (every kind in :data:`REQUEST_KINDS` is listed even
+        before its first request, with ``count: 0`` and null percentiles);
+        ``shard_pool`` exposes the persistent pair-shard pool's
         fork/reuse counters; ``logs`` carries each session's cache,
         invalidation and compute-once (de-duplication) counters.
         """

@@ -1,0 +1,72 @@
+"""Shared fixtures for the cross-log diff tests: small synthetic run pairs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.logs.records import JobRecord, TaskRecord
+from repro.logs.store import ExecutionLog
+
+
+def make_run(
+    scale: float,
+    seed: int,
+    num_jobs: int = 8,
+    tasks_per_job: int = 3,
+    pig_script: str = "wf.pig",
+) -> ExecutionLog:
+    """One synthetic run: ``num_jobs`` jobs whose duration and input size
+    scale with ``scale`` — two runs with different scales form a clean
+    regression pair.  Record ids are ``j0..`` / ``t0..`` on EVERY run, so
+    any before/after pair built here collides id-for-id by construction.
+    """
+    rng = random.Random(seed)
+    jobs = []
+    tasks = []
+    for index in range(num_jobs):
+        jobs.append(
+            JobRecord(
+                job_id=f"j{index}",
+                features={
+                    "pig_script": pig_script,
+                    "numinstances": 2,
+                    "blocksize": 64.0,
+                    "inputsize": 1e6 * scale * (1.0 + rng.random() * 0.05),
+                },
+                duration=10.0 * scale * (1.0 + rng.random() * 0.1),
+            )
+        )
+        for slot in range(tasks_per_job):
+            tasks.append(
+                TaskRecord(
+                    task_id=f"t{index}_{slot}",
+                    job_id=f"j{index}",
+                    features={
+                        "pig_script": pig_script,
+                        "operator": "MAP",
+                        "hostname": f"host-{slot}",
+                        "inputsize": 3e5 * scale,
+                    },
+                    duration=3.0 * scale * (1.0 + rng.random() * 0.1),
+                )
+            )
+    return ExecutionLog(jobs=jobs, tasks=tasks)
+
+
+@pytest.fixture(scope="session")
+def run_factory():
+    """The :func:`make_run` generator, as a fixture (tests/ is not a
+    package, so test modules cannot import from this conftest directly)."""
+    return make_run
+
+
+@pytest.fixture(scope="module")
+def before_log() -> ExecutionLog:
+    return make_run(scale=1.0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def after_log() -> ExecutionLog:
+    return make_run(scale=3.0, seed=1)

@@ -1,0 +1,170 @@
+"""DiffEngine: direction, cross-run pairing, deltas, and determinism."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.explainer import PerfXplainConfig
+from repro.core.pairshard import _fork_context
+from repro.detectors import DETECTOR_TECHNIQUES
+from repro.diff import AFTER_RUN, BEFORE_RUN, DiffEngine, DiffReport, split_id
+from repro.exceptions import DiffError
+from repro.logs.store import ExecutionLog
+
+
+@pytest.fixture(scope="module")
+def regression_report(before_log, after_log) -> DiffReport:
+    return DiffEngine(before_log, after_log).report()
+
+
+class TestDirection:
+    def test_regression(self, regression_report):
+        assert regression_report.direction == "regression"
+        assert regression_report.duration_ratio == pytest.approx(3.0, rel=0.15)
+
+    def test_improvement_is_the_mirror(self, before_log, after_log):
+        report = DiffEngine(after_log, before_log).report()
+        assert report.direction == "improvement"
+        assert report.duration_ratio < 1.0
+
+    def test_self_diff_is_similar(self, before_log):
+        report = DiffEngine(before_log, before_log).report()
+        assert report.direction == "similar"
+        assert report.duration_ratio == pytest.approx(1.0)
+
+    def test_summaries_count_each_side(self, regression_report, before_log, after_log):
+        assert regression_report.before.run == BEFORE_RUN
+        assert regression_report.before.num_jobs == before_log.num_jobs
+        assert regression_report.before.num_tasks == before_log.num_tasks
+        assert regression_report.after.run == AFTER_RUN
+        assert regression_report.after.num_jobs == after_log.num_jobs
+
+
+class TestCrossPair:
+    def test_pair_straddles_the_boundary_slower_side_first(self, regression_report):
+        first_run, _ = split_id(regression_report.first_id)
+        second_run, _ = split_id(regression_report.second_id)
+        assert first_run != second_run
+        # The after run regressed, so the slower (first) member is from it.
+        assert first_run == AFTER_RUN
+
+    def test_improvement_flips_the_regressed_run(self, before_log, after_log):
+        report = DiffEngine(after_log, before_log).report()
+        first_run, _ = split_id(report.first_id)
+        # Swapped inputs: "before" (the old after_log) is now the slow side.
+        assert first_run == BEFORE_RUN
+
+    def test_learned_explanation_cites_the_scaled_feature(self, regression_report):
+        assert regression_report.explanation is not None
+        assert regression_report.explanation_error is None
+        assert "inputsize" in regression_report.cited_features()
+
+    def test_run_feature_is_never_cited(self, regression_report):
+        assert "run" not in regression_report.cited_features()
+        assert "run_isSame" not in regression_report.query
+        assert "run" not in {delta.feature for delta in regression_report.deltas}
+
+
+class TestQueryGeneration:
+    def test_pins_shared_workload_identity(self, before_log, after_log):
+        query = DiffEngine(before_log, after_log).comparison_query()
+        text = str(query)
+        assert "pig_script_isSame = T" in text
+        assert "duration_compare = GT" in text
+        assert query.name == "CrossLogDiff"
+
+    def test_divergent_nominal_features_are_not_pinned(self, run_factory):
+        before = run_factory(scale=1.0, seed=0, pig_script="a.pig")
+        after = run_factory(scale=3.0, seed=1, pig_script="b.pig")
+        query = DiffEngine(before, after).comparison_query()
+        assert "pig_script_isSame" not in str(query)
+
+
+class TestDeltas:
+    def test_scaled_numeric_feature_surfaces(self, regression_report):
+        by_name = {delta.feature: delta for delta in regression_report.deltas}
+        assert "inputsize" in by_name
+        delta = by_name["inputsize"]
+        assert delta.kind == "numeric"
+        assert delta.relative_change > 0.5  # 1e6 -> 3e6 is a ~+67% move
+        assert delta.before < delta.after
+
+    def test_constant_features_do_not_surface(self, regression_report):
+        names = {delta.feature: None for delta in regression_report.deltas}
+        assert "blocksize" not in names
+        assert "numinstances" not in names
+
+    def test_nominal_value_set_change_surfaces(self, run_factory):
+        before = run_factory(scale=1.0, seed=0, pig_script="a.pig")
+        after = run_factory(scale=1.0, seed=0, pig_script="b.pig")
+        report = DiffEngine(before, after).report()
+        by_name = {delta.feature: delta for delta in report.deltas}
+        assert by_name["pig_script"].kind == "nominal"
+        assert by_name["pig_script"].before == ["a.pig"]
+        assert by_name["pig_script"].after == ["b.pig"]
+
+    def test_deltas_sorted_by_magnitude(self, regression_report):
+        changes = [abs(delta.relative_change) for delta in regression_report.deltas]
+        assert changes == sorted(changes, reverse=True)
+
+
+class TestDetectors:
+    def test_every_detector_runs_on_each_side_in_order(self, regression_report):
+        seen = [
+            (outcome.run, outcome.technique) for outcome in regression_report.detectors
+        ]
+        expected = [
+            (run, name)
+            for run in (BEFORE_RUN, AFTER_RUN)
+            for name in DETECTOR_TECHNIQUES
+        ]
+        assert seen == expected
+
+    def test_non_firing_outcomes_carry_reason_and_code(self, regression_report):
+        for outcome in regression_report.detectors:
+            if outcome.fired:
+                assert outcome.explanation is not None
+                assert outcome.reason is None
+            else:
+                assert outcome.explanation is None
+                assert outcome.reason
+                assert outcome.code
+
+
+class TestEmptySides:
+    def test_empty_before_rejected(self, after_log):
+        with pytest.raises(DiffError, match="before log has none"):
+            DiffEngine(ExecutionLog(), after_log).report()
+
+    def test_empty_after_rejected(self, before_log):
+        with pytest.raises(DiffError, match="after log has none"):
+            DiffEngine(before_log, ExecutionLog()).report()
+
+
+class TestDeterminism:
+    def test_repeated_runs_are_bit_identical(self, before_log, after_log):
+        one = DiffEngine(before_log, after_log).report().to_json()
+        two = DiffEngine(before_log, after_log).report().to_json()
+        assert one == two
+
+    @pytest.mark.skipif(_fork_context() is None, reason="fork start method unavailable")
+    def test_worker_count_does_not_change_the_report(self, before_log, after_log):
+        serial = DiffEngine(
+            before_log, after_log, config=PerfXplainConfig(pair_workers=1)
+        ).report()
+        sharded = DiffEngine(
+            before_log, after_log, config=PerfXplainConfig(pair_workers=2)
+        ).report()
+        assert serial.to_json() == sharded.to_json()
+
+    def test_exact_json_round_trip(self, regression_report):
+        text = regression_report.to_json()
+        restored = DiffReport.from_json(text)
+        assert restored == regression_report
+        assert restored.to_json() == text
+
+    def test_report_equality_is_structural(self, regression_report):
+        clone = dataclasses.replace(regression_report)
+        assert clone == regression_report

@@ -1,0 +1,78 @@
+"""Golden before/after fixtures: the committed report is byte-stable.
+
+``golden_before.jsonl``/``golden_after.jsonl`` are a simulated regression
+pair (the ``make_run`` generator at scales 1.0 and 3.0); the committed
+``golden_report.json`` is the exact ``to_json(indent=2)`` of the diff
+between them.  Any change to the engine's output — ordering, formatting,
+a new field — shows up as a diff against the golden file, which is the
+point: regenerate it deliberately, never accidentally.
+
+The Spark event-log fixture from the ingestion PR rides along as an
+integration regression: the same file on both sides is the harshest
+colliding-id input (every id identical), and must diff as ``similar``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.diff import DiffEngine, DiffReport
+from repro.ingest import load_execution_log
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SPARK_FIXTURE = (
+    Path(__file__).parent.parent
+    / "logs"
+    / "fixtures"
+    / "app-20260807101530-0001.eventlog"
+)
+
+
+@pytest.fixture(scope="module")
+def golden_pair():
+    before, before_format = load_execution_log(FIXTURES / "golden_before.jsonl")
+    after, after_format = load_execution_log(FIXTURES / "golden_after.jsonl")
+    assert before_format == after_format == "native-jsonl"
+    return before, after
+
+
+class TestGoldenReport:
+    def test_report_matches_the_committed_golden_byte_for_byte(self, golden_pair):
+        before, after = golden_pair
+        report = DiffEngine(before, after).report()
+        expected = (FIXTURES / "golden_report.json").read_text()
+        assert report.to_json(indent=2) + "\n" == expected
+
+    def test_golden_report_round_trips_exactly(self):
+        text = (FIXTURES / "golden_report.json").read_text().rstrip("\n")
+        report = DiffReport.from_json(text)
+        assert report.to_json(indent=2) == text
+        assert report.direction == "regression"
+        assert "inputsize" in report.cited_features()
+
+    def test_golden_is_valid_sorted_json(self):
+        payload = json.loads((FIXTURES / "golden_report.json").read_text())
+        assert payload["type"] == "diff_report"
+        assert list(payload) == sorted(payload)
+
+
+class TestSparkFixtureDiff:
+    def test_same_eventlog_on_both_sides_is_similar(self):
+        before, _ = load_execution_log(SPARK_FIXTURE, format="spark-eventlog")
+        after, _ = load_execution_log(SPARK_FIXTURE, format="spark-eventlog")
+        # Every id collides — the namespacing bugfix is what makes this run.
+        assert {j.job_id for j in before.jobs} == {j.job_id for j in after.jobs}
+        report = DiffEngine(before, after).report()
+        assert report.direction == "similar"
+        assert report.duration_ratio == pytest.approx(1.0)
+        text = report.to_json()
+        assert DiffReport.from_json(text).to_json() == text
+
+    def test_ingested_diff_is_deterministic(self):
+        log, _ = load_execution_log(SPARK_FIXTURE, format="spark-eventlog")
+        one = DiffEngine(log, log).report().to_json()
+        two = DiffEngine(log, log).report().to_json()
+        assert one == two

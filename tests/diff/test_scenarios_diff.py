@@ -1,0 +1,99 @@
+"""Scenario-catalog coverage: the diff blames each pathology's ground truth.
+
+For every job-entity scenario with a baseline variant, a "before" log is
+built from the baseline alone and an "after" log from the pathological
+variants (same seed) — the cleanest possible regression pair the catalog
+can produce.  The DiffReport must classify the direction correctly and
+cite at least one of the scenario's ground-truth ``consistent_features``.
+
+Task-entity scenarios (straggler-node, data-skew, last-task-faster) ship
+only ``affected`` variants — there is no baseline side to diff against —
+so they are excluded by the same predicate the parametrization uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.diff import DiffEngine, DiffReport
+from repro.workloads.scenarios import (
+    Scenario,
+    build_scenario_log,
+    get_scenario,
+    scenario_catalog,
+)
+
+SEED = 5
+
+
+def _applicable(scenario: Scenario) -> bool:
+    labels = {variant.label for variant in scenario.variants}
+    return scenario.entity == "job" and "baseline" in labels and labels != {"baseline"}
+
+
+APPLICABLE = [name for name in scenario_catalog() if _applicable(get_scenario(name))]
+
+
+def _diff_report(name: str) -> tuple[Scenario, DiffReport]:
+    scenario = get_scenario(name)
+    baseline = tuple(v for v in scenario.variants if v.label == "baseline")
+    pathological = tuple(v for v in scenario.variants if v.label != "baseline")
+    before = build_scenario_log(
+        dataclasses.replace(scenario, variants=baseline), seed=SEED
+    )
+    after = build_scenario_log(
+        dataclasses.replace(scenario, variants=pathological), seed=SEED
+    )
+    return scenario, DiffEngine(before, after).report()
+
+
+class TestScenarioCoverage:
+    def test_catalog_has_applicable_scenarios(self):
+        # The catalog ships 8 diffable job scenarios today; a shrinking set
+        # would silently gut this module's coverage.
+        assert len(APPLICABLE) >= 8
+
+    @pytest.mark.parametrize("name", APPLICABLE)
+    def test_diff_cites_ground_truth_features(self, name):
+        scenario, report = _diff_report(name)
+        cited = report.cited_features()
+        assert cited & scenario.consistent_features, (
+            f"{name}: report cites {sorted(cited)} but none of the "
+            f"ground-truth features {sorted(scenario.consistent_features)}"
+        )
+
+    @pytest.mark.parametrize("name", APPLICABLE)
+    def test_direction_matches_the_pathology(self, name):
+        scenario, report = _diff_report(name)
+        if scenario.observed == "GT":
+            # Why-slower scenarios: the pathological side must regress.
+            assert report.direction == "regression"
+            assert report.duration_ratio > 1.0
+        else:
+            # cluster-underuse observes SIM — the pathology wastes capacity
+            # without slowing jobs, so no regression should be reported.
+            assert report.direction != "regression"
+
+    @pytest.mark.parametrize("name", APPLICABLE)
+    def test_learned_explanation_exists(self, name):
+        _, report = _diff_report(name)
+        assert report.explanation is not None
+        assert report.explanation_error is None
+        assert report.first_id is not None and report.second_id is not None
+
+    @pytest.mark.parametrize("name", APPLICABLE)
+    def test_report_round_trips_exactly(self, name):
+        _, report = _diff_report(name)
+        text = report.to_json()
+        assert DiffReport.from_json(text).to_json() == text
+
+    def test_task_only_scenarios_are_excluded_for_missing_baselines(self):
+        excluded = set(scenario_catalog()) - set(APPLICABLE)
+        for name in excluded:
+            scenario = get_scenario(name)
+            labels = {variant.label for variant in scenario.variants}
+            assert scenario.entity != "job" or "baseline" not in labels or labels == {
+                "baseline"
+            }

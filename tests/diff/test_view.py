@@ -1,0 +1,141 @@
+"""CrossLogView: namespacing, the colliding-id regression, and provenance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.features import DEFAULT_EXCLUDED_FEATURES, infer_schema
+from repro.diff import (
+    AFTER_RUN,
+    BEFORE_RUN,
+    RUN_FEATURE,
+    CrossLogView,
+    namespace_id,
+    split_id,
+)
+from repro.logs.records import JobRecord
+from repro.logs.store import ExecutionLog
+
+
+class TestIdNamespacing:
+    def test_round_trip(self):
+        assert split_id(namespace_id(BEFORE_RUN, "job_7")) == (BEFORE_RUN, "job_7")
+        assert split_id("after::t3") == (AFTER_RUN, "t3")
+
+    def test_original_id_containing_separator_round_trips(self):
+        namespaced = namespace_id(AFTER_RUN, "weird::id")
+        assert split_id(namespaced) == (AFTER_RUN, "weird::id")
+
+    def test_non_namespaced_ids_rejected(self):
+        with pytest.raises(ValueError):
+            split_id("job_7")
+        with pytest.raises(ValueError):
+            split_id("production::job_7")  # not a known run label
+
+
+class TestCollidingIds:
+    """The satellite bugfix: identical id sets on both sides must merge
+    cleanly — no silent drop (``ExecutionLog.merge`` semantics), no
+    spurious DuplicateRecordError, no mispairing."""
+
+    def test_identical_id_sets_merge_without_loss(self, run_factory):
+        before = run_factory(scale=1.0, seed=0)
+        after = run_factory(scale=3.0, seed=1)
+        assert [j.job_id for j in before.jobs] == [j.job_id for j in after.jobs]
+        assert [t.task_id for t in before.tasks] == [t.task_id for t in after.tasks]
+
+        view = CrossLogView(before, after)
+        assert view.merged.num_jobs == before.num_jobs + after.num_jobs
+        assert view.merged.num_tasks == before.num_tasks + after.num_tasks
+
+    def test_colliding_records_never_alias(self, run_factory):
+        before = run_factory(scale=1.0, seed=0)
+        after = run_factory(scale=3.0, seed=1)
+        view = CrossLogView(before, after)
+        # The two j0's are distinct records with their own durations.
+        b = view.merged.find_job("before::j0")
+        a = view.merged.find_job("after::j0")
+        assert b is not None and a is not None
+        assert b.duration == before.jobs[0].duration
+        assert a.duration == after.jobs[0].duration
+        assert b.duration != a.duration
+
+    def test_merge_is_deterministic(self, run_factory):
+        before = run_factory(scale=1.0, seed=0)
+        after = run_factory(scale=3.0, seed=1)
+        ids_one = [j.job_id for j in CrossLogView(before, after).merged.jobs]
+        ids_two = [j.job_id for j in CrossLogView(before, after).merged.jobs]
+        assert ids_one == ids_two
+        assert ids_one[: before.num_jobs] == [
+            namespace_id(BEFORE_RUN, j.job_id) for j in before.jobs
+        ]
+
+    def test_inputs_not_mutated(self, run_factory):
+        before = run_factory(scale=1.0, seed=0)
+        after = run_factory(scale=3.0, seed=1)
+        CrossLogView(before, after)
+        assert before.jobs[0].job_id == "j0"
+        assert RUN_FEATURE not in before.jobs[0].features
+        assert after.tasks[0].task_id == "t0_0"
+        assert RUN_FEATURE not in after.tasks[0].features
+
+
+class TestMergedStructure:
+    def test_task_job_edges_rewritten_consistently(self, before_log, after_log):
+        view = CrossLogView(before_log, after_log)
+        for run, source in ((BEFORE_RUN, before_log), (AFTER_RUN, after_log)):
+            tasks = view.merged.tasks_of_job(namespace_id(run, "j0"))
+            assert len(tasks) == len(source.tasks_of_job("j0"))
+            assert all(t.job_id == namespace_id(run, "j0") for t in tasks)
+
+    def test_boundaries_and_run_of_index(self, before_log, after_log):
+        view = CrossLogView(before_log, after_log)
+        assert view.boundary("job") == before_log.num_jobs
+        assert view.boundary("task") == before_log.num_tasks
+        assert view.run_of_index("job", 0) == BEFORE_RUN
+        assert view.run_of_index("job", before_log.num_jobs) == AFTER_RUN
+        with pytest.raises(ValueError):
+            view.boundary("stage")
+
+    def test_original_record_resolves_both_kinds(self, before_log, after_log):
+        view = CrossLogView(before_log, after_log)
+        job = view.original_record("before::j1")
+        assert job is before_log.jobs[1]
+        task = view.original_record("after::t0_0")
+        assert task is after_log.tasks[0]
+        with pytest.raises(KeyError):
+            view.original_record("after::nope")
+
+
+class TestRunProvenance:
+    def test_every_merged_record_is_stamped(self, before_log, after_log):
+        view = CrossLogView(before_log, after_log)
+        for index, job in enumerate(view.merged.jobs):
+            assert job.features[RUN_FEATURE] == view.run_of_index("job", index)
+        for index, task in enumerate(view.merged.tasks):
+            assert task.features[RUN_FEATURE] == view.run_of_index("task", index)
+
+    def test_run_is_excluded_from_schema_inference(self, before_log, after_log):
+        assert RUN_FEATURE in DEFAULT_EXCLUDED_FEATURES
+        view = CrossLogView(before_log, after_log)
+        schema = infer_schema(view.merged.jobs)
+        assert RUN_FEATURE not in schema.names()
+        schema = infer_schema(view.merged.tasks)
+        assert RUN_FEATURE not in schema.names()
+
+
+class TestEmptySides:
+    def test_empty_logs_merge_to_empty(self):
+        view = CrossLogView(ExecutionLog(), ExecutionLog())
+        assert view.merged.num_jobs == 0
+        assert view.merged.num_tasks == 0
+
+    def test_one_sided_merge(self):
+        before = ExecutionLog(
+            jobs=[
+                JobRecord(job_id="j0", features={"pig_script": "a.pig"}, duration=5.0)
+            ]
+        )
+        view = CrossLogView(before, ExecutionLog())
+        assert [j.job_id for j in view.merged.jobs] == ["before::j0"]
+        assert view.job_boundary == 1

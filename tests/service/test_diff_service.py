@@ -1,0 +1,291 @@
+"""The diff request through every layer: protocol, service, HTTP, CLI.
+
+The acceptance bar is bit-identity: the same before/after pair must yield
+byte-identical report JSON from a direct :class:`DiffEngine` call, from
+``PerfXplainService.execute``, over the HTTP endpoint, and from the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.diff import DiffEngine, DiffReport
+from repro.exceptions import ProtocolError
+from repro.logs.records import JobRecord, TaskRecord
+from repro.logs.store import ExecutionLog
+from repro.service import (
+    DiffRequest,
+    DiffResponse,
+    ErrorResponse,
+    LogCatalog,
+    PerfXplainService,
+    ServiceClient,
+)
+from repro.service.http import PerfXplainHTTPServer
+from repro.service.protocol import ErrorCode, parse_request, parse_response
+
+
+def _make_run(scale: float, seed: int) -> ExecutionLog:
+    """Small synthetic run (same shape as tests/diff/conftest.make_run)."""
+    rng = random.Random(seed)
+    jobs, tasks = [], []
+    for index in range(6):
+        jobs.append(
+            JobRecord(
+                job_id=f"j{index}",
+                features={
+                    "pig_script": "wf.pig",
+                    "numinstances": 2,
+                    "inputsize": 1e6 * scale * (1.0 + rng.random() * 0.05),
+                },
+                duration=10.0 * scale * (1.0 + rng.random() * 0.1),
+            )
+        )
+        tasks.append(
+            TaskRecord(
+                task_id=f"t{index}",
+                job_id=f"j{index}",
+                features={"pig_script": "wf.pig", "operator": "MAP"},
+                duration=3.0 * scale,
+            )
+        )
+    return ExecutionLog(jobs=jobs, tasks=tasks)
+
+
+@pytest.fixture(scope="module")
+def run_pair():
+    return _make_run(scale=1.0, seed=0), _make_run(scale=3.0, seed=1)
+
+
+@pytest.fixture()
+def diff_service(run_pair):
+    before, after = run_pair
+    catalog = LogCatalog()
+    catalog.register("baseline", before)
+    catalog.register("candidate", after)
+    with PerfXplainService(catalog, max_workers=4) as service:
+        yield service
+
+
+class TestDiffProtocol:
+    def test_request_round_trips(self):
+        request = DiffRequest(before="a", after="b", width=3, technique="perfxplain")
+        parsed = parse_request(json.loads(request.to_json()))
+        assert parsed == request
+        assert DiffRequest.from_json(request.to_json()) == request
+
+    def test_old_protocol_versions_rejected(self):
+        payload = DiffRequest(before="a", after="b").to_dict()
+        for version in (1, 2):
+            payload["protocol_version"] = version
+            with pytest.raises(ProtocolError) as excinfo:
+                DiffRequest.from_dict(payload)
+            assert excinfo.value.code == ErrorCode.UNSUPPORTED_PROTOCOL
+
+    def test_response_round_trips(self, diff_service):
+        response = diff_service.diff("baseline", "candidate")
+        assert isinstance(response, DiffResponse)
+        parsed = parse_response(json.loads(response.to_json()))
+        assert parsed == response
+        assert parsed.report == response.report
+
+    def test_response_requires_report_object(self):
+        payload = {
+            "type": "diff_result",
+            "protocol_version": 3,
+            "before": "a",
+            "after": "b",
+            "report": None,
+        }
+        with pytest.raises(ProtocolError):
+            DiffResponse.from_dict(payload)
+
+
+class TestDiffService:
+    def test_diff_wrapper_returns_response(self, diff_service):
+        response = diff_service.diff("baseline", "candidate")
+        assert isinstance(response, DiffResponse)
+        assert response.ok
+        assert response.before == "baseline"
+        assert response.after == "candidate"
+        assert response.report.direction == "regression"
+
+    def test_unknown_log_is_a_stable_error(self, diff_service):
+        response = diff_service.diff("baseline", "nope")
+        assert isinstance(response, ErrorResponse)
+        assert response.code == "unknown_log"
+
+    def test_self_diff_is_allowed(self, diff_service):
+        response = diff_service.diff("baseline", "baseline")
+        assert isinstance(response, DiffResponse)
+        assert response.report.direction == "similar"
+
+    def test_diff_latency_recorded(self, diff_service):
+        diff_service.diff("baseline", "candidate")
+        latency = diff_service.metrics()["latency_ms"]
+        assert latency["diff"]["count"] >= 1
+        assert latency["diff"]["p50_ms"] is not None
+
+    def test_matches_direct_engine_output(self, diff_service, run_pair):
+        before, after = run_pair
+        direct = DiffEngine(
+            before,
+            after,
+            config=diff_service.catalog.config,
+            seed=diff_service.catalog.seed,
+        ).report()
+        served = diff_service.diff("baseline", "candidate")
+        assert served.report.to_json() == direct.to_json()
+
+    def test_concurrent_diffs_and_appends_do_not_deadlock(self, run_pair):
+        before, after = run_pair
+        catalog = LogCatalog()
+        catalog.register("baseline", before)
+        catalog.register(
+            "candidate",
+            ExecutionLog(jobs=list(after.jobs), tasks=list(after.tasks)),
+        )
+        errors = []
+        with PerfXplainService(catalog, max_workers=4) as service:
+            def do_diff():
+                for _ in range(3):
+                    result = service.diff("baseline", "candidate")
+                    if isinstance(result, ErrorResponse):
+                        errors.append(result.message)
+
+            def do_append():
+                from repro.service import AppendRequest
+
+                for index in range(6):
+                    record = JobRecord(
+                        job_id=f"appended_{index}",
+                        features={
+                            "pig_script": "wf.pig",
+                            "numinstances": 2,
+                            "inputsize": 2e6,
+                        },
+                        duration=35.0,
+                    )
+                    request = AppendRequest(log="candidate", jobs=(record,))
+                    result = service.execute(request)
+                    if isinstance(result, ErrorResponse):
+                        errors.append(result.message)
+
+            threads = [threading.Thread(target=do_diff) for _ in range(3)]
+            threads.append(threading.Thread(target=do_append))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+                assert not thread.is_alive(), "diff/append deadlocked"
+        assert errors == []
+
+
+class TestDiffOverHTTP:
+    def test_client_diff_round_trip(self, diff_service, run_pair):
+        before, after = run_pair
+        with PerfXplainHTTPServer(diff_service, port=0) as server:
+            client = ServiceClient(server.url)
+            response = client.diff("baseline", "candidate")
+            assert isinstance(response, DiffResponse)
+            direct = DiffEngine(
+                before,
+                after,
+                config=diff_service.catalog.config,
+                seed=diff_service.catalog.seed,
+            ).report()
+            assert response.report.to_json() == direct.to_json()
+
+    def test_unknown_log_is_404(self, diff_service):
+        with PerfXplainHTTPServer(diff_service, port=0) as server:
+            body = DiffRequest(before="baseline", after="nope").to_json()
+            request = urllib.request.Request(
+                server.url + "/v1/diff",
+                data=body.encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30)
+            assert excinfo.value.code == 404
+
+    def test_diff_failed_maps_to_422(self, run_pair):
+        before, _ = run_pair
+        catalog = LogCatalog()
+        catalog.register("baseline", before)
+        catalog.register("empty", ExecutionLog())
+        with PerfXplainService(catalog, max_workers=2) as service:
+            with PerfXplainHTTPServer(service, port=0) as server:
+                body = DiffRequest(before="baseline", after="empty").to_json()
+                request = urllib.request.Request(
+                    server.url + "/v1/diff",
+                    data=body.encode("utf-8"),
+                    headers={"Content-Type": "application/json"},
+                    method="POST",
+                )
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(request, timeout=30)
+                assert excinfo.value.code == 422
+                payload = json.loads(excinfo.value.read().decode("utf-8"))
+                assert payload["code"] == "diff_failed"
+
+
+class TestDiffCLI:
+    def test_cli_json_matches_direct_engine(self, run_pair, tmp_path, capsys):
+        before, after = run_pair
+        before_path = tmp_path / "before.jsonl"
+        after_path = tmp_path / "after.jsonl"
+        before.save(before_path)
+        after.save(after_path)
+
+        argv = ["diff", "--before", str(before_path), "--after", str(after_path)]
+        exit_code = main(argv + ["--format", "json"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+
+        expected = DiffEngine(before, after).report().to_json(indent=2)
+        assert out == expected + "\n"
+        # And it parses back to the same report.
+        assert DiffReport.from_json(out).to_json(indent=2) == expected
+
+    def test_cli_text_format(self, run_pair, tmp_path, capsys):
+        before, after = run_pair
+        before_path = tmp_path / "before.jsonl"
+        after_path = tmp_path / "after.jsonl"
+        before.save(before_path)
+        after.save(after_path)
+
+        argv = ["diff", "--before", str(before_path), "--after", str(after_path)]
+        exit_code = main(argv)
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "cross-log diff: REGRESSION" in out
+        assert "pair of interest: after::" in out
+
+    def test_cli_url_mode_matches_local(
+        self, diff_service, run_pair, tmp_path, capsys
+    ):
+        before, after = run_pair
+        before_path = tmp_path / "before.jsonl"
+        after_path = tmp_path / "after.jsonl"
+        before.save(before_path)
+        after.save(after_path)
+
+        argv = ["diff", "--before", str(before_path), "--after", str(after_path)]
+        exit_code = main(argv + ["--format", "json"])
+        assert exit_code == 0
+        local = capsys.readouterr().out
+
+        with PerfXplainHTTPServer(diff_service, port=0) as server:
+            argv = ["diff", "--before", "baseline", "--after", "candidate"]
+            exit_code = main(argv + ["--url", server.url, "--format", "json"])
+            assert exit_code == 0
+            served = capsys.readouterr().out
+        assert served == local

@@ -168,7 +168,7 @@ class TestIntrospectionEndpoints:
     def test_health(self, client):
         payload = client.health()
         assert payload["status"] == "ok"
-        assert payload["protocol_version"] == 2
+        assert payload["protocol_version"] == 3
 
     def test_logs_exposes_catalog_and_cache_stats(self, client):
         client.explain("tiny", WHY_SLOWER_LOOSE, width=2)

@@ -68,6 +68,29 @@ class TestLatencyRecorder:
         with pytest.raises(ValueError):
             LatencyRecorder(window=0)
 
+    def test_preseeded_kinds_snapshot_with_null_percentiles(self):
+        recorder = LatencyRecorder(kinds=("diff", "query"))
+        snapshot = recorder.snapshot()
+        assert set(snapshot) == {"diff", "query"}
+        for entry in snapshot.values():
+            assert entry["count"] == 0
+            assert entry["window"] == 0
+            assert entry["p50_ms"] is None
+            assert entry["p95_ms"] is None
+            assert entry["p99_ms"] is None
+            assert entry["max_ms"] is None
+        recorder.record("diff", 12.0)
+        diff = recorder.snapshot()["diff"]
+        assert diff["count"] == 1
+        assert diff["p50_ms"] == 12.0
+
+    def test_unknown_kind_recorded_without_raising(self):
+        recorder = LatencyRecorder(kinds=("query",))
+        recorder.record("totally-new-request-type", 5.0)
+        snapshot = recorder.snapshot()
+        assert snapshot["totally-new-request-type"]["count"] == 1
+        assert snapshot["totally-new-request-type"]["p99_ms"] == 5.0
+
 
 class TestServiceMetrics:
     def test_metrics_cover_every_counter_family(self, service):
@@ -77,10 +100,17 @@ class TestServiceMetrics:
         metrics = service.metrics()
 
         latency = metrics["latency_ms"]
-        assert set(latency) >= {"query", "batch"}
+        # Every request kind the service can execute is pre-listed, even
+        # before its first sample (diff/evaluate/append here).
+        assert set(latency) >= {"append", "batch", "diff", "evaluate", "query"}
         for entry in latency.values():
+            if entry["window"] == 0:
+                assert entry["count"] == 0
+                assert entry["p50_ms"] is None
+                continue
             assert entry["p50_ms"] <= entry["p95_ms"] <= entry["p99_ms"]
             assert entry["count"] >= 1
+        assert latency["query"]["count"] >= 1
 
         assert metrics["executed"] >= 1
         assert metrics["deduplicated"] >= 0
